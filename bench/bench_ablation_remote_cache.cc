@@ -1,0 +1,70 @@
+// Ablation A1: the remote-materialization design rules of Section 4.4 —
+// the enable_remote_cache master switch, the per-query
+// USE_REMOTE_CACHE hint, the remote_cache_validity window, and the
+// only-materialize-queries-with-predicates rule.
+//
+// Usage: bench_ablation_remote_cache [scale_factor]
+
+#include <cstdio>
+
+#include "bench/tpch_harness.h"
+
+namespace hana::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.005;
+  std::printf(
+      "Remote-materialization ablation (A1), TPC-H scale factor %.3g\n\n",
+      sf);
+  TpchFederation fed(sf);
+  platform::Platform& db = fed.db();
+  std::string q6 = tpch::QueryText(6);
+  std::string q6_hint = q6 + " WITH HINT (USE_REMOTE_CACHE)";
+
+  auto run = [&](const char* label, const std::string& sql) {
+    auto result = db.Execute(sql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", label,
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("%-44s %10.1f ms  cache_hit=%d materialized=%d\n", label,
+                result->metrics.total_ms, result->metrics.remote_cache_hit,
+                result->metrics.remote_materialization);
+    return result->metrics.total_ms;
+  };
+
+  std::printf("--- enable_remote_cache = false (default) ---\n");
+  (void)db.SetParameter("enable_remote_cache", "false");
+  run("hint alone (parameter disabled)", q6_hint);
+  run("hint alone, second run", q6_hint);
+
+  std::printf("\n--- enable_remote_cache = true ---\n");
+  (void)db.SetParameter("enable_remote_cache", "true");
+  run("no hint (parameter alone)", q6);
+  double first = run("hint, first run (materializes)", q6_hint);
+  double second = run("hint, second run (cache hit)", q6_hint);
+  std::printf("  -> warm speedup %.0fx\n", first / second);
+
+  std::printf("\n--- remote_cache_validity = 0 (always stale) ---\n");
+  (void)db.SetParameter("remote_cache_validity", "0");
+  run("hint, stale entry re-materializes", q6_hint);
+  (void)db.SetParameter("remote_cache_validity", "3600");
+
+  std::printf("\n--- predicate rule ---\n");
+  // A full-table fetch has no predicate: never materialized ("we do not
+  // replicate the entire Hive table").
+  run("SELECT without predicate + hint",
+      "SELECT l_orderkey, l_quantity FROM lineitem"
+      " WITH HINT (USE_REMOTE_CACHE)");
+  run("same query, second run (still no cache)",
+      "SELECT l_orderkey, l_quantity FROM lineitem"
+      " WITH HINT (USE_REMOTE_CACHE)");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hana::bench
+
+int main(int argc, char** argv) { return hana::bench::Main(argc, argv); }

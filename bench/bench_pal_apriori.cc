@@ -1,0 +1,82 @@
+// Experiment E8 support: apriori association-rule mining throughput —
+// the PAL algorithm of the warranty-claims scenario (Section 4.1:
+// "thousands of association rules were discovered with confidence
+// between 80% and 100%").
+
+#include <benchmark/benchmark.h>
+
+#include "common/util.h"
+#include "pal/apriori.h"
+
+namespace hana {
+namespace {
+
+std::vector<pal::Transaction> MakeReadouts(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<pal::Transaction> txns;
+  txns.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pal::Transaction t;
+    // Correlated diagnosis codes: E1x co-occurs with CLAIM frequently.
+    bool failing = rng.Uniform(0, 9) < 3;
+    if (failing) {
+      t.push_back("E1" + std::to_string(rng.Uniform(0, 2)));
+      t.push_back("TEMP_HIGH");
+      if (rng.Uniform(0, 9) < 9) t.push_back("CLAIM");
+    }
+    size_t noise = static_cast<size_t>(rng.Uniform(2, 6));
+    for (size_t j = 0; j < noise; ++j) {
+      t.push_back("D" + std::to_string(rng.Uniform(0, 40)));
+    }
+    txns.push_back(std::move(t));
+  }
+  return txns;
+}
+
+void BM_Apriori(benchmark::State& state) {
+  auto txns = MakeReadouts(static_cast<size_t>(state.range(0)), 99);
+  pal::AprioriOptions options;
+  options.min_support = 0.02;
+  options.min_confidence = 0.8;
+  size_t rules = 0;
+  for (auto _ : state) {
+    auto result = pal::Apriori(txns, options);
+    if (!result.ok()) state.SkipWithError("apriori failed");
+    rules = result->size();
+    benchmark::DoNotOptimize(rules);
+  }
+  state.counters["rules"] = static_cast<double>(rules);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(txns.size()));
+}
+BENCHMARK(BM_Apriori)->Arg(1000)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RuleClassifier(benchmark::State& state) {
+  auto txns = MakeReadouts(10000, 99);
+  pal::AprioriOptions options;
+  options.min_support = 0.02;
+  options.min_confidence = 0.8;
+  auto rules = pal::Apriori(txns, options);
+  if (!rules.ok()) {
+    state.SkipWithError("apriori failed");
+    return;
+  }
+  pal::RuleClassifier classifier(*rules);
+  auto probes = MakeReadouts(1000, 7);
+  for (auto _ : state) {
+    size_t candidates = 0;
+    for (const auto& probe : probes) {
+      if (classifier.Score(probe, "CLAIM") >= 0.8) ++candidates;
+    }
+    benchmark::DoNotOptimize(candidates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(probes.size()));
+}
+BENCHMARK(BM_RuleClassifier)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hana
+
+BENCHMARK_MAIN();

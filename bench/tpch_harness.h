@@ -1,0 +1,155 @@
+#ifndef HANA_BENCH_TPCH_HARNESS_H_
+#define HANA_BENCH_TPCH_HARNESS_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace hana::bench {
+
+/// Paper reference series (Figures 14 and 15), query -> percent.
+inline const std::map<int, double>& PaperFig14() {
+  static const std::map<int, double>* kValues = new std::map<int, double>{
+      {4, 95.03},  {18, 93.41}, {13, 91.27}, {3, 87.31},
+      {12, 83.68}, {6, 80.51},  {1, 75.73},  {5, 54.93},
+      {10, 32.26}, {19, 32.07}, {14, 31.18}, {16, 29.10}};
+  return *kValues;
+}
+
+inline const std::map<int, double>& PaperFig15() {
+  static const std::map<int, double>* kValues = new std::map<int, double>{
+      {14, 62.67}, {1, 38.83}, {12, 23.36}, {6, 16.80},
+      {10, 15.80}, {13, 12.93}, {5, 12.22}, {18, 11.09},
+      {16, 6.38},  {4, 1.52},  {3, 0.93},  {19, 0.02}};
+  return *kValues;
+}
+
+/// Measured timings for one query under the three execution modes of
+/// Section 4.4.
+struct QueryTiming {
+  int query = 0;
+  double normal_ms = 0;        // Plain SDA execution.
+  double materialize_ms = 0;   // First USE_REMOTE_CACHE run (CTAS).
+  double cached_ms = 0;        // Subsequent cached runs.
+  size_t normal_jobs = 0;
+  size_t rows = 0;
+
+  double BenefitPercent() const {
+    return normal_ms <= 0 ? 0 : 100.0 * (normal_ms - cached_ms) / normal_ms;
+  }
+  double OverheadPercent() const {
+    return normal_ms <= 0
+               ? 0
+               : 100.0 * (materialize_ms - normal_ms) / normal_ms;
+  }
+};
+
+/// Builds the paper's federated deployment: SUPPLIER, NATION, REGION
+/// (and PART for Q14/Q19) local in HANA; LINEITEM, CUSTOMER, ORDERS,
+/// PARTSUPP, PART federated at Hive via SDA.
+class TpchFederation {
+ public:
+  explicit TpchFederation(double scale_factor, uint64_t seed = 19920701) {
+    tpch::TpchData data = tpch::Generate(scale_factor, seed);
+    db_ = std::make_unique<platform::Platform>();
+    for (const std::string& table :
+         {std::string("supplier"), std::string("nation"),
+          std::string("region"), std::string("part_local")}) {
+      sql::CreateTableStmt create;
+      create.table = table;
+      create.columns = tpch::TpchSchema(table)->columns();
+      Check(db_->catalog().CreateTable(create), "create " + table);
+      Check(db_->catalog().Insert(table, *tpch::TableRows(data, table)),
+            "load " + table);
+    }
+    for (const std::string& table :
+         {std::string("lineitem"), std::string("customer"),
+          std::string("orders"), std::string("partsupp"),
+          std::string("part")}) {
+      Check(db_->hive()->CreateTable(table, tpch::TpchSchema(table)),
+            "hive create " + table);
+      Check(db_->hive()->LoadRows(table, *tpch::TableRows(data, table)),
+            "hive load " + table);
+    }
+    Check(db_->Run(R"(
+        CREATE REMOTE SOURCE HIVE1 ADAPTER "hiveodbc" CONFIGURATION
+          'DSN=hive1' WITH CREDENTIAL TYPE 'PASSWORD'
+          USING 'user=dfuser;password=dfpass';
+        CREATE VIRTUAL TABLE lineitem AT "HIVE1"."dflo"."dflo"."lineitem";
+        CREATE VIRTUAL TABLE customer AT "HIVE1"."dflo"."dflo"."customer";
+        CREATE VIRTUAL TABLE orders AT "HIVE1"."dflo"."dflo"."orders";
+        CREATE VIRTUAL TABLE partsupp AT "HIVE1"."dflo"."dflo"."partsupp";
+        CREATE VIRTUAL TABLE part AT "HIVE1"."dflo"."dflo"."part";
+    )"),
+          "register remote source");
+  }
+
+  platform::Platform& db() { return *db_; }
+
+  static std::string PartTable(int q) {
+    return q == 14 || q == 19 ? "part_local" : "part";
+  }
+
+  /// Runs the three-mode measurement for one query.
+  QueryTiming Measure(int q) {
+    QueryTiming timing;
+    timing.query = q;
+    std::string text = tpch::QueryText(q, PartTable(q));
+    std::string hinted = text + " WITH HINT (USE_REMOTE_CACHE)";
+
+    Check(db_->SetParameter("enable_remote_cache", "false"), "param");
+    auto normal = db_->Execute(text);
+    Check(normal.status(), "normal Q" + std::to_string(q));
+    timing.normal_ms = normal->metrics.total_ms;
+    timing.normal_jobs = normal->metrics.mapreduce_jobs;
+    timing.rows = normal->metrics.rows;
+
+    Check(db_->SetParameter("enable_remote_cache", "true"), "param");
+    auto materialize = db_->Execute(hinted);
+    Check(materialize.status(), "materialize Q" + std::to_string(q));
+    timing.materialize_ms = materialize->metrics.total_ms;
+
+    auto cached = db_->Execute(hinted);
+    Check(cached.status(), "cached Q" + std::to_string(q));
+    timing.cached_ms = cached->metrics.total_ms;
+    if (!cached->metrics.remote_cache_hit) {
+      std::fprintf(stderr, "WARNING: Q%d cached run missed the cache\n", q);
+    }
+    return timing;
+  }
+
+  std::vector<QueryTiming> MeasureAll() {
+    std::vector<QueryTiming> timings;
+    for (int q : tpch::BenchmarkQueries()) timings.push_back(Measure(q));
+    return timings;
+  }
+
+ private:
+  static void Check(const Status& status, const std::string& what) {
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL (%s): %s\n", what.c_str(),
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::unique_ptr<platform::Platform> db_;
+};
+
+/// Renders a horizontal percentage bar.
+inline std::string Bar(double percent, double max_percent = 100.0) {
+  int width = static_cast<int>(40.0 * percent / max_percent + 0.5);
+  if (width < 0) width = 0;
+  if (width > 60) width = 60;
+  return std::string(static_cast<size_t>(width), '#');
+}
+
+}  // namespace hana::bench
+
+#endif  // HANA_BENCH_TPCH_HARNESS_H_

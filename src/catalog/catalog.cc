@@ -1,0 +1,600 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+#include "exec/evaluator.h"
+
+namespace hana::catalog {
+
+size_t TableEntry::LiveRows(const extended::IqEngine* iq) const {
+  switch (kind) {
+    case TableKind::kColumn:
+      return column_table->live_rows();
+    case TableKind::kRow:
+      return row_table->live_rows();
+    case TableKind::kExtended: {
+      if (iq == nullptr) return 0;
+      Result<extended::ExtendedTable*> table =
+          iq->store()->GetTable(extended_table);
+      return table.ok() ? (*table)->live_rows() : 0;
+    }
+    case TableKind::kHybrid: {
+      size_t rows = 0;
+      for (const Partition& p : partitions) {
+        if (p.hot != nullptr) {
+          rows += p.hot->live_rows();
+        } else if (iq != nullptr) {
+          Result<extended::ExtendedTable*> table =
+              iq->store()->GetTable(p.cold_table);
+          if (table.ok()) rows += (*table)->live_rows();
+        }
+      }
+      return rows;
+    }
+  }
+  return 0;
+}
+
+std::string Catalog::ColdTableName(const TableEntry& entry,
+                                   size_t partition) const {
+  return ToUpper(entry.name) + "__P" + std::to_string(partition);
+}
+
+Status Catalog::CreateTable(const sql::CreateTableStmt& stmt) {
+  std::string key = ToUpper(stmt.table);
+  if (tables_.count(key) > 0 || virtual_tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + stmt.table);
+  }
+  auto entry = std::make_unique<TableEntry>();
+  entry->name = stmt.table;
+  entry->flexible = stmt.flexible;
+  entry->schema = std::make_shared<Schema>(stmt.columns);
+
+  switch (stmt.storage) {
+    case sql::StorageKind::kColumn:
+      entry->kind = TableKind::kColumn;
+      entry->column_table =
+          std::make_unique<storage::ColumnTable>(entry->schema);
+      break;
+    case sql::StorageKind::kRow:
+      entry->kind = TableKind::kRow;
+      entry->row_table = std::make_unique<storage::RowTable>(entry->schema);
+      break;
+    case sql::StorageKind::kExtended: {
+      if (iq_ == nullptr) {
+        return Status::Unavailable(
+            "no extended storage attached to this platform");
+      }
+      entry->kind = TableKind::kExtended;
+      entry->extended_table = key;
+      HANA_RETURN_IF_ERROR(
+          iq_->store()->CreateTable(key, entry->schema).status());
+      break;
+    }
+    case sql::StorageKind::kHybrid: {
+      if (iq_ == nullptr) {
+        return Status::Unavailable(
+            "no extended storage attached to this platform");
+      }
+      if (stmt.partition_column.empty() || stmt.partitions.empty()) {
+        return Status::InvalidArgument(
+            "hybrid tables require PARTITION BY RANGE with partitions");
+      }
+      entry->kind = TableKind::kHybrid;
+      HANA_ASSIGN_OR_RETURN(size_t part_col,
+                            entry->schema->ColumnIndex(stmt.partition_column));
+      entry->partition_column = static_cast<int>(part_col);
+      if (!stmt.aging_column.empty()) {
+        HANA_ASSIGN_OR_RETURN(size_t aging_col,
+                              entry->schema->ColumnIndex(stmt.aging_column));
+        entry->aging_column = static_cast<int>(aging_col);
+      }
+      for (size_t i = 0; i < stmt.partitions.size(); ++i) {
+        Partition partition;
+        partition.def = stmt.partitions[i];
+        if (partition.def.cold) {
+          partition.cold_table = ColdTableName(*entry, i);
+          HANA_RETURN_IF_ERROR(
+              iq_->store()
+                  ->CreateTable(partition.cold_table, entry->schema)
+                  .status());
+        } else {
+          partition.hot = std::make_unique<storage::ColumnTable>(entry->schema);
+        }
+        entry->partitions.push_back(std::move(partition));
+      }
+      break;
+    }
+  }
+  tables_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  std::string key = ToUpper(name);
+  auto virt = virtual_tables_.find(key);
+  if (virt != virtual_tables_.end()) {
+    virtual_tables_.erase(virt);
+    return Status::OK();
+  }
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table not found: " + name);
+  }
+  TableEntry* entry = it->second.get();
+  if (iq_ != nullptr) {
+    if (entry->kind == TableKind::kExtended) {
+      (void)iq_->store()->DropTable(entry->extended_table);
+    }
+    if (entry->kind == TableKind::kHybrid) {
+      for (const Partition& p : entry->partitions) {
+        if (!p.cold_table.empty()) (void)iq_->store()->DropTable(p.cold_table);
+      }
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Result<TableEntry*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return it->second.get();
+}
+
+Result<const TableEntry*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) return Status::NotFound("table not found: " + name);
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToUpper(name)) > 0 ||
+         virtual_tables_.count(ToUpper(name)) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [key, entry] : tables_) names.push_back(entry->name);
+  for (const auto& [key, entry] : virtual_tables_) names.push_back(entry.name);
+  return names;
+}
+
+Status Catalog::AddRemoteSource(RemoteSourceEntry entry) {
+  std::string key = ToUpper(entry.name);
+  if (remote_sources_.count(key) > 0) {
+    return Status::AlreadyExists("remote source exists: " + entry.name);
+  }
+  remote_sources_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Result<const RemoteSourceEntry*> Catalog::GetRemoteSource(
+    const std::string& name) const {
+  auto it = remote_sources_.find(ToUpper(name));
+  if (it == remote_sources_.end()) {
+    return Status::NotFound("remote source not found: " + name);
+  }
+  return &it->second;
+}
+
+Status Catalog::AddVirtualTable(VirtualTableEntry entry) {
+  std::string key = ToUpper(entry.name);
+  if (virtual_tables_.count(key) > 0 || tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + entry.name);
+  }
+  virtual_tables_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Status Catalog::AddVirtualFunction(VirtualFunctionEntry entry) {
+  std::string key = ToUpper(entry.name);
+  if (virtual_functions_.count(key) > 0) {
+    return Status::AlreadyExists("virtual function exists: " + entry.name);
+  }
+  virtual_functions_[key] = std::move(entry);
+  return Status::OK();
+}
+
+Result<const VirtualFunctionEntry*> Catalog::GetVirtualFunction(
+    const std::string& name) const {
+  auto it = virtual_functions_.find(ToUpper(name));
+  if (it == virtual_functions_.end()) {
+    return Status::NotFound("virtual function not found: " + name);
+  }
+  return &it->second;
+}
+
+int Catalog::PartitionIndexFor(const TableEntry& entry,
+                               const Value& v) const {
+  int others = -1;
+  for (size_t i = 0; i < entry.partitions.size(); ++i) {
+    const sql::PartitionDef& def = entry.partitions[i].def;
+    if (def.is_others) {
+      others = static_cast<int>(i);
+      continue;
+    }
+    if (!v.is_null() && v.Compare(def.upper_bound) < 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return others;
+}
+
+Status Catalog::InsertHybrid(TableEntry* entry,
+                             const std::vector<std::vector<Value>>& rows) {
+  std::map<int, std::vector<std::vector<Value>>> routed;
+  for (const auto& row : rows) {
+    if (row.size() != entry->schema->num_columns()) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    int part = PartitionIndexFor(
+        *entry, row[static_cast<size_t>(entry->partition_column)]);
+    if (part < 0) {
+      return Status::InvalidArgument(
+          "no partition accepts value " +
+          row[static_cast<size_t>(entry->partition_column)].ToString());
+    }
+    routed[part].push_back(row);
+  }
+  for (auto& [part, batch] : routed) {
+    Partition& partition = entry->partitions[static_cast<size_t>(part)];
+    if (partition.hot != nullptr) {
+      HANA_RETURN_IF_ERROR(partition.hot->AppendRows(batch));
+    } else {
+      HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * cold,
+                            iq_->store()->GetTable(partition.cold_table));
+      HANA_RETURN_IF_ERROR(cold->BulkLoad(batch));
+    }
+  }
+  return Status::OK();
+}
+
+Status Catalog::Insert(const std::string& name,
+                       const std::vector<std::vector<Value>>& rows) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  switch (entry->kind) {
+    case TableKind::kColumn:
+      return entry->column_table->AppendRows(rows);
+    case TableKind::kRow: {
+      for (const auto& row : rows) {
+        HANA_RETURN_IF_ERROR(entry->row_table->AppendRow(row));
+      }
+      return Status::OK();
+    }
+    case TableKind::kExtended: {
+      // Direct load: data moves straight into the external store without
+      // a detour via the in-memory store (Section 3.1).
+      HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
+                            iq_->store()->GetTable(entry->extended_table));
+      return table->BulkLoad(rows);
+    }
+    case TableKind::kHybrid:
+      return InsertHybrid(entry, rows);
+  }
+  return Status::Internal("unknown table kind");
+}
+
+Status Catalog::InsertNamed(const std::string& name,
+                            const std::vector<std::string>& columns,
+                            const std::vector<std::vector<Value>>& rows) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  if (columns.empty()) return Insert(name, rows);
+
+  // Flexible tables extend their schema on the fly: unknown columns are
+  // added with a type inferred from the first non-null value.
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (entry->schema->FindColumn(columns[c]) >= 0) continue;
+    if (!entry->flexible) {
+      return Status::BindError("unknown column " + columns[c] + " in " +
+                               name);
+    }
+    if (entry->kind != TableKind::kColumn) {
+      return Status::InvalidArgument(
+          "flexible tables must use column storage");
+    }
+    DataType type = DataType::kString;
+    for (const auto& row : rows) {
+      if (c < row.size() && !row[c].is_null()) {
+        type = row[c].type();
+        break;
+      }
+    }
+    ColumnDef def{columns[c], type, true};
+    HANA_RETURN_IF_ERROR(entry->column_table->AddColumn(def));
+  }
+  // Build full-width rows in schema order.
+  std::vector<std::vector<Value>> full;
+  full.reserve(rows.size());
+  for (const auto& row : rows) {
+    if (row.size() != columns.size()) {
+      return Status::InvalidArgument("row arity mismatch");
+    }
+    std::vector<Value> out(entry->schema->num_columns(), Value::Null());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      HANA_ASSIGN_OR_RETURN(size_t idx,
+                            entry->schema->ColumnIndex(columns[c]));
+      out[idx] = row[c];
+    }
+    full.push_back(std::move(out));
+  }
+  return Insert(name, full);
+}
+
+Result<size_t> Catalog::DeleteWhere(const std::string& name,
+                                    const plan::BoundExpr& predicate) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  size_t deleted = 0;
+  auto matches = [&](const std::vector<Value>& row) {
+    Result<Value> v = exec::EvalExprRow(predicate, row);
+    return v.ok() && !v->is_null() && exec::IsTruthy(*v);
+  };
+  switch (entry->kind) {
+    case TableKind::kColumn: {
+      storage::ColumnTable* table = entry->column_table.get();
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (table->IsDeleted(r)) continue;
+        if (matches(table->GetRow(r))) {
+          HANA_RETURN_IF_ERROR(table->DeleteRow(r));
+          ++deleted;
+        }
+      }
+      return deleted;
+    }
+    case TableKind::kRow: {
+      storage::RowTable* table = entry->row_table.get();
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        if (table->IsDeleted(r)) continue;
+        if (matches(table->GetRow(r))) {
+          HANA_RETURN_IF_ERROR(table->DeleteRow(r));
+          ++deleted;
+        }
+      }
+      return deleted;
+    }
+    case TableKind::kExtended: {
+      HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
+                            iq_->store()->GetTable(entry->extended_table));
+      return table->DeleteWhere(matches);
+    }
+    case TableKind::kHybrid: {
+      for (Partition& p : entry->partitions) {
+        if (p.hot != nullptr) {
+          for (size_t r = 0; r < p.hot->num_rows(); ++r) {
+            if (p.hot->IsDeleted(r)) continue;
+            if (matches(p.hot->GetRow(r))) {
+              HANA_RETURN_IF_ERROR(p.hot->DeleteRow(r));
+              ++deleted;
+            }
+          }
+        } else {
+          HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * cold,
+                                iq_->store()->GetTable(p.cold_table));
+          HANA_ASSIGN_OR_RETURN(size_t n, cold->DeleteWhere(matches));
+          deleted += n;
+        }
+      }
+      return deleted;
+    }
+  }
+  return Status::Internal("unknown table kind");
+}
+
+Result<size_t> Catalog::UpdateWhere(
+    const std::string& name, const plan::BoundExpr* predicate,
+    const std::vector<std::pair<size_t, const plan::BoundExpr*>>&
+        assignments) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  if (entry->kind == TableKind::kExtended) {
+    return Status::Unimplemented(
+        "UPDATE supports in-memory tables; use delete+insert for extended");
+  }
+  size_t updated = 0;
+  auto update_row = [&](const std::vector<Value>& row,
+                        std::vector<Value>* out) -> Result<bool> {
+    if (predicate != nullptr) {
+      HANA_ASSIGN_OR_RETURN(Value keep, exec::EvalExprRow(*predicate, row));
+      if (keep.is_null() || !exec::IsTruthy(keep)) return false;
+    }
+    *out = row;
+    for (const auto& [col, expr] : assignments) {
+      HANA_ASSIGN_OR_RETURN(Value v, exec::EvalExprRow(*expr, row));
+      (*out)[col] = std::move(v);
+    }
+    return true;
+  };
+  auto update_column_table =
+      [&](storage::ColumnTable* table) -> Status {
+    size_t original_rows = table->num_rows();
+    for (size_t r = 0; r < original_rows; ++r) {
+      if (table->IsDeleted(r)) continue;
+      std::vector<Value> out;
+      HANA_ASSIGN_OR_RETURN(bool hit, update_row(table->GetRow(r), &out));
+      if (hit) {
+        HANA_RETURN_IF_ERROR(table->UpdateRow(r, out));
+        ++updated;
+      }
+    }
+    return Status::OK();
+  };
+  if (entry->kind == TableKind::kColumn) {
+    HANA_RETURN_IF_ERROR(update_column_table(entry->column_table.get()));
+  } else if (entry->kind == TableKind::kHybrid) {
+    // Cold data is read-mostly by design: reject before touching any hot
+    // partition so the statement stays all-or-nothing.
+    for (Partition& p : entry->partitions) {
+      if (p.hot != nullptr) continue;
+      HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * cold,
+                            iq_->store()->GetTable(p.cold_table));
+      bool any_cold_match = false;
+      HANA_RETURN_IF_ERROR(cold->Scan(
+          {}, storage::kDefaultChunkRows,
+          [&](const storage::Chunk& chunk) {
+            for (size_t r = 0; r < chunk.num_rows(); ++r) {
+              std::vector<Value> out;
+              Result<bool> hit = update_row(chunk.Row(r), &out);
+              if (hit.ok() && *hit) any_cold_match = true;
+            }
+            return !any_cold_match;
+          }));
+      if (any_cold_match) {
+        return Status::Unimplemented(
+            "UPDATE of rows in cold partitions is not supported");
+      }
+    }
+    for (Partition& p : entry->partitions) {
+      if (p.hot != nullptr) {
+        HANA_RETURN_IF_ERROR(update_column_table(p.hot.get()));
+      }
+    }
+  } else {
+    storage::RowTable* table = entry->row_table.get();
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      if (table->IsDeleted(r)) continue;
+      std::vector<Value> out;
+      HANA_ASSIGN_OR_RETURN(bool hit, update_row(table->GetRow(r), &out));
+      if (hit) {
+        HANA_RETURN_IF_ERROR(table->UpdateRow(r, std::move(out)));
+        ++updated;
+      }
+    }
+  }
+  return updated;
+}
+
+Status Catalog::MergeDelta(const std::string& name) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  if (entry->kind == TableKind::kColumn) {
+    entry->column_table->MergeDelta();
+    return Status::OK();
+  }
+  if (entry->kind == TableKind::kHybrid) {
+    for (Partition& p : entry->partitions) {
+      if (p.hot != nullptr) p.hot->MergeDelta();
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("MERGE DELTA applies to column tables");
+}
+
+Result<size_t> Catalog::RunAging(const std::string& name) {
+  HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
+  if (entry->kind != TableKind::kHybrid) {
+    return Status::InvalidArgument("aging applies to hybrid tables");
+  }
+  size_t moved = 0;
+  for (Partition& p : entry->partitions) {
+    if (p.hot == nullptr) continue;
+    std::vector<size_t> to_move;
+    std::vector<std::vector<Value>> rows;
+    for (size_t r = 0; r < p.hot->num_rows(); ++r) {
+      if (p.hot->IsDeleted(r)) continue;
+      std::vector<Value> row = p.hot->GetRow(r);
+      bool age;
+      if (entry->aging_column >= 0) {
+        const Value& flag = row[static_cast<size_t>(entry->aging_column)];
+        age = !flag.is_null() && exec::IsTruthy(flag);
+      } else {
+        int part = PartitionIndexFor(
+            *entry, row[static_cast<size_t>(entry->partition_column)]);
+        age = part >= 0 &&
+              entry->partitions[static_cast<size_t>(part)].hot == nullptr;
+      }
+      if (age) {
+        to_move.push_back(r);
+        rows.push_back(std::move(row));
+      }
+    }
+    if (rows.empty()) continue;
+    // Destination: the cold partition matching each row's range; rows
+    // outside any cold range go to the first cold partition.
+    int first_cold = -1;
+    for (size_t i = 0; i < entry->partitions.size(); ++i) {
+      if (entry->partitions[i].hot == nullptr) {
+        first_cold = static_cast<int>(i);
+        break;
+      }
+    }
+    if (first_cold < 0) {
+      return Status::InvalidArgument("hybrid table has no cold partition");
+    }
+    std::map<int, std::vector<std::vector<Value>>> routed;
+    for (auto& row : rows) {
+      int part = PartitionIndexFor(
+          *entry, row[static_cast<size_t>(entry->partition_column)]);
+      bool cold_target =
+          part >= 0 && entry->partitions[static_cast<size_t>(part)].hot ==
+                           nullptr;
+      routed[cold_target ? part : first_cold].push_back(std::move(row));
+    }
+    for (auto& [part, batch] : routed) {
+      HANA_ASSIGN_OR_RETURN(
+          extended::ExtendedTable * cold,
+          iq_->store()->GetTable(
+              entry->partitions[static_cast<size_t>(part)].cold_table));
+      HANA_RETURN_IF_ERROR(cold->BulkLoad(batch));
+    }
+    for (size_t r : to_move) {
+      HANA_RETURN_IF_ERROR(p.hot->DeleteRow(r));
+    }
+    moved += to_move.size();
+  }
+  return moved;
+}
+
+Result<plan::TableBinding> Catalog::ResolveTable(
+    const std::string& name) const {
+  std::string key = ToUpper(name);
+  auto virt = virtual_tables_.find(key);
+  if (virt != virtual_tables_.end()) {
+    plan::TableBinding binding;
+    binding.name = virt->second.name;
+    binding.location = plan::TableLocation::kRemote;
+    binding.source = virt->second.source;
+    binding.remote_object = virt->second.remote_object;
+    binding.schema = virt->second.schema;
+    binding.estimated_rows = virt->second.estimated_rows;
+    return binding;
+  }
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  const TableEntry& entry = *it->second;
+  plan::TableBinding binding;
+  binding.name = entry.name;
+  binding.schema = entry.schema;
+  binding.estimated_rows = static_cast<double>(entry.LiveRows(iq_));
+  switch (entry.kind) {
+    case TableKind::kColumn:
+      binding.location = plan::TableLocation::kLocalColumn;
+      break;
+    case TableKind::kRow:
+      binding.location = plan::TableLocation::kLocalRow;
+      break;
+    case TableKind::kExtended:
+      binding.location = plan::TableLocation::kExtended;
+      binding.source = "EXTENDED";
+      binding.remote_object = entry.extended_table;
+      break;
+    case TableKind::kHybrid:
+      binding.location = plan::TableLocation::kHybrid;
+      binding.source = "EXTENDED";
+      break;
+  }
+  return binding;
+}
+
+Result<plan::TableFunctionBinding> Catalog::ResolveTableFunction(
+    const std::string& name) const {
+  HANA_ASSIGN_OR_RETURN(const VirtualFunctionEntry* entry,
+                        GetVirtualFunction(name));
+  plan::TableFunctionBinding binding;
+  binding.name = entry->name;
+  binding.source = entry->source;
+  binding.configuration = entry->configuration;
+  binding.schema = entry->schema;
+  return binding;
+}
+
+}  // namespace hana::catalog

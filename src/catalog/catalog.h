@@ -1,0 +1,157 @@
+#ifndef HANA_CATALOG_CATALOG_H_
+#define HANA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "extended/iq_engine.h"
+#include "plan/bound_expr.h"
+#include "plan/logical.h"
+#include "sql/ast.h"
+#include "storage/column_table.h"
+
+namespace hana::catalog {
+
+enum class TableKind { kColumn, kRow, kExtended, kHybrid };
+
+/// One partition of a hybrid table (Section 3.1 "Extension on Table and
+/// Partition level"): hot partitions are in-memory column stores, cold
+/// partitions live as tables in the extended (IQ) store.
+struct Partition {
+  sql::PartitionDef def;
+  std::unique_ptr<storage::ColumnTable> hot;  // Set when !def.cold.
+  std::string cold_table;                     // Extended-store table name.
+};
+
+/// Metadata + storage handles for one catalog table.
+class TableEntry {
+ public:
+  std::string name;
+  TableKind kind = TableKind::kColumn;
+  bool flexible = false;
+  std::shared_ptr<Schema> schema;
+
+  std::unique_ptr<storage::ColumnTable> column_table;  // kColumn.
+  std::unique_ptr<storage::RowTable> row_table;        // kRow.
+  std::string extended_table;                          // kExtended.
+
+  // kHybrid:
+  int partition_column = -1;
+  std::vector<Partition> partitions;
+  int aging_column = -1;
+
+  /// Live rows across all storage locations.
+  size_t LiveRows(const extended::IqEngine* iq) const;
+};
+
+/// Registered SDA remote source (CREATE REMOTE SOURCE ...).
+struct RemoteSourceEntry {
+  std::string name;
+  std::string adapter;
+  std::string configuration;
+  std::string user;
+  std::string password;
+};
+
+/// Registered virtual table (CREATE VIRTUAL TABLE ... AT src.db.table).
+struct VirtualTableEntry {
+  std::string name;
+  std::string source;
+  std::string remote_object;
+  std::shared_ptr<Schema> schema;
+  double estimated_rows = -1;
+};
+
+/// Registered virtual (map-reduce) function.
+struct VirtualFunctionEntry {
+  std::string name;
+  std::string source;
+  std::string configuration;
+  std::shared_ptr<Schema> schema;
+};
+
+/// The HANA catalog: single point of metadata control for local tables,
+/// hybrid tables spanning the extended store, and SDA remote objects.
+/// Implements the binder's name-resolution interface.
+class Catalog : public plan::BinderCatalog {
+ public:
+  /// `iq` may be null when no extended storage is attached.
+  explicit Catalog(extended::IqEngine* iq) : iq_(iq) {}
+
+  extended::IqEngine* iq() const { return iq_; }
+
+  // ---- DDL -------------------------------------------------------------
+  Status CreateTable(const sql::CreateTableStmt& stmt);
+  Status DropTable(const std::string& name, bool if_exists);
+  Result<TableEntry*> GetTable(const std::string& name);
+  Result<const TableEntry*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  // ---- Remote metadata ---------------------------------------------------
+  Status AddRemoteSource(RemoteSourceEntry entry);
+  Result<const RemoteSourceEntry*> GetRemoteSource(
+      const std::string& name) const;
+  Status AddVirtualTable(VirtualTableEntry entry);
+  Status AddVirtualFunction(VirtualFunctionEntry entry);
+  Result<const VirtualFunctionEntry*> GetVirtualFunction(
+      const std::string& name) const;
+
+  // ---- DML ---------------------------------------------------------------
+  /// Routes rows to the right storage (partition-aware for hybrid
+  /// tables; direct load into the extended store for extended tables —
+  /// the paper's "direct load mechanism").
+  Status Insert(const std::string& name,
+                const std::vector<std::vector<Value>>& rows);
+
+  /// Insert with explicit column names; for flexible tables unknown
+  /// columns extend the schema on the fly (Section 1 "flexible tables").
+  Status InsertNamed(const std::string& name,
+                     const std::vector<std::string>& columns,
+                     const std::vector<std::vector<Value>>& rows);
+
+  /// Deletes rows matching a predicate bound against the table schema.
+  Result<size_t> DeleteWhere(const std::string& name,
+                             const plan::BoundExpr& predicate);
+
+  /// Updates rows matching `predicate`: assignment exprs are bound
+  /// against the table schema. Returns rows updated.
+  Result<size_t> UpdateWhere(
+      const std::string& name, const plan::BoundExpr* predicate,
+      const std::vector<std::pair<size_t, const plan::BoundExpr*>>&
+          assignments);
+
+  Status MergeDelta(const std::string& name);
+
+  // ---- Aging ---------------------------------------------------------------
+  /// The built-in aging mechanism: moves rows from hot partitions into
+  /// cold (extended-store) partitions. Flag-based when the table has an
+  /// aging column (rows with a truthy flag age out), otherwise rows are
+  /// re-evaluated against the partition ranges. Returns rows moved.
+  Result<size_t> RunAging(const std::string& name);
+
+  // ---- Binder interface ------------------------------------------------
+  Result<plan::TableBinding> ResolveTable(
+      const std::string& name) const override;
+  Result<plan::TableFunctionBinding> ResolveTableFunction(
+      const std::string& name) const override;
+
+ private:
+  int PartitionIndexFor(const TableEntry& entry, const Value& v) const;
+  Status InsertHybrid(TableEntry* entry,
+                      const std::vector<std::vector<Value>>& rows);
+  std::string ColdTableName(const TableEntry& entry, size_t partition) const;
+
+  extended::IqEngine* iq_;
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_;
+  std::map<std::string, RemoteSourceEntry> remote_sources_;
+  std::map<std::string, VirtualTableEntry> virtual_tables_;
+  std::map<std::string, VirtualFunctionEntry> virtual_functions_;
+};
+
+}  // namespace hana::catalog
+
+#endif  // HANA_CATALOG_CATALOG_H_

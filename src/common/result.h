@@ -1,0 +1,63 @@
+#ifndef HANA_COMMON_RESULT_H_
+#define HANA_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hana {
+
+/// Holds either a value of type T or an error Status. The lightweight
+/// analogue of absl::StatusOr used throughout the platform.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value makes `return value;` work in
+  /// Result-returning functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status makes
+  /// `return Status::NotFound(...)` work.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Extracts the value without checking; used by HANA_ASSIGN_OR_RETURN
+  /// after the error branch has already returned.
+  T&& ValueUnsafe() && { return std::move(*value_); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_RESULT_H_

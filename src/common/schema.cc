@@ -1,0 +1,62 @@
+#include "common/schema.h"
+
+#include "common/strings.h"
+
+namespace hana {
+
+namespace {
+
+// Returns the unqualified part of "t.c" ("c"), or the input itself.
+std::string BaseName(const std::string& name) {
+  auto pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+}  // namespace
+
+int Schema::FindColumn(const std::string& name) const {
+  // Exact (case-insensitive) match first.
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  // Qualified lookup "t.c" against a column registered as "c".
+  std::string base = BaseName(name);
+  if (base != name) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (EqualsIgnoreCase(columns_[i].name, base)) return static_cast<int>(i);
+    }
+  }
+  // Unqualified lookup "c" against a column registered as "t.c"; must be
+  // unambiguous.
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(BaseName(columns_[i].name), name)) {
+      if (found >= 0) return -1;  // Ambiguous.
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) {
+    return Status::NotFound("column not found or ambiguous: " + name);
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+    if (!columns_[i].nullable) out += " NOT NULL";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace hana

@@ -1,0 +1,56 @@
+#ifndef HANA_COMMON_SCHEMA_H_
+#define HANA_COMMON_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace hana {
+
+/// One column of a relation: a name, a type and nullability.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kNull;
+  bool nullable = true;
+
+  bool operator==(const ColumnDef& other) const {
+    return name == other.name && type == other.type &&
+           nullable == other.nullable;
+  }
+};
+
+/// An ordered list of columns. Lookup is by case-insensitive name and
+/// optionally by a "table.column" qualified form.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef column) { columns_.push_back(std::move(column)); }
+
+  /// Index of the column with the given (case-insensitive) name, or -1.
+  /// A qualified name "t.c" matches a column named "t.c" or "c".
+  int FindColumn(const std::string& name) const;
+
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_SCHEMA_H_

@@ -1,0 +1,113 @@
+#ifndef HANA_COMMON_STATUS_H_
+#define HANA_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace hana {
+
+/// Error categories used across the platform. Modeled after the
+/// Status idiom used by RocksDB/Arrow: no exceptions cross API
+/// boundaries; every fallible operation returns a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kIoError,
+  kParseError,
+  kBindError,
+  kTransactionAborted,
+  kUnavailable,
+  kCapabilityError,
+};
+
+/// Lightweight success/error carrier. Cheap to copy when OK (no
+/// allocation); error states carry a code and a human-readable message.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status TransactionAborted(std::string msg) {
+    return Status(StatusCode::kTransactionAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status CapabilityError(std::string msg) {
+    return Status(StatusCode::kCapabilityError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Returns the canonical name of a status code ("InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+}  // namespace hana
+
+/// Propagates a non-OK Status from the enclosing function.
+#define HANA_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::hana::Status _hana_status = (expr);         \
+    if (!_hana_status.ok()) return _hana_status;  \
+  } while (0)
+
+#define HANA_CONCAT_IMPL_(a, b) a##b
+#define HANA_CONCAT_(a, b) HANA_CONCAT_IMPL_(a, b)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value
+/// to `lhs`, otherwise returns the error Status.
+#define HANA_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto HANA_CONCAT_(_hana_res_, __LINE__) = (expr);               \
+  if (!HANA_CONCAT_(_hana_res_, __LINE__).ok())                   \
+    return HANA_CONCAT_(_hana_res_, __LINE__).status();           \
+  lhs = std::move(HANA_CONCAT_(_hana_res_, __LINE__)).ValueUnsafe()
+
+#endif  // HANA_COMMON_STATUS_H_

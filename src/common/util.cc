@@ -1,0 +1,45 @@
+#include "common/util.h"
+
+#include <cstdio>
+
+namespace hana {
+
+uint64_t Fnv1a64(const void* data, size_t size) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t Fnv1a64(const std::string& s) { return Fnv1a64(s.data(), s.size()); }
+
+namespace {
+LogLevel g_log_level = LogLevel::kWarn;
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  const char* name = "?";
+  switch (level) {
+    case LogLevel::kDebug:
+      name = "DEBUG";
+      break;
+    case LogLevel::kInfo:
+      name = "INFO";
+      break;
+    case LogLevel::kWarn:
+      name = "WARN";
+      break;
+    case LogLevel::kError:
+      name = "ERROR";
+      break;
+  }
+  std::fprintf(stderr, "[%s] %s\n", name, msg.c_str());
+}
+
+}  // namespace hana

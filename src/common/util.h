@@ -1,0 +1,96 @@
+#ifndef HANA_COMMON_UTIL_H_
+#define HANA_COMMON_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hana {
+
+/// Deterministic 64-bit PRNG (SplitMix64). All synthetic data in the
+/// repository is generated from explicitly seeded instances so results
+/// are reproducible across runs and machines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() % static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// FNV-1a 64-bit hash; used for remote-cache keys and HDFS block checksums.
+uint64_t Fnv1a64(const void* data, size_t size);
+uint64_t Fnv1a64(const std::string& s);
+
+/// Combines two hash values (boost-style).
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Wall-clock stopwatch for benchmark measurements.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Virtual clock for the simulated distributed substrate. Engines that
+/// model remote infrastructure (Hadoop cluster, ODBC link, disk arrays)
+/// advance this clock according to their cost models instead of sleeping;
+/// query metrics then report real local time + virtual remote time.
+class SimClock {
+ public:
+  SimClock() = default;
+
+  double now_ms() const { return now_ms_; }
+  void Advance(double ms) { now_ms_ += ms; }
+  void Reset() { now_ms_ = 0.0; }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+/// Severity-filtered logging to stderr. Defaults to kWarn so tests and
+/// benchmarks stay quiet; examples raise it to kInfo.
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+void LogMessage(LogLevel level, const std::string& msg);
+
+#define HANA_LOG(level, msg)                                      \
+  do {                                                            \
+    if (static_cast<int>(level) >=                                \
+        static_cast<int>(::hana::GetLogLevel())) {                \
+      ::hana::LogMessage(level, (msg));                           \
+    }                                                             \
+  } while (0)
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_UTIL_H_

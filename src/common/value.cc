@@ -1,0 +1,285 @@
+#include "common/value.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace hana {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOLEAN";
+    case DataType::kInt64:
+      return "BIGINT";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "VARCHAR";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "UNKNOWN";
+}
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  std::string upper = ToUpper(name);
+  // Strip a length suffix: VARCHAR(30) -> VARCHAR.
+  auto paren = upper.find('(');
+  if (paren != std::string::npos) upper = upper.substr(0, paren);
+  upper = Trim(upper);
+  if (upper == "BOOLEAN" || upper == "BOOL") return DataType::kBool;
+  if (upper == "BIGINT" || upper == "INT" || upper == "INTEGER" ||
+      upper == "SMALLINT" || upper == "TINYINT") {
+    return DataType::kInt64;
+  }
+  if (upper == "DOUBLE" || upper == "FLOAT" || upper == "REAL" ||
+      upper == "DECIMAL" || upper == "NUMERIC") {
+    return DataType::kDouble;
+  }
+  if (upper == "VARCHAR" || upper == "CHAR" || upper == "TEXT" ||
+      upper == "STRING" || upper == "NVARCHAR") {
+    return DataType::kString;
+  }
+  if (upper == "DATE") return DataType::kDate;
+  if (upper == "TIMESTAMP") return DataType::kTimestamp;
+  return Status::ParseError("unknown data type: " + name);
+}
+
+bool IsNumericType(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble ||
+         type == DataType::kDate || type == DataType::kTimestamp;
+}
+
+double Value::AsDouble() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kTimestamp:
+      return static_cast<double>(int_value());
+    case DataType::kDouble:
+      return double_value();
+    default:
+      return 0.0;
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (type_) {
+    case DataType::kBool:
+      return bool_value() ? 1 : 0;
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kTimestamp:
+      return int_value();
+    case DataType::kDouble:
+      return static_cast<int64_t>(double_value());
+    default:
+      return 0;
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  if (IsNumericType(type_) && IsNumericType(other.type_)) {
+    if (type_ == DataType::kInt64 && other.type_ == DataType::kInt64) {
+      int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = AsDouble(), b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type_ != other.type_) {
+    return static_cast<int>(type_) < static_cast<int>(other.type_) ? -1 : 1;
+  }
+  switch (type_) {
+    case DataType::kBool: {
+      int a = bool_value(), b = other.bool_value();
+      return a - b;
+    }
+    case DataType::kString:
+      return string_value().compare(other.string_value());
+    default:
+      return 0;
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kBool:
+      return std::hash<int64_t>()(bool_value() ? 1 : 0);
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kTimestamp: {
+      // Hash via the double image so 1 and 1.0 collide (they compare equal).
+      double d = static_cast<double>(int_value());
+      if (d == std::floor(d) &&
+          d >= -9.0e15 && d <= 9.0e15) {
+        return std::hash<int64_t>()(int_value());
+      }
+      return std::hash<double>()(d);
+    }
+    case DataType::kDouble: {
+      double d = double_value();
+      if (d == std::floor(d) && d >= -9.0e15 && d <= 9.0e15) {
+        return std::hash<int64_t>()(static_cast<int64_t>(d));
+      }
+      return std::hash<double>()(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+      return std::to_string(int_value());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case DataType::kString:
+      return string_value();
+    case DataType::kDate:
+      return FormatDate(int_value());
+    case DataType::kTimestamp: {
+      int64_t micros = int_value();
+      int64_t days = micros / (86400LL * 1000000LL);
+      int64_t rem = micros - days * 86400LL * 1000000LL;
+      if (rem < 0) {
+        rem += 86400LL * 1000000LL;
+        --days;
+      }
+      int64_t secs = rem / 1000000;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s %02" PRId64 ":%02" PRId64 ":%02" PRId64,
+                    FormatDate(days).c_str(), secs / 3600, (secs / 60) % 60,
+                    secs % 60);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (is_null()) return Value::Null();
+  if (type_ == target) return *this;
+  switch (target) {
+    case DataType::kBool:
+      if (IsNumericType(type_)) return Value::Bool(AsDouble() != 0.0);
+      break;
+    case DataType::kInt64:
+      if (IsNumericType(type_) || type_ == DataType::kBool) {
+        return Value::Int(AsInt());
+      }
+      if (type_ == DataType::kString) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(string_value().c_str(), &end, 10);
+        if (end == string_value().c_str() || *end != '\0') {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to BIGINT");
+        }
+        return Value::Int(v);
+      }
+      break;
+    case DataType::kDouble:
+      if (IsNumericType(type_) || type_ == DataType::kBool) {
+        return Value::Double(AsDouble());
+      }
+      if (type_ == DataType::kString) {
+        char* end = nullptr;
+        double v = std::strtod(string_value().c_str(), &end);
+        if (end == string_value().c_str() || *end != '\0') {
+          return Status::InvalidArgument("cannot cast '" + string_value() +
+                                         "' to DOUBLE");
+        }
+        return Value::Double(v);
+      }
+      break;
+    case DataType::kString:
+      return Value::String(ToString());
+    case DataType::kDate:
+      if (type_ == DataType::kString) {
+        HANA_ASSIGN_OR_RETURN(int64_t days, ParseDate(string_value()));
+        return Value::Date(days);
+      }
+      if (type_ == DataType::kInt64) return Value::Date(int_value());
+      if (type_ == DataType::kTimestamp) {
+        return Value::Date(int_value() / (86400LL * 1000000LL));
+      }
+      break;
+    case DataType::kTimestamp:
+      if (type_ == DataType::kInt64) return Value::Timestamp(int_value());
+      if (type_ == DataType::kDate) {
+        return Value::Timestamp(int_value() * 86400LL * 1000000LL);
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument(std::string("unsupported cast from ") +
+                                 DataTypeName(type_) + " to " +
+                                 DataTypeName(target));
+}
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  // Howard Hinnant's civil-days algorithm.
+  year -= month <= 2;
+  const int era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (static_cast<unsigned>(month) + (month > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(day) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  int year = 0, month = 0, day = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &year, &month, &day) != 3 ||
+      month < 1 || month > 12 || day < 1 || day > 31) {
+    return Status::ParseError("invalid date literal: " + text);
+  }
+  return DaysFromCivil(year, month, day);
+}
+
+std::string FormatDate(int64_t days) {
+  // Inverse of DaysFromCivil.
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04" PRId64 "-%02u-%02u", y + (m <= 2), m, d);
+  return buf;
+}
+
+}  // namespace hana

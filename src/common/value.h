@@ -1,0 +1,105 @@
+#ifndef HANA_COMMON_VALUE_H_
+#define HANA_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hana {
+
+/// Logical column types of the platform. DATE is stored as days since
+/// 1970-01-01 (int64 payload); TIMESTAMP as microseconds since epoch.
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kDate,
+  kTimestamp,
+};
+
+/// Canonical SQL-ish name ("BIGINT", "DOUBLE", "VARCHAR", ...).
+const char* DataTypeName(DataType type);
+
+/// Parses a SQL type name (case-insensitive; accepts common aliases like
+/// INT, INTEGER, DECIMAL, VARCHAR(n), CHAR(n), TEXT, REAL, FLOAT).
+Result<DataType> DataTypeFromName(const std::string& name);
+
+/// True for kInt64/kDouble/kDate/kTimestamp (types with a numeric order).
+bool IsNumericType(DataType type);
+
+/// A dynamically typed scalar. Null is represented by type() == kNull.
+/// Values are ordered and hashable so they can drive joins, group-bys and
+/// sorts. Numeric comparisons across kInt64/kDouble coerce to double.
+class Value {
+ public:
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v); }
+  static Value Int(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string v) {
+    return Value(DataType::kString, std::move(v));
+  }
+  static Value Date(int64_t days) { return Value(DataType::kDate, days); }
+  static Value Timestamp(int64_t micros) {
+    return Value(DataType::kTimestamp, micros);
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: int64/date/timestamp/bool widened to double.
+  double AsDouble() const;
+  /// Integer view: double truncated; bool as 0/1.
+  int64_t AsInt() const;
+
+  /// Total order used by ORDER BY and B-tree style comparisons.
+  /// Nulls sort first; mismatched non-numeric types order by type id.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Stable hash consistent with operator== (numeric coercion included).
+  size_t Hash() const;
+
+  /// Human-readable rendering; dates/timestamps in ISO form.
+  std::string ToString() const;
+
+  /// Casts to `target`, applying string<->numeric and date conversions.
+  Result<Value> CastTo(DataType target) const;
+
+ private:
+  Value(DataType type, bool v) : type_(type), data_(v) {}
+  Value(DataType type, int64_t v) : type_(type), data_(v) {}
+  Value(DataType type, double v) : type_(type), data_(v) {}
+  Value(DataType type, std::string v) : type_(type), data_(std::move(v)) {}
+
+  DataType type_;
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// Parses "YYYY-MM-DD" into days since 1970-01-01 (proleptic Gregorian).
+Result<int64_t> ParseDate(const std::string& text);
+
+/// Formats days since epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+/// Days since epoch for a calendar date (civil-days algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_VALUE_H_

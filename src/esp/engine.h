@@ -1,0 +1,211 @@
+#ifndef HANA_ESP_ENGINE_H_
+#define HANA_ESP_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hadoop/hdfs.h"
+#include "plan/bound_expr.h"
+#include "storage/column_table.h"
+
+namespace hana::esp {
+
+/// One event on a stream: an application timestamp (milliseconds) plus
+/// one value per stream-schema column.
+struct Event {
+  int64_t timestamp_ms = 0;
+  std::vector<Value> values;
+};
+
+using EventSink = std::function<void(const Event&)>;
+
+class EspEngine;
+
+/// Window specification for continuous queries (CCL KEEP clause).
+struct WindowSpec {
+  enum class Kind { kNone, kTumblingCount, kTumblingTime, kSlidingTime };
+  Kind kind = Kind::kNone;
+  size_t count = 0;      // kTumblingCount.
+  int64_t millis = 0;    // Time-based windows.
+};
+
+/// Aggregate requested over a window ("SUM(pressure) AS p").
+struct AggSpec {
+  plan::AggKind kind = plan::AggKind::kCountStar;
+  plan::BoundExprPtr arg;  // Null for COUNT(*).
+  std::string alias;
+  bool distinct = false;
+};
+
+/// One step of a pattern matcher: a predicate over the stream schema.
+/// A pattern fires when its steps match in order within `within_ms`.
+struct PatternSpec {
+  std::vector<plan::BoundExprPtr> steps;
+  int64_t within_ms = 0;
+};
+
+/// A compiled continuous query. Built through CqBuilder; processes
+/// events synchronously as the engine publishes them.
+class ContinuousQuery {
+ public:
+  const std::string& name() const { return name_; }
+  const std::shared_ptr<Schema>& output_schema() const {
+    return output_schema_;
+  }
+
+  /// Current retained window contents as a relational table — the
+  /// "HANA join" use case (Figure 9): a HANA query may use the window
+  /// as join partner.
+  storage::Table WindowContents() const;
+
+  /// Forces any open time/count window to close and emit.
+  void Flush();
+
+  size_t events_in() const { return events_in_; }
+  size_t events_out() const { return events_out_; }
+
+ private:
+  friend class EspEngine;
+  friend class CqBuilder;
+
+  void Process(const Event& event);
+  void Emit(const Event& event);
+  void CloseWindow(int64_t boundary_ms);
+  Result<Event> ApplyRowStages(const Event& event, bool* keep) const;
+
+  EspEngine* engine_ = nullptr;
+  std::string name_;
+  std::shared_ptr<Schema> input_schema_;
+  std::shared_ptr<Schema> row_schema_;  // After lookups + projection.
+  std::shared_ptr<Schema> output_schema_;
+
+  plan::BoundExprPtr filter_;                  // Over input schema.
+  std::vector<plan::BoundExprPtr> projection_; // Over input schema.
+  bool has_projection_ = false;
+
+  // Enrichment (ESP join): slow-changing HANA data pushed into the
+  // stream and joined by key.
+  struct Lookup {
+    std::map<Value, std::vector<Value>> table;
+    plan::BoundExprPtr key;     // Over the current row shape.
+    size_t payload_width = 0;
+  };
+  std::vector<Lookup> lookups_;
+
+  WindowSpec window_;
+  std::vector<plan::BoundExprPtr> group_by_;  // Over post-stage schema.
+  std::vector<AggSpec> aggregates_;
+  bool has_aggregation_ = false;
+
+  PatternSpec pattern_;
+  bool has_pattern_ = false;
+  std::vector<std::pair<int64_t, size_t>> pattern_progress_;
+
+  std::deque<Event> window_events_;
+  int64_t window_start_ms_ = -1;
+
+  std::vector<EventSink> sinks_;
+  std::string target_stream_;  // Forward into another stream.
+
+  size_t events_in_ = 0;
+  size_t events_out_ = 0;
+};
+
+/// Fluent builder for continuous queries. Expressions are SQL text
+/// parsed and bound against the source stream's schema.
+class CqBuilder {
+ public:
+  CqBuilder(EspEngine* engine, const std::string& source_stream);
+
+  CqBuilder& Where(const std::string& predicate);
+  CqBuilder& Select(const std::vector<std::string>& exprs);
+  /// ESP join: joins each event against `dimension` on key equality,
+  /// appending the dimension's non-key columns to the event.
+  CqBuilder& LookupJoin(const storage::Table& dimension,
+                        const std::string& stream_key_expr,
+                        const std::string& table_key_column);
+  CqBuilder& KeepRows(size_t rows);
+  CqBuilder& KeepMillis(int64_t millis);
+  CqBuilder& GroupBy(const std::vector<std::string>& keys,
+                     const std::vector<std::string>& aggregates);
+  /// Pattern detection: predicates that must match in order within the
+  /// given duration; the emitted event carries the last step's values.
+  CqBuilder& MatchPattern(const std::vector<std::string>& step_predicates,
+                          int64_t within_ms);
+
+  CqBuilder& IntoCallback(EventSink sink);
+  /// Forward use case: window/projection results persist into a HANA
+  /// column table owned by the caller.
+  CqBuilder& IntoTable(storage::ColumnTable* table);
+  /// Raw-archive use case: events appended to an HDFS file.
+  CqBuilder& IntoHdfs(hadoop::Hdfs* hdfs, const std::string& path);
+  CqBuilder& IntoStream(const std::string& derived_stream);
+
+  /// Compiles and registers the query.
+  Result<ContinuousQuery*> Finish(const std::string& name);
+
+ private:
+  EspEngine* engine_;
+  std::string source_;
+  Status status_;
+  std::unique_ptr<ContinuousQuery> query_;
+  std::vector<std::string> pending_select_;
+  std::vector<std::string> pending_group_keys_;
+  std::vector<std::string> pending_aggs_;
+  std::vector<std::string> pending_pattern_;
+  int64_t pattern_within_ms_ = 0;
+  std::string pending_where_;
+  struct PendingLookup {
+    const storage::Table* dimension;
+    std::string stream_key;
+    std::string table_key;
+  };
+  std::vector<PendingLookup> pending_lookups_;
+};
+
+/// The stream engine: streams, continuous queries and synchronous event
+/// dispatch. Mirrors the integration surface of the SAP Sybase ESP
+/// (Section 3.2): prefilter/aggregate + forward, ESP join, HANA join.
+class EspEngine {
+ public:
+  EspEngine() = default;
+
+  Status CreateStream(const std::string& name,
+                      std::shared_ptr<Schema> schema);
+  Result<std::shared_ptr<Schema>> StreamSchema(const std::string& name) const;
+
+  /// Publishes one event; all continuous queries attached to the stream
+  /// run synchronously. Timestamps must be non-decreasing per stream.
+  Status Publish(const std::string& stream, int64_t timestamp_ms,
+                 std::vector<Value> values);
+
+  /// Closes all open windows (end of stream).
+  void FlushAll();
+
+  Result<ContinuousQuery*> GetQuery(const std::string& name) const;
+
+  size_t total_events() const { return total_events_; }
+
+ private:
+  friend class CqBuilder;
+  friend class ContinuousQuery;
+
+  struct StreamState {
+    std::shared_ptr<Schema> schema;
+    std::vector<ContinuousQuery*> queries;
+    int64_t last_timestamp_ms = INT64_MIN;
+  };
+
+  std::map<std::string, StreamState> streams_;
+  std::vector<std::unique_ptr<ContinuousQuery>> queries_;
+  size_t total_events_ = 0;
+};
+
+}  // namespace hana::esp
+
+#endif  // HANA_ESP_ENGINE_H_

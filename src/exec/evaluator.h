@@ -1,0 +1,27 @@
+#ifndef HANA_EXEC_EVALUATOR_H_
+#define HANA_EXEC_EVALUATOR_H_
+
+#include "common/result.h"
+#include "plan/bound_expr.h"
+#include "storage/column_vector.h"
+
+namespace hana::exec {
+
+/// Evaluates a bound expression against row `row` of `chunk`.
+/// SQL three-valued logic: comparisons involving NULL yield NULL; AND/OR
+/// follow Kleene semantics; a filter keeps a row only when the predicate
+/// evaluates to TRUE.
+Result<Value> EvalExpr(const plan::BoundExpr& expr,
+                       const storage::Chunk& chunk, size_t row);
+
+/// Evaluates against a boxed row (used by hash-join probe output and the
+/// ESP engine).
+Result<Value> EvalExprRow(const plan::BoundExpr& expr,
+                          const std::vector<Value>& row);
+
+/// True when `v` is a non-null TRUE (or non-zero numeric).
+bool IsTruthy(const Value& v);
+
+}  // namespace hana::exec
+
+#endif  // HANA_EXEC_EVALUATOR_H_

@@ -1,0 +1,834 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/util.h"
+#include "exec/evaluator.h"
+#include "storage/column_table.h"
+
+namespace hana::exec {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::JoinKind;
+using plan::LogicalKind;
+using plan::LogicalOp;
+using storage::ValueHash;
+
+size_t HashKey(const std::vector<Value>& key) {
+  size_t h = 0x12345;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool KeysEqualNonNull(const std::vector<Value>& a,
+                      const std::vector<Value>& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_null() || b[i].is_null()) return false;  // SQL join rule.
+    if (a[i].Compare(b[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// Wraps a ChunkStream produced by the execution context.
+class StreamOp : public PhysicalOp {
+ public:
+  StreamOp(std::shared_ptr<Schema> schema,
+           std::function<Result<ChunkStream>()> opener)
+      : PhysicalOp(std::move(schema)), opener_(std::move(opener)) {}
+
+  Status Open() override {
+    HANA_ASSIGN_OR_RETURN(stream_, opener_());
+    return Status::OK();
+  }
+  Result<std::optional<Chunk>> Next() override { return stream_(); }
+
+ private:
+  std::function<Result<ChunkStream>()> opener_;
+  ChunkStream stream_;
+};
+
+class FilterOp : public PhysicalOp {
+ public:
+  FilterOp(PhysicalOpPtr child, const BoundExpr* predicate)
+      : PhysicalOp(child->schema()),
+        child_(std::move(child)),
+        predicate_(predicate) {}
+
+  Status Open() override { return child_->Open(); }
+
+  Result<std::optional<Chunk>> Next() override {
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) return std::optional<Chunk>();
+      Chunk out = Chunk::Empty(schema_);
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        HANA_ASSIGN_OR_RETURN(Value keep, EvalExpr(*predicate_, *in, r));
+        if (!keep.is_null() && IsTruthy(keep)) {
+          for (size_t c = 0; c < out.columns.size(); ++c) {
+            out.columns[c]->Append(in->columns[c]->GetValue(r));
+          }
+        }
+      }
+      if (out.num_rows() > 0) return std::optional<Chunk>(std::move(out));
+      // Empty after filtering: keep pulling.
+    }
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  const BoundExpr* predicate_;
+};
+
+class ProjectOp : public PhysicalOp {
+ public:
+  ProjectOp(std::shared_ptr<Schema> schema, PhysicalOpPtr child,
+            const std::vector<plan::BoundExprPtr>* exprs)
+      : PhysicalOp(std::move(schema)),
+        child_(std::move(child)),
+        exprs_(exprs) {}
+
+  Status Open() override {
+    done_ = false;
+    return child_ ? child_->Open() : Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (child_ == nullptr) {
+      // Table-less SELECT: exactly one row of constants.
+      if (done_) return std::optional<Chunk>();
+      done_ = true;
+      Chunk out = Chunk::Empty(schema_);
+      static const std::vector<Value> kEmptyRow;
+      for (size_t c = 0; c < exprs_->size(); ++c) {
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*(*exprs_)[c], kEmptyRow));
+        out.columns[c]->Append(v);
+      }
+      return std::optional<Chunk>(std::move(out));
+    }
+    HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+    if (!in.has_value()) return std::optional<Chunk>();
+    Chunk out = Chunk::Empty(schema_);
+    for (size_t r = 0; r < in->num_rows(); ++r) {
+      for (size_t c = 0; c < exprs_->size(); ++c) {
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*(*exprs_)[c], *in, r));
+        out.columns[c]->Append(v);
+      }
+    }
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  const std::vector<plan::BoundExprPtr>* exprs_;
+  bool done_ = false;
+};
+
+class LimitOp : public PhysicalOp {
+ public:
+  LimitOp(PhysicalOpPtr child, int64_t limit)
+      : PhysicalOp(child->schema()), child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    return child_->Open();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (emitted_ >= limit_) return std::optional<Chunk>();
+    HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+    if (!in.has_value()) return std::optional<Chunk>();
+    int64_t remaining = limit_ - emitted_;
+    if (static_cast<int64_t>(in->num_rows()) <= remaining) {
+      emitted_ += static_cast<int64_t>(in->num_rows());
+      return in;
+    }
+    Chunk out = Chunk::Empty(schema_);
+    for (int64_t r = 0; r < remaining; ++r) {
+      for (size_t c = 0; c < out.columns.size(); ++c) {
+        out.columns[c]->Append(in->columns[c]->GetValue(static_cast<size_t>(r)));
+      }
+    }
+    emitted_ = limit_;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+class UnionOp : public PhysicalOp {
+ public:
+  UnionOp(std::shared_ptr<Schema> schema, std::vector<PhysicalOpPtr> children)
+      : PhysicalOp(std::move(schema)), children_(std::move(children)) {}
+
+  Status Open() override {
+    current_ = 0;
+    for (auto& c : children_) HANA_RETURN_IF_ERROR(c->Open());
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    while (current_ < children_.size()) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in,
+                            children_[current_]->Next());
+      if (in.has_value()) {
+        // Re-stamp with the union's schema (children may use different
+        // qualified names).
+        in->schema = schema_;
+        return in;
+      }
+      ++current_;
+    }
+    return std::optional<Chunk>();
+  }
+
+ private:
+  std::vector<PhysicalOpPtr> children_;
+  size_t current_ = 0;
+};
+
+/// Materializes a child into boxed rows.
+Result<std::vector<std::vector<Value>>> Materialize(PhysicalOp* op) {
+  std::vector<std::vector<Value>> rows;
+  HANA_RETURN_IF_ERROR(op->Open());
+  while (true) {
+    HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, op->Next());
+    if (!chunk.has_value()) break;
+    for (size_t r = 0; r < chunk->num_rows(); ++r) {
+      rows.push_back(chunk->Row(r));
+    }
+  }
+  return rows;
+}
+
+/// Shared probe logic for hash-based joins.
+class HashJoinOp : public PhysicalOp {
+ public:
+  HashJoinOp(std::shared_ptr<Schema> schema, JoinKind kind,
+             PhysicalOpPtr left, PhysicalOpPtr right,
+             plan::JoinConditionParts parts)
+      : PhysicalOp(std::move(schema)),
+        kind_(kind),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        parts_(std::move(parts)) {}
+
+  Status Open() override {
+    HANA_RETURN_IF_ERROR(left_->Open());
+    HANA_ASSIGN_OR_RETURN(build_rows_, Materialize(right_.get()));
+    table_.clear();
+    build_keys_.clear();
+    build_keys_.reserve(build_rows_.size());
+    for (size_t i = 0; i < build_rows_.size(); ++i) {
+      std::vector<Value> key;
+      key.reserve(parts_.equi_keys.size());
+      for (const auto& ek : parts_.equi_keys) {
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*ek.right, build_rows_[i]));
+        key.push_back(std::move(v));
+      }
+      table_.emplace(HashKey(key), i);
+      build_keys_.push_back(std::move(key));
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    size_t right_width = kind_ == JoinKind::kSemi || kind_ == JoinKind::kAnti
+                             ? 0
+                             : schema_->num_columns() -
+                                   (left_->schema()->num_columns());
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, left_->Next());
+      if (!in.has_value()) return std::optional<Chunk>();
+      Chunk out = Chunk::Empty(schema_);
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        std::vector<Value> left_row = in->Row(r);
+        std::vector<Value> key;
+        key.reserve(parts_.equi_keys.size());
+        bool key_null = false;
+        for (const auto& ek : parts_.equi_keys) {
+          HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*ek.left, left_row));
+          if (v.is_null()) key_null = true;
+          key.push_back(std::move(v));
+        }
+        bool matched = false;
+        if (!key_null) {
+          auto [lo, hi] = table_.equal_range(HashKey(key));
+          for (auto it = lo; it != hi; ++it) {
+            size_t b = it->second;
+            if (!KeysEqualNonNull(key, build_keys_[b])) continue;
+            // Residual over the combined row.
+            std::vector<Value> combined = left_row;
+            combined.insert(combined.end(), build_rows_[b].begin(),
+                            build_rows_[b].end());
+            if (parts_.residual != nullptr) {
+              HANA_ASSIGN_OR_RETURN(Value keep,
+                                    EvalExprRow(*parts_.residual, combined));
+              if (keep.is_null() || !IsTruthy(keep)) continue;
+            }
+            matched = true;
+            if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeft) {
+              out.AppendRow(combined);
+            } else if (kind_ == JoinKind::kSemi) {
+              out.AppendRow(left_row);
+              break;
+            } else {  // kAnti: first match disqualifies.
+              break;
+            }
+          }
+        }
+        if (!matched) {
+          if (kind_ == JoinKind::kAnti) {
+            out.AppendRow(left_row);
+          } else if (kind_ == JoinKind::kLeft) {
+            std::vector<Value> combined = left_row;
+            combined.resize(left_row.size() + right_width, Value::Null());
+            out.AppendRow(combined);
+          }
+        }
+      }
+      if (out.num_rows() > 0) return std::optional<Chunk>(std::move(out));
+    }
+  }
+
+ private:
+  JoinKind kind_;
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  plan::JoinConditionParts parts_;
+  std::vector<std::vector<Value>> build_rows_;
+  std::vector<std::vector<Value>> build_keys_;
+  std::unordered_multimap<size_t, size_t> table_;
+};
+
+class NestedLoopJoinOp : public PhysicalOp {
+ public:
+  NestedLoopJoinOp(std::shared_ptr<Schema> schema, JoinKind kind,
+                   PhysicalOpPtr left, PhysicalOpPtr right,
+                   const BoundExpr* condition)
+      : PhysicalOp(std::move(schema)),
+        kind_(kind),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        condition_(condition) {}
+
+  Status Open() override {
+    HANA_RETURN_IF_ERROR(left_->Open());
+    HANA_ASSIGN_OR_RETURN(build_rows_, Materialize(right_.get()));
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    size_t right_width = kind_ == JoinKind::kSemi || kind_ == JoinKind::kAnti
+                             ? 0
+                             : schema_->num_columns() -
+                                   left_->schema()->num_columns();
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, left_->Next());
+      if (!in.has_value()) return std::optional<Chunk>();
+      Chunk out = Chunk::Empty(schema_);
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        std::vector<Value> left_row = in->Row(r);
+        bool matched = false;
+        for (const auto& build : build_rows_) {
+          std::vector<Value> combined = left_row;
+          combined.insert(combined.end(), build.begin(), build.end());
+          if (condition_ != nullptr) {
+            HANA_ASSIGN_OR_RETURN(Value keep,
+                                  EvalExprRow(*condition_, combined));
+            if (keep.is_null() || !IsTruthy(keep)) continue;
+          }
+          matched = true;
+          if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeft ||
+              kind_ == JoinKind::kCross) {
+            out.AppendRow(combined);
+          } else {
+            break;  // Semi/anti need only existence.
+          }
+        }
+        if (kind_ == JoinKind::kSemi && matched) out.AppendRow(left_row);
+        if (kind_ == JoinKind::kAnti && !matched) out.AppendRow(left_row);
+        if (kind_ == JoinKind::kLeft && !matched) {
+          std::vector<Value> combined = left_row;
+          combined.resize(left_row.size() + right_width, Value::Null());
+          out.AppendRow(combined);
+        }
+      }
+      if (out.num_rows() > 0) return std::optional<Chunk>(std::move(out));
+    }
+  }
+
+ private:
+  JoinKind kind_;
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  const BoundExpr* condition_;
+  std::vector<std::vector<Value>> build_rows_;
+};
+
+/// Aggregation state for one (group, aggregate) pair.
+struct AggState {
+  int64_t count = 0;
+  double sum_d = 0.0;
+  int64_t sum_i = 0;
+  bool any = false;
+  Value min_v;
+  Value max_v;
+  std::unique_ptr<std::unordered_set<Value, ValueHash>> distinct;
+};
+
+class HashAggregateOp : public PhysicalOp {
+ public:
+  HashAggregateOp(std::shared_ptr<Schema> schema, PhysicalOpPtr child,
+                  const std::vector<plan::BoundExprPtr>* group_by,
+                  const std::vector<plan::BoundExprPtr>* aggregates)
+      : PhysicalOp(std::move(schema)),
+        child_(std::move(child)),
+        group_by_(group_by),
+        aggregates_(aggregates) {}
+
+  Status Open() override {
+    groups_.clear();
+    keys_.clear();
+    states_.clear();
+    emitted_ = 0;
+    HANA_RETURN_IF_ERROR(child_->Open());
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        HANA_RETURN_IF_ERROR(Accumulate(*in, r));
+      }
+    }
+    // Global aggregate over an empty input still emits one row.
+    if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
+      keys_.push_back({});
+      states_.emplace_back(aggregates_->size());
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (emitted_ >= keys_.size()) return std::optional<Chunk>();
+    Chunk out = Chunk::Empty(schema_);
+    size_t end = std::min(keys_.size(), emitted_ + storage::kDefaultChunkRows);
+    for (size_t g = emitted_; g < end; ++g) {
+      std::vector<Value> row = keys_[g];
+      for (size_t a = 0; a < aggregates_->size(); ++a) {
+        row.push_back(Finalize((*aggregates_)[a].get(), states_[g][a]));
+      }
+      out.AppendRow(row);
+    }
+    emitted_ = end;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  Status Accumulate(const Chunk& chunk, size_t row) {
+    std::vector<Value> key;
+    key.reserve(group_by_->size());
+    for (const auto& g : *group_by_) {
+      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, row));
+      key.push_back(std::move(v));
+    }
+    size_t h = HashKey(key);
+    size_t group_index;
+    auto [lo, hi] = groups_.equal_range(h);
+    auto it = lo;
+    for (; it != hi; ++it) {
+      const std::vector<Value>& existing = keys_[it->second];
+      bool equal = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (key[i].Compare(existing[i]) != 0) {  // Group-by: NULL == NULL.
+          equal = false;
+          break;
+        }
+      }
+      if (equal) break;
+    }
+    if (it == hi) {
+      group_index = keys_.size();
+      keys_.push_back(key);
+      states_.emplace_back(aggregates_->size());
+      groups_.emplace(h, group_index);
+    } else {
+      group_index = it->second;
+    }
+    std::vector<AggState>& states = states_[group_index];
+    for (size_t a = 0; a < aggregates_->size(); ++a) {
+      const BoundExpr& agg = *(*aggregates_)[a];
+      AggState& st = states[a];
+      if (agg.agg_kind == plan::AggKind::kCountStar) {
+        ++st.count;
+        continue;
+      }
+      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.child0, chunk, row));
+      if (v.is_null()) continue;
+      if (agg.distinct) {
+        if (st.distinct == nullptr) {
+          st.distinct =
+              std::make_unique<std::unordered_set<Value, ValueHash>>();
+        }
+        if (!st.distinct->insert(v).second) continue;
+      }
+      st.any = true;
+      switch (agg.agg_kind) {
+        case plan::AggKind::kCount:
+          ++st.count;
+          break;
+        case plan::AggKind::kSum:
+        case plan::AggKind::kAvg:
+          ++st.count;
+          st.sum_d += v.AsDouble();
+          st.sum_i += v.AsInt();
+          break;
+        case plan::AggKind::kMin:
+          if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
+          break;
+        case plan::AggKind::kMax:
+          if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
+          break;
+        default:
+          break;
+      }
+    }
+    return Status::OK();
+  }
+
+  static Value Finalize(const BoundExpr* agg, const AggState& st) {
+    switch (agg->agg_kind) {
+      case plan::AggKind::kCountStar:
+      case plan::AggKind::kCount:
+        return Value::Int(st.count);
+      case plan::AggKind::kSum:
+        if (!st.any) return Value::Null();
+        return agg->type == DataType::kDouble ? Value::Double(st.sum_d)
+                                              : Value::Int(st.sum_i);
+      case plan::AggKind::kAvg:
+        if (!st.any || st.count == 0) return Value::Null();
+        return Value::Double(st.sum_d / static_cast<double>(st.count));
+      case plan::AggKind::kMin:
+        return st.min_v;
+      case plan::AggKind::kMax:
+        return st.max_v;
+    }
+    return Value::Null();
+  }
+
+  PhysicalOpPtr child_;
+  const std::vector<plan::BoundExprPtr>* group_by_;
+  const std::vector<plan::BoundExprPtr>* aggregates_;
+  std::unordered_multimap<size_t, size_t> groups_;
+  std::vector<std::vector<Value>> keys_;
+  std::vector<std::vector<AggState>> states_;
+  size_t emitted_ = 0;
+};
+
+class SortOp : public PhysicalOp {
+ public:
+  SortOp(PhysicalOpPtr child, const std::vector<plan::SortKey>* keys)
+      : PhysicalOp(child->schema()), child_(std::move(child)), keys_(keys) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    HANA_ASSIGN_OR_RETURN(rows_, Materialize(child_.get()));
+    std::vector<std::vector<Value>> sort_keys(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      for (const auto& k : *keys_) {
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*k.expr, rows_[i]));
+        sort_keys[i].push_back(std::move(v));
+      }
+    }
+    std::vector<size_t> order(rows_.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       for (size_t k = 0; k < keys_->size(); ++k) {
+                         int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+                         if (cmp != 0) {
+                           return (*keys_)[k].ascending ? cmp < 0 : cmp > 0;
+                         }
+                       }
+                       return false;
+                     });
+    std::vector<std::vector<Value>> sorted;
+    sorted.reserve(rows_.size());
+    for (size_t i : order) sorted.push_back(std::move(rows_[i]));
+    rows_ = std::move(sorted);
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (emitted_ >= rows_.size()) return std::optional<Chunk>();
+    Chunk out = Chunk::Empty(schema_);
+    size_t end = std::min(rows_.size(), emitted_ + storage::kDefaultChunkRows);
+    for (size_t r = emitted_; r < end; ++r) out.AppendRow(rows_[r]);
+    emitted_ = end;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  const std::vector<plan::SortKey>* keys_;
+  std::vector<std::vector<Value>> rows_;
+  size_t emitted_ = 0;
+};
+
+/// Plain remote query (optionally with a relocated local child).
+class RemoteQueryOp : public PhysicalOp {
+ public:
+  RemoteQueryOp(const LogicalOp* logical, ExecContext* ctx,
+                PhysicalOpPtr relocated_child)
+      : PhysicalOp(logical->schema),
+        logical_(logical),
+        ctx_(ctx),
+        relocated_child_(std::move(relocated_child)) {}
+
+  Status Open() override {
+    storage::Table relocated;
+    const storage::Table* relocated_ptr = nullptr;
+    if (relocated_child_ != nullptr) {
+      HANA_RETURN_IF_ERROR(relocated_child_->Open());
+      relocated = storage::Table(relocated_child_->schema());
+      while (true) {
+        HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk,
+                              relocated_child_->Next());
+        if (!chunk.has_value()) break;
+        relocated.AppendChunk(*chunk);
+      }
+      relocated_ptr = &relocated;
+    }
+    HANA_ASSIGN_OR_RETURN(stream_,
+                          ctx_->OpenRemoteQuery(*logical_, nullptr,
+                                                relocated_ptr));
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override { return stream_(); }
+
+ private:
+  const LogicalOp* logical_;
+  ExecContext* ctx_;
+  PhysicalOpPtr relocated_child_;
+  ChunkStream stream_;
+};
+
+/// Semijoin federation strategy: materialize the local (left) side,
+/// ship its distinct join keys into the remote query, then hash-join
+/// locally with the reduced remote result.
+class PushdownJoinOp : public PhysicalOp {
+ public:
+  PushdownJoinOp(const LogicalOp* join, PhysicalOpPtr left, ExecContext* ctx)
+      : PhysicalOp(join->schema),
+        join_(join),
+        left_(std::move(left)),
+        ctx_(ctx) {}
+
+  Status Open() override {
+    emitted_ = 0;
+    out_rows_.clear();
+    HANA_ASSIGN_OR_RETURN(left_rows_, Materialize(left_.get()));
+    size_t left_arity = left_->schema()->num_columns();
+    plan::JoinConditionParts parts =
+        plan::AnalyzeJoinCondition(*join_->condition, left_arity);
+    if (parts.equi_keys.empty()) {
+      return Status::Internal("semijoin pushdown requires an equi key");
+    }
+    // Distinct keys of the first equi pair drive the IN-list.
+    PushdownInList in_list;
+    in_list.column = join_->pushdown_remote_column;
+    std::unordered_set<Value, ValueHash> seen;
+    for (const auto& row : left_rows_) {
+      HANA_ASSIGN_OR_RETURN(Value v,
+                            EvalExprRow(*parts.equi_keys[0].left, row));
+      if (v.is_null()) continue;
+      if (seen.insert(v).second) in_list.values.push_back(v);
+    }
+    const LogicalOp& rq = *join_->children[1];
+    HANA_ASSIGN_OR_RETURN(ChunkStream stream,
+                          ctx_->OpenRemoteQuery(rq, &in_list, nullptr));
+    // Build a hash table over the (reduced) remote rows.
+    std::unordered_multimap<size_t, size_t> table;
+    std::vector<std::vector<Value>> remote_rows;
+    std::vector<Value> remote_keys;
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, stream());
+      if (!chunk.has_value()) break;
+      for (size_t r = 0; r < chunk->num_rows(); ++r) {
+        std::vector<Value> row = chunk->Row(r);
+        HANA_ASSIGN_OR_RETURN(Value k,
+                              EvalExprRow(*parts.equi_keys[0].right, row));
+        table.emplace(k.Hash(), remote_rows.size());
+        remote_keys.push_back(std::move(k));
+        remote_rows.push_back(std::move(row));
+      }
+    }
+    // Probe with the local rows.
+    for (const auto& left_row : left_rows_) {
+      HANA_ASSIGN_OR_RETURN(Value k,
+                            EvalExprRow(*parts.equi_keys[0].left, left_row));
+      if (k.is_null()) continue;
+      auto [lo, hi] = table.equal_range(k.Hash());
+      for (auto it = lo; it != hi; ++it) {
+        if (remote_keys[it->second].is_null() ||
+            k.Compare(remote_keys[it->second]) != 0) {
+          continue;
+        }
+        std::vector<Value> combined = left_row;
+        const auto& rrow = remote_rows[it->second];
+        combined.insert(combined.end(), rrow.begin(), rrow.end());
+        // Remaining equi keys + residual re-checked on the combined row.
+        bool keep = true;
+        for (size_t e = 1; e < parts.equi_keys.size() && keep; ++e) {
+          HANA_ASSIGN_OR_RETURN(Value a, EvalExprRow(*parts.equi_keys[e].left,
+                                                     left_row));
+          HANA_ASSIGN_OR_RETURN(Value b, EvalExprRow(*parts.equi_keys[e].right,
+                                                     rrow));
+          keep = !a.is_null() && !b.is_null() && a.Compare(b) == 0;
+        }
+        if (keep && parts.residual != nullptr) {
+          HANA_ASSIGN_OR_RETURN(Value v,
+                                EvalExprRow(*parts.residual, combined));
+          keep = !v.is_null() && IsTruthy(v);
+        }
+        if (keep) out_rows_.push_back(std::move(combined));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (emitted_ >= out_rows_.size()) return std::optional<Chunk>();
+    Chunk out = Chunk::Empty(schema_);
+    size_t end =
+        std::min(out_rows_.size(), emitted_ + storage::kDefaultChunkRows);
+    for (size_t r = emitted_; r < end; ++r) out.AppendRow(out_rows_[r]);
+    emitted_ = end;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  const LogicalOp* join_;
+  PhysicalOpPtr left_;
+  ExecContext* ctx_;
+  std::vector<std::vector<Value>> left_rows_;
+  std::vector<std::vector<Value>> out_rows_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace
+
+Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+                                        ExecContext* ctx) {
+  switch (logical.kind) {
+    case LogicalKind::kScan:
+      return PhysicalOpPtr(std::make_unique<StreamOp>(
+          logical.schema, [&logical, ctx] { return ctx->OpenScan(logical); }));
+    case LogicalKind::kTableFunctionScan:
+      return PhysicalOpPtr(std::make_unique<StreamOp>(
+          logical.schema,
+          [&logical, ctx] { return ctx->OpenTableFunction(logical); }));
+    case LogicalKind::kRemoteQuery: {
+      PhysicalOpPtr relocated;
+      if (logical.relocate_local_child && !logical.children.empty()) {
+        HANA_ASSIGN_OR_RETURN(relocated,
+                              BuildPhysicalPlan(*logical.children[0], ctx));
+      }
+      return PhysicalOpPtr(std::make_unique<RemoteQueryOp>(
+          &logical, ctx, std::move(relocated)));
+    }
+    case LogicalKind::kFilter: {
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildPhysicalPlan(*logical.children[0], ctx));
+      return PhysicalOpPtr(std::make_unique<FilterOp>(
+          std::move(child), logical.predicate.get()));
+    }
+    case LogicalKind::kProject: {
+      PhysicalOpPtr child;
+      if (!logical.children.empty()) {
+        HANA_ASSIGN_OR_RETURN(child,
+                              BuildPhysicalPlan(*logical.children[0], ctx));
+      }
+      return PhysicalOpPtr(std::make_unique<ProjectOp>(
+          logical.schema, std::move(child), &logical.exprs));
+    }
+    case LogicalKind::kJoin: {
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                            BuildPhysicalPlan(*logical.children[0], ctx));
+      if (logical.semijoin_pushdown) {
+        return PhysicalOpPtr(std::make_unique<PushdownJoinOp>(
+            &logical, std::move(left), ctx));
+      }
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                            BuildPhysicalPlan(*logical.children[1], ctx));
+      size_t left_arity = logical.children[0]->schema->num_columns();
+      if (logical.condition != nullptr && logical.join_kind != JoinKind::kCross) {
+        plan::JoinConditionParts parts =
+            plan::AnalyzeJoinCondition(*logical.condition, left_arity);
+        if (!parts.equi_keys.empty()) {
+          return PhysicalOpPtr(std::make_unique<HashJoinOp>(
+              logical.schema, logical.join_kind, std::move(left),
+              std::move(right), std::move(parts)));
+        }
+      }
+      return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
+          logical.schema, logical.join_kind, std::move(left), std::move(right),
+          logical.condition.get()));
+    }
+    case LogicalKind::kAggregate: {
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildPhysicalPlan(*logical.children[0], ctx));
+      return PhysicalOpPtr(std::make_unique<HashAggregateOp>(
+          logical.schema, std::move(child), &logical.group_by,
+          &logical.aggregates));
+    }
+    case LogicalKind::kSort: {
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildPhysicalPlan(*logical.children[0], ctx));
+      return PhysicalOpPtr(
+          std::make_unique<SortOp>(std::move(child), &logical.sort_keys));
+    }
+    case LogicalKind::kLimit: {
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                            BuildPhysicalPlan(*logical.children[0], ctx));
+      return PhysicalOpPtr(
+          std::make_unique<LimitOp>(std::move(child), logical.limit));
+    }
+    case LogicalKind::kUnion: {
+      std::vector<PhysicalOpPtr> children;
+      for (const auto& c : logical.children) {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                              BuildPhysicalPlan(*c, ctx));
+        children.push_back(std::move(child));
+      }
+      return PhysicalOpPtr(
+          std::make_unique<UnionOp>(logical.schema, std::move(children)));
+    }
+  }
+  return Status::Internal("unknown logical operator");
+}
+
+Result<storage::Table> DrainToTable(PhysicalOp* op) {
+  storage::Table table(op->schema());
+  HANA_RETURN_IF_ERROR(op->Open());
+  while (true) {
+    HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, op->Next());
+    if (!chunk.has_value()) break;
+    table.AppendChunk(*chunk);
+  }
+  return table;
+}
+
+Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
+                                   ExecContext* ctx) {
+  HANA_ASSIGN_OR_RETURN(PhysicalOpPtr root, BuildPhysicalPlan(logical, ctx));
+  return DrainToTable(root.get());
+}
+
+}  // namespace hana::exec

@@ -1,0 +1,85 @@
+#ifndef HANA_EXEC_OPERATORS_H_
+#define HANA_EXEC_OPERATORS_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/join_analysis.h"
+#include "plan/logical.h"
+#include "storage/column_vector.h"
+
+namespace hana::exec {
+
+using storage::Chunk;
+
+/// Pull-based stream of chunks; returns std::nullopt at end-of-stream.
+using ChunkStream = std::function<Result<std::optional<Chunk>>()>;
+
+/// Distinct key values a semijoin-pushdown ships into a remote query.
+struct PushdownInList {
+  std::string column;  // Remote-side column name.
+  std::vector<Value> values;
+};
+
+/// Runtime services the executor needs from the hosting platform:
+/// opening base-table scans (partition-aware), executing shipped remote
+/// queries through the SDA federation layer, and invoking virtual
+/// (map-reduce) table functions.
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  virtual Result<ChunkStream> OpenScan(const plan::LogicalOp& scan) = 0;
+
+  /// Executes a shipped remote query. `in_list` (may be null) carries
+  /// semijoin-pushdown keys spliced into the /*PUSHDOWN*/ marker;
+  /// `relocated_rows` (may be null) is the local data uploaded as
+  /// `relocation_table` before execution (Table Relocation strategy).
+  virtual Result<ChunkStream> OpenRemoteQuery(
+      const plan::LogicalOp& rq, const PushdownInList* in_list,
+      const storage::Table* relocated_rows) = 0;
+
+  virtual Result<ChunkStream> OpenTableFunction(
+      const plan::LogicalOp& fn) = 0;
+};
+
+/// Volcano-style physical operator.
+class PhysicalOp {
+ public:
+  explicit PhysicalOp(std::shared_ptr<Schema> schema)
+      : schema_(std::move(schema)) {}
+  virtual ~PhysicalOp() = default;
+
+  PhysicalOp(const PhysicalOp&) = delete;
+  PhysicalOp& operator=(const PhysicalOp&) = delete;
+
+  virtual Status Open() = 0;
+  virtual Result<std::optional<Chunk>> Next() = 0;
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+
+ protected:
+  std::shared_ptr<Schema> schema_;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
+
+/// Lowers a bound logical plan to a physical operator tree. The logical
+/// plan must outlive execution (operators keep pointers into it).
+Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+                                        ExecContext* ctx);
+
+/// Builds, opens and fully drains the plan into a materialized table.
+Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
+                                   ExecContext* ctx);
+
+/// Drains a physical operator into a table (testing hook).
+Result<storage::Table> DrainToTable(PhysicalOp* op);
+
+}  // namespace hana::exec
+
+#endif  // HANA_EXEC_OPERATORS_H_

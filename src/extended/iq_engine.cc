@@ -1,0 +1,89 @@
+#include "extended/iq_engine.h"
+
+#include <deque>
+
+#include "plan/binder.h"
+#include "plan/rewrites.h"
+#include "sql/parser.h"
+
+namespace hana::extended {
+
+Result<storage::Table> IqEngine::ExecuteSql(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(auto select, sql::ParseSelect(sql));
+  HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical,
+                        plan::BindSelectStatement(*this, *select));
+  HANA_RETURN_IF_ERROR(plan::PushDownFilters(&logical));
+  plan::PushScanRanges(logical.get());
+  return exec::ExecutePlan(*logical, this);
+}
+
+Status IqEngine::CreateAndLoad(const std::string& name,
+                               std::shared_ptr<Schema> schema,
+                               const std::vector<std::vector<Value>>& rows) {
+  if (store_->HasTable(name)) {
+    HANA_RETURN_IF_ERROR(store_->DropTable(name));
+  }
+  HANA_ASSIGN_OR_RETURN(ExtendedTable * table,
+                        store_->CreateTable(name, std::move(schema)));
+  return table->BulkLoad(rows);
+}
+
+Result<plan::TableBinding> IqEngine::ResolveTable(
+    const std::string& name) const {
+  HANA_ASSIGN_OR_RETURN(ExtendedTable * table, store_->GetTable(name));
+  plan::TableBinding binding;
+  binding.name = table->name();
+  binding.location = plan::TableLocation::kExtended;
+  binding.schema = table->schema();
+  binding.estimated_rows = static_cast<double>(table->live_rows());
+  return binding;
+}
+
+Result<plan::TableFunctionBinding> IqEngine::ResolveTableFunction(
+    const std::string& name) const {
+  return Status::NotFound("IQ engine has no table function " + name);
+}
+
+Result<exec::ChunkStream> IqEngine::OpenScan(const plan::LogicalOp& scan) {
+  HANA_ASSIGN_OR_RETURN(ExtendedTable * table,
+                        store_->GetTable(scan.table.name));
+  std::vector<ColumnRange> ranges;
+  for (const auto& r : scan.scan_ranges) {
+    ranges.push_back(ColumnRange{r.column, r.lower, r.upper});
+  }
+  // Materialize eagerly into a queue of chunks; the store already
+  // charges virtual I/O per block read.
+  auto chunks = std::make_shared<std::deque<storage::Chunk>>();
+  auto schema = scan.schema;
+  HANA_RETURN_IF_ERROR(table->Scan(
+      ranges, storage::kDefaultChunkRows,
+      [&](const storage::Chunk& chunk) {
+        storage::Chunk copy = chunk;
+        copy.schema = schema;  // Qualified names from the plan.
+        chunks->push_back(std::move(copy));
+        return true;
+      }));
+  return exec::ChunkStream([chunks]() -> Result<std::optional<storage::Chunk>> {
+    if (chunks->empty()) return std::optional<storage::Chunk>();
+    storage::Chunk chunk = std::move(chunks->front());
+    chunks->pop_front();
+    return std::optional<storage::Chunk>(std::move(chunk));
+  });
+}
+
+Result<exec::ChunkStream> IqEngine::OpenRemoteQuery(
+    const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
+    const storage::Table* relocated_rows) {
+  (void)rq;
+  (void)in_list;
+  (void)relocated_rows;
+  return Status::Internal("IQ engine cannot ship queries further");
+}
+
+Result<exec::ChunkStream> IqEngine::OpenTableFunction(
+    const plan::LogicalOp& fn) {
+  (void)fn;
+  return Status::Internal("IQ engine has no table functions");
+}
+
+}  // namespace hana::extended

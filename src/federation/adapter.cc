@@ -1,0 +1,42 @@
+#include "federation/adapter.h"
+
+#include "common/strings.h"
+
+namespace hana::federation {
+
+std::string Capabilities::ToPropertyFile() const {
+  auto line = [](const char* key, bool value) {
+    return std::string(key) + " : " + (value ? "true" : "false") + "\n";
+  };
+  std::string out;
+  out += line("CAP_SELECT", select);
+  out += line("CAP_FILTERS", filters);
+  out += line("CAP_PROJECTIONS", projections);
+  out += line("CAP_JOINS", joins);
+  out += line("CAP_JOINS_OUTER", outer_joins);
+  out += line("CAP_SEMI_JOINS", semi_joins);
+  out += line("CAP_AGGREGATES", aggregates);
+  out += line("CAP_ORDER_BY", order_by);
+  out += line("CAP_LIMIT", limit);
+  out += line("CAP_INSERT", insert);
+  out += line("CAP_TRANSACTIONS", transactions);
+  out += line("CAP_REMOTE_CACHE", remote_cache);
+  return out;
+}
+
+double TransferMs(const OdbcLinkOptions& link, size_t rows, size_t bytes) {
+  return link.roundtrip_ms + static_cast<double>(rows) * link.per_row_ms +
+         static_cast<double>(bytes) / (link.transfer_mbps * 1048.576);
+}
+
+size_t ApproxTableBytes(const storage::Table& table) {
+  size_t bytes = 0;
+  for (const auto& row : table.rows()) {
+    for (const Value& v : row) {
+      bytes += v.type() == DataType::kString ? v.string_value().size() + 4 : 8;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hana::federation

@@ -1,0 +1,106 @@
+#ifndef HANA_FEDERATION_ADAPTER_H_
+#define HANA_FEDERATION_ADAPTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/column_vector.h"
+
+namespace hana::federation {
+
+/// Capability description of a remote source ("In the capability
+/// property file one finds, e.g. CAP_JOINS : true", Section 4.2). The
+/// optimizer only ships operators the adapter declares support for.
+struct Capabilities {
+  bool select = true;
+  bool filters = true;
+  bool projections = true;
+  bool joins = false;        // CAP_JOINS
+  bool outer_joins = false;  // CAP_JOINS_OUTER
+  bool semi_joins = false;
+  bool aggregates = false;
+  bool order_by = false;
+  bool limit = false;
+  bool insert = false;
+  bool transactions = false;
+  bool remote_cache = false;  // Supports remote materialization.
+
+  /// Renders the property-file form used in the paper.
+  std::string ToPropertyFile() const;
+};
+
+/// One shipped remote execution request.
+struct RemoteQuerySpec {
+  std::string sql;
+  bool use_cache = false;      // WITH HINT (USE_REMOTE_CACHE) present.
+  bool has_predicate = false;  // Shipped plan applies some predicate.
+};
+
+/// Execution statistics returned alongside remote results.
+struct RemoteStats {
+  double remote_ms = 0.0;     // Virtual time spent on the remote system.
+  size_t jobs = 0;            // MapReduce jobs triggered (Hive).
+  bool from_cache = false;    // Served from a materialized temp table.
+  bool materialized = false;  // This call created the materialization.
+  size_t rows = 0;
+};
+
+/// SDA adapter interface: schema import, cost statistics, query
+/// execution and (optionally) temp-table creation for the Table
+/// Relocation strategy and map-reduce virtual functions.
+class Adapter {
+ public:
+  virtual ~Adapter() = default;
+
+  virtual const std::string& adapter_name() const = 0;
+  virtual const Capabilities& capabilities() const = 0;
+
+  /// Imports the schema of a remote object (CREATE VIRTUAL TABLE).
+  virtual Result<std::shared_ptr<Schema>> FetchTableSchema(
+      const std::string& remote_object) = 0;
+
+  /// Statistics for costing (row count from the remote metastore).
+  virtual Result<double> EstimateRows(const std::string& remote_object) = 0;
+
+  /// Executes a shipped query; returns rows plus remote-side stats.
+  virtual Result<storage::Table> Execute(const RemoteQuerySpec& spec,
+                                         RemoteStats* stats) = 0;
+
+  /// Uploads local rows as a remote temp table (Table Relocation).
+  virtual Status CreateTempTable(const std::string& name,
+                                 std::shared_ptr<Schema> schema,
+                                 const storage::Table& rows) = 0;
+
+  /// Runs a registered map-reduce job exposed as a virtual function.
+  virtual Result<storage::Table> ExecuteVirtualFunction(
+      const std::string& configuration, RemoteStats* stats) {
+    (void)configuration;
+    (void)stats;
+    return Status::Unimplemented(adapter_name() +
+                                 " does not support virtual functions");
+  }
+};
+
+/// Latency model of the ODBC connection between HANA and a remote
+/// source: a fixed round-trip per call plus per-row and per-byte
+/// transfer costs, charged as virtual time. The per-row cost models
+/// ODBC result-set marshalling (~7k rows/s for the wide intermediate
+/// rows Hive returns), which is what makes fetching large federated
+/// intermediates expensive relative to small aggregate results.
+struct OdbcLinkOptions {
+  double roundtrip_ms = 25.0;
+  double per_row_ms = 0.15;
+  double transfer_mbps = 40.0;
+};
+
+/// Computes the virtual transfer time for a result set.
+double TransferMs(const OdbcLinkOptions& link, size_t rows, size_t bytes);
+
+/// Rough serialized size of a table (for transfer costing).
+size_t ApproxTableBytes(const storage::Table& table);
+
+}  // namespace hana::federation
+
+#endif  // HANA_FEDERATION_ADAPTER_H_

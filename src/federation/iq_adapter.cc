@@ -1,0 +1,55 @@
+#include "federation/iq_adapter.h"
+
+namespace hana::federation {
+
+IqAdapter::IqAdapter(extended::IqEngine* iq, SimClock* hana_clock,
+                     OdbcLinkOptions link)
+    : iq_(iq), hana_clock_(hana_clock), link_(link) {
+  caps_.joins = true;
+  caps_.outer_joins = true;
+  caps_.semi_joins = true;
+  caps_.aggregates = true;
+  caps_.order_by = true;
+  caps_.limit = true;
+  caps_.insert = true;
+  caps_.transactions = true;
+  caps_.remote_cache = false;  // Unnecessary: the store is local disk.
+}
+
+Result<std::shared_ptr<Schema>> IqAdapter::FetchTableSchema(
+    const std::string& remote_object) {
+  HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
+                        iq_->store()->GetTable(remote_object));
+  return table->schema();
+}
+
+Result<double> IqAdapter::EstimateRows(const std::string& remote_object) {
+  HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
+                        iq_->store()->GetTable(remote_object));
+  return static_cast<double>(table->live_rows());
+}
+
+Result<storage::Table> IqAdapter::Execute(const RemoteQuerySpec& spec,
+                                          RemoteStats* stats) {
+  double before = iq_->store()->clock().now_ms();
+  HANA_ASSIGN_OR_RETURN(storage::Table table, iq_->ExecuteSql(spec.sql));
+  double remote_ms = iq_->store()->clock().now_ms() - before;
+  size_t bytes = ApproxTableBytes(table);
+  hana_clock_->Advance(remote_ms +
+                       TransferMs(link_, table.num_rows(), bytes));
+  if (stats != nullptr) {
+    stats->remote_ms = remote_ms;
+    stats->rows = table.num_rows();
+  }
+  return table;
+}
+
+Status IqAdapter::CreateTempTable(const std::string& name,
+                                  std::shared_ptr<Schema> schema,
+                                  const storage::Table& rows) {
+  hana_clock_->Advance(
+      TransferMs(link_, rows.num_rows(), ApproxTableBytes(rows)));
+  return iq_->CreateAndLoad(name, std::move(schema), rows.rows());
+}
+
+}  // namespace hana::federation

@@ -1,0 +1,47 @@
+#ifndef HANA_FEDERATION_IQ_ADAPTER_H_
+#define HANA_FEDERATION_IQ_ADAPTER_H_
+
+#include <string>
+
+#include "common/util.h"
+#include "extended/iq_engine.h"
+#include "federation/adapter.h"
+
+namespace hana::federation {
+
+/// Adapter for the natively integrated extended storage. Unlike the
+/// loosely coupled Hive source it supports the full push-down surface —
+/// inserts, transactions, joins, aggregates, order-by — reflecting the
+/// tight HANA/IQ integration of Section 3.1.
+class IqAdapter : public Adapter {
+ public:
+  IqAdapter(extended::IqEngine* iq, SimClock* hana_clock,
+            OdbcLinkOptions link = {.roundtrip_ms = 1.0,
+                                    .per_row_ms = 0.0005,
+                                    .transfer_mbps = 400.0});
+
+  const std::string& adapter_name() const override { return name_; }
+  const Capabilities& capabilities() const override { return caps_; }
+
+  Result<std::shared_ptr<Schema>> FetchTableSchema(
+      const std::string& remote_object) override;
+  Result<double> EstimateRows(const std::string& remote_object) override;
+  Result<storage::Table> Execute(const RemoteQuerySpec& spec,
+                                 RemoteStats* stats) override;
+  Status CreateTempTable(const std::string& name,
+                         std::shared_ptr<Schema> schema,
+                         const storage::Table& rows) override;
+
+  extended::IqEngine* iq() const { return iq_; }
+
+ private:
+  std::string name_ = "iq";
+  Capabilities caps_;
+  extended::IqEngine* iq_;
+  SimClock* hana_clock_;
+  OdbcLinkOptions link_;
+};
+
+}  // namespace hana::federation
+
+#endif  // HANA_FEDERATION_IQ_ADAPTER_H_

@@ -1,0 +1,109 @@
+#include "federation/sda.h"
+
+#include "common/strings.h"
+
+namespace hana::federation {
+
+Status SdaRuntime::BindSource(const std::string& source_name,
+                              std::unique_ptr<Adapter> adapter) {
+  std::string key = ToUpper(source_name);
+  if (adapters_.count(key) > 0) {
+    return Status::AlreadyExists("source already bound: " + source_name);
+  }
+  adapters_[key] = std::move(adapter);
+  return Status::OK();
+}
+
+Result<Adapter*> SdaRuntime::AdapterFor(const std::string& source_name) const {
+  auto it = adapters_.find(ToUpper(source_name));
+  if (it == adapters_.end()) {
+    return Status::NotFound("no adapter bound for source " + source_name);
+  }
+  return it->second.get();
+}
+
+bool SdaRuntime::HasSource(const std::string& source_name) const {
+  return adapters_.count(ToUpper(source_name)) > 0;
+}
+
+std::string SdaRuntime::SqlLiteral(const Value& v) {
+  switch (v.type()) {
+    case DataType::kString: {
+      std::string out = "'";
+      for (char c : v.string_value()) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      return out + "'";
+    }
+    case DataType::kDate:
+      return "DATE '" + v.ToString() + "'";
+    default:
+      return v.ToString();
+  }
+}
+
+Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
+    const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
+    const storage::Table* relocated_rows) {
+  HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(rq.remote_source));
+
+  std::string sql = rq.remote_sql;
+  auto marker = sql.find("/*PUSHDOWN*/");
+  if (marker != std::string::npos) {
+    std::string replacement = "1 = 1";
+    if (in_list != nullptr && !in_list->values.empty()) {
+      std::vector<std::string> literals;
+      literals.reserve(in_list->values.size());
+      for (const Value& v : in_list->values) {
+        literals.push_back(SqlLiteral(v));
+      }
+      replacement = in_list->column + " IN (" + Join(literals, ", ") + ")";
+    }
+    sql.replace(marker, 12, replacement);
+  }
+
+  if (relocated_rows != nullptr && !rq.relocation_table.empty()) {
+    auto schema = std::make_shared<Schema>();
+    for (const auto& col : relocated_rows->schema()->columns()) {
+      // Strip qualifiers for the uploaded temp table.
+      std::string base = col.name;
+      auto pos = base.rfind('.');
+      if (pos != std::string::npos) base = base.substr(pos + 1);
+      schema->AddColumn({base, col.type, col.nullable});
+    }
+    HANA_RETURN_IF_ERROR(adapter->CreateTempTable(rq.relocation_table,
+                                                  schema, *relocated_rows));
+  }
+
+  RemoteQuerySpec spec;
+  spec.sql = sql;
+  spec.use_cache = rq.use_remote_cache;
+  spec.has_predicate = rq.remote_has_predicate ||
+                       (in_list != nullptr && !in_list->values.empty());
+  RemoteStats remote_stats;
+  HANA_ASSIGN_OR_RETURN(storage::Table table,
+                        adapter->Execute(spec, &remote_stats));
+  stats_.remote_ms += remote_stats.remote_ms;
+  stats_.remote_calls += 1;
+  stats_.mapreduce_jobs += remote_stats.jobs;
+  stats_.rows_fetched += remote_stats.rows;
+  stats_.any_cache_hit |= remote_stats.from_cache;
+  stats_.any_materialization |= remote_stats.materialized;
+  return table;
+}
+
+Result<storage::Table> SdaRuntime::ExecuteVirtualFunction(
+    const std::string& source, const std::string& configuration) {
+  HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(source));
+  RemoteStats remote_stats;
+  HANA_ASSIGN_OR_RETURN(
+      storage::Table table,
+      adapter->ExecuteVirtualFunction(configuration, &remote_stats));
+  stats_.remote_ms += remote_stats.remote_ms;
+  stats_.remote_calls += 1;
+  stats_.rows_fetched += remote_stats.rows;
+  return table;
+}
+
+}  // namespace hana::federation

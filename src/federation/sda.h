@@ -1,0 +1,62 @@
+#ifndef HANA_FEDERATION_SDA_H_
+#define HANA_FEDERATION_SDA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/operators.h"
+#include "federation/adapter.h"
+#include "plan/logical.h"
+
+namespace hana::federation {
+
+/// Aggregated remote statistics for one HANA statement.
+struct StatementRemoteStats {
+  double remote_ms = 0.0;
+  size_t remote_calls = 0;
+  size_t mapreduce_jobs = 0;
+  size_t rows_fetched = 0;
+  bool any_cache_hit = false;
+  bool any_materialization = false;
+  void Reset() { *this = StatementRemoteStats(); }
+};
+
+/// The Smart Data Access runtime: the registry binding remote-source
+/// names to adapters, plus the execution entry point the HANA executor
+/// calls for shipped subplans. It splices semijoin IN-lists into the
+/// /*PUSHDOWN*/ marker and uploads relocated tables before execution.
+class SdaRuntime {
+ public:
+  SdaRuntime() = default;
+
+  /// Binds a remote source name (from CREATE REMOTE SOURCE) to an
+  /// adapter instance. Takes ownership.
+  Status BindSource(const std::string& source_name,
+                    std::unique_ptr<Adapter> adapter);
+
+  Result<Adapter*> AdapterFor(const std::string& source_name) const;
+  bool HasSource(const std::string& source_name) const;
+
+  /// Executes a kRemoteQuery logical node.
+  Result<storage::Table> ExecuteRemoteQuery(
+      const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
+      const storage::Table* relocated_rows);
+
+  /// Runs a virtual (map-reduce) function at its source.
+  Result<storage::Table> ExecuteVirtualFunction(
+      const std::string& source, const std::string& configuration);
+
+  StatementRemoteStats& stats() { return stats_; }
+
+  /// Renders a Value as a SQL literal for IN-list splicing.
+  static std::string SqlLiteral(const Value& v);
+
+ private:
+  std::map<std::string, std::unique_ptr<Adapter>> adapters_;
+  StatementRemoteStats stats_;
+};
+
+}  // namespace hana::federation
+
+#endif  // HANA_FEDERATION_SDA_H_

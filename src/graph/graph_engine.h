@@ -1,0 +1,76 @@
+#ifndef HANA_GRAPH_GRAPH_ENGINE_H_
+#define HANA_GRAPH_GRAPH_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/column_table.h"
+
+namespace hana::graph {
+
+/// A property-graph engine layered over the relational column store —
+/// "a native graph engine next to the traditional relational table
+/// engine ... based on the same internal storage structures" [22].
+/// Vertices and edges live in two dictionary-encoded column tables; the
+/// engine builds CSR adjacency snapshots for traversal algorithms and
+/// exposes both tables for cross-model SQL queries.
+class GraphEngine {
+ public:
+  GraphEngine();
+
+  // ---- Mutation ---------------------------------------------------------
+  Status AddVertex(int64_t id, const std::string& label);
+  Status AddEdge(int64_t src, int64_t dst, const std::string& label,
+                 double weight = 1.0);
+
+  size_t num_vertices() const;
+  size_t num_edges() const;
+
+  /// Rebuilds the CSR adjacency snapshot (call after mutations).
+  void BuildCsr();
+
+  // ---- Traversals (require a current CSR snapshot) -----------------------
+  Result<std::vector<int64_t>> Neighbors(int64_t id,
+                                         const std::string& label = "") const;
+  /// Hop distance from `start` to every reachable vertex.
+  Result<std::map<int64_t, int64_t>> Bfs(int64_t start) const;
+  /// Minimum hop count between two vertices (-1 = unreachable).
+  Result<int64_t> ShortestPathHops(int64_t from, int64_t to) const;
+  /// Dijkstra over edge weights.
+  Result<double> ShortestPathWeight(int64_t from, int64_t to) const;
+  /// Number of undirected triangles.
+  Result<size_t> TriangleCount() const;
+  Result<size_t> OutDegree(int64_t id) const;
+
+  // ---- Cross-model access -------------------------------------------------
+  /// The backing relational tables (vertices: id, label; edges: src,
+  /// dst, label, weight) — registerable in the platform catalog so SQL
+  /// can cross-query the graph within a single statement.
+  const storage::ColumnTable& vertices() const { return *vertices_; }
+  const storage::ColumnTable& edges() const { return *edges_; }
+  storage::Table VerticesTable() const;
+  storage::Table EdgesTable() const;
+
+ private:
+  Result<size_t> VertexIndex(int64_t id) const;
+
+  std::unique_ptr<storage::ColumnTable> vertices_;
+  std::unique_ptr<storage::ColumnTable> edges_;
+  std::map<int64_t, size_t> vertex_index_;
+
+  // CSR snapshot.
+  bool csr_valid_ = false;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> targets_;        // Dense vertex indexes.
+  std::vector<double> weights_;
+  std::vector<std::string> edge_labels_;
+  std::vector<int64_t> ids_;           // Dense index -> vertex id.
+};
+
+}  // namespace hana::graph
+
+#endif  // HANA_GRAPH_GRAPH_ENGINE_H_

@@ -1,0 +1,120 @@
+#include "hadoop/hdfs.h"
+
+namespace hana::hadoop {
+
+Hdfs::Hdfs(HdfsOptions options) : options_(options) {}
+
+void Hdfs::PlaceBlock(HdfsBlock* block) {
+  block->id = next_block_id_++;
+  for (int r = 0; r < options_.replication; ++r) {
+    block->datanodes.push_back((next_datanode_ + r) % options_.num_datanodes);
+  }
+  next_datanode_ = (next_datanode_ + 1) % options_.num_datanodes;
+}
+
+Status Hdfs::WriteFile(const std::string& path,
+                       const std::vector<std::string>& lines) {
+  if (Exists(path)) HANA_RETURN_IF_ERROR(Delete(path));
+  return AppendLines(path, lines);
+}
+
+Status Hdfs::AppendLines(const std::string& path,
+                         const std::vector<std::string>& lines) {
+  File& file = files_[path];
+  if (file.blocks.empty()) {
+    file.blocks.emplace_back();
+    PlaceBlock(&file.blocks.back());
+  }
+  for (const std::string& line : lines) {
+    HdfsBlock* block = &file.blocks.back();
+    if (block->bytes + line.size() + 1 > options_.block_size_bytes &&
+        block->bytes > 0) {
+      file.blocks.emplace_back();
+      PlaceBlock(&file.blocks.back());
+      block = &file.blocks.back();
+    }
+    size_t replicated =
+        (line.size() + 1) * static_cast<size_t>(options_.replication);
+    if (used_bytes_ + replicated > options_.capacity_bytes) {
+      return Status::IoError("HDFS capacity exhausted");
+    }
+    block->lines.push_back(line);
+    block->bytes += line.size() + 1;
+    file.bytes += line.size() + 1;
+    ++file.lines;
+    used_bytes_ += replicated;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Hdfs::ReadFile(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  std::vector<std::string> lines;
+  lines.reserve(it->second.lines);
+  for (const HdfsBlock& block : it->second.blocks) {
+    lines.insert(lines.end(), block.lines.begin(), block.lines.end());
+  }
+  return lines;
+}
+
+bool Hdfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+Status Hdfs::Delete(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  used_bytes_ -=
+      it->second.bytes * static_cast<uint64_t>(options_.replication);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status Hdfs::Rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  if (Exists(to)) HANA_RETURN_IF_ERROR(Delete(to));
+  files_[to] = std::move(it->second);
+  files_.erase(from);
+  return Status::OK();
+}
+
+std::vector<std::string> Hdfs::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, file] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+Result<HdfsFileInfo> Hdfs::Stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return HdfsFileInfo{path, it->second.bytes, it->second.blocks.size(),
+                      it->second.lines};
+}
+
+Result<std::vector<const HdfsBlock*>> Hdfs::Blocks(
+    const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  std::vector<const HdfsBlock*> blocks;
+  for (const HdfsBlock& block : it->second.blocks) blocks.push_back(&block);
+  return blocks;
+}
+
+std::vector<uint64_t> Hdfs::DatanodeUsage() const {
+  std::vector<uint64_t> usage(static_cast<size_t>(options_.num_datanodes), 0);
+  for (const auto& [path, file] : files_) {
+    for (const HdfsBlock& block : file.blocks) {
+      for (int dn : block.datanodes) {
+        usage[static_cast<size_t>(dn)] += block.bytes;
+      }
+    }
+  }
+  return usage;
+}
+
+}  // namespace hana::hadoop

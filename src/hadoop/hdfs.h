@@ -1,0 +1,84 @@
+#ifndef HANA_HADOOP_HDFS_H_
+#define HANA_HADOOP_HDFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::hadoop {
+
+/// Namespace + block-placement simulator of the Hadoop Distributed File
+/// System. Files are line-oriented (Hive text format). Block contents
+/// live in memory; sizes, replication and per-datanode placement are
+/// tracked faithfully so the MapReduce cost model can reason about
+/// locality, task counts and cluster capacity.
+struct HdfsOptions {
+  size_t block_size_bytes = 4 << 20;  // Scaled-down 64MB default.
+  int replication = 3;
+  int num_datanodes = 6;
+  uint64_t capacity_bytes = 21'500ULL << 20;  // Paper: 21.5TB, scaled /1000.
+};
+
+struct HdfsBlock {
+  uint64_t id = 0;
+  std::vector<std::string> lines;
+  size_t bytes = 0;
+  std::vector<int> datanodes;  // Replica placements.
+};
+
+struct HdfsFileInfo {
+  std::string path;
+  size_t bytes = 0;
+  size_t num_blocks = 0;
+  size_t num_lines = 0;
+};
+
+class Hdfs {
+ public:
+  explicit Hdfs(HdfsOptions options = {});
+
+  /// Creates (or replaces) a file from lines.
+  Status WriteFile(const std::string& path,
+                   const std::vector<std::string>& lines);
+  Status AppendLines(const std::string& path,
+                     const std::vector<std::string>& lines);
+  Result<std::vector<std::string>> ReadFile(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  std::vector<std::string> List(const std::string& prefix) const;
+  Result<HdfsFileInfo> Stat(const std::string& path) const;
+
+  /// The blocks of a file (the MapReduce engine schedules one map task
+  /// per block).
+  Result<std::vector<const HdfsBlock*>> Blocks(const std::string& path) const;
+
+  uint64_t used_bytes() const { return used_bytes_; }
+  uint64_t capacity_bytes() const { return options_.capacity_bytes; }
+  const HdfsOptions& options() const { return options_; }
+  /// Raw (pre-replication) bytes per datanode.
+  std::vector<uint64_t> DatanodeUsage() const;
+
+ private:
+  struct File {
+    std::vector<HdfsBlock> blocks;
+    size_t bytes = 0;
+    size_t lines = 0;
+  };
+
+  void PlaceBlock(HdfsBlock* block);
+
+  HdfsOptions options_;
+  std::map<std::string, File> files_;
+  uint64_t next_block_id_ = 1;
+  uint64_t used_bytes_ = 0;
+  int next_datanode_ = 0;
+};
+
+}  // namespace hana::hadoop
+
+#endif  // HANA_HADOOP_HDFS_H_

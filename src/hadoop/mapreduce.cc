@@ -1,0 +1,87 @@
+#include "hadoop/mapreduce.h"
+
+#include <algorithm>
+
+namespace hana::hadoop {
+
+double MapReduceEngine::TaskWaveMs(size_t tasks, int slots,
+                                   uint64_t total_bytes, double mbps) const {
+  if (tasks == 0) return 0.0;
+  size_t waves = (tasks + static_cast<size_t>(slots) - 1) /
+                 static_cast<size_t>(slots);
+  double bytes_per_task =
+      static_cast<double>(total_bytes) / static_cast<double>(tasks);
+  double task_ms = config_.task_startup_ms +
+                   bytes_per_task / (mbps * 1048.576);
+  return static_cast<double>(waves) * task_ms;
+}
+
+Result<JobStats> MapReduceEngine::RunJob(const JobSpec& spec) {
+  JobStats stats;
+  stats.name = spec.name;
+  stats.simulated_ms += config_.job_startup_ms;
+
+  // ---- Map phase: one task per block, executed for real. -------------
+  std::vector<KeyValue> emitted;
+  for (size_t i = 0; i < spec.inputs.size(); ++i) {
+    HANA_ASSIGN_OR_RETURN(std::vector<const HdfsBlock*> blocks,
+                          hdfs_->Blocks(spec.inputs[i]));
+    for (const HdfsBlock* block : blocks) {
+      ++stats.map_tasks;
+      stats.input_bytes += block->bytes;
+      for (const std::string& line : block->lines) {
+        spec.mapper(static_cast<int>(i), line, &emitted);
+      }
+    }
+  }
+  stats.simulated_ms += TaskWaveMs(stats.map_tasks, config_.map_slots,
+                                   stats.input_bytes, config_.map_mbps);
+
+  std::vector<std::string> output_lines;
+  if (spec.reducer == nullptr) {
+    // Map-only job: values are output lines; keys ignored.
+    output_lines.reserve(emitted.size());
+    for (auto& [key, value] : emitted) output_lines.push_back(std::move(value));
+  } else {
+    // ---- Shuffle: group by key (sorted when requested). --------------
+    for (const auto& [key, value] : emitted) {
+      stats.shuffle_bytes += key.size() + value.size();
+    }
+    stats.simulated_ms +=
+        static_cast<double>(stats.shuffle_bytes) /
+        (config_.shuffle_mbps * 1048.576);
+
+    std::map<std::string, std::vector<std::string>> groups;
+    for (auto& [key, value] : emitted) {
+      groups[key].push_back(std::move(value));
+    }
+
+    // ---- Reduce phase. -----------------------------------------------
+    size_t reducers = spec.num_reducers > 0
+                          ? static_cast<size_t>(spec.num_reducers)
+                          : std::min<size_t>(
+                                groups.empty() ? 1 : groups.size(),
+                                static_cast<size_t>(config_.reduce_slots));
+    if (spec.sort_keys) reducers = 1;  // Total order needs one reducer.
+    stats.reduce_tasks = reducers;
+    for (auto& [key, values] : groups) {
+      spec.reducer(key, values, &output_lines);
+    }
+    stats.simulated_ms += TaskWaveMs(reducers, config_.reduce_slots,
+                                     stats.shuffle_bytes,
+                                     config_.reduce_mbps);
+  }
+
+  for (const std::string& line : output_lines) {
+    stats.output_bytes += line.size() + 1;
+  }
+  stats.simulated_ms += static_cast<double>(stats.output_bytes) /
+                        (config_.hdfs_write_mbps * 1048.576);
+  HANA_RETURN_IF_ERROR(hdfs_->WriteFile(spec.output, output_lines));
+
+  clock_->Advance(stats.simulated_ms);
+  history_.push_back(stats);
+  return stats;
+}
+
+}  // namespace hana::hadoop

@@ -1,0 +1,124 @@
+#include "hadoop/serde.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hana::hadoop {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
+std::string Unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char next = s[++i];
+      out += next == 't' ? '\t' : next == 'n' ? '\n' : next;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SerializeValue(const Value& v) {
+  if (v.is_null()) return "\\N";
+  switch (v.type()) {
+    case DataType::kBool:
+      return v.bool_value() ? "1" : "0";
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kTimestamp:
+      return std::to_string(v.int_value());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+      return buf;
+    }
+    case DataType::kString: {
+      std::string out;
+      AppendEscaped(&out, v.string_value());
+      return out;
+    }
+    default:
+      return "\\N";
+  }
+}
+
+std::string SerializeRow(const std::vector<Value>& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += '\t';
+    out += SerializeValue(row[i]);
+  }
+  return out;
+}
+
+Result<Value> ParseValue(const std::string& field, DataType type) {
+  if (field == "\\N") return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(field != "0" && field != "false");
+    case DataType::kInt64:
+      return Value::Int(std::strtoll(field.c_str(), nullptr, 10));
+    case DataType::kDate:
+      return Value::Date(std::strtoll(field.c_str(), nullptr, 10));
+    case DataType::kTimestamp:
+      return Value::Timestamp(std::strtoll(field.c_str(), nullptr, 10));
+    case DataType::kDouble:
+      return Value::Double(std::strtod(field.c_str(), nullptr));
+    case DataType::kString:
+      return Value::String(Unescape(field));
+    default:
+      return Value::Null();
+  }
+}
+
+Result<std::vector<Value>> ParseRow(const std::string& line,
+                                    const Schema& schema) {
+  std::vector<Value> row;
+  row.reserve(schema.num_columns());
+  size_t start = 0;
+  size_t col = 0;
+  for (size_t i = 0; i <= line.size(); ++i) {
+    // Escaping rewrites real tabs as the two characters '\' 't', so any
+    // actual tab character is a field separator.
+    bool at_sep = i == line.size() || line[i] == '\t';
+    if (!at_sep) continue;
+    if (col >= schema.num_columns()) {
+      return Status::IoError("too many fields in line: " + line);
+    }
+    HANA_ASSIGN_OR_RETURN(
+        Value v, ParseValue(line.substr(start, i - start),
+                            schema.column(col).type));
+    row.push_back(std::move(v));
+    ++col;
+    start = i + 1;
+  }
+  if (col != schema.num_columns()) {
+    return Status::IoError("too few fields in line: " + line);
+  }
+  return row;
+}
+
+}  // namespace hana::hadoop

@@ -1,0 +1,29 @@
+#ifndef HANA_HADOOP_SERDE_H_
+#define HANA_HADOOP_SERDE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace hana::hadoop {
+
+/// Hive-text-format style row serialization: tab-separated fields,
+/// "\N" for NULL, backslash escaping for tab/newline/backslash.
+std::string SerializeRow(const std::vector<Value>& row);
+
+/// Parses a serialized line back into typed values per `schema`.
+Result<std::vector<Value>> ParseRow(const std::string& line,
+                                    const Schema& schema);
+
+/// Serializes a single value (dates as day numbers, doubles with full
+/// precision so round-trips are exact).
+std::string SerializeValue(const Value& v);
+
+Result<Value> ParseValue(const std::string& field, DataType type);
+
+}  // namespace hana::hadoop
+
+#endif  // HANA_HADOOP_SERDE_H_

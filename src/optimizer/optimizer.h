@@ -1,0 +1,56 @@
+#ifndef HANA_OPTIMIZER_OPTIMIZER_H_
+#define HANA_OPTIMIZER_OPTIMIZER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "federation/sda.h"
+#include "plan/logical.h"
+
+namespace hana::optimizer {
+
+/// Federated-plan strategy control (Section 3.1 lists the alternatives
+/// the optimizer considers: Remote Scan, Semijoin, Table Relocation,
+/// Union Plan). kAuto picks cost-based; the others force one strategy
+/// for ablation experiments.
+enum class FederationStrategy {
+  kAuto,
+  kRemoteScanOnly,
+  kSemijoin,
+  kRelocation,
+};
+
+struct OptimizerOptions {
+  bool enable_federation = true;
+  FederationStrategy strategy = FederationStrategy::kAuto;
+  /// Maximum distinct keys shipped as a semijoin IN-list.
+  size_t semijoin_max_keys = 1024;
+  /// Maximum local rows uploaded by the Table Relocation strategy.
+  size_t relocation_max_rows = 100000;
+  /// WITH HINT (USE_REMOTE_CACHE) present on the statement.
+  bool use_remote_cache = false;
+};
+
+struct OptimizeContext {
+  const catalog::Catalog* catalog = nullptr;  // For partition metadata.
+  const federation::SdaRuntime* sda = nullptr;
+  OptimizerOptions options;
+};
+
+/// Runs the full rewrite pipeline:
+///  1. predicate pushdown + join-condition recovery,
+///  2. hybrid-table partition expansion (Union Plan) + pruning,
+///  3. zone-map range extraction,
+///  4. federation split: maximal remote subtrees become shipped
+///     kRemoteQuery nodes (capability-checked per adapter), with
+///     cost-based Semijoin / Table Relocation handling at local-remote
+///     join boundaries.
+Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx);
+
+/// Heuristic output-cardinality estimate for costing.
+double EstimateRows(const plan::LogicalOp& op);
+
+}  // namespace hana::optimizer
+
+#endif  // HANA_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,32 @@
+#ifndef HANA_OPTIMIZER_PLAN_TO_SQL_H_
+#define HANA_OPTIMIZER_PLAN_TO_SQL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "plan/logical.h"
+
+namespace hana::optimizer {
+
+struct PlanToSqlOptions {
+  /// Appends an " AND /*PUSHDOWN*/" placeholder to the outermost WHERE
+  /// (semijoin federation strategy; the SDA runtime splices the IN-list
+  /// at execution time).
+  bool add_pushdown_marker = false;
+  /// Scans of this (local) subtree placeholder are rendered as the named
+  /// relocated temp table (Table Relocation strategy).
+  std::string relocated_table;
+};
+
+/// Reconstructs SQL text for a shipped subplan. Scans reference the
+/// remote-side object names; every operator level becomes a derived
+/// table so arbitrary shapes (joins, semi/anti joins via [NOT] EXISTS,
+/// aggregates, limits) round-trip through the remote engine's parser.
+/// Output columns are aliased c0..cN-1 positionally, matching how the
+/// local plan consumes the result.
+Result<std::string> PlanToSql(const plan::LogicalOp& op,
+                              const PlanToSqlOptions& options = {});
+
+}  // namespace hana::optimizer
+
+#endif  // HANA_OPTIMIZER_PLAN_TO_SQL_H_

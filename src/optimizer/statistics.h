@@ -1,0 +1,76 @@
+#ifndef HANA_OPTIMIZER_STATISTICS_H_
+#define HANA_OPTIMIZER_STATISTICS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "storage/column_table.h"
+
+namespace hana::optimizer {
+
+/// Equi-depth histogram over one column, built from sorted values. The
+/// construction verifies a q-error bound on bucket frequency estimates
+/// in the spirit of SAP HANA's q-optimal histograms [16]: buckets are
+/// split until every per-bucket density estimate is within `q_bound` of
+/// the true count (or the bucket is a single value).
+class Histogram {
+ public:
+  /// Builds from an unsorted sample. `num_buckets` is the target bucket
+  /// count; more buckets may be created to honor the q-error bound.
+  static Histogram Build(std::vector<Value> values, size_t num_buckets,
+                         double q_bound = 2.0);
+
+  /// Estimated fraction of rows with lower <= v <= upper (null bounds
+  /// are unbounded).
+  double EstimateRangeFraction(const Value& lower, const Value& upper) const;
+
+  /// Estimated fraction of rows equal to v.
+  double EstimateEqFraction(const Value& v) const;
+
+  size_t num_buckets() const { return buckets_.size(); }
+  size_t total_rows() const { return total_; }
+
+  /// Maximum multiplicative error of bucket-uniformity estimates against
+  /// the sample it was built from (the q-error the histogram guarantees).
+  double max_q_error() const { return max_q_error_; }
+
+ private:
+  struct Bucket {
+    Value lower;      // Inclusive.
+    Value upper;      // Inclusive.
+    size_t count = 0;
+    size_t distinct = 0;
+  };
+
+  std::vector<Bucket> buckets_;
+  size_t total_ = 0;
+  double max_q_error_ = 1.0;
+};
+
+/// Per-column statistics.
+struct ColumnStats {
+  Value min;
+  Value max;
+  size_t num_nulls = 0;
+  size_t num_distinct = 0;
+  std::shared_ptr<Histogram> histogram;  // Numeric/date columns only.
+};
+
+/// Per-table statistics used by the federated cost model.
+struct TableStats {
+  size_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Collects statistics from an in-memory column table (full scan; for
+/// the data sizes of this reproduction sampling is unnecessary).
+TableStats CollectStats(const storage::ColumnTable& table,
+                        size_t histogram_buckets = 32);
+
+}  // namespace hana::optimizer
+
+#endif  // HANA_OPTIMIZER_STATISTICS_H_

@@ -1,0 +1,169 @@
+#include "pal/apriori.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace hana::pal {
+
+namespace {
+
+using ItemSet = std::vector<std::string>;  // Sorted, unique.
+
+bool Contains(const ItemSet& haystack, const ItemSet& needle) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+}  // namespace
+
+std::string AssociationRule::ToString() const {
+  return StrFormat("{%s} => %s (support %.3f, confidence %.3f, lift %.2f)",
+                   Join(lhs, ", ").c_str(), rhs.c_str(), support, confidence,
+                   lift);
+}
+
+Result<std::vector<AssociationRule>> Apriori(
+    const std::vector<Transaction>& transactions,
+    const AprioriOptions& options) {
+  if (transactions.empty()) {
+    return Status::InvalidArgument("no transactions");
+  }
+  double n = static_cast<double>(transactions.size());
+  size_t min_count = static_cast<size_t>(
+      std::max(1.0, std::ceil(options.min_support * n)));
+
+  // Normalized transactions (sorted, deduplicated).
+  std::vector<ItemSet> txns;
+  txns.reserve(transactions.size());
+  for (const Transaction& t : transactions) {
+    ItemSet items = t;
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    txns.push_back(std::move(items));
+  }
+
+  // Level 1: frequent single items.
+  std::map<ItemSet, size_t> frequent;
+  {
+    std::map<std::string, size_t> counts;
+    for (const ItemSet& t : txns) {
+      for (const std::string& item : t) ++counts[item];
+    }
+    for (const auto& [item, count] : counts) {
+      if (count >= min_count) frequent[{item}] = count;
+    }
+  }
+
+  std::map<ItemSet, size_t> all_frequent = frequent;
+  std::vector<ItemSet> current;
+  for (const auto& [set, count] : frequent) current.push_back(set);
+
+  for (size_t k = 2;
+       k <= options.max_itemset_size && current.size() > 1; ++k) {
+    // Candidate generation: join sets sharing a (k-2)-prefix.
+    std::set<ItemSet> candidates;
+    for (size_t i = 0; i < current.size(); ++i) {
+      for (size_t j = i + 1; j < current.size(); ++j) {
+        const ItemSet& a = current[i];
+        const ItemSet& b = current[j];
+        if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+          continue;
+        }
+        ItemSet merged = a;
+        merged.push_back(b.back());
+        std::sort(merged.begin(), merged.end());
+        candidates.insert(std::move(merged));
+      }
+    }
+    // Support counting.
+    std::map<ItemSet, size_t> counts;
+    for (const ItemSet& t : txns) {
+      for (const ItemSet& candidate : candidates) {
+        if (Contains(t, candidate)) ++counts[candidate];
+      }
+    }
+    current.clear();
+    for (const auto& [set, count] : counts) {
+      if (count >= min_count) {
+        all_frequent[set] = count;
+        current.push_back(set);
+      }
+    }
+  }
+
+  // Rule generation: for each frequent set of size >= 2, single-item
+  // consequents.
+  std::vector<AssociationRule> rules;
+  for (const auto& [set, count] : all_frequent) {
+    if (set.size() < 2) continue;
+    for (const std::string& rhs : set) {
+      ItemSet lhs;
+      for (const std::string& item : set) {
+        if (item != rhs) lhs.push_back(item);
+      }
+      auto lhs_it = all_frequent.find(lhs);
+      if (lhs_it == all_frequent.end()) continue;
+      double confidence = static_cast<double>(count) /
+                          static_cast<double>(lhs_it->second);
+      if (confidence < options.min_confidence) continue;
+      auto rhs_it = all_frequent.find(ItemSet{rhs});
+      double rhs_support =
+          rhs_it == all_frequent.end()
+              ? 1.0
+              : static_cast<double>(rhs_it->second) / n;
+      AssociationRule rule;
+      rule.lhs = lhs;
+      rule.rhs = rhs;
+      rule.support = static_cast<double>(count) / n;
+      rule.confidence = confidence;
+      rule.lift = rhs_support > 0 ? confidence / rhs_support : 0.0;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.confidence != b.confidence) {
+                return a.confidence > b.confidence;
+              }
+              if (a.support != b.support) return a.support > b.support;
+              return a.rhs < b.rhs;
+            });
+  return rules;
+}
+
+RuleClassifier::RuleClassifier(std::vector<AssociationRule> rules)
+    : rules_(std::move(rules)) {}
+
+double RuleClassifier::Score(const Transaction& items,
+                             const std::string& target) const {
+  ItemSet sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  double best = 0.0;
+  for (const AssociationRule& rule : rules_) {
+    if (rule.rhs != target) continue;
+    if (Contains(sorted, rule.lhs)) best = std::max(best, rule.confidence);
+  }
+  return best;
+}
+
+Result<std::pair<std::string, double>> RuleClassifier::Predict(
+    const Transaction& items) const {
+  ItemSet sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  const AssociationRule* best = nullptr;
+  for (const AssociationRule& rule : rules_) {
+    if (std::find(sorted.begin(), sorted.end(), rule.rhs) != sorted.end()) {
+      continue;  // Already present.
+    }
+    if (!Contains(sorted, rule.lhs)) continue;
+    if (best == nullptr || rule.confidence > best->confidence) best = &rule;
+  }
+  if (best == nullptr) return Status::NotFound("no applicable rule");
+  return std::make_pair(best->rhs, best->confidence);
+}
+
+}  // namespace hana::pal

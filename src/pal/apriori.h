@@ -1,0 +1,61 @@
+#ifndef HANA_PAL_APRIORI_H_
+#define HANA_PAL_APRIORI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::pal {
+
+/// One transaction: a set of item identifiers.
+using Transaction = std::vector<std::string>;
+
+struct AprioriOptions {
+  double min_support = 0.01;     // Fraction of transactions.
+  double min_confidence = 0.8;   // Paper scenario: 80%-100%.
+  size_t max_itemset_size = 3;
+};
+
+/// lhs => rhs with the usual quality measures.
+struct AssociationRule {
+  std::vector<std::string> lhs;  // Sorted.
+  std::string rhs;
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Classic apriori association-rule mining — the predictive analysis
+/// library (PAL) algorithm the warranty-claim scenario of Section 4.1
+/// applies to car diagnosis read-outs. Rules are returned sorted by
+/// confidence (descending), ties broken by support.
+Result<std::vector<AssociationRule>> Apriori(
+    const std::vector<Transaction>& transactions,
+    const AprioriOptions& options);
+
+/// Scores item sets against mined rules — "the derived models then were
+/// used to classify new read-outs as warranty candidates in real-time".
+class RuleClassifier {
+ public:
+  explicit RuleClassifier(std::vector<AssociationRule> rules);
+
+  /// Highest confidence over rules whose lhs is contained in `items`
+  /// and whose rhs equals `target`; 0.0 when no rule applies.
+  double Score(const Transaction& items, const std::string& target) const;
+
+  /// Best (rhs, confidence) prediction over all applicable rules.
+  Result<std::pair<std::string, double>> Predict(
+      const Transaction& items) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  std::vector<AssociationRule> rules_;
+};
+
+}  // namespace hana::pal
+
+#endif  // HANA_PAL_APRIORI_H_

@@ -1,0 +1,518 @@
+#include "platform/platform.h"
+
+#include <deque>
+#include <filesystem>
+
+#include "common/strings.h"
+#include "exec/evaluator.h"
+#include "federation/iq_adapter.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+
+namespace hana::platform {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a chunk stream over a materialized table, restamped with the
+/// plan's schema.
+exec::ChunkStream StreamTable(std::shared_ptr<storage::Table> table,
+                              std::shared_ptr<Schema> schema) {
+  auto position = std::make_shared<size_t>(0);
+  return [table = std::move(table), schema = std::move(schema),
+          position]() -> Result<std::optional<storage::Chunk>> {
+    if (*position >= table->num_rows()) {
+      return std::optional<storage::Chunk>();
+    }
+    storage::Chunk chunk = storage::Chunk::Empty(schema);
+    size_t end =
+        std::min(table->num_rows(), *position + storage::kDefaultChunkRows);
+    for (size_t r = *position; r < end; ++r) chunk.AppendRow(table->row(r));
+    *position = end;
+    return std::optional<storage::Chunk>(std::move(chunk));
+  };
+}
+
+exec::ChunkStream StreamChunks(std::shared_ptr<std::deque<storage::Chunk>> q) {
+  return [q]() -> Result<std::optional<storage::Chunk>> {
+    if (q->empty()) return std::optional<storage::Chunk>();
+    storage::Chunk chunk = std::move(q->front());
+    q->pop_front();
+    return std::optional<storage::Chunk>(std::move(chunk));
+  };
+}
+
+}  // namespace
+
+Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
+  if (options_.workspace_dir.empty()) {
+    options_.workspace_dir =
+        (fs::temp_directory_path() /
+         ("hana_platform_" + std::to_string(::getpid()) + "_" +
+          std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff)))
+            .string();
+  }
+  if (options_.attach_extended) {
+    extended::ExtendedStoreOptions ext = options_.extended_options;
+    if (ext.directory.empty()) {
+      ext.directory = options_.workspace_dir + "/extended";
+    }
+    extended_store_ = std::make_unique<extended::ExtendedStore>(ext);
+    iq_ = std::make_unique<extended::IqEngine>(extended_store_.get());
+  }
+  if (options_.start_hadoop) {
+    hdfs_ = std::make_unique<hadoop::Hdfs>(options_.hdfs_options);
+    mapreduce_ = std::make_unique<hadoop::MapReduceEngine>(
+        hdfs_.get(), options_.cluster, &clock_);
+    hive_ = std::make_unique<hadoop::HiveEngine>(hdfs_.get(),
+                                                 mapreduce_.get());
+  }
+  catalog_ = std::make_unique<catalog::Catalog>(iq_.get());
+  if (iq_ != nullptr) {
+    // The extended storage is natively integrated: its adapter is bound
+    // automatically under the reserved source name EXTENDED.
+    auto adapter =
+        std::make_unique<federation::IqAdapter>(iq_.get(), &clock_);
+    (void)sda_.BindSource("EXTENDED", std::move(adapter));
+  }
+}
+
+Platform::~Platform() = default;
+
+double Platform::VirtualNow() const {
+  double now = clock_.now_ms();
+  if (extended_store_ != nullptr) {
+    now += extended_store_->clock().now_ms();
+  }
+  return now;
+}
+
+Result<plan::LogicalOpPtr> Platform::PlanSelect(const sql::SelectStmt& stmt) {
+  HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical,
+                        plan::BindSelectStatement(*catalog_, stmt));
+  optimizer::OptimizeContext ctx;
+  ctx.catalog = catalog_.get();
+  ctx.sda = &sda_;
+  ctx.options = opt_options_;
+  ctx.options.use_remote_cache = false;
+  for (const std::string& hint : stmt.hints) {
+    if (hint == "USE_REMOTE_CACHE") ctx.options.use_remote_cache = true;
+    if (hint == "NO_FEDERATION") ctx.options.enable_federation = false;
+  }
+  HANA_RETURN_IF_ERROR(optimizer::Optimize(&logical, ctx));
+  return logical;
+}
+
+Result<ExecResult> Platform::ExecuteSelect(const sql::SelectStmt& stmt) {
+  double virtual_before = VirtualNow();
+  sda_.stats().Reset();
+  Stopwatch watch;
+  HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical, PlanSelect(stmt));
+  HANA_ASSIGN_OR_RETURN(storage::Table table,
+                        exec::ExecutePlan(*logical, this));
+  ExecResult result;
+  result.metrics.local_ms = watch.ElapsedMillis();
+  result.metrics.simulated_remote_ms = VirtualNow() - virtual_before;
+  result.metrics.total_ms =
+      result.metrics.local_ms + result.metrics.simulated_remote_ms;
+  result.metrics.rows = table.num_rows();
+  result.metrics.remote_calls = sda_.stats().remote_calls;
+  result.metrics.mapreduce_jobs = sda_.stats().mapreduce_jobs;
+  result.metrics.remote_cache_hit = sda_.stats().any_cache_hit;
+  result.metrics.remote_materialization = sda_.stats().any_materialization;
+  result.table = std::move(table);
+  last_metrics_ = result.metrics;
+  return result;
+}
+
+Result<ExecResult> Platform::ExecuteInsert(const sql::InsertStmt& stmt) {
+  std::vector<std::vector<Value>> rows;
+  if (stmt.select != nullptr) {
+    HANA_ASSIGN_OR_RETURN(ExecResult selected, ExecuteSelect(*stmt.select));
+    rows = std::move(selected.table.rows());
+  } else {
+    Schema empty;
+    for (const auto& value_row : stmt.values_rows) {
+      std::vector<Value> row;
+      for (const auto& expr : value_row) {
+        HANA_ASSIGN_OR_RETURN(plan::BoundExprPtr bound,
+                              plan::BindScalarExpr(*expr, empty));
+        HANA_ASSIGN_OR_RETURN(Value v, exec::EvalExprRow(*bound, {}));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  // Cast values to the column types (named or positional).
+  HANA_ASSIGN_OR_RETURN(catalog::TableEntry * entry,
+                        catalog_->GetTable(stmt.table));
+  auto cast_row = [&](std::vector<Value>* row) -> Status {
+    for (size_t c = 0; c < row->size(); ++c) {
+      size_t target = c;
+      if (!stmt.columns.empty()) {
+        int idx = entry->schema->FindColumn(stmt.columns[c]);
+        if (idx < 0 && !entry->flexible) {
+          return Status::BindError("unknown column " + stmt.columns[c]);
+        }
+        if (idx < 0) continue;  // Flexible: typed later by InsertNamed.
+        target = static_cast<size_t>(idx);
+      }
+      if (target < entry->schema->num_columns()) {
+        HANA_ASSIGN_OR_RETURN(
+            (*row)[c],
+            (*row)[c].CastTo(entry->schema->column(target).type));
+      }
+    }
+    return Status::OK();
+  };
+  for (auto& row : rows) HANA_RETURN_IF_ERROR(cast_row(&row));
+
+  if (!stmt.columns.empty()) {
+    HANA_RETURN_IF_ERROR(catalog_->InsertNamed(stmt.table, stmt.columns,
+                                               rows));
+  } else {
+    HANA_RETURN_IF_ERROR(catalog_->Insert(stmt.table, rows));
+  }
+  ExecResult result;
+  result.metrics.rows = rows.size();
+  result.message = StrFormat("%zu rows inserted", rows.size());
+  return result;
+}
+
+Result<ExecResult> Platform::ExecuteDelete(const sql::DeleteStmt& stmt) {
+  HANA_ASSIGN_OR_RETURN(catalog::TableEntry * entry,
+                        catalog_->GetTable(stmt.table));
+  size_t deleted = 0;
+  if (stmt.where == nullptr) {
+    plan::BoundExprPtr always =
+        plan::BoundExpr::Literal(Value::Bool(true), DataType::kBool);
+    HANA_ASSIGN_OR_RETURN(deleted, catalog_->DeleteWhere(stmt.table, *always));
+  } else {
+    HANA_ASSIGN_OR_RETURN(plan::BoundExprPtr predicate,
+                          plan::BindScalarExpr(*stmt.where, *entry->schema));
+    HANA_ASSIGN_OR_RETURN(deleted,
+                          catalog_->DeleteWhere(stmt.table, *predicate));
+  }
+  ExecResult result;
+  result.metrics.rows = deleted;
+  result.message = StrFormat("%zu rows deleted", deleted);
+  return result;
+}
+
+Result<ExecResult> Platform::ExecuteUpdate(const sql::UpdateStmt& stmt) {
+  HANA_ASSIGN_OR_RETURN(catalog::TableEntry * entry,
+                        catalog_->GetTable(stmt.table));
+  plan::BoundExprPtr predicate;
+  if (stmt.where != nullptr) {
+    HANA_ASSIGN_OR_RETURN(predicate,
+                          plan::BindScalarExpr(*stmt.where, *entry->schema));
+  }
+  std::vector<plan::BoundExprPtr> owned;
+  std::vector<std::pair<size_t, const plan::BoundExpr*>> assignments;
+  for (const auto& [column, expr] : stmt.assignments) {
+    HANA_ASSIGN_OR_RETURN(size_t idx, entry->schema->ColumnIndex(column));
+    HANA_ASSIGN_OR_RETURN(plan::BoundExprPtr bound,
+                          plan::BindScalarExpr(*expr, *entry->schema));
+    owned.push_back(std::move(bound));
+    assignments.emplace_back(idx, owned.back().get());
+  }
+  HANA_ASSIGN_OR_RETURN(
+      size_t updated,
+      catalog_->UpdateWhere(stmt.table, predicate.get(), assignments));
+  ExecResult result;
+  result.metrics.rows = updated;
+  result.message = StrFormat("%zu rows updated", updated);
+  return result;
+}
+
+Status Platform::HandleCreateRemoteSource(
+    const sql::CreateRemoteSourceStmt& stmt) {
+  catalog::RemoteSourceEntry entry;
+  entry.name = stmt.name;
+  entry.adapter = stmt.adapter;
+  entry.configuration = stmt.configuration;
+  entry.user = stmt.user;
+  entry.password = stmt.password;
+  HANA_RETURN_IF_ERROR(catalog_->AddRemoteSource(entry));
+
+  std::string kind = ToLower(stmt.adapter);
+  if (kind == "hiveodbc" || kind == "hadoop") {
+    if (hive_ == nullptr) {
+      return Status::Unavailable("no Hadoop substrate attached");
+    }
+    auto adapter = std::make_unique<federation::HiveAdapter>(
+        hive_.get(), &clock_, options_.hive_link, stmt.configuration);
+    hive_adapters_.push_back(adapter.get());
+    return sda_.BindSource(stmt.name, std::move(adapter));
+  }
+  if (kind == "iq") {
+    if (iq_ == nullptr) {
+      return Status::Unavailable("no extended storage attached");
+    }
+    return sda_.BindSource(
+        stmt.name,
+        std::make_unique<federation::IqAdapter>(iq_.get(), &clock_));
+  }
+  return Status::InvalidArgument("unknown adapter: " + stmt.adapter);
+}
+
+Status Platform::HandleCreateVirtualTable(
+    const sql::CreateVirtualTableStmt& stmt) {
+  HANA_ASSIGN_OR_RETURN(federation::Adapter * adapter,
+                        sda_.AdapterFor(stmt.source));
+  const std::string& remote_object = stmt.remote_path.back();
+  HANA_ASSIGN_OR_RETURN(std::shared_ptr<Schema> schema,
+                        adapter->FetchTableSchema(remote_object));
+  catalog::VirtualTableEntry entry;
+  entry.name = stmt.name;
+  entry.source = stmt.source;
+  entry.remote_object = remote_object;
+  entry.schema = std::move(schema);
+  Result<double> rows = adapter->EstimateRows(remote_object);
+  entry.estimated_rows = rows.ok() ? *rows : -1;
+  return catalog_->AddVirtualTable(std::move(entry));
+}
+
+Result<ExecResult> Platform::Execute(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(sql::StmtPtr stmt, sql::ParseStatement(sql));
+  switch (stmt->kind()) {
+    case sql::StmtKind::kSelect:
+      return ExecuteSelect(static_cast<const sql::SelectStmt&>(*stmt));
+    case sql::StmtKind::kExplain: {
+      const auto& explain = static_cast<const sql::ExplainStmt&>(*stmt);
+      HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical,
+                            PlanSelect(*explain.select));
+      ExecResult result;
+      result.message = logical->ToString();
+      return result;
+    }
+    case sql::StmtKind::kInsert:
+      return ExecuteInsert(static_cast<const sql::InsertStmt&>(*stmt));
+    case sql::StmtKind::kDelete:
+      return ExecuteDelete(static_cast<const sql::DeleteStmt&>(*stmt));
+    case sql::StmtKind::kUpdate:
+      return ExecuteUpdate(static_cast<const sql::UpdateStmt&>(*stmt));
+    case sql::StmtKind::kCreateTable: {
+      HANA_RETURN_IF_ERROR(catalog_->CreateTable(
+          static_cast<const sql::CreateTableStmt&>(*stmt)));
+      ExecResult result;
+      result.message = "table created";
+      return result;
+    }
+    case sql::StmtKind::kDropTable: {
+      const auto& drop = static_cast<const sql::DropTableStmt&>(*stmt);
+      HANA_RETURN_IF_ERROR(catalog_->DropTable(drop.table, drop.if_exists));
+      ExecResult result;
+      result.message = "table dropped";
+      return result;
+    }
+    case sql::StmtKind::kCreateRemoteSource: {
+      HANA_RETURN_IF_ERROR(HandleCreateRemoteSource(
+          static_cast<const sql::CreateRemoteSourceStmt&>(*stmt)));
+      ExecResult result;
+      result.message = "remote source created";
+      return result;
+    }
+    case sql::StmtKind::kCreateVirtualTable: {
+      HANA_RETURN_IF_ERROR(HandleCreateVirtualTable(
+          static_cast<const sql::CreateVirtualTableStmt&>(*stmt)));
+      ExecResult result;
+      result.message = "virtual table created";
+      return result;
+    }
+    case sql::StmtKind::kCreateVirtualFunction: {
+      const auto& fn = static_cast<const sql::CreateVirtualFunctionStmt&>(*stmt);
+      catalog::VirtualFunctionEntry entry;
+      entry.name = fn.name;
+      entry.source = fn.source;
+      entry.configuration = fn.configuration;
+      entry.schema = std::make_shared<Schema>(fn.returns);
+      HANA_RETURN_IF_ERROR(catalog_->AddVirtualFunction(std::move(entry)));
+      ExecResult result;
+      result.message = "virtual function created";
+      return result;
+    }
+    case sql::StmtKind::kMergeDelta: {
+      const auto& merge = static_cast<const sql::MergeDeltaStmt&>(*stmt);
+      HANA_RETURN_IF_ERROR(catalog_->MergeDelta(merge.table));
+      ExecResult result;
+      result.message = "delta merged";
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<storage::Table> Platform::Query(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(ExecResult result, Execute(sql));
+  return std::move(result.table);
+}
+
+Status Platform::Run(const std::string& script) {
+  for (const std::string& stmt : sql::SplitStatements(script)) {
+    HANA_RETURN_IF_ERROR(Execute(stmt).status());
+  }
+  return Status::OK();
+}
+
+Result<std::string> Platform::Explain(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(ExecResult result, Execute("EXPLAIN " + sql));
+  return result.message;
+}
+
+Status Platform::SetParameter(const std::string& name,
+                              const std::string& value) {
+  std::string key = ToLower(name);
+  if (key == "enable_remote_cache") {
+    bool enable = EqualsIgnoreCase(value, "true") || value == "1";
+    for (auto* adapter : hive_adapters_) {
+      adapter->cache_options().enable_remote_cache = enable;
+    }
+    return Status::OK();
+  }
+  if (key == "remote_cache_validity") {
+    char* end = nullptr;
+    double seconds = std::strtod(value.c_str(), &end);
+    if (end == value.c_str()) {
+      return Status::InvalidArgument("invalid validity: " + value);
+    }
+    for (auto* adapter : hive_adapters_) {
+      adapter->cache_options().remote_cache_validity_seconds = seconds;
+    }
+    return Status::OK();
+  }
+  return Status::NotFound("unknown parameter: " + name);
+}
+
+Status Platform::RegisterMapReduceJob(
+    const std::string& driver_class,
+    std::function<Result<storage::Table>(hadoop::HiveEngine*)> runner) {
+  if (hive_adapters_.empty()) {
+    return Status::Unavailable(
+        "register a hadoop remote source before map-reduce jobs");
+  }
+  for (auto* adapter : hive_adapters_) {
+    adapter->RegisterMapReduceJob(driver_class, runner);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// ExecContext
+// ---------------------------------------------------------------------
+
+Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
+  const plan::TableBinding& binding = scan.table;
+  switch (binding.location) {
+    case plan::TableLocation::kLocalColumn:
+    case plan::TableLocation::kLocalRow:
+    case plan::TableLocation::kHybrid: {
+      // Hybrid scans arrive either expanded (partition_index >= 0, hot
+      // partitions only) or unexpanded (scan everything).
+      std::string base = binding.name;
+      auto pos = base.find("__P");
+      if (pos != std::string::npos) base = base.substr(0, pos);
+      HANA_ASSIGN_OR_RETURN(catalog::TableEntry * entry,
+                            catalog_->GetTable(base));
+      auto chunks = std::make_shared<std::deque<storage::Chunk>>();
+      auto sink = [&](const storage::Chunk& chunk) {
+        storage::Chunk copy = chunk;
+        copy.schema = scan.schema;
+        chunks->push_back(std::move(copy));
+        return true;
+      };
+      if (entry->kind == catalog::TableKind::kColumn) {
+        entry->column_table->Scan(storage::kDefaultChunkRows, sink);
+      } else if (entry->kind == catalog::TableKind::kRow) {
+        entry->row_table->Scan(storage::kDefaultChunkRows, sink);
+      } else if (entry->kind == catalog::TableKind::kHybrid) {
+        for (size_t i = 0; i < entry->partitions.size(); ++i) {
+          if (scan.partition_index >= 0 &&
+              static_cast<size_t>(scan.partition_index) != i) {
+            continue;
+          }
+          catalog::Partition& partition = entry->partitions[i];
+          if (partition.hot != nullptr) {
+            partition.hot->Scan(storage::kDefaultChunkRows, sink);
+          } else if (scan.partition_index < 0) {
+            // Unexpanded hybrid scan: read cold partitions directly.
+            HANA_ASSIGN_OR_RETURN(
+                extended::ExtendedTable * cold,
+                iq_->store()->GetTable(partition.cold_table));
+            HANA_RETURN_IF_ERROR(
+                cold->Scan({}, storage::kDefaultChunkRows, sink));
+          }
+        }
+      } else {
+        return Status::Internal("unexpected storage for scan of " + base);
+      }
+      return StreamChunks(chunks);
+    }
+    case plan::TableLocation::kExtended: {
+      if (iq_ == nullptr) {
+        return Status::Unavailable("extended storage not attached");
+      }
+      HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
+                            iq_->store()->GetTable(binding.name));
+      std::vector<extended::ColumnRange> ranges;
+      for (const auto& r : scan.scan_ranges) {
+        ranges.push_back(extended::ColumnRange{r.column, r.lower, r.upper});
+      }
+      auto chunks = std::make_shared<std::deque<storage::Chunk>>();
+      HANA_RETURN_IF_ERROR(table->Scan(
+          ranges, storage::kDefaultChunkRows,
+          [&](const storage::Chunk& chunk) {
+            storage::Chunk copy = chunk;
+            copy.schema = scan.schema;
+            chunks->push_back(std::move(copy));
+            return true;
+          }));
+      return StreamChunks(chunks);
+    }
+    case plan::TableLocation::kRemote: {
+      // Federation disabled (or not split): fetch the full virtual table.
+      plan::LogicalOp rq;
+      rq.kind = plan::LogicalKind::kRemoteQuery;
+      rq.schema = scan.schema;
+      rq.remote_source = binding.source;
+      std::vector<std::string> cols;
+      for (size_t i = 0; i < binding.schema->num_columns(); ++i) {
+        cols.push_back("t0." + binding.schema->column(i).name + " AS c" +
+                       std::to_string(i));
+      }
+      rq.remote_sql = "SELECT " + Join(cols, ", ") + " FROM " +
+                      binding.remote_object + " t0";
+      HANA_ASSIGN_OR_RETURN(storage::Table table,
+                            sda_.ExecuteRemoteQuery(rq, nullptr, nullptr));
+      return StreamTable(std::make_shared<storage::Table>(std::move(table)),
+                         scan.schema);
+    }
+  }
+  return Status::Internal("unknown table location");
+}
+
+Result<exec::ChunkStream> Platform::OpenRemoteQuery(
+    const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
+    const storage::Table* relocated_rows) {
+  HANA_ASSIGN_OR_RETURN(storage::Table table,
+                        sda_.ExecuteRemoteQuery(rq, in_list, relocated_rows));
+  return StreamTable(std::make_shared<storage::Table>(std::move(table)),
+                     rq.schema);
+}
+
+Result<exec::ChunkStream> Platform::OpenTableFunction(
+    const plan::LogicalOp& fn) {
+  HANA_ASSIGN_OR_RETURN(
+      storage::Table table,
+      sda_.ExecuteVirtualFunction(fn.function.source,
+                                  fn.function.configuration));
+  if (table.schema()->num_columns() != fn.schema->num_columns()) {
+    return Status::Internal(
+        "virtual function result arity does not match declaration");
+  }
+  return StreamTable(std::make_shared<storage::Table>(std::move(table)),
+                     fn.schema);
+}
+
+}  // namespace hana::platform

@@ -1,0 +1,138 @@
+#ifndef HANA_PLATFORM_PLATFORM_H_
+#define HANA_PLATFORM_PLATFORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/util.h"
+#include "exec/operators.h"
+#include "extended/iq_engine.h"
+#include "federation/hive_adapter.h"
+#include "federation/sda.h"
+#include "hadoop/hive.h"
+#include "optimizer/optimizer.h"
+#include "txn/two_phase.h"
+
+namespace hana::platform {
+
+/// Construction-time options for one platform instance.
+struct PlatformOptions {
+  /// Directory for the extended store's files; empty = a fresh
+  /// directory under the system temp path.
+  std::string workspace_dir;
+  /// Attach the IQ-style extended storage (Section 3.1).
+  bool attach_extended = true;
+  /// Start the embedded Hadoop substrate (HDFS + MapReduce + Hive).
+  bool start_hadoop = true;
+  extended::ExtendedStoreOptions extended_options;
+  hadoop::HdfsOptions hdfs_options;
+  hadoop::ClusterConfig cluster;
+  federation::OdbcLinkOptions hive_link;
+};
+
+/// Timing and provenance of one executed statement. Local time is
+/// measured wall-clock; remote time is deterministic virtual time
+/// accumulated by the simulated substrate cost models.
+struct QueryMetrics {
+  double local_ms = 0.0;
+  double simulated_remote_ms = 0.0;
+  double total_ms = 0.0;
+  size_t rows = 0;
+  size_t remote_calls = 0;
+  size_t mapreduce_jobs = 0;
+  bool remote_cache_hit = false;
+  bool remote_materialization = false;
+};
+
+struct ExecResult {
+  storage::Table table;
+  QueryMetrics metrics;
+  std::string message;  // For DDL/DML statements.
+};
+
+/// The SAP HANA data platform facade: the single point of access for
+/// applications (Section 2). Hosts the in-memory engines, the extended
+/// storage, the embedded Hadoop substrate and the SDA federation layer,
+/// and executes SQL across all of them.
+class Platform : public exec::ExecContext {
+ public:
+  explicit Platform(PlatformOptions options = {});
+  ~Platform() override;
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  /// Executes one SQL statement (DDL, DML or query).
+  Result<ExecResult> Execute(const std::string& sql);
+
+  /// Convenience: executes a query, returning only the result table.
+  Result<storage::Table> Query(const std::string& sql);
+
+  /// Executes each ';'-separated statement of a script.
+  Status Run(const std::string& script);
+
+  /// EXPLAIN: the optimized plan for a SELECT.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Platform configuration parameters:
+  ///   enable_remote_cache      = true|false (Section 4.4)
+  ///   remote_cache_validity    = seconds
+  Status SetParameter(const std::string& name, const std::string& value);
+
+  // ---- Component access -----------------------------------------------
+  catalog::Catalog& catalog() { return *catalog_; }
+  federation::SdaRuntime& sda() { return sda_; }
+  optimizer::OptimizerOptions& optimizer_options() { return opt_options_; }
+  txn::TwoPhaseCoordinator& coordinator() { return coordinator_; }
+  extended::IqEngine* iq() { return iq_.get(); }
+  hadoop::Hdfs* hdfs() { return hdfs_.get(); }
+  hadoop::HiveEngine* hive() { return hive_.get(); }
+  hadoop::MapReduceEngine* mapreduce() { return mapreduce_.get(); }
+  SimClock& clock() { return clock_; }
+  const QueryMetrics& last_metrics() const { return last_metrics_; }
+
+  /// Registers a native map-reduce job runnable through CREATE VIRTUAL
+  /// FUNCTION configurations (driver-class dispatch).
+  Status RegisterMapReduceJob(
+      const std::string& driver_class,
+      std::function<Result<storage::Table>(hadoop::HiveEngine*)> runner);
+
+  // ---- exec::ExecContext ------------------------------------------------
+  Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
+  Result<exec::ChunkStream> OpenRemoteQuery(
+      const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
+      const storage::Table* relocated_rows) override;
+  Result<exec::ChunkStream> OpenTableFunction(
+      const plan::LogicalOp& fn) override;
+
+ private:
+  Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt);
+  Result<ExecResult> ExecuteDelete(const sql::DeleteStmt& stmt);
+  Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt);
+  Status HandleCreateRemoteSource(const sql::CreateRemoteSourceStmt& stmt);
+  Status HandleCreateVirtualTable(const sql::CreateVirtualTableStmt& stmt);
+  Result<plan::LogicalOpPtr> PlanSelect(const sql::SelectStmt& stmt);
+  double VirtualNow() const;
+
+  PlatformOptions options_;
+  SimClock clock_;  // Shared virtual clock for every simulated substrate.
+  std::unique_ptr<extended::ExtendedStore> extended_store_;
+  std::unique_ptr<extended::IqEngine> iq_;
+  std::unique_ptr<hadoop::Hdfs> hdfs_;
+  std::unique_ptr<hadoop::MapReduceEngine> mapreduce_;
+  std::unique_ptr<hadoop::HiveEngine> hive_;
+  std::unique_ptr<catalog::Catalog> catalog_;
+  federation::SdaRuntime sda_;
+  txn::TwoPhaseCoordinator coordinator_;
+  optimizer::OptimizerOptions opt_options_;
+  QueryMetrics last_metrics_;
+  std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
+};
+
+}  // namespace hana::platform
+
+#endif  // HANA_PLATFORM_PLATFORM_H_

@@ -1,0 +1,298 @@
+#include "sql/ast.h"
+
+#include "common/strings.h"
+
+namespace hana::sql {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string table, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Star(std::string table) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStar;
+  e->table = std::move(table);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->child0 = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->child0 = std::move(lhs);
+  e->child1 = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Function(std::string name, std::vector<ExprPtr> args,
+                       bool distinct) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunction;
+  e->function_name = ToUpper(name);
+  e->args = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr Expr::Cast(ExprPtr operand, DataType type) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCast;
+  e->child0 = std::move(operand);
+  e->cast_type = type;
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->child0 = std::move(operand);
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->table = table;
+  e->column = column;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  if (child0) e->child0 = child0->Clone();
+  if (child1) e->child1 = child1->Clone();
+  e->function_name = function_name;
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  e->distinct = distinct;
+  for (const auto& [w, t] : when_clauses) {
+    e->when_clauses.emplace_back(w->Clone(), t->Clone());
+  }
+  e->cast_type = cast_type;
+  for (const auto& i : in_list) e->in_list.push_back(i->Clone());
+  e->negated = negated;
+  e->subquery = subquery;  // Subqueries are shared (immutable after parse).
+  return e;
+}
+
+namespace {
+
+std::string QuoteSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += '\'';
+    out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      if (literal.type() == DataType::kString) {
+        return QuoteSqlString(literal.string_value());
+      }
+      if (literal.type() == DataType::kDate) {
+        return "DATE " + QuoteSqlString(literal.ToString());
+      }
+      return literal.ToString();
+    case ExprKind::kColumnRef:
+      return table.empty() ? column : table + "." + column;
+    case ExprKind::kStar:
+      return table.empty() ? "*" : table + ".*";
+    case ExprKind::kUnary:
+      return unary_op == UnaryOp::kNeg ? "(-" + child0->ToSql() + ")"
+                                       : "(NOT " + child0->ToSql() + ")";
+    case ExprKind::kBinary:
+      return "(" + child0->ToSql() + " " + BinaryOpName(binary_op) + " " +
+             child1->ToSql() + ")";
+    case ExprKind::kFunction: {
+      std::vector<std::string> parts;
+      for (const auto& a : args) parts.push_back(a->ToSql());
+      return function_name + "(" + (distinct ? "DISTINCT " : "") +
+             Join(parts, ", ") + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      if (child0) out += " " + child0->ToSql();
+      for (const auto& [w, t] : when_clauses) {
+        out += " WHEN " + w->ToSql() + " THEN " + t->ToSql();
+      }
+      if (child1) out += " ELSE " + child1->ToSql();
+      return out + " END";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + child0->ToSql() + " AS " +
+             DataTypeName(cast_type) + ")";
+    case ExprKind::kIn: {
+      std::string out = child0->ToSql() + (negated ? " NOT IN (" : " IN (");
+      if (subquery) {
+        out += SelectToSql(*subquery);
+      } else {
+        std::vector<std::string> parts;
+        for (const auto& i : in_list) parts.push_back(i->ToSql());
+        out += Join(parts, ", ");
+      }
+      return out + ")";
+    }
+    case ExprKind::kExists:
+      return std::string(negated ? "NOT " : "") + "EXISTS (" +
+             SelectToSql(*subquery) + ")";
+    case ExprKind::kSubquery:
+      return "(" + SelectToSql(*subquery) + ")";
+    case ExprKind::kIsNull:
+      return child0->ToSql() + (negated ? " IS NOT NULL" : " IS NULL");
+  }
+  return "?";
+}
+
+TableRefPtr TableRef::Clone() const {
+  auto t = std::make_unique<TableRef>();
+  t->kind = kind;
+  t->name = name;
+  t->alias = alias;
+  t->subquery = subquery;
+  t->join_type = join_type;
+  if (left) t->left = left->Clone();
+  if (right) t->right = right->Clone();
+  if (condition) t->condition = condition->Clone();
+  for (const auto& a : args) t->args.push_back(a->Clone());
+  return t;
+}
+
+std::shared_ptr<SelectStmt> SelectStmt::CloneShared() const {
+  auto s = std::make_shared<SelectStmt>();
+  s->distinct = distinct;
+  for (const auto& item : items) {
+    s->items.push_back({item.expr->Clone(), item.alias});
+  }
+  if (from) s->from = from->Clone();
+  if (where) s->where = where->Clone();
+  for (const auto& g : group_by) s->group_by.push_back(g->Clone());
+  if (having) s->having = having->Clone();
+  for (const auto& o : order_by) {
+    s->order_by.push_back({o.expr->Clone(), o.ascending});
+  }
+  s->limit = limit;
+  s->hints = hints;
+  return s;
+}
+
+namespace {
+
+std::string TableRefToSql(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRefKind::kBaseTable:
+      return ref.alias.empty() || EqualsIgnoreCase(ref.alias, ref.name)
+                 ? ref.name
+                 : ref.name + " " + ref.alias;
+    case TableRefKind::kSubquery:
+      return "(" + SelectToSql(*ref.subquery) + ") " + ref.alias;
+    case TableRefKind::kJoin: {
+      std::string kw = ref.join_type == JoinType::kInner  ? " JOIN "
+                       : ref.join_type == JoinType::kLeft ? " LEFT JOIN "
+                                                          : " CROSS JOIN ";
+      std::string out =
+          TableRefToSql(*ref.left) + kw + TableRefToSql(*ref.right);
+      if (ref.condition) out += " ON " + ref.condition->ToSql();
+      return out;
+    }
+    case TableRefKind::kTableFunction: {
+      std::vector<std::string> parts;
+      for (const auto& a : ref.args) parts.push_back(a->ToSql());
+      std::string out = ref.name + "(" + Join(parts, ", ") + ")";
+      if (!ref.alias.empty()) out += " " + ref.alias;
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SelectToSql(const SelectStmt& stmt) {
+  std::string out = "SELECT ";
+  if (stmt.distinct) out += "DISTINCT ";
+  std::vector<std::string> parts;
+  for (const auto& item : stmt.items) {
+    std::string s = item.expr->ToSql();
+    if (!item.alias.empty()) s += " AS " + item.alias;
+    parts.push_back(std::move(s));
+  }
+  out += Join(parts, ", ");
+  if (stmt.from) out += " FROM " + TableRefToSql(*stmt.from);
+  if (stmt.where) out += " WHERE " + stmt.where->ToSql();
+  if (!stmt.group_by.empty()) {
+    parts.clear();
+    for (const auto& g : stmt.group_by) parts.push_back(g->ToSql());
+    out += " GROUP BY " + Join(parts, ", ");
+  }
+  if (stmt.having) out += " HAVING " + stmt.having->ToSql();
+  if (!stmt.order_by.empty()) {
+    parts.clear();
+    for (const auto& o : stmt.order_by) {
+      parts.push_back(o.expr->ToSql() + (o.ascending ? "" : " DESC"));
+    }
+    out += " ORDER BY " + Join(parts, ", ");
+  }
+  if (stmt.limit >= 0) out += " LIMIT " + std::to_string(stmt.limit);
+  return out;
+}
+
+}  // namespace hana::sql

@@ -1,0 +1,33 @@
+#ifndef HANA_SQL_LEXER_H_
+#define HANA_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::sql {
+
+enum class TokenType {
+  kIdent,    // Unquoted identifier / keyword (stored as written).
+  kQuoted,   // "quoted identifier"
+  kString,   // 'string literal' (quotes stripped, '' unescaped)
+  kInteger,
+  kFloat,
+  kSymbol,   // Punctuation / operators, possibly multi-char.
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t offset = 0;  // For error messages.
+};
+
+/// Tokenizes a SQL statement. Comments: `-- ...` to end of line and
+/// /* ... */ blocks.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace hana::sql
+
+#endif  // HANA_SQL_LEXER_H_

@@ -1,0 +1,871 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "sql/lexer.h"
+
+namespace hana::sql {
+
+namespace {
+
+/// Words that terminate an implicit alias position.
+bool IsReservedWord(const std::string& word) {
+  static const char* kReserved[] = {
+      "SELECT", "FROM",   "WHERE", "GROUP",  "HAVING", "ORDER",  "LIMIT",
+      "ON",     "JOIN",   "LEFT",  "RIGHT",  "INNER",  "OUTER",  "CROSS",
+      "AND",    "OR",     "NOT",   "AS",     "WITH",   "UNION",  "SET",
+      "VALUES", "INSERT", "INTO",  "CREATE", "DROP",   "TABLE",  "BY",
+      "ASC",    "DESC",   "CASE",  "WHEN",   "THEN",   "ELSE",   "END",
+      "IN",     "EXISTS", "BETWEEN", "LIKE", "IS",     "NULL",   "DISTINCT",
+      "USING",  "AT",     "PARTITION", "CONFIGURATION",
+  };
+  for (const char* r : kReserved) {
+    if (EqualsIgnoreCase(word, r)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StmtPtr> ParseStmt();
+  Result<std::shared_ptr<SelectStmt>> ParseSelectStmt();
+  Result<ExprPtr> ParseExpr();
+
+  Status ExpectEnd() {
+    AcceptSym(";");
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  bool PeekKw(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdent && EqualsIgnoreCase(t.text, kw);
+  }
+  bool AcceptKw(const std::string& kw) {
+    if (PeekKw(kw)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKw(const std::string& kw) {
+    if (!AcceptKw(kw)) {
+      return Error("expected keyword " + kw + " near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool PeekSym(const std::string& sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool AcceptSym(const std::string& sym) {
+    if (PeekSym(sym)) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSym(const std::string& sym) {
+    if (!AcceptSym(sym)) {
+      return Error("expected '" + sym + "' near '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " (offset " +
+                              std::to_string(Peek().offset) + ")");
+  }
+
+  /// Identifier (plain or quoted).
+  Result<std::string> ParseIdent() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIdent || t.type == TokenType::kQuoted) {
+      return Next().text;
+    }
+    return Status::ParseError("expected identifier near '" + t.text + "'");
+  }
+
+  /// Optional alias: [AS] ident (unless reserved).
+  std::string ParseOptionalAlias() {
+    if (AcceptKw("AS")) {
+      auto id = ParseIdent();
+      return id.ok() ? *id : "";
+    }
+    const Token& t = Peek();
+    if ((t.type == TokenType::kIdent && !IsReservedWord(t.text)) ||
+        t.type == TokenType::kQuoted) {
+      return Next().text;
+    }
+    return "";
+  }
+
+  Result<std::string> ParseStringLiteral() {
+    if (Peek().type != TokenType::kString) {
+      return Status::ParseError("expected string literal near '" +
+                                Peek().text + "'");
+    }
+    return Next().text;
+  }
+
+  // Expression grammar.
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<std::vector<ExprPtr>> ParseExprList();
+
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+  Result<std::vector<ColumnDef>> ParseColumnDefs();
+
+  Result<StmtPtr> ParseCreate();
+  Result<StmtPtr> ParseInsert();
+  Result<StmtPtr> ParseDelete();
+  Result<StmtPtr> ParseUpdate();
+  Result<StmtPtr> ParseDrop();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  HANA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (AcceptKw("OR")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::Binary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  HANA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (AcceptKw("AND")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::Binary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (AcceptKw("NOT")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Expr::Unary(UnaryOp::kNot, std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  HANA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+
+  bool negated = false;
+  if (PeekKw("NOT") && (PeekKw("IN", 1) || PeekKw("LIKE", 1) ||
+                        PeekKw("BETWEEN", 1))) {
+    Next();
+    negated = true;
+  }
+
+  if (AcceptKw("IN")) {
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    auto in = std::make_unique<Expr>();
+    in->kind = ExprKind::kIn;
+    in->child0 = std::move(lhs);
+    in->negated = negated;
+    if (PeekKw("SELECT")) {
+      HANA_ASSIGN_OR_RETURN(in->subquery, ParseSelectStmt());
+    } else {
+      HANA_ASSIGN_OR_RETURN(in->in_list, ParseExprList());
+    }
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    return in;
+  }
+  if (AcceptKw("LIKE")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    ExprPtr like = Expr::Binary(BinaryOp::kLike, std::move(lhs), std::move(rhs));
+    if (negated) like = Expr::Unary(UnaryOp::kNot, std::move(like));
+    return like;
+  }
+  if (AcceptKw("BETWEEN")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    HANA_RETURN_IF_ERROR(ExpectKw("AND"));
+    HANA_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    ExprPtr lower =
+        Expr::Binary(BinaryOp::kGe, lhs->Clone(), std::move(lo));
+    ExprPtr upper =
+        Expr::Binary(BinaryOp::kLe, std::move(lhs), std::move(hi));
+    ExprPtr both =
+        Expr::Binary(BinaryOp::kAnd, std::move(lower), std::move(upper));
+    if (negated) both = Expr::Unary(UnaryOp::kNot, std::move(both));
+    return both;
+  }
+  if (AcceptKw("IS")) {
+    bool is_not = AcceptKw("NOT");
+    HANA_RETURN_IF_ERROR(ExpectKw("NULL"));
+    return Expr::IsNull(std::move(lhs), is_not);
+  }
+
+  struct OpMap {
+    const char* sym;
+    BinaryOp op;
+  };
+  static const OpMap kOps[] = {
+      {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+      {"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},
+      {">", BinaryOp::kGt},
+  };
+  for (const auto& [sym, op] : kOps) {
+    if (AcceptSym(sym)) {
+      HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      return Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  HANA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (true) {
+    BinaryOp op;
+    if (AcceptSym("+")) {
+      op = BinaryOp::kAdd;
+    } else if (AcceptSym("-")) {
+      op = BinaryOp::kSub;
+    } else if (AcceptSym("||")) {
+      op = BinaryOp::kConcat;
+    } else {
+      break;
+    }
+    HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  HANA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    BinaryOp op;
+    if (AcceptSym("*")) {
+      op = BinaryOp::kMul;
+    } else if (AcceptSym("/")) {
+      op = BinaryOp::kDiv;
+    } else if (AcceptSym("%")) {
+      op = BinaryOp::kMod;
+    } else {
+      break;
+    }
+    HANA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (AcceptSym("-")) {
+    HANA_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+    return Expr::Unary(UnaryOp::kNeg, std::move(operand));
+  }
+  AcceptSym("+");
+  return ParsePrimary();
+}
+
+Result<std::vector<ExprPtr>> Parser::ParseExprList() {
+  std::vector<ExprPtr> exprs;
+  do {
+    HANA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    exprs.push_back(std::move(e));
+  } while (AcceptSym(","));
+  return exprs;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.type) {
+    case TokenType::kInteger: {
+      int64_t v = std::strtoll(Next().text.c_str(), nullptr, 10);
+      return Expr::Literal(Value::Int(v));
+    }
+    case TokenType::kFloat: {
+      double v = std::strtod(Next().text.c_str(), nullptr);
+      return Expr::Literal(Value::Double(v));
+    }
+    case TokenType::kString:
+      return Expr::Literal(Value::String(Next().text));
+    case TokenType::kSymbol:
+      if (t.text == "(") {
+        Next();
+        if (PeekKw("SELECT")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kSubquery;
+          HANA_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+          HANA_RETURN_IF_ERROR(ExpectSym(")"));
+          return e;
+        }
+        HANA_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        return inner;
+      }
+      if (t.text == "*") {
+        Next();
+        return Expr::Star();
+      }
+      break;
+    case TokenType::kIdent:
+    case TokenType::kQuoted: {
+      // Typed literals.
+      if (PeekKw("DATE") && Peek(1).type == TokenType::kString) {
+        Next();
+        HANA_ASSIGN_OR_RETURN(int64_t days, ParseDate(Next().text));
+        return Expr::Literal(Value::Date(days));
+      }
+      if (PeekKw("TRUE")) {
+        Next();
+        return Expr::Literal(Value::Bool(true));
+      }
+      if (PeekKw("FALSE")) {
+        Next();
+        return Expr::Literal(Value::Bool(false));
+      }
+      if (PeekKw("NULL")) {
+        Next();
+        return Expr::Literal(Value::Null());
+      }
+      if (PeekKw("CASE")) {
+        Next();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kCase;
+        if (!PeekKw("WHEN")) {
+          HANA_ASSIGN_OR_RETURN(e->child0, ParseExpr());
+        }
+        while (AcceptKw("WHEN")) {
+          HANA_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+          HANA_RETURN_IF_ERROR(ExpectKw("THEN"));
+          HANA_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+          e->when_clauses.emplace_back(std::move(when), std::move(then));
+        }
+        if (e->when_clauses.empty()) return Error("CASE requires WHEN");
+        if (AcceptKw("ELSE")) {
+          HANA_ASSIGN_OR_RETURN(e->child1, ParseExpr());
+        }
+        HANA_RETURN_IF_ERROR(ExpectKw("END"));
+        return e;
+      }
+      if (PeekKw("CAST")) {
+        Next();
+        HANA_RETURN_IF_ERROR(ExpectSym("("));
+        HANA_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+        HANA_RETURN_IF_ERROR(ExpectKw("AS"));
+        HANA_ASSIGN_OR_RETURN(std::string type_name, ParseIdent());
+        // Length suffix e.g. VARCHAR(30).
+        if (AcceptSym("(")) {
+          while (!PeekSym(")") && Peek().type != TokenType::kEnd) Next();
+          HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        }
+        HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        HANA_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+        return Expr::Cast(std::move(operand), type);
+      }
+      if (PeekKw("EXISTS")) {
+        Next();
+        HANA_RETURN_IF_ERROR(ExpectSym("("));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kExists;
+        HANA_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        return e;
+      }
+      if (PeekKw("NOT") && PeekKw("EXISTS", 1)) {
+        Next();
+        Next();
+        HANA_RETURN_IF_ERROR(ExpectSym("("));
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kExists;
+        e->negated = true;
+        HANA_ASSIGN_OR_RETURN(e->subquery, ParseSelectStmt());
+        HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        return e;
+      }
+      // Identifier chain: column, t.column, t.*, or function call.
+      // Reserved words cannot start a column reference (quoted
+      // identifiers bypass this check).
+      if (t.type == TokenType::kIdent && IsReservedWord(t.text)) {
+        return Error("unexpected keyword '" + t.text + "' in expression");
+      }
+      HANA_ASSIGN_OR_RETURN(std::string first, ParseIdent());
+      if (PeekSym("(")) {
+        Next();
+        bool distinct = AcceptKw("DISTINCT");
+        std::vector<ExprPtr> args;
+        if (!PeekSym(")")) {
+          HANA_ASSIGN_OR_RETURN(args, ParseExprList());
+        }
+        HANA_RETURN_IF_ERROR(ExpectSym(")"));
+        return Expr::Function(first, std::move(args), distinct);
+      }
+      if (AcceptSym(".")) {
+        if (AcceptSym("*")) return Expr::Star(first);
+        HANA_ASSIGN_OR_RETURN(std::string second, ParseIdent());
+        return Expr::Column(first, second);
+      }
+      return Expr::Column("", first);
+    }
+    default:
+      break;
+  }
+  return Error("unexpected token '" + t.text + "' in expression");
+}
+
+Result<TableRefPtr> Parser::ParseTablePrimary() {
+  if (AcceptSym("(")) {
+    if (PeekKw("SELECT")) {
+      auto ref = std::make_unique<TableRef>();
+      ref->kind = TableRefKind::kSubquery;
+      HANA_ASSIGN_OR_RETURN(ref->subquery, ParseSelectStmt());
+      HANA_RETURN_IF_ERROR(ExpectSym(")"));
+      ref->alias = ParseOptionalAlias();
+      if (ref->alias.empty()) {
+        return Error("derived table requires an alias");
+      }
+      return ref;
+    }
+    HANA_ASSIGN_OR_RETURN(TableRefPtr inner, ParseTableRef());
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    return inner;
+  }
+  HANA_ASSIGN_OR_RETURN(std::string name, ParseIdent());
+  // Dotted remote-style names "SRC"."db"."table" collapse to the last part
+  // prefixed form name kept verbatim with dots.
+  std::string full = name;
+  while (AcceptSym(".")) {
+    HANA_ASSIGN_OR_RETURN(std::string part, ParseIdent());
+    full += "." + part;
+  }
+  if (PeekSym("(")) {
+    // Table function.
+    Next();
+    auto ref = std::make_unique<TableRef>();
+    ref->kind = TableRefKind::kTableFunction;
+    ref->name = full;
+    if (!PeekSym(")")) {
+      HANA_ASSIGN_OR_RETURN(ref->args, ParseExprList());
+    }
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    ref->alias = ParseOptionalAlias();
+    return ref;
+  }
+  auto ref = std::make_unique<TableRef>();
+  ref->kind = TableRefKind::kBaseTable;
+  ref->name = full;
+  ref->alias = ParseOptionalAlias();
+  return ref;
+}
+
+Result<TableRefPtr> Parser::ParseTableRef() {
+  HANA_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  while (true) {
+    JoinType type;
+    if (PeekKw("JOIN") || (PeekKw("INNER") && PeekKw("JOIN", 1))) {
+      AcceptKw("INNER");
+      Next();
+      type = JoinType::kInner;
+    } else if (PeekKw("LEFT")) {
+      Next();
+      AcceptKw("OUTER");
+      HANA_RETURN_IF_ERROR(ExpectKw("JOIN"));
+      type = JoinType::kLeft;
+    } else if (PeekKw("CROSS") && PeekKw("JOIN", 1)) {
+      Next();
+      Next();
+      type = JoinType::kCross;
+    } else {
+      break;
+    }
+    HANA_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+    auto join = std::make_unique<TableRef>();
+    join->kind = TableRefKind::kJoin;
+    join->join_type = type;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (type != JoinType::kCross) {
+      HANA_RETURN_IF_ERROR(ExpectKw("ON"));
+      HANA_ASSIGN_OR_RETURN(join->condition, ParseExpr());
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  HANA_RETURN_IF_ERROR(ExpectKw("SELECT"));
+  auto stmt = std::make_shared<SelectStmt>();
+  stmt->distinct = AcceptKw("DISTINCT");
+
+  do {
+    SelectItem item;
+    HANA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    item.alias = ParseOptionalAlias();
+    stmt->items.push_back(std::move(item));
+  } while (AcceptSym(","));
+
+  if (AcceptKw("FROM")) {
+    HANA_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    // Comma-separated FROM list becomes a chain of cross joins.
+    while (AcceptSym(",")) {
+      HANA_ASSIGN_OR_RETURN(TableRefPtr right, ParseTableRef());
+      auto join = std::make_unique<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->join_type = JoinType::kCross;
+      join->left = std::move(stmt->from);
+      join->right = std::move(right);
+      stmt->from = std::move(join);
+    }
+  }
+  if (AcceptKw("WHERE")) {
+    HANA_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (AcceptKw("GROUP")) {
+    HANA_RETURN_IF_ERROR(ExpectKw("BY"));
+    HANA_ASSIGN_OR_RETURN(stmt->group_by, ParseExprList());
+  }
+  if (AcceptKw("HAVING")) {
+    HANA_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  if (AcceptKw("ORDER")) {
+    HANA_RETURN_IF_ERROR(ExpectKw("BY"));
+    do {
+      OrderItem item;
+      HANA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKw("DESC")) {
+        item.ascending = false;
+      } else {
+        AcceptKw("ASC");
+      }
+      stmt->order_by.push_back(std::move(item));
+    } while (AcceptSym(","));
+  }
+  if (AcceptKw("LIMIT")) {
+    if (Peek().type != TokenType::kInteger) {
+      return Error("LIMIT expects an integer");
+    }
+    stmt->limit = std::strtoll(Next().text.c_str(), nullptr, 10);
+  }
+  if (PeekKw("WITH") && PeekKw("HINT", 1)) {
+    Next();
+    Next();
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    do {
+      HANA_ASSIGN_OR_RETURN(std::string hint, ParseIdent());
+      stmt->hints.push_back(ToUpper(hint));
+    } while (AcceptSym(","));
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+  }
+  return stmt;
+}
+
+Result<std::vector<ColumnDef>> Parser::ParseColumnDefs() {
+  HANA_RETURN_IF_ERROR(ExpectSym("("));
+  std::vector<ColumnDef> columns;
+  do {
+    ColumnDef col;
+    HANA_ASSIGN_OR_RETURN(col.name, ParseIdent());
+    HANA_ASSIGN_OR_RETURN(std::string type_name, ParseIdent());
+    // Length suffix.
+    if (AcceptSym("(")) {
+      while (!PeekSym(")") && Peek().type != TokenType::kEnd) Next();
+      HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    }
+    HANA_ASSIGN_OR_RETURN(col.type, DataTypeFromName(type_name));
+    if (AcceptKw("NOT")) {
+      HANA_RETURN_IF_ERROR(ExpectKw("NULL"));
+      col.nullable = false;
+    } else if (AcceptKw("PRIMARY")) {
+      HANA_RETURN_IF_ERROR(ExpectKw("KEY"));
+      col.nullable = false;
+    }
+    columns.push_back(std::move(col));
+  } while (AcceptSym(","));
+  HANA_RETURN_IF_ERROR(ExpectSym(")"));
+  return columns;
+}
+
+Result<StmtPtr> Parser::ParseCreate() {
+  HANA_RETURN_IF_ERROR(ExpectKw("CREATE"));
+
+  if (AcceptKw("REMOTE")) {
+    HANA_RETURN_IF_ERROR(ExpectKw("SOURCE"));
+    auto stmt = std::make_unique<CreateRemoteSourceStmt>();
+    HANA_ASSIGN_OR_RETURN(stmt->name, ParseIdent());
+    HANA_RETURN_IF_ERROR(ExpectKw("ADAPTER"));
+    HANA_ASSIGN_OR_RETURN(stmt->adapter, ParseIdent());
+    HANA_RETURN_IF_ERROR(ExpectKw("CONFIGURATION"));
+    HANA_ASSIGN_OR_RETURN(stmt->configuration, ParseStringLiteral());
+    if (AcceptKw("WITH")) {
+      HANA_RETURN_IF_ERROR(ExpectKw("CREDENTIAL"));
+      HANA_RETURN_IF_ERROR(ExpectKw("TYPE"));
+      HANA_ASSIGN_OR_RETURN(std::string cred_type, ParseStringLiteral());
+      (void)cred_type;  // Only 'PASSWORD' is modeled.
+      HANA_RETURN_IF_ERROR(ExpectKw("USING"));
+      HANA_ASSIGN_OR_RETURN(std::string creds, ParseStringLiteral());
+      for (const std::string& kv : Split(creds, ';')) {
+        auto eq = kv.find('=');
+        if (eq == std::string::npos) continue;
+        std::string key = ToLower(Trim(kv.substr(0, eq)));
+        std::string val = Trim(kv.substr(eq + 1));
+        if (key == "user") stmt->user = val;
+        if (key == "password") stmt->password = val;
+      }
+    }
+    return StmtPtr(std::move(stmt));
+  }
+
+  if (AcceptKw("VIRTUAL")) {
+    if (AcceptKw("TABLE")) {
+      auto stmt = std::make_unique<CreateVirtualTableStmt>();
+      HANA_ASSIGN_OR_RETURN(stmt->name, ParseIdent());
+      HANA_RETURN_IF_ERROR(ExpectKw("AT"));
+      HANA_ASSIGN_OR_RETURN(stmt->source, ParseIdent());
+      while (AcceptSym(".")) {
+        HANA_ASSIGN_OR_RETURN(std::string part, ParseIdent());
+        stmt->remote_path.push_back(part);
+      }
+      if (stmt->remote_path.empty()) {
+        return Error("CREATE VIRTUAL TABLE requires a remote object path");
+      }
+      return StmtPtr(std::move(stmt));
+    }
+    HANA_RETURN_IF_ERROR(ExpectKw("FUNCTION"));
+    auto stmt = std::make_unique<CreateVirtualFunctionStmt>();
+    HANA_ASSIGN_OR_RETURN(stmt->name, ParseIdent());
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    HANA_RETURN_IF_ERROR(ExpectKw("RETURNS"));
+    HANA_RETURN_IF_ERROR(ExpectKw("TABLE"));
+    HANA_ASSIGN_OR_RETURN(stmt->returns, ParseColumnDefs());
+    HANA_RETURN_IF_ERROR(ExpectKw("CONFIGURATION"));
+    HANA_ASSIGN_OR_RETURN(stmt->configuration, ParseStringLiteral());
+    HANA_RETURN_IF_ERROR(ExpectKw("AT"));
+    HANA_ASSIGN_OR_RETURN(stmt->source, ParseIdent());
+    return StmtPtr(std::move(stmt));
+  }
+
+  auto stmt = std::make_unique<CreateTableStmt>();
+  if (AcceptKw("COLUMN")) {
+    stmt->storage = StorageKind::kColumn;
+  } else if (AcceptKw("ROW")) {
+    stmt->storage = StorageKind::kRow;
+  } else if (AcceptKw("FLEXIBLE")) {
+    stmt->flexible = true;
+  }
+  HANA_RETURN_IF_ERROR(ExpectKw("TABLE"));
+  HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+  HANA_ASSIGN_OR_RETURN(stmt->columns, ParseColumnDefs());
+
+  if (AcceptKw("USING")) {
+    bool hybrid = AcceptKw("HYBRID");
+    HANA_RETURN_IF_ERROR(ExpectKw("EXTENDED"));
+    HANA_RETURN_IF_ERROR(ExpectKw("STORAGE"));
+    stmt->storage = hybrid ? StorageKind::kHybrid : StorageKind::kExtended;
+  }
+  if (AcceptKw("PARTITION")) {
+    HANA_RETURN_IF_ERROR(ExpectKw("BY"));
+    HANA_RETURN_IF_ERROR(ExpectKw("RANGE"));
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    HANA_ASSIGN_OR_RETURN(stmt->partition_column, ParseIdent());
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    do {
+      HANA_RETURN_IF_ERROR(ExpectKw("PARTITION"));
+      PartitionDef part;
+      if (AcceptKw("OTHERS")) {
+        part.is_others = true;
+      } else {
+        HANA_RETURN_IF_ERROR(ExpectKw("VALUES"));
+        HANA_RETURN_IF_ERROR(ExpectSym("<"));
+        HANA_ASSIGN_OR_RETURN(ExprPtr bound, ParseExpr());
+        if (bound->kind != ExprKind::kLiteral) {
+          return Error("partition bound must be a literal");
+        }
+        part.upper_bound = bound->literal;
+      }
+      if (AcceptKw("COLD")) {
+        part.cold = true;
+      } else {
+        AcceptKw("HOT");
+      }
+      stmt->partitions.push_back(std::move(part));
+    } while (AcceptSym(","));
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+  }
+  if (AcceptKw("WITH")) {
+    HANA_RETURN_IF_ERROR(ExpectKw("AGING"));
+    HANA_RETURN_IF_ERROR(ExpectKw("ON"));
+    HANA_ASSIGN_OR_RETURN(stmt->aging_column, ParseIdent());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseInsert() {
+  HANA_RETURN_IF_ERROR(ExpectKw("INSERT"));
+  HANA_RETURN_IF_ERROR(ExpectKw("INTO"));
+  auto stmt = std::make_unique<InsertStmt>();
+  HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+  if (PeekSym("(")) {
+    Next();
+    do {
+      HANA_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+      stmt->columns.push_back(col);
+    } while (AcceptSym(","));
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+  }
+  if (PeekKw("SELECT")) {
+    HANA_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+    return StmtPtr(std::move(stmt));
+  }
+  HANA_RETURN_IF_ERROR(ExpectKw("VALUES"));
+  do {
+    HANA_RETURN_IF_ERROR(ExpectSym("("));
+    HANA_ASSIGN_OR_RETURN(std::vector<ExprPtr> row, ParseExprList());
+    HANA_RETURN_IF_ERROR(ExpectSym(")"));
+    stmt->values_rows.push_back(std::move(row));
+  } while (AcceptSym(","));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDelete() {
+  HANA_RETURN_IF_ERROR(ExpectKw("DELETE"));
+  HANA_RETURN_IF_ERROR(ExpectKw("FROM"));
+  auto stmt = std::make_unique<DeleteStmt>();
+  HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+  if (AcceptKw("WHERE")) {
+    HANA_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseUpdate() {
+  HANA_RETURN_IF_ERROR(ExpectKw("UPDATE"));
+  auto stmt = std::make_unique<UpdateStmt>();
+  HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+  HANA_RETURN_IF_ERROR(ExpectKw("SET"));
+  do {
+    HANA_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+    HANA_RETURN_IF_ERROR(ExpectSym("="));
+    HANA_ASSIGN_OR_RETURN(ExprPtr value, ParseExpr());
+    stmt->assignments.emplace_back(col, std::move(value));
+  } while (AcceptSym(","));
+  if (AcceptKw("WHERE")) {
+    HANA_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDrop() {
+  HANA_RETURN_IF_ERROR(ExpectKw("DROP"));
+  HANA_RETURN_IF_ERROR(ExpectKw("TABLE"));
+  auto stmt = std::make_unique<DropTableStmt>();
+  if (PeekKw("IF")) {
+    Next();
+    HANA_RETURN_IF_ERROR(ExpectKw("EXISTS"));
+    stmt->if_exists = true;
+  }
+  HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseStmt() {
+  if (PeekKw("SELECT")) {
+    HANA_ASSIGN_OR_RETURN(auto select, ParseSelectStmt());
+    // Move the shared select into a unique stmt wrapper.
+    auto owned = std::make_unique<SelectStmt>();
+    *owned = std::move(*select);
+    return StmtPtr(std::move(owned));
+  }
+  if (PeekKw("EXPLAIN")) {
+    Next();
+    auto stmt = std::make_unique<ExplainStmt>();
+    HANA_ASSIGN_OR_RETURN(stmt->select, ParseSelectStmt());
+    return StmtPtr(std::move(stmt));
+  }
+  if (PeekKw("CREATE")) return ParseCreate();
+  if (PeekKw("INSERT")) return ParseInsert();
+  if (PeekKw("DELETE")) return ParseDelete();
+  if (PeekKw("UPDATE")) return ParseUpdate();
+  if (PeekKw("DROP")) return ParseDrop();
+  if (PeekKw("MERGE")) {
+    Next();
+    HANA_RETURN_IF_ERROR(ExpectKw("DELTA"));
+    HANA_RETURN_IF_ERROR(ExpectKw("OF"));
+    auto stmt = std::make_unique<MergeDeltaStmt>();
+    HANA_ASSIGN_OR_RETURN(stmt->table, ParseIdent());
+    return StmtPtr(std::move(stmt));
+  }
+  return Error("unsupported statement starting with '" + Peek().text + "'");
+}
+
+}  // namespace
+
+Result<StmtPtr> ParseStatement(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  HANA_ASSIGN_OR_RETURN(StmtPtr stmt, parser.ParseStmt());
+  HANA_RETURN_IF_ERROR(parser.ExpectEnd());
+  return stmt;
+}
+
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  HANA_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement(sql));
+  if (stmt->kind() != StmtKind::kSelect) {
+    return Status::ParseError("expected a SELECT statement");
+  }
+  auto select = std::make_shared<SelectStmt>();
+  *select = std::move(static_cast<SelectStmt&>(*stmt));
+  return select;
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  HANA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  HANA_ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  HANA_RETURN_IF_ERROR(parser.ExpectEnd());
+  return expr;
+}
+
+std::vector<std::string> SplitStatements(const std::string& script) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (size_t i = 0; i < script.size(); ++i) {
+    char c = script[i];
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      std::string trimmed = Trim(current);
+      if (!trimmed.empty()) out.push_back(trimmed);
+      current.clear();
+      continue;
+    }
+    current += c;
+  }
+  std::string trimmed = Trim(current);
+  if (!trimmed.empty()) out.push_back(trimmed);
+  return out;
+}
+
+}  // namespace hana::sql

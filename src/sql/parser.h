@@ -1,0 +1,28 @@
+#ifndef HANA_SQL_PARSER_H_
+#define HANA_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace hana::sql {
+
+/// Parses one SQL statement (a trailing ';' is allowed).
+Result<StmtPtr> ParseStatement(const std::string& sql);
+
+/// Parses a SELECT statement (convenience wrapper used by the Hive
+/// compiler and by federated query shipping).
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+/// Parses a standalone scalar expression (testing hook).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+/// Splits a script on top-level ';' (quotes respected) into statements.
+std::vector<std::string> SplitStatements(const std::string& script);
+
+}  // namespace hana::sql
+
+#endif  // HANA_SQL_PARSER_H_

@@ -1,0 +1,281 @@
+#include "storage/codec.h"
+
+#include <cstring>
+
+namespace hana::storage {
+
+int BitWidth(uint64_t max_value) {
+  int bits = 1;
+  while (max_value >>= 1) ++bits;
+  return bits;
+}
+
+std::vector<uint64_t> BitPack(const std::vector<uint32_t>& values,
+                              int bit_width) {
+  std::vector<uint64_t> words((values.size() * bit_width + 63) / 64, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t bit = i * bit_width;
+    size_t word = bit / 64;
+    size_t off = bit % 64;
+    words[word] |= static_cast<uint64_t>(values[i]) << off;
+    if (off + bit_width > 64) {
+      words[word + 1] |= static_cast<uint64_t>(values[i]) >> (64 - off);
+    }
+  }
+  return words;
+}
+
+uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i) {
+  size_t bit = i * bit_width;
+  size_t word = bit / 64;
+  size_t off = bit % 64;
+  uint64_t v = words[word] >> off;
+  if (off + bit_width > 64) v |= words[word + 1] << (64 - off);
+  uint64_t mask = bit_width == 64 ? ~0ULL : ((1ULL << bit_width) - 1);
+  return static_cast<uint32_t>(v & mask);
+}
+
+std::vector<uint32_t> BitUnpack(const std::vector<uint64_t>& words,
+                                int bit_width, size_t count) {
+  std::vector<uint32_t> out(count);
+  for (size_t i = 0; i < count; ++i) out[i] = BitGet(words, bit_width, i);
+  return out;
+}
+
+uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void VarintAppend(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+Result<uint64_t> VarintRead(const std::vector<uint8_t>& data, size_t* pos) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (*pos < data.size()) {
+    uint8_t byte = data[(*pos)++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return v;
+    shift += 7;
+    if (shift >= 64) break;
+  }
+  return Status::IoError("corrupt varint");
+}
+
+std::vector<uint8_t> DeltaEncode(const std::vector<int64_t>& values) {
+  std::vector<uint8_t> out;
+  VarintAppend(&out, values.size());
+  int64_t prev = 0;
+  for (int64_t v : values) {
+    VarintAppend(&out, ZigZagEncode(v - prev));
+    prev = v;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  std::vector<int64_t> out;
+  out.reserve(count);
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    HANA_ASSIGN_OR_RETURN(uint64_t enc, VarintRead(data, &pos));
+    prev += ZigZagDecode(enc);
+    out.push_back(prev);
+  }
+  return out;
+}
+
+std::vector<uint8_t> RleEncode(const std::vector<int64_t>& values) {
+  std::vector<uint8_t> out;
+  VarintAppend(&out, values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    VarintAppend(&out, ZigZagEncode(values[i]));
+    VarintAppend(&out, j - i);
+    i = j;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  std::vector<int64_t> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    HANA_ASSIGN_OR_RETURN(uint64_t enc, VarintRead(data, &pos));
+    HANA_ASSIGN_OR_RETURN(uint64_t run, VarintRead(data, &pos));
+    int64_t v = ZigZagDecode(enc);
+    if (out.size() + run > count) return Status::IoError("corrupt RLE run");
+    out.insert(out.end(), run, v);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ForEncode(const std::vector<int64_t>& values) {
+  std::vector<uint8_t> out;
+  VarintAppend(&out, values.size());
+  if (values.empty()) return out;
+  int64_t min = values[0], max = values[0];
+  for (int64_t v : values) {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  uint64_t range = static_cast<uint64_t>(max) - static_cast<uint64_t>(min);
+  // Wide ranges fall back to 64-bit little-endian raw storage.
+  int width = range > 0xffffffffULL ? 64 : BitWidth(range);
+  VarintAppend(&out, ZigZagEncode(min));
+  VarintAppend(&out, static_cast<uint64_t>(width));
+  if (width == 64) {
+    for (int64_t v : values) {
+      uint64_t u = static_cast<uint64_t>(v);
+      for (int b = 0; b < 8; ++b) out.push_back(static_cast<uint8_t>(u >> (b * 8)));
+    }
+    return out;
+  }
+  std::vector<uint32_t> rel(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    rel[i] = static_cast<uint32_t>(values[i] - min);
+  }
+  std::vector<uint64_t> words = BitPack(rel, width);
+  for (uint64_t w : words) {
+    for (int b = 0; b < 8; ++b) out.push_back(static_cast<uint8_t>(w >> (b * 8)));
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  std::vector<int64_t> out;
+  if (count == 0) return out;
+  HANA_ASSIGN_OR_RETURN(uint64_t min_enc, VarintRead(data, &pos));
+  HANA_ASSIGN_OR_RETURN(uint64_t width_u, VarintRead(data, &pos));
+  int64_t min = ZigZagDecode(min_enc);
+  int width = static_cast<int>(width_u);
+  out.reserve(count);
+  if (width == 64) {
+    if (data.size() - pos < count * 8) return Status::IoError("corrupt FOR");
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t u = 0;
+      for (int b = 0; b < 8; ++b) {
+        u |= static_cast<uint64_t>(data[pos++]) << (b * 8);
+      }
+      out.push_back(static_cast<int64_t>(u));
+    }
+    return out;
+  }
+  size_t num_words = (count * width + 63) / 64;
+  if (data.size() - pos < num_words * 8) return Status::IoError("corrupt FOR");
+  std::vector<uint64_t> words(num_words);
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t u = 0;
+    for (int b = 0; b < 8; ++b) u |= static_cast<uint64_t>(data[pos++]) << (b * 8);
+    words[w] = u;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(min + BitGet(words, width, i));
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeIntsBest(const std::vector<int64_t>& values) {
+  std::vector<uint8_t> rle = RleEncode(values);
+  std::vector<uint8_t> fr = ForEncode(values);
+  std::vector<uint8_t> delta = DeltaEncode(values);
+  std::vector<uint8_t> out;
+  if (rle.size() <= fr.size() && rle.size() <= delta.size()) {
+    out.push_back(static_cast<uint8_t>(IntCodec::kRle));
+    out.insert(out.end(), rle.begin(), rle.end());
+  } else if (fr.size() <= delta.size()) {
+    out.push_back(static_cast<uint8_t>(IntCodec::kFor));
+    out.insert(out.end(), fr.begin(), fr.end());
+  } else {
+    out.push_back(static_cast<uint8_t>(IntCodec::kDelta));
+    out.insert(out.end(), delta.begin(), delta.end());
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data) {
+  if (data.empty()) return Status::IoError("empty int block");
+  std::vector<uint8_t> body(data.begin() + 1, data.end());
+  switch (static_cast<IntCodec>(data[0])) {
+    case IntCodec::kRle:
+      return RleDecode(body);
+    case IntCodec::kFor:
+      return ForDecode(body);
+    case IntCodec::kDelta:
+      return DeltaDecode(body);
+  }
+  return Status::IoError("unknown int codec tag");
+}
+
+std::vector<uint8_t> EncodeStrings(const std::vector<std::string>& values) {
+  std::vector<uint8_t> out;
+  VarintAppend(&out, values.size());
+  for (const std::string& s : values) {
+    VarintAppend(&out, s.size());
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeStrings(
+    const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    HANA_ASSIGN_OR_RETURN(uint64_t len, VarintRead(data, &pos));
+    if (data.size() - pos < len) return Status::IoError("corrupt string block");
+    out.emplace_back(reinterpret_cast<const char*>(data.data()) + pos, len);
+    pos += len;
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeDoubles(const std::vector<double>& values) {
+  std::vector<uint8_t> out;
+  VarintAppend(&out, values.size());
+  uint64_t prev = 0;
+  for (double d : values) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    VarintAppend(&out, bits ^ prev);
+    prev = bits;
+  }
+  return out;
+}
+
+Result<std::vector<double>> DecodeDoubles(const std::vector<uint8_t>& data) {
+  size_t pos = 0;
+  HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  std::vector<double> out;
+  out.reserve(count);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    HANA_ASSIGN_OR_RETURN(uint64_t x, VarintRead(data, &pos));
+    prev ^= x;
+    double d;
+    std::memcpy(&d, &prev, sizeof(d));
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace hana::storage

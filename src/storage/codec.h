@@ -1,0 +1,68 @@
+#ifndef HANA_STORAGE_CODEC_H_
+#define HANA_STORAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::storage {
+
+/// Bit width needed to represent `max_value` (0 -> 1 bit).
+int BitWidth(uint64_t max_value);
+
+/// Packs 32-bit codes using `bit_width` bits each into a word array.
+std::vector<uint64_t> BitPack(const std::vector<uint32_t>& values,
+                              int bit_width);
+
+/// Unpacks `count` codes packed with `bit_width` bits.
+std::vector<uint32_t> BitUnpack(const std::vector<uint64_t>& words,
+                                int bit_width, size_t count);
+
+/// Reads a single packed code without materializing the whole array.
+uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i);
+
+/// ZigZag maps signed to unsigned so small magnitudes encode small.
+uint64_t ZigZagEncode(int64_t v);
+int64_t ZigZagDecode(uint64_t v);
+
+/// LEB128 variable-length encoding appended to `out`.
+void VarintAppend(std::vector<uint8_t>* out, uint64_t v);
+/// Decodes one varint at *pos (advancing it).
+Result<uint64_t> VarintRead(const std::vector<uint8_t>& data, size_t* pos);
+
+/// Delta + zigzag + varint for sorted-ish integer sequences
+/// (timestamps, surrogate keys, dictionary codes).
+std::vector<uint8_t> DeltaEncode(const std::vector<int64_t>& values);
+Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data);
+
+/// Run-length encoding: (value, run) varint pairs. Shines on the aging
+/// flag column and low-cardinality dimension attributes.
+std::vector<uint8_t> RleEncode(const std::vector<int64_t>& values);
+Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data);
+
+/// Frame-of-reference + bit-packing: min + packed (v - min). Returns an
+/// opaque byte buffer with a small header.
+std::vector<uint8_t> ForEncode(const std::vector<int64_t>& values);
+Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data);
+
+/// Picks the smallest of RLE / FOR / delta for the sequence and prefixes
+/// a codec tag byte. Used by extended-store pages.
+enum class IntCodec : uint8_t { kRle = 1, kFor = 2, kDelta = 3 };
+std::vector<uint8_t> EncodeIntsBest(const std::vector<int64_t>& values);
+Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data);
+
+/// Length-prefixed string block.
+std::vector<uint8_t> EncodeStrings(const std::vector<std::string>& values);
+Result<std::vector<std::string>> DecodeStrings(
+    const std::vector<uint8_t>& data);
+
+/// Doubles stored raw (IEEE bits), varint-compressed via XOR with the
+/// previous value (Gorilla-style byte-aligned variant).
+std::vector<uint8_t> EncodeDoubles(const std::vector<double>& values);
+Result<std::vector<double>> DecodeDoubles(const std::vector<uint8_t>& data);
+
+}  // namespace hana::storage
+
+#endif  // HANA_STORAGE_CODEC_H_

@@ -1,0 +1,231 @@
+#include "storage/column_table.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/strings.h"
+#include "storage/codec.h"
+
+namespace hana::storage {
+
+uint32_t StoredColumn::DeltaCode(const Value& v) {
+  auto it = delta_lookup_.find(v);
+  if (it != delta_lookup_.end()) return it->second;
+  uint32_t code = static_cast<uint32_t>(delta_dict_.size());
+  delta_dict_.push_back(v);
+  delta_lookup_.emplace(v, code);
+  return code;
+}
+
+void StoredColumn::Append(const Value& v) {
+  if (v.is_null()) {
+    nulls_.push_back(1);
+    delta_codes_.push_back(0);
+    return;
+  }
+  nulls_.push_back(0);
+  delta_codes_.push_back(DeltaCode(v));
+}
+
+Value StoredColumn::Get(size_t row) const {
+  if (nulls_[row]) return Value::Null();
+  if (row < main_count_) {
+    uint32_t code = BitGet(main_words_, main_bits_, row);
+    return main_dict_[code];
+  }
+  return delta_dict_[delta_codes_[row - main_count_]];
+}
+
+void StoredColumn::MergeDelta() {
+  if (delta_codes_.empty()) return;
+  // Decode everything, rebuild a sorted dictionary, re-encode.
+  size_t total = nulls_.size();
+  std::vector<Value> all;
+  all.reserve(total);
+  for (size_t i = 0; i < total; ++i) all.push_back(Get(i));
+
+  std::vector<Value> dict;
+  dict.reserve(main_dict_.size() + delta_dict_.size());
+  for (const Value& v : all) {
+    if (!v.is_null()) dict.push_back(v);
+  }
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+  std::vector<uint32_t> codes(total, 0);
+  for (size_t i = 0; i < total; ++i) {
+    if (nulls_[i]) continue;
+    auto it = std::lower_bound(dict.begin(), dict.end(), all[i]);
+    codes[i] = static_cast<uint32_t>(it - dict.begin());
+  }
+  main_bits_ = BitWidth(dict.empty() ? 0 : dict.size() - 1);
+  main_words_ = BitPack(codes, main_bits_);
+  main_dict_ = std::move(dict);
+  main_count_ = total;
+  delta_dict_.clear();
+  delta_lookup_.clear();
+  delta_codes_.clear();
+}
+
+size_t StoredColumn::MemoryBytes() const {
+  size_t bytes = nulls_.size() / 8 + 1;  // Null flags, modeled as a bitmap.
+  auto dict_bytes = [&](const std::vector<Value>& dict) {
+    size_t b = 0;
+    for (const Value& v : dict) {
+      b += v.type() == DataType::kString ? v.string_value().size() + 4 : 8;
+    }
+    return b;
+  };
+  bytes += dict_bytes(main_dict_) + main_words_.size() * 8;
+  bytes += dict_bytes(delta_dict_) + delta_codes_.size() * 4;
+  return bytes;
+}
+
+ColumnTable::ColumnTable(std::shared_ptr<Schema> schema)
+    : schema_(std::move(schema)) {
+  columns_.reserve(schema_->num_columns());
+  for (size_t i = 0; i < schema_->num_columns(); ++i) {
+    columns_.emplace_back(schema_->column(i).type);
+  }
+}
+
+Status ColumnTable::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values, table %s has %zu columns", row.size(),
+                  schema_->ToString().c_str(), columns_.size()));
+  }
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (row[c].is_null() && !schema_->column(c).nullable) {
+      return Status::InvalidArgument("NULL in NOT NULL column " +
+                                     schema_->column(c).name);
+    }
+    columns_[c].Append(row[c]);
+  }
+  deleted_.push_back(0);
+  ++live_rows_;
+  return Status::OK();
+}
+
+Status ColumnTable::AppendRows(const std::vector<std::vector<Value>>& rows) {
+  for (const auto& row : rows) HANA_RETURN_IF_ERROR(AppendRow(row));
+  return Status::OK();
+}
+
+std::vector<Value> ColumnTable::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+Status ColumnTable::DeleteRow(size_t row) {
+  if (row >= deleted_.size()) return Status::OutOfRange("row out of range");
+  if (!deleted_[row]) {
+    deleted_[row] = 1;
+    --live_rows_;
+  }
+  return Status::OK();
+}
+
+Status ColumnTable::UpdateRow(size_t row, const std::vector<Value>& new_row) {
+  HANA_RETURN_IF_ERROR(DeleteRow(row));
+  return AppendRow(new_row);
+}
+
+void ColumnTable::Scan(
+    size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
+  Chunk chunk = Chunk::Empty(schema_);
+  for (size_t r = 0; r < deleted_.size(); ++r) {
+    if (deleted_[r]) continue;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      chunk.columns[c]->Append(columns_[c].Get(r));
+    }
+    if (chunk.num_rows() >= chunk_rows) {
+      if (!callback(chunk)) return;
+      chunk = Chunk::Empty(schema_);
+    }
+  }
+  if (chunk.num_rows() > 0) callback(chunk);
+}
+
+void ColumnTable::MergeDelta() {
+  for (auto& col : columns_) col.MergeDelta();
+}
+
+Status ColumnTable::AddColumn(const ColumnDef& def) {
+  if (schema_->FindColumn(def.name) >= 0) {
+    return Status::AlreadyExists("column exists: " + def.name);
+  }
+  if (!def.nullable && !deleted_.empty()) {
+    return Status::InvalidArgument(
+        "cannot add NOT NULL column to a non-empty table");
+  }
+  schema_->AddColumn(def);
+  StoredColumn column(def.type);
+  for (size_t r = 0; r < deleted_.size(); ++r) column.Append(Value::Null());
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+size_t ColumnTable::MemoryBytes() const {
+  size_t bytes = deleted_.size() / 8 + 1;
+  for (const auto& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
+Status RowTable::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+  deleted_.push_back(0);
+  ++live_rows_;
+  return Status::OK();
+}
+
+Status RowTable::DeleteRow(size_t row) {
+  if (row >= rows_.size()) return Status::OutOfRange("row out of range");
+  if (!deleted_[row]) {
+    deleted_[row] = 1;
+    --live_rows_;
+  }
+  return Status::OK();
+}
+
+Status RowTable::UpdateRow(size_t row, std::vector<Value> new_row) {
+  if (row >= rows_.size()) return Status::OutOfRange("row out of range");
+  if (new_row.size() != schema_->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  rows_[row] = std::move(new_row);
+  return Status::OK();
+}
+
+void RowTable::Scan(size_t chunk_rows,
+                    const std::function<bool(const Chunk&)>& callback) const {
+  Chunk chunk = Chunk::Empty(schema_);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (deleted_[r]) continue;
+    chunk.AppendRow(rows_[r]);
+    if (chunk.num_rows() >= chunk_rows) {
+      if (!callback(chunk)) return;
+      chunk = Chunk::Empty(schema_);
+    }
+  }
+  if (chunk.num_rows() > 0) callback(chunk);
+}
+
+size_t RowTable::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& row : rows_) {
+    for (const Value& v : row) {
+      bytes += 16;  // Fixed slot per field (type tag + payload + padding).
+      if (v.type() == DataType::kString) bytes += v.string_value().size();
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hana::storage

@@ -1,0 +1,180 @@
+#include "storage/column_vector.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace hana::storage {
+
+void ColumnVector::Reserve(size_t n) {
+  nulls_.reserve(n);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case DataType::kString:
+      strings_.reserve(n);
+      break;
+    default:
+      ints_.reserve(n);
+      break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  nulls_.push_back(1);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+    default:
+      ints_.push_back(0);
+      break;
+  }
+}
+
+void ColumnVector::AppendInt(int64_t v) {
+  nulls_.push_back(0);
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  nulls_.push_back(0);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendBool(bool v) {
+  nulls_.push_back(0);
+  ints_.push_back(v ? 1 : 0);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  nulls_.push_back(0);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::Append(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case DataType::kBool:
+      AppendBool(v.type() == DataType::kBool ? v.bool_value()
+                                             : v.AsDouble() != 0.0);
+      break;
+    case DataType::kInt64:
+    case DataType::kDate:
+    case DataType::kTimestamp:
+      AppendInt(v.AsInt());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      AppendString(v.type() == DataType::kString ? v.string_value()
+                                                 : v.ToString());
+      break;
+    default:
+      AppendNull();
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (nulls_[i]) return Value::Null();
+  switch (type_) {
+    case DataType::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case DataType::kInt64:
+      return Value::Int(ints_[i]);
+    case DataType::kDate:
+      return Value::Date(ints_[i]);
+    case DataType::kTimestamp:
+      return Value::Timestamp(ints_[i]);
+    case DataType::kDouble:
+      return Value::Double(doubles_[i]);
+    case DataType::kString:
+      return Value::String(strings_[i]);
+    default:
+      return Value::Null();
+  }
+}
+
+Chunk Chunk::Empty(std::shared_ptr<Schema> schema) {
+  Chunk chunk;
+  chunk.schema = std::move(schema);
+  chunk.columns.reserve(chunk.schema->num_columns());
+  for (size_t i = 0; i < chunk.schema->num_columns(); ++i) {
+    chunk.columns.push_back(
+        std::make_shared<ColumnVector>(chunk.schema->column(i).type));
+  }
+  return chunk;
+}
+
+std::vector<Value> Chunk::Row(size_t r) const {
+  std::vector<Value> row;
+  row.reserve(columns.size());
+  for (const auto& col : columns) row.push_back(col->GetValue(r));
+  return row;
+}
+
+void Chunk::AppendRow(const std::vector<Value>& row) {
+  for (size_t i = 0; i < columns.size(); ++i) columns[i]->Append(row[i]);
+}
+
+void Table::AppendChunk(const Chunk& chunk) {
+  for (size_t r = 0; r < chunk.num_rows(); ++r) rows_.push_back(chunk.Row(r));
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::vector<size_t> widths(schema_->num_columns());
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header;
+  for (size_t c = 0; c < schema_->num_columns(); ++c) {
+    header.push_back(schema_->column(c).name);
+    widths[c] = header[c].size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < schema_->num_columns(); ++c) {
+      row.push_back(rows_[r][c].ToString());
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += " ";
+      out += row[c];
+      out.append(widths[c] - row[c].size() + 1, ' ');
+      out += "|";
+    }
+    out += "\n";
+  };
+  std::string rule = "+";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+    rule += "+";
+  }
+  rule += "\n";
+  out += rule;
+  emit_row(header);
+  out += rule;
+  for (const auto& row : cells) emit_row(row);
+  out += rule;
+  if (shown < rows_.size()) {
+    out += StrFormat("(%zu of %zu rows shown)\n", shown, rows_.size());
+  } else {
+    out += StrFormat("(%zu rows)\n", rows_.size());
+  }
+  return out;
+}
+
+}  // namespace hana::storage

@@ -1,0 +1,103 @@
+#ifndef HANA_STORAGE_COLUMN_VECTOR_H_
+#define HANA_STORAGE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace hana::storage {
+
+/// A decoded, in-flight column of values used by the execution engine
+/// (vector-at-a-time processing). Stores one physical array depending on
+/// the logical type plus a per-row null flag. Bool/date/timestamp share
+/// the int64 array.
+class ColumnVector {
+ public:
+  explicit ColumnVector(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return nulls_.size(); }
+
+  void Reserve(size_t n);
+
+  void AppendNull();
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendBool(bool v);
+  void AppendString(std::string v);
+  /// Appends any Value; the value must match the column type (or be null).
+  void Append(const Value& v);
+
+  bool IsNull(size_t i) const { return nulls_[i] != 0; }
+  int64_t GetInt(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  bool GetBool(size_t i) const { return ints_[i] != 0; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+
+  /// Boxes row i into a Value (null-aware).
+  Value GetValue(size_t i) const;
+
+ private:
+  DataType type_;
+  std::vector<uint8_t> nulls_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+using ColumnVectorPtr = std::shared_ptr<ColumnVector>;
+
+/// A horizontal slice of rows flowing between operators.
+struct Chunk {
+  std::shared_ptr<Schema> schema;
+  std::vector<ColumnVectorPtr> columns;
+
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0]->size(); }
+  size_t num_columns() const { return columns.size(); }
+
+  /// Creates an empty chunk with one vector per schema column.
+  static Chunk Empty(std::shared_ptr<Schema> schema);
+
+  /// Boxes row r as a vector of Values.
+  std::vector<Value> Row(size_t r) const;
+
+  /// Appends a boxed row; types must match the schema.
+  void AppendRow(const std::vector<Value>& row);
+};
+
+/// Default number of rows per chunk produced by scans.
+inline constexpr size_t kDefaultChunkRows = 2048;
+
+/// A fully materialized result set: an owned schema plus all chunks
+/// concatenated. Convenience container for tests, examples and the
+/// platform API.
+class Table {
+ public:
+  Table() : schema_(std::make_shared<Schema>()) {}
+  explicit Table(std::shared_ptr<Schema> schema)
+      : schema_(std::move(schema)) {}
+
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Value>& row(size_t i) const { return rows_[i]; }
+  std::vector<std::vector<Value>>& rows() { return rows_; }
+  const std::vector<std::vector<Value>>& rows() const { return rows_; }
+
+  void AppendRow(std::vector<Value> row) { rows_.push_back(std::move(row)); }
+  void AppendChunk(const Chunk& chunk);
+
+  /// Renders an ASCII table (used by examples and EXPLAIN output).
+  std::string ToString(size_t max_rows = 50) const;
+
+ private:
+  std::shared_ptr<Schema> schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace hana::storage
+
+#endif  // HANA_STORAGE_COLUMN_VECTOR_H_

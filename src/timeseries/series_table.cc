@@ -1,0 +1,252 @@
+#include "timeseries/series_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "storage/codec.h"
+
+namespace hana::timeseries {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Detects a quantization step q such that every value is (close to) an
+/// integer multiple of q. Returns 0 when no usable grid exists.
+double DetectQuantum(const std::vector<double>& values) {
+  static const double kCandidates[] = {1.0,  0.5,   0.25,  0.1,
+                                       0.05, 0.025, 0.01,  0.005,
+                                       0.001};
+  for (double q : kCandidates) {
+    bool ok = true;
+    for (double v : values) {
+      double scaled = v / q;
+      if (std::fabs(scaled - std::llround(scaled)) > 1e-6 ||
+          std::fabs(scaled) > 4.0e15) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return q;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Status SeriesTable::Append(int64_t timestamp_ms, double value) {
+  if (sealed_) return Status::InvalidArgument("series is sealed");
+  if (timestamp_ms < options_.start_ms) {
+    return Status::InvalidArgument("timestamp before series start");
+  }
+  size_t slot = static_cast<size_t>(
+      (timestamp_ms - options_.start_ms) / options_.interval_ms);
+  if (slot < present_.size()) {
+    return Status::InvalidArgument("timestamp not after the last slot");
+  }
+  while (present_.size() < slot) present_.push_back(0);  // Gaps.
+  present_.push_back(1);
+  values_.push_back(value);
+  ++num_present_;
+  return Status::OK();
+}
+
+std::vector<double> SeriesTable::Values() const {
+  std::vector<double> slots(present_.size(), kNaN);
+  std::vector<double> present_values;
+  if (sealed_) {
+    Result<std::vector<double>> decoded =
+        codec_tag_ == 1
+            ? [&]() -> Result<std::vector<double>> {
+                HANA_ASSIGN_OR_RETURN(std::vector<int64_t> ints,
+                                      storage::DecodeInts(sealed_values_));
+                std::vector<double> out;
+                out.reserve(ints.size());
+                for (int64_t i : ints) {
+                  out.push_back(static_cast<double>(i) * quantum_);
+                }
+                return out;
+              }()
+            : storage::DecodeDoubles(sealed_values_);
+    if (!decoded.ok()) return slots;
+    present_values = std::move(*decoded);
+  } else {
+    present_values = values_;
+  }
+  size_t v = 0;
+  for (size_t i = 0; i < present_.size(); ++i) {
+    if (present_[i]) slots[i] = present_values[v++];
+  }
+  return slots;
+}
+
+Result<double> SeriesTable::At(size_t slot) const {
+  if (slot >= present_.size()) return Status::OutOfRange("slot out of range");
+  std::vector<double> slots = Values();
+  if (!std::isnan(slots[slot])) return slots[slot];
+  switch (options_.missing) {
+    case MissingValuePolicy::kNone:
+      return Status::NotFound("missing value at slot " +
+                              std::to_string(slot));
+    case MissingValuePolicy::kLocf: {
+      for (size_t i = slot; i-- > 0;) {
+        if (!std::isnan(slots[i])) return slots[i];
+      }
+      return Status::NotFound("no prior observation");
+    }
+    case MissingValuePolicy::kLinear: {
+      size_t prev = slot, next = slot;
+      bool has_prev = false, has_next = false;
+      for (size_t i = slot; i-- > 0;) {
+        if (!std::isnan(slots[i])) {
+          prev = i;
+          has_prev = true;
+          break;
+        }
+      }
+      for (size_t i = slot + 1; i < slots.size(); ++i) {
+        if (!std::isnan(slots[i])) {
+          next = i;
+          has_next = true;
+          break;
+        }
+      }
+      if (has_prev && has_next) {
+        double frac = static_cast<double>(slot - prev) /
+                      static_cast<double>(next - prev);
+        return slots[prev] + frac * (slots[next] - slots[prev]);
+      }
+      if (has_prev) return slots[prev];
+      if (has_next) return slots[next];
+      return Status::NotFound("series has no observations");
+    }
+  }
+  return Status::Internal("unknown policy");
+}
+
+std::vector<double> SeriesTable::Materialize() const {
+  std::vector<double> out(present_.size(), 0.0);
+  for (size_t i = 0; i < present_.size(); ++i) {
+    Result<double> v = At(i);
+    out[i] = v.ok() ? *v : kNaN;
+  }
+  return out;
+}
+
+void SeriesTable::Seal() {
+  if (sealed_) return;
+  quantum_ = DetectQuantum(values_);
+  if (quantum_ > 0.0) {
+    codec_tag_ = 1;
+    std::vector<int64_t> ints;
+    ints.reserve(values_.size());
+    for (double v : values_) ints.push_back(std::llround(v / quantum_));
+    sealed_values_ = storage::EncodeIntsBest(ints);
+  } else {
+    codec_tag_ = 2;
+    sealed_values_ = storage::EncodeDoubles(values_);
+  }
+  std::vector<int64_t> presence(present_.begin(), present_.end());
+  sealed_present_ = storage::RleEncode(presence);
+  values_.clear();
+  values_.shrink_to_fit();
+  sealed_ = true;
+}
+
+size_t SeriesTable::CompressedBytes() const {
+  if (!sealed_) return values_.size() * 8 + present_.size() / 8 + 32;
+  return sealed_values_.size() + sealed_present_.size() + 32;
+}
+
+double SeriesTable::Mean() const {
+  std::vector<double> slots = Values();
+  double sum = 0;
+  size_t n = 0;
+  for (double v : slots) {
+    if (!std::isnan(v)) {
+      sum += v;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double SeriesTable::Min() const {
+  double min = std::numeric_limits<double>::infinity();
+  for (double v : Values()) {
+    if (!std::isnan(v)) min = std::min(min, v);
+  }
+  return min;
+}
+
+double SeriesTable::Max() const {
+  double max = -std::numeric_limits<double>::infinity();
+  for (double v : Values()) {
+    if (!std::isnan(v)) max = std::max(max, v);
+  }
+  return max;
+}
+
+Result<SeriesTable> SeriesTable::Resample(int64_t new_interval_ms) const {
+  if (new_interval_ms <= 0 || new_interval_ms % options_.interval_ms != 0) {
+    return Status::InvalidArgument(
+        "new interval must be a multiple of the series interval");
+  }
+  size_t factor =
+      static_cast<size_t>(new_interval_ms / options_.interval_ms);
+  SeriesOptions out_options = options_;
+  out_options.interval_ms = new_interval_ms;
+  SeriesTable out(name_ + "_resampled", out_options);
+  std::vector<double> slots = Values();
+  for (size_t begin = 0; begin < slots.size(); begin += factor) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t i = begin; i < std::min(slots.size(), begin + factor); ++i) {
+      if (!std::isnan(slots[i])) {
+        sum += slots[i];
+        ++n;
+      }
+    }
+    if (n > 0) {
+      HANA_RETURN_IF_ERROR(
+          out.Append(out.options().start_ms +
+                         static_cast<int64_t>(begin / factor) *
+                             new_interval_ms,
+                     sum / static_cast<double>(n)));
+    }
+  }
+  return out;
+}
+
+Result<double> SeriesTable::Correlation(const SeriesTable& a,
+                                        const SeriesTable& b) {
+  std::vector<double> va = a.Materialize();
+  std::vector<double> vb = b.Materialize();
+  size_t n = std::min(va.size(), vb.size());
+  if (n < 2) return Status::InvalidArgument("series too short");
+  double mean_a = 0, mean_b = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(va[i]) || std::isnan(vb[i])) continue;
+    mean_a += va[i];
+    mean_b += vb[i];
+    ++count;
+  }
+  if (count < 2) return Status::InvalidArgument("not enough overlap");
+  mean_a /= static_cast<double>(count);
+  mean_b /= static_cast<double>(count);
+  double cov = 0, var_a = 0, var_b = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isnan(va[i]) || std::isnan(vb[i])) continue;
+    cov += (va[i] - mean_a) * (vb[i] - mean_b);
+    var_a += (va[i] - mean_a) * (va[i] - mean_a);
+    var_b += (vb[i] - mean_b) * (vb[i] - mean_b);
+  }
+  if (var_a == 0 || var_b == 0) {
+    return Status::InvalidArgument("zero variance");
+  }
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace hana::timeseries

@@ -1,0 +1,89 @@
+#ifndef HANA_TIMESERIES_SERIES_TABLE_H_
+#define HANA_TIMESERIES_SERIES_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::timeseries {
+
+/// Missing value compensation strategies (Figure 2 lets the model
+/// declare how gaps are filled).
+enum class MissingValuePolicy { kNone, kLocf, kLinear };
+
+struct SeriesOptions {
+  int64_t start_ms = 0;
+  int64_t interval_ms = 1000;  // Equidistant grid.
+  MissingValuePolicy missing = MissingValuePolicy::kLinear;
+};
+
+/// An equidistant time-series table: the series-optimized internal
+/// representation of Section 1. Timestamps are implicit (start +
+/// i * interval, so they cost zero bytes); values are compressed with a
+/// quantization-aware codec (delta/RLE over scaled integers when the
+/// sensor grid is detected, XOR-of-doubles otherwise).
+class SeriesTable {
+ public:
+  SeriesTable(std::string name, SeriesOptions options)
+      : name_(std::move(name)), options_(options) {}
+
+  const std::string& name() const { return name_; }
+  const SeriesOptions& options() const { return options_; }
+
+  /// Appends a measurement. The timestamp must fall on (or is snapped
+  /// to) the next grid slots; skipped slots become missing values.
+  Status Append(int64_t timestamp_ms, double value);
+
+  size_t num_slots() const { return present_.size(); }
+  size_t num_present() const { return num_present_; }
+
+  /// Value at slot i with the configured compensation applied.
+  Result<double> At(size_t slot) const;
+  int64_t TimestampAt(size_t slot) const {
+    return options_.start_ms +
+           static_cast<int64_t>(slot) * options_.interval_ms;
+  }
+
+  /// Fully compensated series.
+  std::vector<double> Materialize() const;
+
+  /// Compresses the buffered values (read-optimized form).
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  /// Footprint of the sealed series representation.
+  size_t CompressedBytes() const;
+  /// Row-store baseline: 8-byte timestamp + 8-byte value per point.
+  size_t RowFormatBytes() const { return num_slots() * 16; }
+
+  // ---- Analytics ---------------------------------------------------------
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Mean-aggregated resampling onto a coarser grid.
+  Result<SeriesTable> Resample(int64_t new_interval_ms) const;
+  /// Pearson correlation of two equally gridded series.
+  static Result<double> Correlation(const SeriesTable& a,
+                                    const SeriesTable& b);
+
+ private:
+  std::vector<double> Values() const;  // Decoded raw slots (NaN = gap).
+
+  std::string name_;
+  SeriesOptions options_;
+  std::vector<uint8_t> present_;
+  std::vector<double> values_;  // Buffered (pre-seal); compacted presence.
+  size_t num_present_ = 0;
+
+  bool sealed_ = false;
+  std::vector<uint8_t> sealed_values_;   // Compressed present values.
+  std::vector<uint8_t> sealed_present_;  // RLE presence bitmap.
+  uint8_t codec_tag_ = 0;                // 1 = quantized ints, 2 = xor.
+  double quantum_ = 0.0;
+};
+
+}  // namespace hana::timeseries
+
+#endif  // HANA_TIMESERIES_SERIES_TABLE_H_

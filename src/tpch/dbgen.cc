@@ -1,0 +1,298 @@
+#include "tpch/dbgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "common/util.h"
+
+namespace hana::tpch {
+
+namespace {
+
+constexpr const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                    "MIDDLE EAST"};
+constexpr const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+// Region of each nation (official mapping).
+constexpr int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+constexpr const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                     "MACHINERY", "HOUSEHOLD"};
+constexpr const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                       "4-NOT SPECIFIED", "5-LOW"};
+constexpr const char* kShipModes[] = {"REG AIR", "AIR",     "RAIL", "SHIP",
+                                      "TRUCK",   "MAIL",    "FOB"};
+constexpr const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                      "NONE", "TAKE BACK RETURN"};
+constexpr const char* kTypeSyllable1[] = {"STANDARD", "SMALL", "MEDIUM",
+                                          "LARGE", "ECONOMY", "PROMO"};
+constexpr const char* kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                          "POLISHED", "BRUSHED"};
+constexpr const char* kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                          "COPPER"};
+constexpr const char* kContainerSyllable1[] = {"SM", "LG", "MED", "JUMBO",
+                                               "WRAP"};
+constexpr const char* kContainerSyllable2[] = {"CASE", "BOX", "BAG", "JAR",
+                                               "PKG", "PACK", "CAN", "DRUM"};
+constexpr const char* kWords[] = {
+    "furiously", "quick",   "pending", "final",  "ironic",  "express",
+    "bold",      "regular", "silent",  "blithe", "careful", "dogged"};
+
+int64_t Date(int y, int m, int d) { return DaysFromCivil(y, m, d); }
+
+std::string Comment(Rng* rng, int words) {
+  std::vector<std::string> parts;
+  for (int i = 0; i < words; ++i) {
+    parts.push_back(kWords[rng->Uniform(0, 11)]);
+  }
+  return Join(parts, " ");
+}
+
+std::string Phone(Rng* rng, int64_t nation) {
+  return StrFormat("%d-%03d-%03d-%04d", static_cast<int>(10 + nation),
+                   static_cast<int>(rng->Uniform(100, 999)),
+                   static_cast<int>(rng->Uniform(100, 999)),
+                   static_cast<int>(rng->Uniform(1000, 9999)));
+}
+
+}  // namespace
+
+std::shared_ptr<Schema> TpchSchema(const std::string& table) {
+  using T = DataType;
+  std::string t = ToLower(table);
+  std::vector<ColumnDef> cols;
+  if (t == "region") {
+    cols = {{"r_regionkey", T::kInt64, false},
+            {"r_name", T::kString, false},
+            {"r_comment", T::kString, true}};
+  } else if (t == "nation") {
+    cols = {{"n_nationkey", T::kInt64, false},
+            {"n_name", T::kString, false},
+            {"n_regionkey", T::kInt64, false},
+            {"n_comment", T::kString, true}};
+  } else if (t == "supplier") {
+    cols = {{"s_suppkey", T::kInt64, false},
+            {"s_name", T::kString, false},
+            {"s_address", T::kString, false},
+            {"s_nationkey", T::kInt64, false},
+            {"s_phone", T::kString, false},
+            {"s_acctbal", T::kDouble, false},
+            {"s_comment", T::kString, true}};
+  } else if (t == "customer") {
+    cols = {{"c_custkey", T::kInt64, false},
+            {"c_name", T::kString, false},
+            {"c_address", T::kString, false},
+            {"c_nationkey", T::kInt64, false},
+            {"c_phone", T::kString, false},
+            {"c_acctbal", T::kDouble, false},
+            {"c_mktsegment", T::kString, false},
+            {"c_comment", T::kString, true}};
+  } else if (t == "part" || t == "part_local") {
+    cols = {{"p_partkey", T::kInt64, false},
+            {"p_name", T::kString, false},
+            {"p_mfgr", T::kString, false},
+            {"p_brand", T::kString, false},
+            {"p_type", T::kString, false},
+            {"p_size", T::kInt64, false},
+            {"p_container", T::kString, false},
+            {"p_retailprice", T::kDouble, false},
+            {"p_comment", T::kString, true}};
+  } else if (t == "partsupp") {
+    cols = {{"ps_partkey", T::kInt64, false},
+            {"ps_suppkey", T::kInt64, false},
+            {"ps_availqty", T::kInt64, false},
+            {"ps_supplycost", T::kDouble, false},
+            {"ps_comment", T::kString, true}};
+  } else if (t == "orders") {
+    cols = {{"o_orderkey", T::kInt64, false},
+            {"o_custkey", T::kInt64, false},
+            {"o_orderstatus", T::kString, false},
+            {"o_totalprice", T::kDouble, false},
+            {"o_orderdate", T::kDate, false},
+            {"o_orderpriority", T::kString, false},
+            {"o_clerk", T::kString, false},
+            {"o_shippriority", T::kInt64, false},
+            {"o_comment", T::kString, true}};
+  } else if (t == "lineitem") {
+    cols = {{"l_orderkey", T::kInt64, false},
+            {"l_partkey", T::kInt64, false},
+            {"l_suppkey", T::kInt64, false},
+            {"l_linenumber", T::kInt64, false},
+            {"l_quantity", T::kDouble, false},
+            {"l_extendedprice", T::kDouble, false},
+            {"l_discount", T::kDouble, false},
+            {"l_tax", T::kDouble, false},
+            {"l_returnflag", T::kString, false},
+            {"l_linestatus", T::kString, false},
+            {"l_shipdate", T::kDate, false},
+            {"l_commitdate", T::kDate, false},
+            {"l_receiptdate", T::kDate, false},
+            {"l_shipinstruct", T::kString, false},
+            {"l_shipmode", T::kString, false},
+            {"l_comment", T::kString, true}};
+  }
+  return std::make_shared<Schema>(cols);
+}
+
+std::vector<std::string> TpchTableNames() {
+  return {"region",   "nation", "supplier", "customer",
+          "part",     "partsupp", "orders", "lineitem"};
+}
+
+TpchData Generate(double scale_factor, uint64_t seed) {
+  Rng rng(seed);
+  TpchData data;
+  auto scaled = [&](int64_t base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(
+                                    std::llround(base * scale_factor)));
+  };
+  const int64_t num_supplier = scaled(10000);
+  const int64_t num_customer = scaled(150000);
+  const int64_t num_part = scaled(200000);
+  const int64_t num_orders = scaled(1500000);
+
+  for (int64_t r = 0; r < 5; ++r) {
+    data.region.push_back({Value::Int(r), Value::String(kRegions[r]),
+                           Value::String(Comment(&rng, 4))});
+  }
+  for (int64_t n = 0; n < 25; ++n) {
+    data.nation.push_back({Value::Int(n), Value::String(kNations[n]),
+                           Value::Int(kNationRegion[n]),
+                           Value::String(Comment(&rng, 4))});
+  }
+  for (int64_t s = 1; s <= num_supplier; ++s) {
+    int64_t nation = rng.Uniform(0, 24);
+    // ~1% of suppliers carry the Q16 complaints marker.
+    std::string comment = Comment(&rng, 5);
+    if (rng.Uniform(0, 99) == 0) {
+      comment += " Customer unhappy Complaints filed";
+    }
+    data.supplier.push_back(
+        {Value::Int(s), Value::String(StrFormat("Supplier#%09lld",
+                                                static_cast<long long>(s))),
+         Value::String(Comment(&rng, 2)), Value::Int(nation),
+         Value::String(Phone(&rng, nation)),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(comment)});
+  }
+  for (int64_t c = 1; c <= num_customer; ++c) {
+    int64_t nation = rng.Uniform(0, 24);
+    data.customer.push_back(
+        {Value::Int(c), Value::String(StrFormat("Customer#%09lld",
+                                                static_cast<long long>(c))),
+         Value::String(Comment(&rng, 2)), Value::Int(nation),
+         Value::String(Phone(&rng, nation)),
+         Value::Double(rng.Uniform(-99999, 999999) / 100.0),
+         Value::String(kSegments[rng.Uniform(0, 4)]),
+         Value::String(Comment(&rng, 5))});
+  }
+  for (int64_t p = 1; p <= num_part; ++p) {
+    std::string type = std::string(kTypeSyllable1[rng.Uniform(0, 5)]) + " " +
+                       kTypeSyllable2[rng.Uniform(0, 4)] + " " +
+                       kTypeSyllable3[rng.Uniform(0, 4)];
+    std::string container =
+        std::string(kContainerSyllable1[rng.Uniform(0, 4)]) + " " +
+        kContainerSyllable2[rng.Uniform(0, 7)];
+    int64_t brand_mfgr = rng.Uniform(1, 5);
+    int64_t brand_minor = rng.Uniform(1, 5);
+    data.part.push_back(
+        {Value::Int(p),
+         Value::String(Comment(&rng, 3)),
+         Value::String(StrFormat("Manufacturer#%lld",
+                                 static_cast<long long>(brand_mfgr))),
+         Value::String(StrFormat("Brand#%lld%lld",
+                                 static_cast<long long>(brand_mfgr),
+                                 static_cast<long long>(brand_minor))),
+         Value::String(type), Value::Int(rng.Uniform(1, 50)),
+         Value::String(container),
+         Value::Double(900.0 + static_cast<double>(p % 1000)),
+         Value::String(Comment(&rng, 3))});
+  }
+  for (int64_t p = 1; p <= num_part; ++p) {
+    // Four suppliers per part (official ratio).
+    for (int64_t i = 0; i < 4; ++i) {
+      int64_t supp =
+          (p + i * (num_supplier / 4 + 1)) % num_supplier + 1;
+      data.partsupp.push_back(
+          {Value::Int(p), Value::Int(supp),
+           Value::Int(rng.Uniform(1, 9999)),
+           Value::Double(rng.Uniform(100, 100000) / 100.0),
+           Value::String(Comment(&rng, 6))});
+    }
+  }
+  const int64_t start_date = Date(1992, 1, 1);
+  const int64_t end_date = Date(1998, 8, 2);
+  const int64_t current_date = Date(1995, 6, 17);
+  for (int64_t o = 1; o <= num_orders; ++o) {
+    int64_t cust = rng.Uniform(1, num_customer);
+    int64_t orderdate = rng.Uniform(start_date, end_date - 151);
+    std::string comment = Comment(&rng, 5);
+    // ~1.2% of orders mention special requests (drives Q13's shape).
+    if (rng.Uniform(0, 79) == 0) {
+      comment += " special packages requests";
+    }
+    int64_t num_lines = rng.Uniform(1, 7);
+    double total = 0;
+    int placed = 0;
+    for (int64_t l = 1; l <= num_lines; ++l) {
+      int64_t part = rng.Uniform(1, num_part);
+      int64_t supp = (part + rng.Uniform(0, 3) * (num_supplier / 4 + 1)) %
+                         num_supplier + 1;
+      double quantity = static_cast<double>(rng.Uniform(1, 50));
+      double price = (900.0 + static_cast<double>(part % 1000)) * quantity /
+                     10.0;
+      double discount = static_cast<double>(rng.Uniform(0, 10)) / 100.0;
+      double tax = static_cast<double>(rng.Uniform(0, 8)) / 100.0;
+      int64_t shipdate = orderdate + rng.Uniform(1, 121);
+      int64_t commitdate = orderdate + rng.Uniform(30, 90);
+      int64_t receiptdate = shipdate + rng.Uniform(1, 30);
+      const char* returnflag =
+          receiptdate <= current_date ? (rng.Uniform(0, 1) ? "R" : "A") : "N";
+      const char* linestatus = shipdate > current_date ? "O" : "F";
+      data.lineitem.push_back(
+          {Value::Int(o), Value::Int(part), Value::Int(supp), Value::Int(l),
+           Value::Double(quantity), Value::Double(price),
+           Value::Double(discount), Value::Double(tax),
+           Value::String(returnflag), Value::String(linestatus),
+           Value::Date(shipdate), Value::Date(commitdate),
+           Value::Date(receiptdate),
+           Value::String(kInstructs[rng.Uniform(0, 3)]),
+           Value::String(kShipModes[rng.Uniform(0, 6)]),
+           Value::String(Comment(&rng, 3))});
+      total += price * (1 + tax) * (1 - discount);
+      ++placed;
+    }
+    const char* status = rng.Uniform(0, 2) == 0 ? "F"
+                         : rng.Uniform(0, 1) ? "O"
+                                             : "P";
+    data.orders.push_back(
+        {Value::Int(o), Value::Int(cust), Value::String(status),
+         Value::Double(total), Value::Date(orderdate),
+         Value::String(kPriorities[rng.Uniform(0, 4)]),
+         Value::String(StrFormat("Clerk#%09d",
+                                 static_cast<int>(rng.Uniform(1, 1000)))),
+         Value::Int(0), Value::String(comment)});
+    (void)placed;
+  }
+  return data;
+}
+
+const std::vector<std::vector<Value>>* TableRows(const TpchData& data,
+                                                 const std::string& table) {
+  std::string t = ToLower(table);
+  if (t == "region") return &data.region;
+  if (t == "nation") return &data.nation;
+  if (t == "supplier") return &data.supplier;
+  if (t == "customer") return &data.customer;
+  if (t == "part" || t == "part_local") return &data.part;
+  if (t == "partsupp") return &data.partsupp;
+  if (t == "orders") return &data.orders;
+  if (t == "lineitem") return &data.lineitem;
+  return nullptr;
+}
+
+}  // namespace hana::tpch

@@ -1,0 +1,46 @@
+#ifndef HANA_TPCH_DBGEN_H_
+#define HANA_TPCH_DBGEN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace hana::tpch {
+
+/// All eight TPC-H relations, generated in memory.
+struct TpchData {
+  std::vector<std::vector<Value>> region;
+  std::vector<std::vector<Value>> nation;
+  std::vector<std::vector<Value>> supplier;
+  std::vector<std::vector<Value>> customer;
+  std::vector<std::vector<Value>> part;
+  std::vector<std::vector<Value>> partsupp;
+  std::vector<std::vector<Value>> orders;
+  std::vector<std::vector<Value>> lineitem;
+};
+
+/// Schema of a TPC-H table ("lineitem", "orders", ...). Dates are typed
+/// DATE, monetary amounts DOUBLE, keys BIGINT.
+std::shared_ptr<Schema> TpchSchema(const std::string& table);
+
+/// Names of all eight tables in dependency order.
+std::vector<std::string> TpchTableNames();
+
+/// Deterministic scaled-down generator: row counts follow the official
+/// ratios (supplier 10k/customer 150k/part 200k/partsupp 800k/orders
+/// 1.5M/lineitem ~6M at SF 1), value distributions are uniform
+/// approximations that preserve every predicate the 12 benchmark
+/// queries rely on (PROMO part types, MAIL/SHIP ship modes, BUILDING
+/// market segments, "special requests" order comments, ...).
+TpchData Generate(double scale_factor, uint64_t seed = 19920701);
+
+/// Rows of a table by name (pointer into `data`).
+const std::vector<std::vector<Value>>* TableRows(const TpchData& data,
+                                                 const std::string& table);
+
+}  // namespace hana::tpch
+
+#endif  // HANA_TPCH_DBGEN_H_

@@ -1,0 +1,185 @@
+#include "tpch/queries.h"
+
+#include <map>
+
+namespace hana::tpch {
+
+namespace {
+
+/// {PART} is substituted with the configured part relation.
+const std::map<int, const char*>& QueryMap() {
+  static const std::map<int, const char*>* kQueries = new std::map<
+      int, const char*>{
+      {1, R"(SELECT l_returnflag, l_linestatus,
+        SUM(l_quantity) AS sum_qty,
+        SUM(l_extendedprice) AS sum_base_price,
+        SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+        SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+        AVG(l_quantity) AS avg_qty,
+        AVG(l_extendedprice) AS avg_price,
+        AVG(l_discount) AS avg_disc,
+        COUNT(*) AS count_order
+      FROM lineitem
+      WHERE l_shipdate <= DATE '1998-09-02'
+      GROUP BY l_returnflag, l_linestatus)"},
+      {3, R"(SELECT l_orderkey,
+        SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+        o_orderdate, o_shippriority
+      FROM customer, orders, lineitem
+      WHERE c_mktsegment = 'BUILDING'
+        AND c_custkey = o_custkey
+        AND l_orderkey = o_orderkey
+        AND o_orderdate < DATE '1995-03-15'
+        AND l_shipdate > DATE '1995-03-15'
+      GROUP BY l_orderkey, o_orderdate, o_shippriority)"},
+      {4, R"(SELECT o_orderpriority, COUNT(*) AS order_count
+      FROM orders
+      WHERE o_orderdate >= DATE '1993-07-01'
+        AND o_orderdate < DATE '1993-10-01'
+        AND EXISTS (
+          SELECT * FROM lineitem
+          WHERE l_orderkey = o_orderkey
+            AND l_commitdate < l_receiptdate)
+      GROUP BY o_orderpriority)"},
+      {5, R"(SELECT n_name,
+        SUM(l_extendedprice * (1 - l_discount)) AS revenue
+      FROM customer, orders, lineitem, supplier, nation, region
+      WHERE c_custkey = o_custkey
+        AND l_orderkey = o_orderkey
+        AND l_suppkey = s_suppkey
+        AND c_nationkey = s_nationkey
+        AND s_nationkey = n_nationkey
+        AND n_regionkey = r_regionkey
+        AND r_name = 'ASIA'
+        AND o_orderdate >= DATE '1994-01-01'
+        AND o_orderdate < DATE '1995-01-01'
+      GROUP BY n_name)"},
+      {6, R"(SELECT SUM(l_extendedprice * l_discount) AS revenue
+      FROM lineitem
+      WHERE l_shipdate >= DATE '1994-01-01'
+        AND l_shipdate < DATE '1995-01-01'
+        AND l_discount BETWEEN 0.05 AND 0.07
+        AND l_quantity < 24)"},
+      {10, R"(SELECT c_custkey, c_name,
+        SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+        c_acctbal, n_name, c_address, c_phone, c_comment
+      FROM customer, orders, lineitem, nation
+      WHERE c_custkey = o_custkey
+        AND l_orderkey = o_orderkey
+        AND o_orderdate >= DATE '1993-10-01'
+        AND o_orderdate < DATE '1994-01-01'
+        AND l_returnflag = 'R'
+        AND c_nationkey = n_nationkey
+      GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+        c_comment)"},
+      {12, R"(SELECT l_shipmode,
+        SUM(CASE WHEN o_orderpriority = '1-URGENT'
+              OR o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END)
+          AS high_line_count,
+        SUM(CASE WHEN o_orderpriority <> '1-URGENT'
+              AND o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END)
+          AS low_line_count
+      FROM orders, lineitem
+      WHERE o_orderkey = l_orderkey
+        AND l_shipmode IN ('MAIL', 'SHIP')
+        AND l_commitdate < l_receiptdate
+        AND l_shipdate < l_commitdate
+        AND l_receiptdate >= DATE '1994-01-01'
+        AND l_receiptdate < DATE '1995-01-01'
+      GROUP BY l_shipmode)"},
+      {13, R"(SELECT c_count, COUNT(*) AS custdist
+      FROM (SELECT c_custkey AS c_custkey,
+              COUNT(o_orderkey) AS c_count
+            FROM customer LEFT OUTER JOIN orders
+              ON c_custkey = o_custkey
+              AND o_comment NOT LIKE '%special%requests%'
+            GROUP BY c_custkey) c_orders
+      GROUP BY c_count)"},
+      {14, R"(SELECT 100.00 *
+          SUM(CASE WHEN p_type LIKE 'PROMO%'
+                THEN l_extendedprice * (1 - l_discount) ELSE 0 END) /
+          SUM(l_extendedprice * (1 - l_discount)) AS promo_revenue
+      FROM lineitem, {PART}
+      WHERE l_partkey = p_partkey
+        AND l_shipdate >= DATE '1995-09-01'
+        AND l_shipdate < DATE '1995-10-01')"},
+      {16, R"(SELECT p_brand, p_type, p_size,
+        COUNT(DISTINCT ps_suppkey) AS supplier_cnt
+      FROM partsupp, {PART}
+      WHERE p_partkey = ps_partkey
+        AND p_brand <> 'Brand#45'
+        AND p_type NOT LIKE 'MEDIUM POLISHED%'
+        AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+        AND ps_suppkey NOT IN (
+          SELECT s_suppkey FROM supplier
+          WHERE s_comment LIKE '%Customer%Complaints%')
+      GROUP BY p_brand, p_type, p_size)"},
+      {18, R"(SELECT c_name, c_custkey, o_orderkey, o_orderdate,
+        o_totalprice, SUM(l_quantity) AS total_qty
+      FROM customer, orders, lineitem
+      WHERE o_orderkey IN (
+          SELECT l_orderkey FROM lineitem
+          GROUP BY l_orderkey
+          HAVING SUM(l_quantity) > 300)
+        AND c_custkey = o_custkey
+        AND o_orderkey = l_orderkey
+      GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice)"},
+      {19, R"(SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+      FROM lineitem, {PART}
+      WHERE p_partkey = l_partkey
+        AND ((p_brand = 'Brand#12'
+          AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+          AND l_quantity >= 1 AND l_quantity <= 11
+          AND p_size BETWEEN 1 AND 5
+          AND l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON')
+        OR (p_brand = 'Brand#23'
+          AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+          AND l_quantity >= 10 AND l_quantity <= 20
+          AND p_size BETWEEN 1 AND 10
+          AND l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON')
+        OR (p_brand = 'Brand#34'
+          AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+          AND l_quantity >= 20 AND l_quantity <= 30
+          AND p_size BETWEEN 1 AND 15
+          AND l_shipmode IN ('AIR', 'AIR REG')
+          AND l_shipinstruct = 'DELIVER IN PERSON')))"},
+  };
+  return *kQueries;
+}
+
+}  // namespace
+
+std::string QueryText(int query, const std::string& part_table) {
+  auto it = QueryMap().find(query);
+  if (it == QueryMap().end()) return "";
+  std::string text = it->second;
+  const std::string placeholder = "{PART}";
+  while (true) {
+    auto pos = text.find(placeholder);
+    if (pos == std::string::npos) break;
+    text.replace(pos, placeholder.size(), part_table);
+  }
+  return text;
+}
+
+std::vector<int> BenchmarkQueries() {
+  return {4, 18, 13, 3, 12, 6, 1, 5, 10, 19, 14, 16};
+}
+
+bool IsModifiedQuery(int query) {
+  switch (query) {
+    case 1:
+    case 3:
+    case 5:
+    case 12:
+    case 13:
+    case 18:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace hana::tpch

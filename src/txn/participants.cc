@@ -1,0 +1,103 @@
+#include "txn/participants.h"
+
+namespace hana::txn {
+
+Status ColumnTableParticipant::StageInsert(TxnId txn, std::vector<Value> row) {
+  if (row.size() != table_->schema()->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  staged_[txn].inserts.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status ColumnTableParticipant::StageDelete(TxnId txn, size_t row_index) {
+  if (row_index >= table_->num_rows()) {
+    return Status::OutOfRange("row index out of range");
+  }
+  staged_[txn].deletes.push_back(row_index);
+  return Status::OK();
+}
+
+Status ColumnTableParticipant::Prepare(TxnId txn) {
+  if (fail_next_prepare_) {
+    fail_next_prepare_ = false;
+    return Status::TransactionAborted(name_ + ": injected prepare failure");
+  }
+  auto it = staged_.find(txn);
+  if (it != staged_.end()) {
+    for (const auto& row : it->second.inserts) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].is_null() && !table_->schema()->column(c).nullable) {
+          return Status::InvalidArgument(
+              name_ + ": NULL in NOT NULL column " +
+              table_->schema()->column(c).name);
+        }
+      }
+    }
+    it->second.prepared = true;
+  }
+  return Status::OK();
+}
+
+Status ColumnTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
+  auto it = staged_.find(txn);
+  if (it == staged_.end()) return Status::OK();  // Nothing staged here.
+  for (size_t row : it->second.deletes) {
+    HANA_RETURN_IF_ERROR(table_->DeleteRow(row));
+  }
+  for (auto& row : it->second.inserts) {
+    HANA_RETURN_IF_ERROR(table_->AppendRow(row));
+  }
+  staged_.erase(it);
+  last_commit_id_ = commit_id;
+  return Status::OK();
+}
+
+Status ColumnTableParticipant::Abort(TxnId txn) {
+  staged_.erase(txn);  // Unknown transactions are a no-op by design.
+  return Status::OK();
+}
+
+Status ExtendedTableParticipant::StageInsert(TxnId txn,
+                                             std::vector<Value> row) {
+  if (unavailable_) {
+    return Status::Unavailable(name_ + ": extended storage unreachable");
+  }
+  if (row.size() != table_->schema()->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  staged_[txn].inserts.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status ExtendedTableParticipant::Prepare(TxnId txn) {
+  if (unavailable_) {
+    return Status::Unavailable(name_ + ": extended storage unreachable");
+  }
+  if (fail_next_prepare_) {
+    fail_next_prepare_ = false;
+    return Status::TransactionAborted(name_ + ": injected prepare failure");
+  }
+  auto it = staged_.find(txn);
+  if (it != staged_.end()) it->second.prepared = true;
+  return Status::OK();
+}
+
+Status ExtendedTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
+  (void)commit_id;
+  if (unavailable_) {
+    return Status::Unavailable(name_ + ": extended storage unreachable");
+  }
+  auto it = staged_.find(txn);
+  if (it == staged_.end()) return Status::OK();
+  HANA_RETURN_IF_ERROR(table_->BulkLoad(it->second.inserts));
+  staged_.erase(it);
+  return Status::OK();
+}
+
+Status ExtendedTableParticipant::Abort(TxnId txn) {
+  staged_.erase(txn);
+  return Status::OK();
+}
+
+}  // namespace hana::txn

@@ -1,0 +1,90 @@
+#ifndef HANA_TXN_PARTICIPANTS_H_
+#define HANA_TXN_PARTICIPANTS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extended/extended_store.h"
+#include "storage/column_table.h"
+#include "txn/two_phase.h"
+
+namespace hana::txn {
+
+/// Write staging for an in-memory column table. Inserts and deletes are
+/// buffered per transaction and applied atomically at Commit. Abort (and
+/// Abort of unknown transactions, as happens during presumed-abort
+/// recovery) simply drops the staging.
+class ColumnTableParticipant : public Participant {
+ public:
+  ColumnTableParticipant(std::string name, storage::ColumnTable* table)
+      : name_(std::move(name)), table_(table) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status StageInsert(TxnId txn, std::vector<Value> row);
+  Status StageDelete(TxnId txn, size_t row_index);
+
+  Status Prepare(TxnId txn) override;
+  Status Commit(TxnId txn, uint64_t commit_id) override;
+  Status Abort(TxnId txn) override;
+
+  /// Failure injection: the next Prepare votes abort.
+  void FailNextPrepare() { fail_next_prepare_ = true; }
+
+  /// Commit id of the last applied transaction (visibility watermark).
+  uint64_t last_commit_id() const { return last_commit_id_; }
+
+ private:
+  struct Staged {
+    std::vector<std::vector<Value>> inserts;
+    std::vector<size_t> deletes;
+    bool prepared = false;
+  };
+
+  std::string name_;
+  storage::ColumnTable* table_;
+  std::map<TxnId, Staged> staged_;
+  bool fail_next_prepare_ = false;
+  uint64_t last_commit_id_ = 0;
+};
+
+/// Write staging for an extended-storage table. Commit bulk-loads the
+/// staged rows into the disk store — the transactional (non-direct)
+/// write path of the extended storage.
+class ExtendedTableParticipant : public Participant {
+ public:
+  ExtendedTableParticipant(std::string name, extended::ExtendedTable* table)
+      : name_(std::move(name)), table_(table) {}
+
+  const std::string& name() const override { return name_; }
+
+  Status StageInsert(TxnId txn, std::vector<Value> row);
+
+  Status Prepare(TxnId txn) override;
+  Status Commit(TxnId txn, uint64_t commit_id) override;
+  Status Abort(TxnId txn) override;
+
+  void FailNextPrepare() { fail_next_prepare_ = true; }
+  /// Simulates an unavailable extended store: every access errors until
+  /// cleared (paper: "every access to a SAP HANA table may throw a
+  /// runtime error" while the extended system is down).
+  void SetUnavailable(bool value) { unavailable_ = value; }
+  bool unavailable() const { return unavailable_; }
+
+ private:
+  struct Staged {
+    std::vector<std::vector<Value>> inserts;
+    bool prepared = false;
+  };
+
+  std::string name_;
+  extended::ExtendedTable* table_;
+  std::map<TxnId, Staged> staged_;
+  bool fail_next_prepare_ = false;
+  bool unavailable_ = false;
+};
+
+}  // namespace hana::txn
+
+#endif  // HANA_TXN_PARTICIPANTS_H_

@@ -1,0 +1,227 @@
+#include "txn/two_phase.h"
+
+#include <algorithm>
+
+namespace hana::txn {
+
+TxnId TwoPhaseCoordinator::Begin() {
+  TxnId txn = next_txn_++;
+  active_[txn] = ActiveTxn{};
+  log_.push_back({LogKind::kBegin, txn, 0, {}});
+  return txn;
+}
+
+Status TwoPhaseCoordinator::Enlist(TxnId txn, Participant* participant) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("unknown transaction " + std::to_string(txn));
+  }
+  auto& parts = it->second.participants;
+  if (std::find(parts.begin(), parts.end(), participant) == parts.end()) {
+    parts.push_back(participant);
+  }
+  return Status::OK();
+}
+
+Status TwoPhaseCoordinator::AbortEverywhere(
+    TxnId txn, const std::vector<Participant*>& parts) {
+  Status first_error;
+  for (Participant* p : parts) {
+    Status s = p->Abort(txn);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  log_.push_back({LogKind::kAbort, txn, 0, {}});
+  active_.erase(txn);
+  return first_error;
+}
+
+Status TwoPhaseCoordinator::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("unknown transaction " + std::to_string(txn));
+  }
+  std::vector<Participant*> parts = it->second.participants;
+
+  if (failpoint_ == Failpoint::kBeforePrepare) {
+    Crash();
+    return Status::Unavailable("coordinator crashed before prepare");
+  }
+
+  // Phase 1: prepare everywhere. An optimization from the improved
+  // protocol [14]: a single-participant transaction commits in one phase.
+  bool single = parts.size() <= 1;
+  if (!single) {
+    std::vector<std::string> names;
+    for (Participant* p : parts) {
+      Status s = p->Prepare(txn);
+      if (!s.ok()) {
+        AbortEverywhere(txn, parts);
+        return Status::TransactionAborted("prepare failed at " + p->name() +
+                                          ": " + s.message());
+      }
+      names.push_back(p->name());
+    }
+    log_.push_back({LogKind::kPrepared, txn, 0, names});
+  }
+
+  if (failpoint_ == Failpoint::kAfterPrepare) {
+    Crash();
+    return Status::Unavailable(
+        "coordinator crashed after prepare; transaction in doubt");
+  }
+
+  uint64_t commit_id = next_commit_id_++;
+  log_.push_back({LogKind::kCommit, txn, commit_id, {}});
+
+  if (failpoint_ == Failpoint::kAfterCommitRecord) {
+    Crash();
+    return Status::Unavailable(
+        "coordinator crashed after commit record; recovery will finish");
+  }
+
+  for (Participant* p : parts) {
+    Status s = single ? [&] {
+      Status prep = p->Prepare(txn);
+      return prep.ok() ? p->Commit(txn, commit_id) : prep;
+    }()
+                      : p->Commit(txn, commit_id);
+    if (!s.ok()) {
+      if (single) {
+        AbortEverywhere(txn, parts);
+        return Status::TransactionAborted("commit failed at " + p->name() +
+                                          ": " + s.message());
+      }
+      return Status::Internal("participant " + p->name() +
+                              " failed after global commit: " + s.message());
+    }
+  }
+  log_.push_back({LogKind::kEnd, txn, commit_id, {}});
+  active_.erase(txn);
+  return Status::OK();
+}
+
+Status TwoPhaseCoordinator::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::NotFound("unknown transaction " + std::to_string(txn));
+  }
+  std::vector<Participant*> parts = it->second.participants;
+  return AbortEverywhere(txn, parts);
+}
+
+void TwoPhaseCoordinator::Crash() {
+  active_.clear();
+  recovery_participants_.clear();
+  crashed_ = true;
+  failpoint_ = Failpoint::kNone;
+}
+
+void TwoPhaseCoordinator::RegisterRecoveryParticipant(
+    Participant* participant) {
+  recovery_participants_.push_back(participant);
+}
+
+Participant* TwoPhaseCoordinator::FindRecoveryParticipant(
+    const std::string& name) const {
+  for (Participant* p : recovery_participants_) {
+    if (p->name() == name) return p;
+  }
+  return nullptr;
+}
+
+std::vector<TxnId> TwoPhaseCoordinator::InDoubt() const {
+  std::set<TxnId> prepared;
+  std::set<TxnId> resolved;
+  for (const LogRecord& rec : log_) {
+    switch (rec.kind) {
+      case LogKind::kPrepared:
+        prepared.insert(rec.txn);
+        break;
+      case LogKind::kCommit:
+      case LogKind::kAbort:
+        resolved.insert(rec.txn);
+        break;
+      default:
+        break;
+    }
+  }
+  std::vector<TxnId> in_doubt;
+  for (TxnId txn : prepared) {
+    if (resolved.count(txn) == 0) in_doubt.push_back(txn);
+  }
+  return in_doubt;
+}
+
+Status TwoPhaseCoordinator::AbortInDoubt(TxnId txn) {
+  std::vector<TxnId> in_doubt = InDoubt();
+  if (std::find(in_doubt.begin(), in_doubt.end(), txn) == in_doubt.end()) {
+    return Status::NotFound("transaction not in doubt: " +
+                            std::to_string(txn));
+  }
+  // Find its participants from the prepare record.
+  for (const LogRecord& rec : log_) {
+    if (rec.kind == LogKind::kPrepared && rec.txn == txn) {
+      for (const std::string& name : rec.participants) {
+        if (Participant* p = FindRecoveryParticipant(name)) {
+          HANA_RETURN_IF_ERROR(p->Abort(txn));
+        }
+      }
+    }
+  }
+  log_.push_back({LogKind::kAbort, txn, 0, {}});
+  return Status::OK();
+}
+
+Status TwoPhaseCoordinator::Recover() {
+  // Presumed abort: transactions with a commit record roll forward;
+  // everything else (including in-doubt) rolls back on every participant.
+  std::map<TxnId, uint64_t> committed;
+  std::set<TxnId> ended;
+  std::map<TxnId, std::vector<std::string>> prepared;
+  std::set<TxnId> seen;
+  for (const LogRecord& rec : log_) {
+    seen.insert(rec.txn);
+    switch (rec.kind) {
+      case LogKind::kCommit:
+        committed[rec.txn] = rec.commit_id;
+        break;
+      case LogKind::kEnd:
+        ended.insert(rec.txn);
+        break;
+      case LogKind::kPrepared:
+        prepared[rec.txn] = rec.participants;
+        break;
+      default:
+        break;
+    }
+  }
+  for (TxnId txn : seen) {
+    if (ended.count(txn) > 0) continue;  // Fully finished.
+    auto commit_it = committed.find(txn);
+    auto prep_it = prepared.find(txn);
+    std::vector<Participant*> parts;
+    if (prep_it != prepared.end()) {
+      for (const std::string& name : prep_it->second) {
+        if (Participant* p = FindRecoveryParticipant(name)) parts.push_back(p);
+      }
+    } else {
+      parts = recovery_participants_;
+    }
+    if (commit_it != committed.end()) {
+      for (Participant* p : parts) {
+        HANA_RETURN_IF_ERROR(p->Commit(txn, commit_it->second));
+      }
+      log_.push_back({LogKind::kEnd, txn, commit_it->second, {}});
+    } else {
+      for (Participant* p : parts) {
+        HANA_RETURN_IF_ERROR(p->Abort(txn));
+      }
+      log_.push_back({LogKind::kAbort, txn, 0, {}});
+      log_.push_back({LogKind::kEnd, txn, 0, {}});
+    }
+  }
+  crashed_ = false;
+  return Status::OK();
+}
+
+}  // namespace hana::txn

@@ -1,0 +1,119 @@
+#ifndef HANA_TXN_TWO_PHASE_H_
+#define HANA_TXN_TWO_PHASE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hana::txn {
+
+using TxnId = uint64_t;
+
+/// A resource manager participating in distributed transactions —
+/// implemented by the in-memory table store and the extended storage
+/// (Section 3.1 "Transactions"): SAP HANA coordinates the transaction,
+/// generating transaction and commit IDs, using an improved two-phase
+/// commit protocol [14].
+class Participant {
+ public:
+  virtual ~Participant() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Phase 1: make the transaction's effects durable-but-undoable.
+  /// Returning non-OK votes "abort".
+  virtual Status Prepare(TxnId txn) = 0;
+  /// Phase 2 success: apply/expose the effects. Must not fail after a
+  /// successful Prepare (any failure is an infrastructure error).
+  virtual Status Commit(TxnId txn, uint64_t commit_id) = 0;
+  /// Phase 2 failure (or presumed abort during recovery).
+  virtual Status Abort(TxnId txn) = 0;
+};
+
+/// Coordinator log record kinds.
+enum class LogKind { kBegin, kPrepared, kCommit, kAbort, kEnd };
+
+struct LogRecord {
+  LogKind kind;
+  TxnId txn = 0;
+  uint64_t commit_id = 0;
+  std::vector<std::string> participants;  // On kPrepared.
+};
+
+/// Failure-injection points for tests and the 2PC ablation benchmark.
+enum class Failpoint {
+  kNone,
+  kBeforePrepare,
+  kAfterPrepare,   // Crash after all participants prepared, before the
+                   // commit record: transactions become in-doubt.
+  kAfterCommitRecord,
+};
+
+/// The distributed transaction coordinator. Keeps a (in-memory,
+/// replayable) write-ahead log; Recover() resolves in-doubt transactions
+/// jointly with all registered participants — mirroring the paper's
+/// integrated recovery of HANA + extended storage.
+class TwoPhaseCoordinator {
+ public:
+  TwoPhaseCoordinator() = default;
+
+  TxnId Begin();
+
+  /// Enlists a participant in `txn` (idempotent).
+  Status Enlist(TxnId txn, Participant* participant);
+
+  /// Runs the full two-phase protocol. On any prepare failure the
+  /// transaction aborts everywhere and the error is returned.
+  Status Commit(TxnId txn);
+
+  Status Abort(TxnId txn);
+
+  /// Simulates a coordinator crash: volatile state is dropped; only the
+  /// log survives. Prepared-but-unresolved transactions become in-doubt.
+  void Crash();
+
+  /// Replays the log: commits transactions with a commit record, aborts
+  /// (presumed abort) the rest. Participants must be re-registered via
+  /// RegisterRecoveryParticipant before calling.
+  Status Recover();
+
+  void RegisterRecoveryParticipant(Participant* participant);
+
+  /// Transactions prepared but neither committed nor aborted (visible
+  /// after Crash(), before Recover()). Clients may manually abort them.
+  std::vector<TxnId> InDoubt() const;
+
+  /// Manually aborts an in-doubt transaction (paper: "Clients will have
+  /// the ability to manually abort these in-doubt transactions").
+  Status AbortInDoubt(TxnId txn);
+
+  void SetFailpoint(Failpoint fp) { failpoint_ = fp; }
+
+  const std::vector<LogRecord>& log() const { return log_; }
+  uint64_t last_commit_id() const { return next_commit_id_ - 1; }
+
+ private:
+  struct ActiveTxn {
+    std::vector<Participant*> participants;
+  };
+
+  Status AbortEverywhere(TxnId txn, const std::vector<Participant*>& parts);
+  Participant* FindRecoveryParticipant(const std::string& name) const;
+
+  TxnId next_txn_ = 1;
+  uint64_t next_commit_id_ = 1;
+  std::map<TxnId, ActiveTxn> active_;
+  std::vector<LogRecord> log_;
+  std::vector<Participant*> recovery_participants_;
+  Failpoint failpoint_ = Failpoint::kNone;
+  bool crashed_ = false;
+};
+
+}  // namespace hana::txn
+
+#endif  // HANA_TXN_TWO_PHASE_H_

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+namespace hana::catalog {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<platform::Platform>();
+  }
+  std::unique_ptr<platform::Platform> db_;
+};
+
+TEST_F(CatalogTest, CreateDropAllStorageKinds) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE COLUMN TABLE c (a BIGINT);
+      CREATE ROW TABLE r (a BIGINT);
+      CREATE TABLE e (a BIGINT) USING EXTENDED STORAGE;
+      CREATE TABLE h (a BIGINT, m BIGINT) USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 10 COLD, PARTITION OTHERS HOT))")
+                  .ok());
+  EXPECT_EQ((*db_->catalog().GetTable("c"))->kind, TableKind::kColumn);
+  EXPECT_EQ((*db_->catalog().GetTable("r"))->kind, TableKind::kRow);
+  EXPECT_EQ((*db_->catalog().GetTable("e"))->kind, TableKind::kExtended);
+  EXPECT_EQ((*db_->catalog().GetTable("h"))->kind, TableKind::kHybrid);
+  EXPECT_TRUE(db_->iq()->store()->HasTable("E"));
+  EXPECT_TRUE(db_->iq()->store()->HasTable("H__P0"));
+
+  EXPECT_FALSE(db_->Execute("CREATE TABLE c (x BIGINT)").ok());  // Dup.
+  ASSERT_TRUE(db_->Execute("DROP TABLE h").ok());
+  EXPECT_FALSE(db_->iq()->store()->HasTable("H__P0"));
+  EXPECT_FALSE(db_->Execute("DROP TABLE h").ok());
+  EXPECT_TRUE(db_->Execute("DROP TABLE IF EXISTS h").ok());
+}
+
+TEST_F(CatalogTest, HybridInsertRoutesByRange) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE h (id BIGINT, m BIGINT) USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 10 COLD, PARTITION OTHERS HOT))")
+                  .ok());
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 40; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i % 20)});
+  }
+  ASSERT_TRUE(db_->catalog().Insert("h", rows).ok());
+  TableEntry* entry = *db_->catalog().GetTable("h");
+  auto cold = db_->iq()->store()->GetTable(entry->partitions[0].cold_table);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ((*cold)->live_rows(), 20u);  // m in [0,10).
+  EXPECT_EQ(entry->partitions[1].hot->live_rows(), 20u);
+  EXPECT_EQ(entry->LiveRows(db_->iq()), 40u);
+
+  // Queries span both partitions.
+  auto all = db_->Query("SELECT COUNT(*) AS n FROM h");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->row(0)[0].int_value(), 40);
+}
+
+TEST_F(CatalogTest, AgingByRange) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE h (id BIGINT, m BIGINT) USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 10 COLD, PARTITION OTHERS HOT))")
+                  .ok());
+  // Load everything hot (m >= 10), then "close" a month by updating m.
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 30; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(15)});
+  }
+  ASSERT_TRUE(db_->catalog().Insert("h", rows).ok());
+  ASSERT_TRUE(db_->Execute("UPDATE h SET m = 5 WHERE id < 10").ok());
+  auto moved = db_->catalog().RunAging("h");
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_EQ(*moved, 10u);
+  TableEntry* entry = *db_->catalog().GetTable("h");
+  EXPECT_EQ(entry->partitions[1].hot->live_rows(), 20u);
+  auto count = db_->Query("SELECT COUNT(*) AS n FROM h");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->row(0)[0].int_value(), 30);
+}
+
+TEST_F(CatalogTest, AgingByFlag) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE h (id BIGINT, m BIGINT, aged BOOLEAN)
+        USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 10 COLD, PARTITION OTHERS HOT)
+        WITH AGING ON aged)")
+                  .ok());
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 20; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(20), Value::Bool(i % 2 == 0)});
+  }
+  ASSERT_TRUE(db_->catalog().Insert("h", rows).ok());
+  auto moved = db_->catalog().RunAging("h");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 10u);  // Flagged rows moved to cold storage.
+  // A second run is a no-op.
+  EXPECT_EQ(*db_->catalog().RunAging("h"), 0u);
+  auto count = db_->Query("SELECT COUNT(*) AS n FROM h");
+  EXPECT_EQ(count->row(0)[0].int_value(), 20);
+}
+
+TEST_F(CatalogTest, FlexibleTableGrowsSchema) {
+  ASSERT_TRUE(
+      db_->Execute("CREATE FLEXIBLE TABLE logs (ts BIGINT)").ok());
+  ASSERT_TRUE(db_->Execute("INSERT INTO logs VALUES (1)").ok());
+  // Unknown column appears: the schema extends on the fly.
+  ASSERT_TRUE(db_->Execute(
+                     "INSERT INTO logs (ts, severity) VALUES (2, 'WARN')")
+                  .ok());
+  ASSERT_TRUE(
+      db_->Execute("INSERT INTO logs (ts, code) VALUES (3, 42)").ok());
+  auto rows = db_->Query("SELECT ts, severity, code FROM logs ORDER BY ts");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->num_rows(), 3u);
+  EXPECT_TRUE(rows->row(0)[1].is_null());
+  EXPECT_EQ(rows->row(1)[1].string_value(), "WARN");
+  EXPECT_EQ(rows->row(2)[2].int_value(), 42);
+
+  // Non-flexible tables reject unknown columns.
+  ASSERT_TRUE(db_->Execute("CREATE TABLE rigid (a BIGINT)").ok());
+  EXPECT_FALSE(
+      db_->Execute("INSERT INTO rigid (a, b) VALUES (1, 2)").ok());
+}
+
+TEST_F(CatalogTest, RowStorePointOperations) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE ROW TABLE kv (k BIGINT, v VARCHAR(10));
+      INSERT INTO kv VALUES (1, 'one'), (2, 'two'))").ok());
+  ASSERT_TRUE(db_->Execute("UPDATE kv SET v = 'ONE' WHERE k = 1").ok());
+  auto r = db_->Query("SELECT v FROM kv WHERE k = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row(0)[0].string_value(), "ONE");
+}
+
+TEST_F(CatalogTest, DeleteOnExtendedTable) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE e (a BIGINT) USING EXTENDED STORAGE;
+      INSERT INTO e VALUES (1),(2),(3),(4))").ok());
+  auto deleted = db_->Execute("DELETE FROM e WHERE a > 2");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->metrics.rows, 2u);
+  auto n = db_->Query("SELECT COUNT(*) AS n FROM e");
+  EXPECT_EQ(n->row(0)[0].int_value(), 2);
+}
+
+TEST_F(CatalogTest, MergeDeltaStatement) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE t (a BIGINT);
+      INSERT INTO t VALUES (1),(2),(3))").ok());
+  ASSERT_TRUE(db_->Execute("MERGE DELTA OF t").ok());
+  auto r = db_->Query("SELECT SUM(a) AS s FROM t");
+  EXPECT_EQ(r->row(0)[0].int_value(), 6);
+  EXPECT_FALSE(db_->Execute("MERGE DELTA OF missing").ok());
+}
+
+TEST_F(CatalogTest, HybridWithoutExtendedStorageFails) {
+  platform::Platform bare(platform::PlatformOptions{
+      .attach_extended = false, .start_hadoop = false});
+  EXPECT_FALSE(
+      bare.Execute("CREATE TABLE e (a BIGINT) USING EXTENDED STORAGE")
+          .ok());
+}
+
+TEST_F(CatalogTest, PartitionBoundsValidation) {
+  EXPECT_FALSE(db_->Execute(R"(
+      CREATE TABLE h (a BIGINT) USING HYBRID EXTENDED STORAGE)")
+                   .ok());  // Needs PARTITION BY.
+  // Rows outside every partition are rejected.
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE h2 (a BIGINT, m BIGINT) USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m) (PARTITION VALUES < 10 COLD))")
+                  .ok());
+  EXPECT_FALSE(
+      db_->catalog().Insert("h2", {{Value::Int(1), Value::Int(50)}}).ok());
+}
+
+}  // namespace
+}  // namespace hana::catalog

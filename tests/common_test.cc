@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/util.h"
+#include "common/value.h"
+
+namespace hana {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status err = Status::NotFound("missing thing");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.message(), "missing thing");
+  EXPECT_EQ(err.ToString(), "NotFound: missing thing");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kCapabilityError);
+       ++code) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+Result<int> Chained(int v) {
+  HANA_ASSIGN_OR_RETURN(int doubled, ParsePositive(v));
+  return doubled + 1;
+}
+
+TEST(ResultTest, ValueAndErrorPropagation) {
+  EXPECT_EQ(*Chained(4), 9);
+  Result<int> err = Chained(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ValueTest, TypeAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).int_value(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Date(1).type(), DataType::kDate);
+}
+
+TEST(ValueTest, ComparisonOrdering) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  // Nulls sort first.
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Cross-type numeric equality implies equal hashes.
+  EXPECT_EQ(Value::Int(5).Compare(Value::Double(5.0)), 0);
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, Casts) {
+  EXPECT_EQ(Value::String("123").CastTo(DataType::kInt64)->int_value(), 123);
+  EXPECT_DOUBLE_EQ(
+      Value::String("1.5").CastTo(DataType::kDouble)->double_value(), 1.5);
+  EXPECT_EQ(Value::Int(7).CastTo(DataType::kString)->string_value(), "7");
+  EXPECT_FALSE(Value::String("abc").CastTo(DataType::kInt64).ok());
+  EXPECT_TRUE(Value::Null().CastTo(DataType::kInt64)->is_null());
+  EXPECT_EQ(
+      Value::String("1995-03-15").CastTo(DataType::kDate)->ToString(),
+      "1995-03-15");
+}
+
+struct DateCase {
+  const char* text;
+  int year, month, day;
+};
+
+class DateRoundTrip : public ::testing::TestWithParam<DateCase> {};
+
+TEST_P(DateRoundTrip, ParseFormatInverse) {
+  const DateCase& c = GetParam();
+  auto days = ParseDate(c.text);
+  ASSERT_TRUE(days.ok());
+  EXPECT_EQ(*days, DaysFromCivil(c.year, c.month, c.day));
+  EXPECT_EQ(FormatDate(*days), c.text);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dates, DateRoundTrip,
+    ::testing::Values(DateCase{"1970-01-01", 1970, 1, 1},
+                      DateCase{"1969-12-31", 1969, 12, 31},
+                      DateCase{"1992-02-29", 1992, 2, 29},
+                      DateCase{"2000-02-29", 2000, 2, 29},
+                      DateCase{"1998-12-01", 1998, 12, 1},
+                      DateCase{"2038-01-19", 2038, 1, 19},
+                      DateCase{"1900-03-01", 1900, 3, 1}));
+
+TEST(DateTest, SequentialDaysAreContiguous) {
+  // Property: every day of 1996 (leap year) increments by exactly one.
+  int64_t prev = DaysFromCivil(1995, 12, 31);
+  static const int kDays[] = {0,  31, 29, 31, 30, 31, 30,
+                              31, 31, 30, 31, 30, 31};
+  for (int m = 1; m <= 12; ++m) {
+    for (int d = 1; d <= kDays[m]; ++d) {
+      int64_t cur = DaysFromCivil(1996, m, d);
+      EXPECT_EQ(cur, prev + 1);
+      prev = cur;
+    }
+  }
+}
+
+TEST(DateTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("1995-13-01").ok());
+  EXPECT_FALSE(ParseDate("1995-00-10").ok());
+}
+
+TEST(StringsTest, CaseAndTrim) {
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringsTest, SplitJoin) {
+  EXPECT_EQ(Split("a,b,,c", ',').size(), 4u);
+  EXPECT_EQ(Split("abc", ',').size(), 1u);
+  EXPECT_EQ(Join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatching : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatching, MatchesSqlSemantics) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.match)
+      << c.text << " LIKE " << c.pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatching,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true}, LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true}, LikeCase{"hello", "h___o_", false},
+        LikeCase{"hello", "%", true}, LikeCase{"", "%", true},
+        LikeCase{"", "_", false}, LikeCase{"abc", "%a%b%c%", true},
+        LikeCase{"special packages requests", "%special%requests%", true},
+        LikeCase{"MEDIUM POLISHED TIN", "MEDIUM POLISHED%", true},
+        LikeCase{"PROMO ANODIZED TIN", "PROMO%", true},
+        LikeCase{"aaa", "%aaaa%", false}));
+
+TEST(SchemaTest, LookupQualifiedAndUnqualified) {
+  Schema schema({{"t.a", DataType::kInt64, false},
+                 {"t.b", DataType::kString, true},
+                 {"u.a", DataType::kDouble, true}});
+  EXPECT_EQ(schema.FindColumn("t.a"), 0);
+  EXPECT_EQ(schema.FindColumn("T.B"), 1);
+  EXPECT_EQ(schema.FindColumn("b"), 1);   // Unambiguous base name.
+  EXPECT_EQ(schema.FindColumn("a"), -1);  // Ambiguous: t.a vs u.a.
+  EXPECT_EQ(schema.FindColumn("missing"), -1);
+  EXPECT_FALSE(schema.ColumnIndex("a").ok());
+}
+
+TEST(SchemaTest, ToStringMentionsTypes) {
+  Schema schema({{"id", DataType::kInt64, false}});
+  EXPECT_EQ(schema.ToString(), "(id BIGINT NOT NULL)");
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(43);
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(HashTest, Fnv1aKnownProperties) {
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_EQ(Fnv1a64(std::string("query")), Fnv1a64("query"));
+}
+
+TEST(SimClockTest, Accumulates) {
+  SimClock clock;
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 4.0);
+  clock.Reset();
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0);
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  EXPECT_EQ(*DataTypeFromName("BIGINT"), DataType::kInt64);
+  EXPECT_EQ(*DataTypeFromName("varchar(30)"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromName("Decimal(10,2)"), DataType::kDouble);
+  EXPECT_EQ(*DataTypeFromName("date"), DataType::kDate);
+  EXPECT_EQ(*DataTypeFromName("int"), DataType::kInt64);
+  EXPECT_FALSE(DataTypeFromName("blob").ok());
+}
+
+}  // namespace
+}  // namespace hana

@@ -1,0 +1,325 @@
+// Expression-evaluation and operator semantics, driven through the
+// platform's SQL surface against small in-memory fixtures.
+
+#include <gtest/gtest.h>
+
+#include "platform/platform.h"
+
+namespace hana::exec {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<platform::Platform>(platform::PlatformOptions{
+        .attach_extended = false, .start_hadoop = false});
+    ASSERT_TRUE(db_->Run(R"(
+        CREATE TABLE nums (i BIGINT, d DOUBLE, s VARCHAR(10),
+                           dt DATE, b BOOLEAN);
+        INSERT INTO nums VALUES
+          (1, 1.5, 'alpha', DATE '1995-01-01', TRUE),
+          (2, 2.5, 'beta',  DATE '1995-06-15', FALSE),
+          (3, NULL, 'gamma', DATE '1996-01-01', TRUE),
+          (NULL, 4.5, NULL, NULL, NULL);
+    )").ok());
+  }
+
+  Value Scalar(const std::string& expr) {
+    auto result = db_->Query("SELECT " + expr);
+    EXPECT_TRUE(result.ok()) << expr << ": " << result.status().ToString();
+    if (!result.ok() || result->num_rows() != 1) return Value::Null();
+    return result->row(0)[0];
+  }
+
+  std::unique_ptr<platform::Platform> db_;
+};
+
+TEST_F(ExecTest, Arithmetic) {
+  EXPECT_EQ(Scalar("1 + 2 * 3").int_value(), 7);
+  EXPECT_DOUBLE_EQ(Scalar("7 / 2").double_value(), 3.5);
+  EXPECT_EQ(Scalar("7 % 3").int_value(), 1);
+  EXPECT_EQ(Scalar("-(3 - 5)").int_value(), 2);
+  EXPECT_DOUBLE_EQ(Scalar("1.5 * 2").double_value(), 3.0);
+  EXPECT_TRUE(Scalar("1 / 0").is_null());  // Division by zero -> NULL.
+  EXPECT_TRUE(Scalar("1 % 0").is_null());
+}
+
+TEST_F(ExecTest, DateArithmetic) {
+  EXPECT_EQ(Scalar("DATE '1995-01-10' - DATE '1995-01-01'").int_value(), 9);
+  EXPECT_EQ(Scalar("DATE '1995-01-01' + 31").ToString(), "1995-02-01");
+  EXPECT_EQ(Scalar("YEAR(DATE '1995-03-15')").int_value(), 1995);
+  EXPECT_EQ(Scalar("MONTH(DATE '1995-03-15')").int_value(), 3);
+  EXPECT_EQ(Scalar("DAYOFMONTH(DATE '1995-03-15')").int_value(), 15);
+}
+
+TEST_F(ExecTest, StringFunctions) {
+  EXPECT_EQ(Scalar("UPPER('aBc')").string_value(), "ABC");
+  EXPECT_EQ(Scalar("LOWER('aBc')").string_value(), "abc");
+  EXPECT_EQ(Scalar("LENGTH('hello')").int_value(), 5);
+  EXPECT_EQ(Scalar("SUBSTR('hello', 2, 3)").string_value(), "ell");
+  EXPECT_EQ(Scalar("SUBSTR('hello', 4)").string_value(), "lo");
+  EXPECT_EQ(Scalar("CONCAT('a', 'b')").string_value(), "ab");
+  EXPECT_EQ(Scalar("'x' || 'y'").string_value(), "xy");
+  EXPECT_EQ(Scalar("TRIM('  pad  ')").string_value(), "pad");
+}
+
+TEST_F(ExecTest, NumericFunctions) {
+  EXPECT_EQ(Scalar("ABS(-5)").int_value(), 5);
+  EXPECT_DOUBLE_EQ(Scalar("ABS(-5.5)").double_value(), 5.5);
+  EXPECT_DOUBLE_EQ(Scalar("ROUND(2.567, 2)").double_value(), 2.57);
+  EXPECT_EQ(Scalar("FLOOR(2.9)").int_value(), 2);
+  EXPECT_EQ(Scalar("CEIL(2.1)").int_value(), 3);
+  EXPECT_EQ(Scalar("MOD(10, 3)").int_value(), 1);
+  EXPECT_EQ(Scalar("COALESCE(NULL, NULL, 7)").int_value(), 7);
+  EXPECT_EQ(Scalar("IFNULL(NULL, 'dflt')").string_value(), "dflt");
+}
+
+TEST_F(ExecTest, ThreeValuedLogic) {
+  // NULL propagation through comparisons; Kleene AND/OR.
+  EXPECT_TRUE(Scalar("NULL = 1").is_null());
+  EXPECT_TRUE(Scalar("NULL AND TRUE").is_null());
+  EXPECT_EQ(Scalar("NULL AND FALSE").bool_value(), false);
+  EXPECT_EQ(Scalar("NULL OR TRUE").bool_value(), true);
+  EXPECT_TRUE(Scalar("NULL OR FALSE").is_null());
+  EXPECT_EQ(Scalar("NOT FALSE").bool_value(), true);
+  EXPECT_EQ(Scalar("NULL IS NULL").bool_value(), true);
+  EXPECT_EQ(Scalar("1 IS NOT NULL").bool_value(), true);
+  // IN with NULLs: match wins, otherwise NULL contaminates.
+  EXPECT_EQ(Scalar("2 IN (1, NULL, 2)").bool_value(), true);
+  EXPECT_TRUE(Scalar("3 IN (1, NULL, 2)").is_null());
+  EXPECT_EQ(Scalar("3 NOT IN (1, 2)").bool_value(), true);
+}
+
+TEST_F(ExecTest, FilterDropsNullPredicates) {
+  // Row 3 has d = NULL: "d > 0" is NULL there, so the row is dropped.
+  auto rows = db_->Query("SELECT i FROM nums WHERE d > 0");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->num_rows(), 3u);  // Rows 1, 2 and the NULL-i row.
+}
+
+TEST_F(ExecTest, CaseExpressions) {
+  EXPECT_EQ(Scalar("CASE WHEN 1 = 1 THEN 'y' ELSE 'n' END").string_value(),
+            "y");
+  EXPECT_EQ(Scalar("CASE WHEN 1 = 2 THEN 'y' END").is_null(), true);
+  EXPECT_EQ(Scalar("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END")
+                .string_value(),
+            "b");
+}
+
+TEST_F(ExecTest, Aggregates) {
+  auto r = db_->Query(R"(
+      SELECT COUNT(*) AS all_rows, COUNT(d) AS non_null_d, SUM(i) AS si,
+             AVG(d) AS ad, MIN(s) AS mn, MAX(s) AS mx
+      FROM nums)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& row = r->row(0);
+  EXPECT_EQ(row[0].int_value(), 4);
+  EXPECT_EQ(row[1].int_value(), 3);
+  EXPECT_EQ(row[2].int_value(), 6);
+  EXPECT_DOUBLE_EQ(row[3].double_value(), (1.5 + 2.5 + 4.5) / 3);
+  EXPECT_EQ(row[4].string_value(), "alpha");
+  EXPECT_EQ(row[5].string_value(), "gamma");
+}
+
+TEST_F(ExecTest, AggregatesOverEmptyInput) {
+  auto r = db_->Query(
+      "SELECT COUNT(*) AS n, SUM(i) AS s, MIN(i) AS m FROM nums"
+      " WHERE i > 100");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].int_value(), 0);
+  EXPECT_TRUE(r->row(0)[1].is_null());
+  EXPECT_TRUE(r->row(0)[2].is_null());
+  // With GROUP BY an empty input yields zero groups.
+  auto grouped = db_->Query(
+      "SELECT b, COUNT(*) AS n FROM nums WHERE i > 100 GROUP BY b");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->num_rows(), 0u);
+}
+
+TEST_F(ExecTest, GroupByTreatsNullAsOneGroup) {
+  auto r = db_->Query("SELECT b, COUNT(*) AS n FROM nums GROUP BY b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3u);  // TRUE, FALSE and NULL groups.
+}
+
+TEST_F(ExecTest, CountDistinct) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE dup (g BIGINT, v BIGINT);
+      INSERT INTO dup VALUES (1,1),(1,1),(1,2),(2,5),(2,5),(2,NULL))")
+                  .ok());
+  auto r = db_->Query(
+      "SELECT g, COUNT(DISTINCT v) AS dv, COUNT(v) AS cv FROM dup"
+      " GROUP BY g");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 2u);
+  for (const auto& row : r->rows()) {
+    if (row[0].int_value() == 1) {
+      EXPECT_EQ(row[1].int_value(), 2);
+      EXPECT_EQ(row[2].int_value(), 3);
+    } else {
+      EXPECT_EQ(row[1].int_value(), 1);
+      EXPECT_EQ(row[2].int_value(), 2);
+    }
+  }
+}
+
+TEST_F(ExecTest, OrderByVariants) {
+  auto by_alias = db_->Query(
+      "SELECT i AS k FROM nums WHERE i IS NOT NULL ORDER BY k DESC");
+  ASSERT_TRUE(by_alias.ok());
+  EXPECT_EQ(by_alias->row(0)[0].int_value(), 3);
+  auto by_position = db_->Query(
+      "SELECT i FROM nums WHERE i IS NOT NULL ORDER BY 1");
+  ASSERT_TRUE(by_position.ok());
+  EXPECT_EQ(by_position->row(0)[0].int_value(), 1);
+  // Hidden sort column: expression not in the select list.
+  auto by_expr = db_->Query(
+      "SELECT s FROM nums WHERE i IS NOT NULL ORDER BY i * -1");
+  ASSERT_TRUE(by_expr.ok()) << by_expr.status().ToString();
+  EXPECT_EQ(by_expr->row(0)[0].string_value(), "gamma");
+  EXPECT_EQ(by_expr->schema()->num_columns(), 1u);  // Hidden col stripped.
+}
+
+TEST_F(ExecTest, NullsSortFirst) {
+  auto r = db_->Query("SELECT i FROM nums ORDER BY i");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->row(0)[0].is_null());
+}
+
+TEST_F(ExecTest, LimitAndDistinct) {
+  auto limited = db_->Query("SELECT i FROM nums ORDER BY i LIMIT 2");
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(limited->num_rows(), 2u);
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE d2 (v BIGINT);
+      INSERT INTO d2 VALUES (1),(1),(2),(2),(3))").ok());
+  auto distinct = db_->Query("SELECT DISTINCT v FROM d2");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_EQ(distinct->num_rows(), 3u);
+}
+
+TEST_F(ExecTest, JoinKinds) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE l (k BIGINT, lv VARCHAR(5));
+      CREATE TABLE r (k BIGINT, rv VARCHAR(5));
+      INSERT INTO l VALUES (1,'a'),(2,'b'),(3,'c'),(NULL,'n');
+      INSERT INTO r VALUES (2,'x'),(3,'y'),(3,'z'),(4,'w'),(NULL,'m'))")
+                  .ok());
+  auto inner = db_->Query(
+      "SELECT l.lv, r.rv FROM l JOIN r ON l.k = r.k");
+  ASSERT_TRUE(inner.ok());
+  EXPECT_EQ(inner->num_rows(), 3u);  // (2), (3,y), (3,z); NULLs drop.
+
+  auto left = db_->Query(
+      "SELECT l.lv, r.rv FROM l LEFT JOIN r ON l.k = r.k");
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(left->num_rows(), 5u);  // 1->null, 2, 3x2, null->null.
+
+  auto left_residual = db_->Query(R"(
+      SELECT l.lv, r.rv FROM l LEFT JOIN r
+      ON l.k = r.k AND r.rv <> 'y')");
+  ASSERT_TRUE(left_residual.ok());
+  // Row k=3 keeps only 'z'; every left row survives.
+  EXPECT_EQ(left_residual->num_rows(), 4u);
+
+  auto cross = db_->Query("SELECT COUNT(*) AS n FROM l CROSS JOIN r");
+  ASSERT_TRUE(cross.ok());
+  EXPECT_EQ(cross->row(0)[0].int_value(), 20);
+
+  auto theta = db_->Query(
+      "SELECT COUNT(*) AS n FROM l JOIN r ON l.k < r.k");
+  ASSERT_TRUE(theta.ok());
+  EXPECT_EQ(theta->row(0)[0].int_value(), 8);  // Nested-loop path.
+}
+
+TEST_F(ExecTest, SemiAntiViaSubqueries) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE big (k BIGINT);
+      CREATE TABLE small (k BIGINT);
+      INSERT INTO big VALUES (1),(2),(3),(4),(5);
+      INSERT INTO small VALUES (2),(4),(4))").ok());
+  auto semi = db_->Query(
+      "SELECT k FROM big WHERE k IN (SELECT k FROM small)");
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(semi->num_rows(), 2u);  // No duplicates from the 4,4.
+  auto anti = db_->Query(
+      "SELECT k FROM big WHERE k NOT IN (SELECT k FROM small)");
+  ASSERT_TRUE(anti.ok());
+  EXPECT_EQ(anti->num_rows(), 3u);
+  auto exists = db_->Query(R"(
+      SELECT k FROM big b
+      WHERE EXISTS (SELECT * FROM small s WHERE s.k = b.k))");
+  ASSERT_TRUE(exists.ok());
+  EXPECT_EQ(exists->num_rows(), 2u);
+  auto not_exists = db_->Query(R"(
+      SELECT k FROM big b
+      WHERE NOT EXISTS (SELECT * FROM small s WHERE s.k = b.k))");
+  ASSERT_TRUE(not_exists.ok());
+  EXPECT_EQ(not_exists->num_rows(), 3u);
+}
+
+TEST_F(ExecTest, HavingAndExpressionOfAggregates) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE sales (prod VARCHAR(5), amt DOUBLE);
+      INSERT INTO sales VALUES ('a',10),('a',20),('b',1),('b',2),('c',100))")
+                  .ok());
+  auto r = db_->Query(R"(
+      SELECT prod, SUM(amt) / COUNT(*) AS avg_amt
+      FROM sales GROUP BY prod HAVING SUM(amt) > 5)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST_F(ExecTest, TableLessSelect) {
+  auto r = db_->Query("SELECT 1 + 1 AS two, 'x' AS s");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->row(0)[0].int_value(), 2);
+}
+
+TEST_F(ExecTest, DerivedTables) {
+  auto r = db_->Query(R"(
+      SELECT t.g, COUNT(*) AS n
+      FROM (SELECT i % 2 AS g FROM nums WHERE i IS NOT NULL) t
+      GROUP BY t.g)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_rows(), 2u);
+}
+
+TEST_F(ExecTest, DmlUpdateDelete) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE mut (k BIGINT, v BIGINT);
+      INSERT INTO mut VALUES (1,10),(2,20),(3,30))").ok());
+  auto updated = db_->Execute("UPDATE mut SET v = v + 1 WHERE k >= 2");
+  ASSERT_TRUE(updated.ok());
+  EXPECT_EQ(updated->metrics.rows, 2u);
+  auto deleted = db_->Execute("DELETE FROM mut WHERE k = 1");
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->metrics.rows, 1u);
+  auto rest = db_->Query("SELECT SUM(v) AS s FROM mut");
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->row(0)[0].int_value(), 52);
+}
+
+TEST_F(ExecTest, InsertSelect) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE src (v BIGINT);
+      CREATE TABLE dst (v BIGINT);
+      INSERT INTO src VALUES (1),(2),(3))").ok());
+  ASSERT_TRUE(db_->Execute("INSERT INTO dst SELECT v * 10 FROM src").ok());
+  auto r = db_->Query("SELECT SUM(v) AS s FROM dst");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row(0)[0].int_value(), 60);
+}
+
+TEST_F(ExecTest, BindErrors) {
+  EXPECT_FALSE(db_->Query("SELECT missing FROM nums").ok());
+  EXPECT_FALSE(db_->Query("SELECT i FROM missing_table").ok());
+  EXPECT_FALSE(db_->Query("SELECT i, SUM(d) FROM nums").ok());
+  EXPECT_FALSE(db_->Query("SELECT UNKNOWN_FN(i) FROM nums").ok());
+  EXPECT_FALSE(db_->Query("SELECT * FROM nums GROUP BY i").ok());
+}
+
+}  // namespace
+}  // namespace hana::exec

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_engine.h"
+
+namespace hana::graph {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    //      1 -> 2 -> 3
+    //      |         ^
+    //      v         |
+    //      4 --------+     5 (isolated)
+    for (int64_t v = 1; v <= 5; ++v) {
+      ASSERT_TRUE(g_.AddVertex(v, v % 2 == 0 ? "even" : "odd").ok());
+    }
+    ASSERT_TRUE(g_.AddEdge(1, 2, "next", 1.0).ok());
+    ASSERT_TRUE(g_.AddEdge(2, 3, "next", 5.0).ok());
+    ASSERT_TRUE(g_.AddEdge(1, 4, "down", 1.0).ok());
+    ASSERT_TRUE(g_.AddEdge(4, 3, "up", 1.0).ok());
+    g_.BuildCsr();
+  }
+
+  GraphEngine g_;
+};
+
+TEST_F(GraphTest, BasicCounts) {
+  EXPECT_EQ(g_.num_vertices(), 5u);
+  EXPECT_EQ(g_.num_edges(), 4u);
+  EXPECT_EQ(*g_.OutDegree(1), 2u);
+  EXPECT_EQ(*g_.OutDegree(5), 0u);
+}
+
+TEST_F(GraphTest, MutationValidation) {
+  EXPECT_FALSE(g_.AddVertex(1, "dup").ok());
+  EXPECT_FALSE(g_.AddEdge(1, 99, "x").ok());
+  EXPECT_FALSE(g_.Neighbors(99).ok());
+}
+
+TEST_F(GraphTest, NeighborsWithLabelFilter) {
+  auto all = g_.Neighbors(1);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  auto down = g_.Neighbors(1, "down");
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down->size(), 1u);
+  EXPECT_EQ((*down)[0], 4);
+}
+
+TEST_F(GraphTest, BfsDistances) {
+  auto dist = g_.Bfs(1);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[1], 0);
+  EXPECT_EQ((*dist)[2], 1);
+  EXPECT_EQ((*dist)[4], 1);
+  EXPECT_EQ((*dist)[3], 2);
+  EXPECT_EQ(dist->count(5), 0u);  // Unreachable.
+}
+
+TEST_F(GraphTest, ShortestPaths) {
+  EXPECT_EQ(*g_.ShortestPathHops(1, 3), 2);
+  EXPECT_EQ(*g_.ShortestPathHops(1, 5), -1);
+  // Weighted: 1->2->3 costs 6; 1->4->3 costs 2.
+  EXPECT_DOUBLE_EQ(*g_.ShortestPathWeight(1, 3), 2.0);
+  EXPECT_FALSE(g_.ShortestPathWeight(3, 1).ok());  // No path.
+}
+
+TEST_F(GraphTest, TriangleCount) {
+  EXPECT_EQ(*g_.TriangleCount(), 0u);
+  ASSERT_TRUE(g_.AddEdge(3, 1, "back").ok());  // Closes 1-4-3 and 1-2-3.
+  g_.BuildCsr();
+  EXPECT_EQ(*g_.TriangleCount(), 2u);
+}
+
+TEST_F(GraphTest, CrossModelTables) {
+  storage::Table vertices = g_.VerticesTable();
+  storage::Table edges = g_.EdgesTable();
+  EXPECT_EQ(vertices.num_rows(), 5u);
+  EXPECT_EQ(edges.num_rows(), 4u);
+  EXPECT_EQ(vertices.schema()->FindColumn("label"), 1);
+  EXPECT_EQ(edges.schema()->FindColumn("weight"), 3);
+  // The backing storage is the shared column-table infrastructure.
+  EXPECT_EQ(g_.vertices().live_rows(), 5u);
+}
+
+TEST_F(GraphTest, CsrInvalidatedByMutation) {
+  ASSERT_TRUE(g_.AddVertex(6, "odd").ok());
+  EXPECT_FALSE(g_.Neighbors(6).ok());  // Stale CSR detected.
+  g_.BuildCsr();
+  EXPECT_TRUE(g_.Neighbors(6).ok());
+}
+
+}  // namespace
+}  // namespace hana::graph

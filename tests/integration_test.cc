@@ -1,0 +1,220 @@
+// Cross-engine integration: streaming vs. batch agreement, graph x SQL
+// cross-model queries, hybrid vs. plain-table equivalence, platform-level
+// cache plumbing, and EXPLAIN surfaces.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/util.h"
+#include "esp/engine.h"
+#include "graph/graph_engine.h"
+#include "platform/platform.h"
+#include "timeseries/series_table.h"
+
+namespace hana {
+namespace {
+
+using platform::Platform;
+using platform::PlatformOptions;
+
+TEST(Integration, StreamingAggregatesMatchBatchSql) {
+  // Property: ESP per-window aggregation over the full stream equals a
+  // batch GROUP BY over the same events stored relationally.
+  Platform db(PlatformOptions{.attach_extended = false,
+                              .start_hadoop = false});
+  ASSERT_TRUE(db.Run(R"(
+      CREATE TABLE raw (sensor BIGINT, v DOUBLE);
+      CREATE TABLE windows (sensor BIGINT, total DOUBLE, n BIGINT))")
+                  .ok());
+  esp::EspEngine esp;
+  auto schema = std::make_shared<Schema>(std::vector<ColumnDef>{
+      {"sensor", DataType::kInt64, false},
+      {"v", DataType::kDouble, false}});
+  ASSERT_TRUE(esp.CreateStream("s", schema).ok());
+  auto* windows = *db.catalog().GetTable("windows");
+  auto query = esp::CqBuilder(&esp, "s")
+                   .KeepMillis(1u << 30)  // One giant window.
+                   .GroupBy({"sensor"}, {"SUM(v) AS total", "COUNT(*) AS n"})
+                   .IntoTable(windows->column_table.get())
+                   .Finish("agg");
+  ASSERT_TRUE(query.ok());
+
+  Rng rng(17);
+  for (int64_t ts = 0; ts < 5000; ++ts) {
+    int64_t sensor = rng.Uniform(0, 9);
+    double v = rng.NextDouble();
+    ASSERT_TRUE(
+        esp.Publish("s", ts, {Value::Int(sensor), Value::Double(v)}).ok());
+    ASSERT_TRUE(db.catalog()
+                    .Insert("raw", {{Value::Int(sensor), Value::Double(v)}})
+                    .ok());
+  }
+  esp.FlushAll();
+
+  auto streaming = db.Query(
+      "SELECT sensor, total, n FROM windows ORDER BY sensor");
+  auto batch = db.Query(
+      "SELECT sensor, SUM(v) AS total, COUNT(*) AS n FROM raw"
+      " GROUP BY sensor ORDER BY sensor");
+  ASSERT_TRUE(streaming.ok());
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(streaming->num_rows(), batch->num_rows());
+  for (size_t r = 0; r < batch->num_rows(); ++r) {
+    EXPECT_EQ(streaming->row(r)[0].int_value(),
+              batch->row(r)[0].int_value());
+    EXPECT_NEAR(streaming->row(r)[1].double_value(),
+                batch->row(r)[1].double_value(), 1e-9);
+    EXPECT_EQ(streaming->row(r)[2].int_value(),
+              batch->row(r)[2].int_value());
+  }
+}
+
+TEST(Integration, GraphCrossQueriedWithSql) {
+  // "cross-querying between different data models within a single query
+  // statement": graph tables join with relational business data.
+  Platform db(PlatformOptions{.attach_extended = false,
+                              .start_hadoop = false});
+  graph::GraphEngine g;
+  for (int64_t v = 1; v <= 4; ++v) {
+    ASSERT_TRUE(g.AddVertex(v, v <= 2 ? "hub" : "leaf").ok());
+  }
+  ASSERT_TRUE(g.AddEdge(1, 3, "link").ok());
+  ASSERT_TRUE(g.AddEdge(1, 4, "link").ok());
+  ASSERT_TRUE(g.AddEdge(2, 4, "link").ok());
+  g.BuildCsr();
+
+  ASSERT_TRUE(db.Run(R"(
+      CREATE TABLE vertices (id BIGINT, label VARCHAR(10));
+      CREATE TABLE edges (src BIGINT, dst BIGINT, label VARCHAR(10),
+                          weight DOUBLE);
+      CREATE TABLE owners (id BIGINT, owner VARCHAR(10));
+      INSERT INTO owners VALUES (1,'alice'),(2,'bob'),(3,'carol'),
+                                (4,'dave'))")
+                  .ok());
+  ASSERT_TRUE(
+      db.catalog().Insert("vertices", g.VerticesTable().rows()).ok());
+  ASSERT_TRUE(db.catalog().Insert("edges", g.EdgesTable().rows()).ok());
+
+  auto result = db.Query(R"(
+      SELECT o.owner, COUNT(*) AS out_degree
+      FROM edges e JOIN vertices v ON e.src = v.id
+                   JOIN owners o ON v.id = o.id
+      WHERE v.label = 'hub'
+      GROUP BY o.owner ORDER BY o.owner)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2u);
+  EXPECT_EQ(result->row(0)[0].string_value(), "alice");
+  EXPECT_EQ(result->row(0)[1].int_value(), 2);
+  EXPECT_EQ(result->row(1)[1].int_value(), 1);
+}
+
+TEST(Integration, HybridTableEquivalentToPlainTable) {
+  // Property: a hybrid table answers every query identically to a plain
+  // in-memory table holding the same rows.
+  Platform db;
+  ASSERT_TRUE(db.Run(R"(
+      CREATE TABLE plain (id BIGINT, m BIGINT, v DOUBLE);
+      CREATE TABLE hybrid (id BIGINT, m BIGINT, v DOUBLE)
+        USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 50 COLD, PARTITION OTHERS HOT))")
+                  .ok());
+  Rng rng(23);
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 3000; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(rng.Uniform(0, 99)),
+                    Value::Double(rng.NextDouble() * 10)});
+  }
+  ASSERT_TRUE(db.catalog().Insert("plain", rows).ok());
+  ASSERT_TRUE(db.catalog().Insert("hybrid", rows).ok());
+
+  const char* queries[] = {
+      "SELECT COUNT(*) AS n FROM %s",
+      "SELECT SUM(v) AS s FROM %s WHERE m < 50",
+      "SELECT SUM(v) AS s FROM %s WHERE m >= 50",
+      "SELECT m, COUNT(*) AS n FROM %s WHERE m >= 40 AND m < 60"
+      " GROUP BY m ORDER BY m",
+      "SELECT COUNT(*) AS n FROM %s WHERE v > 5 AND m = 10",
+  };
+  for (const char* pattern : queries) {
+    std::string p = pattern, h = pattern;
+    p.replace(p.find("%s"), 2, "plain");
+    h.replace(h.find("%s"), 2, "hybrid");
+    auto plain = db.Query(p);
+    auto hybrid = db.Query(h);
+    ASSERT_TRUE(plain.ok()) << p;
+    ASSERT_TRUE(hybrid.ok()) << h << ": " << hybrid.status().ToString();
+    ASSERT_EQ(plain->num_rows(), hybrid->num_rows()) << pattern;
+    for (size_t r = 0; r < plain->num_rows(); ++r) {
+      for (size_t c = 0; c < plain->row(r).size(); ++c) {
+        EXPECT_EQ(plain->row(r)[c].Compare(hybrid->row(r)[c]), 0)
+            << pattern;
+      }
+    }
+  }
+}
+
+TEST(Integration, TimeSeriesMeanMatchesSqlAverage) {
+  Platform db(PlatformOptions{.attach_extended = false,
+                              .start_hadoop = false});
+  timeseries::SeriesOptions options;
+  options.interval_ms = 1000;
+  timeseries::SeriesTable series("m", options);
+  ASSERT_TRUE(db.Run("CREATE TABLE points (ts BIGINT, v DOUBLE)").ok());
+  Rng rng(31);
+  for (int64_t i = 0; i < 500; ++i) {
+    double v = std::round(rng.NextDouble() * 100) / 10.0;
+    ASSERT_TRUE(series.Append(i * 1000, v).ok());
+    ASSERT_TRUE(db.catalog()
+                    .Insert("points", {{Value::Int(i * 1000),
+                                        Value::Double(v)}})
+                    .ok());
+  }
+  series.Seal();
+  auto avg = db.Query("SELECT AVG(v) AS a FROM points");
+  ASSERT_TRUE(avg.ok());
+  EXPECT_NEAR(series.Mean(), avg->row(0)[0].double_value(), 1e-9);
+}
+
+TEST(Integration, ExplainShowsCachedPlanMarker) {
+  Platform db;
+  auto schema = std::make_shared<Schema>(std::vector<ColumnDef>{
+      {"k", DataType::kInt64, false}});
+  ASSERT_TRUE(db.hive()->CreateTable("t", schema).ok());
+  ASSERT_TRUE(db.hive()->LoadRows("t", {{Value::Int(1)}}).ok());
+  ASSERT_TRUE(db.Run(R"(
+      CREATE REMOTE SOURCE H ADAPTER "hiveodbc" CONFIGURATION 'DSN=h';
+      CREATE VIRTUAL TABLE vt AT "H"."default"."t")")
+                  .ok());
+  ASSERT_TRUE(db.SetParameter("enable_remote_cache", "true").ok());
+  auto normal = db.Explain("SELECT k FROM vt WHERE k > 0");
+  ASSERT_TRUE(normal.ok());
+  EXPECT_NE(normal->find("Remote Row Scan @H"), std::string::npos);
+  EXPECT_EQ(normal->find("[remote cache]"), std::string::npos);
+  auto cached = db.Explain(
+      "SELECT k FROM vt WHERE k > 0 WITH HINT (USE_REMOTE_CACHE)");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_NE(cached->find("[remote cache]"), std::string::npos) << *cached;
+}
+
+TEST(Integration, PlatformParameterValidation) {
+  Platform db(PlatformOptions{.attach_extended = false,
+                              .start_hadoop = false});
+  EXPECT_FALSE(db.SetParameter("no_such_parameter", "1").ok());
+  EXPECT_FALSE(db.SetParameter("remote_cache_validity", "abc").ok());
+  EXPECT_TRUE(db.SetParameter("enable_remote_cache", "false").ok());
+}
+
+TEST(Integration, ScriptErrorsSurfaceStatementContext) {
+  Platform db(PlatformOptions{.attach_extended = false,
+                              .start_hadoop = false});
+  Status status = db.Run("CREATE TABLE t (a BIGINT); SELECT nope FROM t");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kBindError);
+  // The first statement of the script still took effect.
+  EXPECT_TRUE(db.catalog().HasTable("t"));
+}
+
+}  // namespace
+}  // namespace hana

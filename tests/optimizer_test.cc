@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/util.h"
+#include "optimizer/statistics.h"
+#include "platform/platform.h"
+#include "tpch/dbgen.h"
+
+namespace hana::optimizer {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histograms / statistics
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, UniformRangeEstimates) {
+  Rng rng(1);
+  std::vector<Value> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(Value::Int(rng.Uniform(0, 999)));
+  }
+  Histogram h = Histogram::Build(values, 32);
+  EXPECT_EQ(h.total_rows(), 10000u);
+  // A 10% range should estimate close to 10%.
+  double frac = h.EstimateRangeFraction(Value::Int(100), Value::Int(199));
+  EXPECT_NEAR(frac, 0.1, 0.03);
+  EXPECT_NEAR(h.EstimateRangeFraction(Value::Null(), Value::Null()), 1.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(
+      h.EstimateRangeFraction(Value::Int(5000), Value::Int(6000)), 0.0);
+}
+
+TEST(HistogramTest, EqualityEstimateOnSkew) {
+  std::vector<Value> values;
+  for (int i = 0; i < 900; ++i) values.push_back(Value::Int(1));
+  for (int i = 0; i < 100; ++i) values.push_back(Value::Int(i + 2));
+  Histogram h = Histogram::Build(values, 8);
+  // The heavy hitter sits alone in its bucket(s): estimate near 0.9.
+  EXPECT_GT(h.EstimateEqFraction(Value::Int(1)), 0.5);
+  EXPECT_LT(h.EstimateEqFraction(Value::Int(50)), 0.05);
+}
+
+TEST(HistogramTest, QErrorBoundIsTracked) {
+  Rng rng(7);
+  std::vector<Value> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(Value::Int(rng.Uniform(0, 200)));
+  }
+  Histogram h = Histogram::Build(values, 16, /*q_bound=*/2.0);
+  EXPECT_GE(h.max_q_error(), 1.0);
+  // The refinement loop must have produced a usable bound.
+  EXPECT_LT(h.max_q_error(), 4.0);
+}
+
+TEST(HistogramTest, EmptyAndSingleton) {
+  Histogram empty = Histogram::Build({}, 8);
+  EXPECT_DOUBLE_EQ(empty.EstimateEqFraction(Value::Int(1)), 0.0);
+  Histogram one = Histogram::Build({Value::Int(7)}, 8);
+  EXPECT_DOUBLE_EQ(one.EstimateEqFraction(Value::Int(7)), 1.0);
+}
+
+TEST(CollectStatsTest, MinMaxDistinctNulls) {
+  auto schema = std::make_shared<Schema>(std::vector<ColumnDef>{
+      {"a", DataType::kInt64, true}, {"s", DataType::kString, true}});
+  storage::ColumnTable table(schema);
+  for (int i = 0; i < 100; ++i) {
+    (void)table.AppendRow(
+        {i % 10 == 0 ? Value::Null() : Value::Int(i),
+         Value::String("s" + std::to_string(i % 5))});
+  }
+  TableStats stats = CollectStats(table);
+  EXPECT_EQ(stats.row_count, 100u);
+  EXPECT_EQ(stats.columns[0].num_nulls, 10u);
+  EXPECT_EQ(stats.columns[0].min.int_value(), 1);
+  EXPECT_EQ(stats.columns[0].max.int_value(), 99);
+  EXPECT_EQ(stats.columns[1].num_distinct, 5u);
+  EXPECT_NE(stats.columns[0].histogram, nullptr);
+  EXPECT_EQ(stats.columns[1].histogram, nullptr);  // Strings: none.
+}
+
+// ---------------------------------------------------------------------
+// Plan rewrites + federation split (inspected via EXPLAIN).
+// ---------------------------------------------------------------------
+
+class OptimizerPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<platform::Platform>();
+    ASSERT_TRUE(db_->Run(R"(
+        CREATE COLUMN TABLE dim (k BIGINT, name VARCHAR(20));
+        CREATE TABLE fact (id BIGINT, k BIGINT, v DOUBLE)
+          USING EXTENDED STORAGE)").ok());
+    std::vector<std::vector<Value>> dims, facts;
+    for (int64_t i = 0; i < 100; ++i) {
+      dims.push_back({Value::Int(i),
+                      Value::String("d" + std::to_string(i))});
+    }
+    Rng rng(3);
+    for (int64_t i = 0; i < 5000; ++i) {
+      facts.push_back({Value::Int(i), Value::Int(rng.Uniform(0, 99)),
+                       Value::Double(1.0)});
+    }
+    ASSERT_TRUE(db_->catalog().Insert("dim", dims).ok());
+    ASSERT_TRUE(db_->catalog().Insert("fact", facts).ok());
+  }
+
+  std::string Plan(const std::string& sql) {
+    auto plan = db_->Explain(sql);
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return plan.ok() ? *plan : "";
+  }
+
+  std::unique_ptr<platform::Platform> db_;
+};
+
+TEST_F(OptimizerPlanTest, FullyRemoteSubtreeShipsAsOneQuery) {
+  std::string plan = Plan(
+      "SELECT k, SUM(v) FROM fact WHERE id < 100 GROUP BY k");
+  EXPECT_NE(plan.find("Remote Row Scan @EXTENDED"), std::string::npos);
+  // The aggregate shipped: no local Aggregate above the remote scan.
+  EXPECT_EQ(plan.find("Aggregate GROUP BY"), std::string::npos);
+}
+
+TEST_F(OptimizerPlanTest, SemijoinStrategyChosenForSelectiveProbe) {
+  std::string plan = Plan(R"(
+      SELECT d.name, SUM(f.v) FROM dim d JOIN fact f ON d.k = f.k
+      WHERE d.name = 'd42' GROUP BY d.name)");
+  EXPECT_NE(plan.find("/*PUSHDOWN*/"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerPlanTest, NoFederationHintKeepsScanLocal) {
+  std::string plan = Plan(
+      "SELECT COUNT(*) FROM fact WITH HINT (NO_FEDERATION)");
+  EXPECT_EQ(plan.find("Remote Row Scan"), std::string::npos);
+  EXPECT_NE(plan.find("Extended Storage Scan"), std::string::npos);
+}
+
+TEST_F(OptimizerPlanTest, FilterPushdownReachesScans) {
+  std::string plan = Plan(R"(
+      SELECT d.name FROM dim d, fact f
+      WHERE d.k = f.k AND d.name = 'd1' AND f.v > 0)");
+  // The comma-join became an inner join with a recovered condition and
+  // per-side filters below it (visible as remote WHERE + local filter).
+  EXPECT_EQ(plan.find("CROSS Join"), std::string::npos) << plan;
+}
+
+TEST_F(OptimizerPlanTest, StrategyResultsAgree) {
+  // Property: every federation strategy returns the same answer.
+  const char* query = R"(
+      SELECT d.name, SUM(f.v) AS s FROM dim d JOIN fact f ON d.k = f.k
+      WHERE d.name = 'd7' GROUP BY d.name)";
+  std::vector<FederationStrategy> strategies = {
+      FederationStrategy::kRemoteScanOnly, FederationStrategy::kSemijoin,
+      FederationStrategy::kRelocation, FederationStrategy::kAuto};
+  double expected = -1;
+  for (FederationStrategy strategy : strategies) {
+    db_->optimizer_options().strategy = strategy;
+    auto result = db_->Query(query);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->num_rows(), 1u);
+    double sum = result->row(0)[1].double_value();
+    if (expected < 0) {
+      expected = sum;
+    } else {
+      EXPECT_DOUBLE_EQ(sum, expected);
+    }
+  }
+}
+
+TEST_F(OptimizerPlanTest, HybridExpandsToUnionAndPrunes) {
+  ASSERT_TRUE(db_->Run(R"(
+      CREATE TABLE hyb (id BIGINT, m BIGINT) USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (m)
+          (PARTITION VALUES < 10 COLD, PARTITION OTHERS HOT))").ok());
+  std::vector<std::vector<Value>> rows;
+  for (int64_t i = 0; i < 100; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i % 20)});
+  }
+  ASSERT_TRUE(db_->catalog().Insert("hyb", rows).ok());
+
+  std::string full = Plan("SELECT COUNT(*) FROM hyb");
+  EXPECT_NE(full.find("Union All"), std::string::npos);
+
+  // Predicate on the partition column prunes the cold branch entirely.
+  std::string pruned = Plan("SELECT COUNT(*) FROM hyb WHERE m >= 15");
+  EXPECT_EQ(pruned.find("Union All"), std::string::npos) << pruned;
+  EXPECT_EQ(pruned.find("@EXTENDED"), std::string::npos) << pruned;
+
+  auto result = db_->Query("SELECT COUNT(*) AS n FROM hyb WHERE m >= 15");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->row(0)[0].int_value(), 25);
+}
+
+TEST_F(OptimizerPlanTest, EstimateRowsSanity) {
+  // Scans estimate their table size; filters reduce it.
+  auto binding = db_->catalog().ResolveTable("fact");
+  ASSERT_TRUE(binding.ok());
+  EXPECT_DOUBLE_EQ(binding->estimated_rows, 5000.0);
+}
+
+TEST_F(OptimizerPlanTest, RemoteSqlRoundTripsThroughRemoteEngine) {
+  // Property: for a set of shippable shapes, the reconstructed SQL
+  // executes remotely and matches local execution.
+  const char* queries[] = {
+      "SELECT COUNT(*) AS n FROM fact",
+      "SELECT k, COUNT(*) AS n FROM fact WHERE v > 0 GROUP BY k",
+      "SELECT id FROM fact WHERE k = 3 AND id < 500",
+      "SELECT SUM(v * 2) AS s FROM fact WHERE id < 1000",
+  };
+  for (const char* query : queries) {
+    db_->optimizer_options().enable_federation = true;
+    auto fed = db_->Query(query);
+    ASSERT_TRUE(fed.ok()) << query << ": " << fed.status().ToString();
+    auto local = db_->Query(std::string(query) +
+                            " WITH HINT (NO_FEDERATION)");
+    ASSERT_TRUE(local.ok()) << query;
+    EXPECT_EQ(fed->num_rows(), local->num_rows()) << query;
+  }
+}
+
+}  // namespace
+}  // namespace hana::optimizer

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "common/util.h"
+#include "pal/apriori.h"
+
+namespace hana::pal {
+namespace {
+
+TEST(AprioriTest, HandComputableRules) {
+  // 10 transactions; {bread, butter} appears 4 times, bread 5 times,
+  // butter 5 times.
+  std::vector<Transaction> txns = {
+      {"bread", "butter"}, {"bread", "butter"}, {"bread", "butter"},
+      {"bread", "butter"}, {"bread", "jam"},    {"butter"},
+      {"milk"},            {"milk"},            {"milk", "jam"},
+      {"jam"},
+  };
+  AprioriOptions options;
+  options.min_support = 0.3;
+  options.min_confidence = 0.7;
+  auto rules = Apriori(txns, options);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (const AssociationRule& rule : *rules) {
+    if (rule.lhs == std::vector<std::string>{"bread"} &&
+        rule.rhs == "butter") {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.support, 0.4);
+      EXPECT_DOUBLE_EQ(rule.confidence, 0.8);
+      EXPECT_DOUBLE_EQ(rule.lift, 0.8 / 0.5);
+    }
+    // Every returned rule honors the thresholds (property check).
+    EXPECT_GE(rule.support, options.min_support);
+    EXPECT_GE(rule.confidence, options.min_confidence);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, RulesSortedByConfidence) {
+  Rng rng(5);
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 2000; ++i) {
+    Transaction t;
+    if (rng.Uniform(0, 9) < 4) {
+      t = {"A", "B"};
+      if (rng.Uniform(0, 9) < 9) t.push_back("C");
+    }
+    t.push_back("N" + std::to_string(rng.Uniform(0, 20)));
+    txns.push_back(t);
+  }
+  AprioriOptions options;
+  options.min_support = 0.05;
+  options.min_confidence = 0.5;
+  auto rules = Apriori(txns, options);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_GT(rules->size(), 1u);
+  for (size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].confidence, (*rules)[i].confidence);
+  }
+}
+
+TEST(AprioriTest, ThreeItemRules) {
+  std::vector<Transaction> txns;
+  for (int i = 0; i < 100; ++i) txns.push_back({"x", "y", "z"});
+  for (int i = 0; i < 20; ++i) txns.push_back({"x", "q"});
+  AprioriOptions options;
+  options.min_support = 0.5;
+  options.min_confidence = 0.9;
+  options.max_itemset_size = 3;
+  auto rules = Apriori(txns, options);
+  ASSERT_TRUE(rules.ok());
+  bool found_pair_lhs = false;
+  for (const AssociationRule& rule : *rules) {
+    if (rule.lhs.size() == 2 && rule.rhs == "z") found_pair_lhs = true;
+  }
+  EXPECT_TRUE(found_pair_lhs);
+}
+
+TEST(AprioriTest, DuplicateItemsInTransactionCountOnce) {
+  std::vector<Transaction> txns = {{"a", "a", "b"}, {"a", "b"}, {"b"}};
+  AprioriOptions options;
+  options.min_support = 0.5;
+  options.min_confidence = 0.5;
+  auto rules = Apriori(txns, options);
+  ASSERT_TRUE(rules.ok());
+  for (const AssociationRule& rule : *rules) {
+    if (rule.lhs == std::vector<std::string>{"a"} && rule.rhs == "b") {
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_NEAR(rule.support, 2.0 / 3.0, 1e-9);
+    }
+  }
+}
+
+TEST(AprioriTest, EmptyInputRejected) {
+  EXPECT_FALSE(Apriori({}, {}).ok());
+}
+
+TEST(RuleClassifierTest, ScoreAndPredict) {
+  std::vector<AssociationRule> rules;
+  rules.push_back({{"E10", "TEMP"}, "CLAIM", 0.1, 0.95, 3.0});
+  rules.push_back({{"E10"}, "CLAIM", 0.15, 0.7, 2.0});
+  rules.push_back({{"D1"}, "D2", 0.2, 0.9, 1.5});
+  RuleClassifier classifier(rules);
+
+  EXPECT_DOUBLE_EQ(classifier.Score({"E10", "TEMP", "D5"}, "CLAIM"), 0.95);
+  EXPECT_DOUBLE_EQ(classifier.Score({"E10"}, "CLAIM"), 0.7);
+  EXPECT_DOUBLE_EQ(classifier.Score({"D9"}, "CLAIM"), 0.0);
+
+  auto prediction = classifier.Predict({"E10", "TEMP"});
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(prediction->first, "CLAIM");
+  EXPECT_DOUBLE_EQ(prediction->second, 0.95);
+  // Items already containing the consequent are not re-predicted.
+  auto with_claim = classifier.Predict({"E10", "TEMP", "CLAIM", "D1"});
+  ASSERT_TRUE(with_claim.ok());
+  EXPECT_EQ(with_claim->first, "D2");
+  EXPECT_FALSE(classifier.Predict({"unknown"}).ok());
+}
+
+}  // namespace
+}  // namespace hana::pal

@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "tpch/queries.h"
+
+namespace hana::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Tokenize("SELECT a1, 'str''x', 1.5e3, \"Quoted\" <= <> --c\n+");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.type);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "a1");
+  EXPECT_EQ((*tokens)[3].text, "str'x");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kQuoted);
+  EXPECT_EQ((*tokens)[8].text, "<=");
+  EXPECT_EQ((*tokens)[9].text, "<>");
+  EXPECT_EQ((*tokens)[10].text, "+");  // Comment skipped.
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, BlockCommentsAndErrors) {
+  EXPECT_TRUE(Tokenize("a /* multi \n line */ b").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+}
+
+std::string RoundTrip(const std::string& expr) {
+  auto parsed = ParseExpression(expr);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? (*parsed)->ToSql() : "";
+}
+
+TEST(ExpressionParsing, PrecedenceAndRoundTrip) {
+  EXPECT_EQ(RoundTrip("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(RoundTrip("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(RoundTrip("a = 1 AND b = 2 OR c = 3"),
+            "(((a = 1) AND (b = 2)) OR (c = 3))");
+  EXPECT_EQ(RoundTrip("NOT a = 1"), "(NOT (a = 1))");
+  EXPECT_EQ(RoundTrip("-x + 3"), "((-x) + 3)");
+  EXPECT_EQ(RoundTrip("t.c"), "t.c");
+}
+
+TEST(ExpressionParsing, SqlConstructs) {
+  EXPECT_EQ(RoundTrip("x BETWEEN 1 AND 5"), "((x >= 1) AND (x <= 5))");
+  EXPECT_EQ(RoundTrip("x NOT BETWEEN 1 AND 5"),
+            "(NOT ((x >= 1) AND (x <= 5)))");
+  EXPECT_EQ(RoundTrip("x IN (1, 2, 3)"), "x IN (1, 2, 3)");
+  EXPECT_EQ(RoundTrip("x NOT IN (1)"), "x NOT IN (1)");
+  EXPECT_EQ(RoundTrip("name LIKE 'a%'"), "(name LIKE 'a%')");
+  EXPECT_EQ(RoundTrip("x IS NULL"), "x IS NULL");
+  EXPECT_EQ(RoundTrip("x IS NOT NULL"), "x IS NOT NULL");
+  EXPECT_EQ(RoundTrip("CAST(x AS BIGINT)"), "CAST(x AS BIGINT)");
+  EXPECT_EQ(RoundTrip("DATE '1995-03-15'"), "DATE '1995-03-15'");
+  EXPECT_EQ(RoundTrip("COUNT(*)"), "COUNT(*)");
+  EXPECT_EQ(RoundTrip("COUNT(DISTINCT x)"), "COUNT(DISTINCT x)");
+  EXPECT_EQ(RoundTrip("CASE WHEN a THEN 1 ELSE 0 END"),
+            "CASE WHEN a THEN 1 ELSE 0 END");
+  EXPECT_EQ(RoundTrip("CASE x WHEN 1 THEN 'a' END"),
+            "CASE x WHEN 1 THEN 'a' END");
+  EXPECT_EQ(RoundTrip("a || b"), "(a || b)");
+}
+
+TEST(SelectParsing, FullClauseSet) {
+  auto stmt = ParseSelect(R"(
+      SELECT DISTINCT a, SUM(b) AS total
+      FROM t1 x JOIN t2 y ON x.id = y.id
+      WHERE x.v > 10
+      GROUP BY a HAVING SUM(b) > 5
+      ORDER BY total DESC, a
+      LIMIT 7)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_TRUE((*stmt)->distinct);
+  EXPECT_EQ((*stmt)->items.size(), 2u);
+  EXPECT_EQ((*stmt)->items[1].alias, "total");
+  ASSERT_NE((*stmt)->from, nullptr);
+  EXPECT_EQ((*stmt)->from->kind, TableRefKind::kJoin);
+  EXPECT_NE((*stmt)->where, nullptr);
+  EXPECT_EQ((*stmt)->group_by.size(), 1u);
+  EXPECT_NE((*stmt)->having, nullptr);
+  ASSERT_EQ((*stmt)->order_by.size(), 2u);
+  EXPECT_FALSE((*stmt)->order_by[0].ascending);
+  EXPECT_TRUE((*stmt)->order_by[1].ascending);
+  EXPECT_EQ((*stmt)->limit, 7);
+}
+
+TEST(SelectParsing, JoinsAndDerivedTables) {
+  auto stmt = ParseSelect(R"(
+      SELECT * FROM a, b LEFT OUTER JOIN c ON b.x = c.x,
+        (SELECT 1 AS one) d CROSS JOIN e)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_FALSE(ParseSelect("SELECT * FROM (SELECT 1)").ok());  // No alias.
+}
+
+TEST(SelectParsing, HintsAndSubqueries) {
+  auto stmt = ParseSelect(R"(
+      SELECT a FROM t WHERE x IN (SELECT y FROM u)
+        AND EXISTS (SELECT * FROM v WHERE v.k = t.k)
+      WITH HINT (USE_REMOTE_CACHE, NO_FEDERATION))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ((*stmt)->hints.size(), 2u);
+  EXPECT_EQ((*stmt)->hints[0], "USE_REMOTE_CACHE");
+}
+
+TEST(StatementParsing, CreateTableVariants) {
+  auto plain = ParseStatement(
+      "CREATE TABLE t (a BIGINT NOT NULL, b VARCHAR(10), c DOUBLE)");
+  ASSERT_TRUE(plain.ok());
+  auto& create = static_cast<CreateTableStmt&>(**plain);
+  EXPECT_EQ(create.storage, StorageKind::kColumn);
+  EXPECT_EQ(create.columns.size(), 3u);
+  EXPECT_FALSE(create.columns[0].nullable);
+
+  auto row = ParseStatement("CREATE ROW TABLE r (a INT)");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(static_cast<CreateTableStmt&>(**row).storage, StorageKind::kRow);
+
+  auto flexible = ParseStatement("CREATE FLEXIBLE TABLE f (a INT)");
+  ASSERT_TRUE(flexible.ok());
+  EXPECT_TRUE(static_cast<CreateTableStmt&>(**flexible).flexible);
+
+  auto extended = ParseStatement(
+      "CREATE TABLE e (a INT) USING EXTENDED STORAGE");
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(static_cast<CreateTableStmt&>(**extended).storage,
+            StorageKind::kExtended);
+
+  auto hybrid = ParseStatement(R"(
+      CREATE TABLE h (a INT, d DATE, aged BOOLEAN)
+        USING HYBRID EXTENDED STORAGE
+        PARTITION BY RANGE (d)
+          (PARTITION VALUES < DATE '2014-01-01' COLD,
+           PARTITION OTHERS HOT)
+        WITH AGING ON aged)");
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  auto& h = static_cast<CreateTableStmt&>(**hybrid);
+  EXPECT_EQ(h.storage, StorageKind::kHybrid);
+  EXPECT_EQ(h.partition_column, "d");
+  ASSERT_EQ(h.partitions.size(), 2u);
+  EXPECT_TRUE(h.partitions[0].cold);
+  EXPECT_TRUE(h.partitions[1].is_others);
+  EXPECT_FALSE(h.partitions[1].cold);
+  EXPECT_EQ(h.aging_column, "aged");
+}
+
+TEST(StatementParsing, RemoteObjects) {
+  // The exact syntax from the paper (Section 4.2).
+  auto source = ParseStatement(R"(
+      CREATE REMOTE SOURCE HIVE1 ADAPTER "hiveodbc"
+        CONFIGURATION 'DSN=hive1'
+        WITH CREDENTIAL TYPE 'PASSWORD'
+        USING 'user=dfuser;password=dfpass')");
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  auto& s = static_cast<CreateRemoteSourceStmt&>(**source);
+  EXPECT_EQ(s.name, "HIVE1");
+  EXPECT_EQ(s.adapter, "hiveodbc");
+  EXPECT_EQ(s.configuration, "DSN=hive1");
+  EXPECT_EQ(s.user, "dfuser");
+  EXPECT_EQ(s.password, "dfpass");
+
+  auto table = ParseStatement(R"(
+      CREATE VIRTUAL TABLE "VIRTUAL_PRODUCT"
+        AT "HIVE1"."dflo"."dflo"."product")");
+  ASSERT_TRUE(table.ok());
+  auto& vt = static_cast<CreateVirtualTableStmt&>(**table);
+  EXPECT_EQ(vt.source, "HIVE1");
+  ASSERT_EQ(vt.remote_path.size(), 3u);
+  EXPECT_EQ(vt.remote_path.back(), "product");
+
+  // The virtual function workflow of Section 4.3.
+  auto fn = ParseStatement(R"(
+      CREATE VIRTUAL FUNCTION PLANT100_SENSOR_RECORDS()
+        RETURNS TABLE (EQUIP_ID VARCHAR(30), PRESSURE DOUBLE)
+        CONFIGURATION 'hana.mapred.driver.class =
+          com.customer.hadoop.SensorMRDriver;
+          hana.mapred.jobFiles = job.jar, library.jar;
+          mapred.reducer.count = 1'
+        AT MRSERVER)");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto& f = static_cast<CreateVirtualFunctionStmt&>(**fn);
+  EXPECT_EQ(f.name, "PLANT100_SENSOR_RECORDS");
+  EXPECT_EQ(f.returns.size(), 2u);
+  EXPECT_EQ(f.source, "MRSERVER");
+}
+
+TEST(StatementParsing, DmlAndUtility) {
+  auto insert = ParseStatement(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_TRUE(insert.ok());
+  auto& ins = static_cast<InsertStmt&>(**insert);
+  EXPECT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.values_rows.size(), 2u);
+
+  auto insert_select =
+      ParseStatement("INSERT INTO t SELECT a, b FROM u");
+  ASSERT_TRUE(insert_select.ok());
+  EXPECT_NE(static_cast<InsertStmt&>(**insert_select).select, nullptr);
+
+  EXPECT_TRUE(ParseStatement("DELETE FROM t WHERE a = 1").ok());
+  EXPECT_TRUE(ParseStatement("UPDATE t SET a = a + 1 WHERE b = 2").ok());
+  EXPECT_TRUE(ParseStatement("DROP TABLE IF EXISTS t").ok());
+  EXPECT_TRUE(ParseStatement("MERGE DELTA OF t").ok());
+  EXPECT_TRUE(ParseStatement("EXPLAIN SELECT 1").ok());
+}
+
+TEST(StatementParsing, Errors) {
+  EXPECT_FALSE(ParseStatement("SELEC 1").ok());
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t WHERE").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t GROUP a").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a NOTATYPE)").ok());
+  EXPECT_FALSE(ParseStatement("SELECT 1 extra garbage ,").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t LIMIT x").ok());
+}
+
+TEST(StatementParsing, AllTpchQueriesParse) {
+  for (int q : tpch::BenchmarkQueries()) {
+    auto stmt = ParseSelect(tpch::QueryText(q));
+    EXPECT_TRUE(stmt.ok()) << "Q" << q << ": " << stmt.status().ToString();
+  }
+}
+
+TEST(SelectToSql, ReparsesItsOwnOutput) {
+  // Property: unparse(parse(q)) must itself parse for every TPC-H query.
+  for (int q : tpch::BenchmarkQueries()) {
+    auto stmt = ParseSelect(tpch::QueryText(q));
+    ASSERT_TRUE(stmt.ok());
+    std::string sql = SelectToSql(**stmt);
+    auto again = ParseSelect(sql);
+    EXPECT_TRUE(again.ok()) << "Q" << q << " unparse: " << sql;
+  }
+}
+
+TEST(SplitStatementsTest, RespectsQuotes) {
+  auto parts = SplitStatements(
+      "SELECT 1; INSERT INTO t VALUES ('a;b');\n\nSELECT 2;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "INSERT INTO t VALUES ('a;b')");
+}
+
+}  // namespace
+}  // namespace hana::sql

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/util.h"
+#include "timeseries/series_table.h"
+
+namespace hana::timeseries {
+namespace {
+
+SeriesTable MakeSeries(MissingValuePolicy policy = MissingValuePolicy::kLinear) {
+  SeriesOptions options;
+  options.start_ms = 0;
+  options.interval_ms = 10;
+  options.missing = policy;
+  return SeriesTable("t", options);
+}
+
+TEST(SeriesTableTest, AppendOnGrid) {
+  SeriesTable s = MakeSeries();
+  ASSERT_TRUE(s.Append(0, 1.0).ok());
+  ASSERT_TRUE(s.Append(10, 2.0).ok());
+  ASSERT_TRUE(s.Append(20, 3.0).ok());
+  EXPECT_EQ(s.num_slots(), 3u);
+  EXPECT_EQ(s.num_present(), 3u);
+  EXPECT_DOUBLE_EQ(*s.At(1), 2.0);
+  EXPECT_EQ(s.TimestampAt(2), 20);
+  EXPECT_FALSE(s.Append(15, 9.0).ok());  // Not after the last slot.
+  EXPECT_FALSE(s.Append(-10, 9.0).ok());
+}
+
+TEST(SeriesTableTest, GapCompensationLinear) {
+  SeriesTable s = MakeSeries(MissingValuePolicy::kLinear);
+  ASSERT_TRUE(s.Append(0, 10.0).ok());
+  ASSERT_TRUE(s.Append(40, 50.0).ok());  // Slots 1..3 missing.
+  EXPECT_DOUBLE_EQ(*s.At(1), 20.0);
+  EXPECT_DOUBLE_EQ(*s.At(2), 30.0);
+  EXPECT_DOUBLE_EQ(*s.At(3), 40.0);
+}
+
+TEST(SeriesTableTest, GapCompensationLocf) {
+  SeriesTable s = MakeSeries(MissingValuePolicy::kLocf);
+  ASSERT_TRUE(s.Append(0, 10.0).ok());
+  ASSERT_TRUE(s.Append(30, 40.0).ok());
+  EXPECT_DOUBLE_EQ(*s.At(1), 10.0);
+  EXPECT_DOUBLE_EQ(*s.At(2), 10.0);
+}
+
+TEST(SeriesTableTest, GapPolicyNoneErrors) {
+  SeriesTable s = MakeSeries(MissingValuePolicy::kNone);
+  ASSERT_TRUE(s.Append(0, 10.0).ok());
+  ASSERT_TRUE(s.Append(20, 30.0).ok());
+  EXPECT_FALSE(s.At(1).ok());
+  EXPECT_TRUE(s.At(0).ok());
+  EXPECT_FALSE(s.At(99).ok());
+}
+
+class SealRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SealRoundTrip, ValuesSurviveCompression) {
+  Rng rng(GetParam());
+  SeriesTable s = MakeSeries();
+  std::vector<double> expected;
+  double level = 50.0;
+  for (int i = 0; i < 2000; ++i) {
+    double v;
+    switch (GetParam() % 3) {
+      case 0:  // Quantized sensor.
+        level += (rng.NextDouble() - 0.5);
+        v = std::round(level / 0.05) * 0.05;
+        break;
+      case 1:  // Integers.
+        v = static_cast<double>(rng.Uniform(0, 1000));
+        break;
+      default:  // Arbitrary doubles (XOR codec path).
+        v = rng.NextDouble() * 1e6 + 0.123456789;
+        break;
+    }
+    ASSERT_TRUE(s.Append(i * 10, v).ok());
+    expected.push_back(v);
+  }
+  s.Seal();
+  EXPECT_TRUE(s.sealed());
+  for (size_t i = 0; i < expected.size(); i += 97) {
+    EXPECT_NEAR(*s.At(i), expected[i], 1e-9) << i;
+  }
+  EXPECT_FALSE(s.Append(99999999, 1.0).ok());  // Sealed is immutable.
+}
+
+INSTANTIATE_TEST_SUITE_P(Codecs, SealRoundTrip, ::testing::Values(0, 1, 2));
+
+TEST(SeriesTableTest, CompressionBeatsRowFormatOnSensors) {
+  Rng rng(4);
+  SeriesTable s = MakeSeries();
+  double level = 20.0;
+  for (int i = 0; i < 100000; ++i) {
+    if (i % 7 == 0) level += (rng.NextDouble() - 0.5);
+    ASSERT_TRUE(s.Append(i * 10, std::round(level / 0.05) * 0.05).ok());
+  }
+  s.Seal();
+  EXPECT_LT(s.CompressedBytes() * 10, s.RowFormatBytes());
+}
+
+TEST(SeriesTableTest, Analytics) {
+  SeriesTable s = MakeSeries();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(s.Append(i * 10, static_cast<double>(i)).ok());
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 4.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(SeriesTableTest, Resample) {
+  SeriesTable s = MakeSeries();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(s.Append(i * 10, static_cast<double>(i)).ok());
+  }
+  auto coarse = s.Resample(20);
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_EQ(coarse->num_slots(), 4u);
+  EXPECT_DOUBLE_EQ(*coarse->At(0), 0.5);  // Mean of 0,1.
+  EXPECT_DOUBLE_EQ(*coarse->At(3), 6.5);
+  EXPECT_FALSE(s.Resample(15).ok());  // Not a multiple.
+}
+
+TEST(SeriesTableTest, Correlation) {
+  SeriesTable a = MakeSeries(), b = MakeSeries(), c = MakeSeries();
+  for (int i = 0; i < 50; ++i) {
+    double x = static_cast<double>(i);
+    ASSERT_TRUE(a.Append(i * 10, x).ok());
+    ASSERT_TRUE(b.Append(i * 10, 3 * x + 7).ok());     // Perfectly linear.
+    ASSERT_TRUE(c.Append(i * 10, 100.0 - x).ok());     // Anti-correlated.
+  }
+  EXPECT_NEAR(*SeriesTable::Correlation(a, b), 1.0, 1e-9);
+  EXPECT_NEAR(*SeriesTable::Correlation(a, c), -1.0, 1e-9);
+  SeriesTable flat = MakeSeries();
+  ASSERT_TRUE(flat.Append(0, 5.0).ok());
+  ASSERT_TRUE(flat.Append(10, 5.0).ok());
+  EXPECT_FALSE(SeriesTable::Correlation(a, flat).ok());  // Zero variance.
+}
+
+}  // namespace
+}  // namespace hana::timeseries
