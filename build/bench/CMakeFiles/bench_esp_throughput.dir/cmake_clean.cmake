@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_esp_throughput.dir/bench_esp_throughput.cc.o"
+  "CMakeFiles/bench_esp_throughput.dir/bench_esp_throughput.cc.o.d"
+  "bench_esp_throughput"
+  "bench_esp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_esp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extended_storage.dir/bench_extended_storage.cc.o"
+  "CMakeFiles/bench_extended_storage.dir/bench_extended_storage.cc.o.d"
+  "bench_extended_storage"
+  "bench_extended_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extended_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_federation_strategies.dir/bench_fig7_federation_strategies.cc.o"
+  "CMakeFiles/bench_fig7_federation_strategies.dir/bench_fig7_federation_strategies.cc.o.d"
+  "bench_fig7_federation_strategies"
+  "bench_fig7_federation_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_federation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

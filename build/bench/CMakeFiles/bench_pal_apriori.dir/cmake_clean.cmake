@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pal_apriori.dir/bench_pal_apriori.cc.o"
+  "CMakeFiles/bench_pal_apriori.dir/bench_pal_apriori.cc.o.d"
+  "bench_pal_apriori"
+  "bench_pal_apriori.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pal_apriori.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

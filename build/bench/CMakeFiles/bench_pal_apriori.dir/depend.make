@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pal_apriori.
+# This may be replaced when dependencies are built.

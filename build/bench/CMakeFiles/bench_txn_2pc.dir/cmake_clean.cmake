@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txn_2pc.dir/bench_txn_2pc.cc.o"
+  "CMakeFiles/bench_txn_2pc.dir/bench_txn_2pc.cc.o.d"
+  "bench_txn_2pc"
+  "bench_txn_2pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txn_2pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

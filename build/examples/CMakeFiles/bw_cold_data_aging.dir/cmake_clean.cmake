@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_cold_data_aging.dir/bw_cold_data_aging.cpp.o"
+  "CMakeFiles/bw_cold_data_aging.dir/bw_cold_data_aging.cpp.o.d"
+  "bw_cold_data_aging"
+  "bw_cold_data_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_cold_data_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_monitoring.dir/telecom_monitoring.cpp.o"
+  "CMakeFiles/telecom_monitoring.dir/telecom_monitoring.cpp.o.d"
+  "telecom_monitoring"
+  "telecom_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warranty_analytics.dir/warranty_analytics.cpp.o"
+  "CMakeFiles/warranty_analytics.dir/warranty_analytics.cpp.o.d"
+  "warranty_analytics"
+  "warranty_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warranty_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

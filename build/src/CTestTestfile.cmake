@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("storage")
+subdirs("extended")
+subdirs("txn")
+subdirs("sql")
+subdirs("plan")
+subdirs("exec")
+subdirs("catalog")
+subdirs("optimizer")
+subdirs("hadoop")
+subdirs("federation")
+subdirs("esp")
+subdirs("timeseries")
+subdirs("graph")
+subdirs("pal")
+subdirs("tpch")
+subdirs("platform")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_catalog.dir/catalog.cc.o"
+  "CMakeFiles/hana_catalog.dir/catalog.cc.o.d"
+  "libhana_catalog.a"
+  "libhana_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_common.dir/schema.cc.o"
+  "CMakeFiles/hana_common.dir/schema.cc.o.d"
+  "CMakeFiles/hana_common.dir/status.cc.o"
+  "CMakeFiles/hana_common.dir/status.cc.o.d"
+  "CMakeFiles/hana_common.dir/strings.cc.o"
+  "CMakeFiles/hana_common.dir/strings.cc.o.d"
+  "CMakeFiles/hana_common.dir/util.cc.o"
+  "CMakeFiles/hana_common.dir/util.cc.o.d"
+  "CMakeFiles/hana_common.dir/value.cc.o"
+  "CMakeFiles/hana_common.dir/value.cc.o.d"
+  "libhana_common.a"
+  "libhana_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

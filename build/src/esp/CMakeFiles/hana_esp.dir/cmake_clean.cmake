@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_esp.dir/engine.cc.o"
+  "CMakeFiles/hana_esp.dir/engine.cc.o.d"
+  "libhana_esp.a"
+  "libhana_esp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_esp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

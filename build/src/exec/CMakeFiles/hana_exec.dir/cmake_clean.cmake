@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_exec.dir/evaluator.cc.o"
+  "CMakeFiles/hana_exec.dir/evaluator.cc.o.d"
+  "CMakeFiles/hana_exec.dir/operators.cc.o"
+  "CMakeFiles/hana_exec.dir/operators.cc.o.d"
+  "libhana_exec.a"
+  "libhana_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

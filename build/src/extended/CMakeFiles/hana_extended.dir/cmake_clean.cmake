@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_extended.dir/extended_store.cc.o"
+  "CMakeFiles/hana_extended.dir/extended_store.cc.o.d"
+  "CMakeFiles/hana_extended.dir/iq_engine.cc.o"
+  "CMakeFiles/hana_extended.dir/iq_engine.cc.o.d"
+  "libhana_extended.a"
+  "libhana_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

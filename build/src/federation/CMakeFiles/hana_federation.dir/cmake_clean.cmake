@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_federation.dir/adapter.cc.o"
+  "CMakeFiles/hana_federation.dir/adapter.cc.o.d"
+  "CMakeFiles/hana_federation.dir/hive_adapter.cc.o"
+  "CMakeFiles/hana_federation.dir/hive_adapter.cc.o.d"
+  "CMakeFiles/hana_federation.dir/iq_adapter.cc.o"
+  "CMakeFiles/hana_federation.dir/iq_adapter.cc.o.d"
+  "CMakeFiles/hana_federation.dir/sda.cc.o"
+  "CMakeFiles/hana_federation.dir/sda.cc.o.d"
+  "libhana_federation.a"
+  "libhana_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

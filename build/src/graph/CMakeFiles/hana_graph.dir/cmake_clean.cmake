@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_graph.dir/graph_engine.cc.o"
+  "CMakeFiles/hana_graph.dir/graph_engine.cc.o.d"
+  "libhana_graph.a"
+  "libhana_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoop/hdfs.cc" "src/hadoop/CMakeFiles/hana_hadoop.dir/hdfs.cc.o" "gcc" "src/hadoop/CMakeFiles/hana_hadoop.dir/hdfs.cc.o.d"
+  "/root/repo/src/hadoop/hive.cc" "src/hadoop/CMakeFiles/hana_hadoop.dir/hive.cc.o" "gcc" "src/hadoop/CMakeFiles/hana_hadoop.dir/hive.cc.o.d"
+  "/root/repo/src/hadoop/mapreduce.cc" "src/hadoop/CMakeFiles/hana_hadoop.dir/mapreduce.cc.o" "gcc" "src/hadoop/CMakeFiles/hana_hadoop.dir/mapreduce.cc.o.d"
+  "/root/repo/src/hadoop/serde.cc" "src/hadoop/CMakeFiles/hana_hadoop.dir/serde.cc.o" "gcc" "src/hadoop/CMakeFiles/hana_hadoop.dir/serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hana_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hana_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hana_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/hana_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hana_exec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_hadoop.dir/hdfs.cc.o"
+  "CMakeFiles/hana_hadoop.dir/hdfs.cc.o.d"
+  "CMakeFiles/hana_hadoop.dir/hive.cc.o"
+  "CMakeFiles/hana_hadoop.dir/hive.cc.o.d"
+  "CMakeFiles/hana_hadoop.dir/mapreduce.cc.o"
+  "CMakeFiles/hana_hadoop.dir/mapreduce.cc.o.d"
+  "CMakeFiles/hana_hadoop.dir/serde.cc.o"
+  "CMakeFiles/hana_hadoop.dir/serde.cc.o.d"
+  "libhana_hadoop.a"
+  "libhana_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

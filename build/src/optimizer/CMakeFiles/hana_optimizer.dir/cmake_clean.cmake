@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_optimizer.dir/optimizer.cc.o"
+  "CMakeFiles/hana_optimizer.dir/optimizer.cc.o.d"
+  "CMakeFiles/hana_optimizer.dir/plan_to_sql.cc.o"
+  "CMakeFiles/hana_optimizer.dir/plan_to_sql.cc.o.d"
+  "CMakeFiles/hana_optimizer.dir/statistics.cc.o"
+  "CMakeFiles/hana_optimizer.dir/statistics.cc.o.d"
+  "libhana_optimizer.a"
+  "libhana_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_pal.dir/apriori.cc.o"
+  "CMakeFiles/hana_pal.dir/apriori.cc.o.d"
+  "libhana_pal.a"
+  "libhana_pal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_pal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

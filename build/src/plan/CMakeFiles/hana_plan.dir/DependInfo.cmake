@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/binder.cc" "src/plan/CMakeFiles/hana_plan.dir/binder.cc.o" "gcc" "src/plan/CMakeFiles/hana_plan.dir/binder.cc.o.d"
+  "/root/repo/src/plan/bound_expr.cc" "src/plan/CMakeFiles/hana_plan.dir/bound_expr.cc.o" "gcc" "src/plan/CMakeFiles/hana_plan.dir/bound_expr.cc.o.d"
+  "/root/repo/src/plan/join_analysis.cc" "src/plan/CMakeFiles/hana_plan.dir/join_analysis.cc.o" "gcc" "src/plan/CMakeFiles/hana_plan.dir/join_analysis.cc.o.d"
+  "/root/repo/src/plan/logical.cc" "src/plan/CMakeFiles/hana_plan.dir/logical.cc.o" "gcc" "src/plan/CMakeFiles/hana_plan.dir/logical.cc.o.d"
+  "/root/repo/src/plan/rewrites.cc" "src/plan/CMakeFiles/hana_plan.dir/rewrites.cc.o" "gcc" "src/plan/CMakeFiles/hana_plan.dir/rewrites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hana_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hana_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

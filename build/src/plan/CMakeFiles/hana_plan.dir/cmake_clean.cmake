@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_plan.dir/binder.cc.o"
+  "CMakeFiles/hana_plan.dir/binder.cc.o.d"
+  "CMakeFiles/hana_plan.dir/bound_expr.cc.o"
+  "CMakeFiles/hana_plan.dir/bound_expr.cc.o.d"
+  "CMakeFiles/hana_plan.dir/join_analysis.cc.o"
+  "CMakeFiles/hana_plan.dir/join_analysis.cc.o.d"
+  "CMakeFiles/hana_plan.dir/logical.cc.o"
+  "CMakeFiles/hana_plan.dir/logical.cc.o.d"
+  "CMakeFiles/hana_plan.dir/rewrites.cc.o"
+  "CMakeFiles/hana_plan.dir/rewrites.cc.o.d"
+  "libhana_plan.a"
+  "libhana_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

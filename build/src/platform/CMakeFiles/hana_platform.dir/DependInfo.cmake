@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/platform.cc" "src/platform/CMakeFiles/hana_platform.dir/platform.cc.o" "gcc" "src/platform/CMakeFiles/hana_platform.dir/platform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hana_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hana_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hana_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/hana_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hana_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/extended/CMakeFiles/hana_extended.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/hana_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/hana_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/hana_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/hana_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoop/CMakeFiles/hana_hadoop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

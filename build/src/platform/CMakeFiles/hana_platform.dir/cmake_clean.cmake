@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_platform.dir/platform.cc.o"
+  "CMakeFiles/hana_platform.dir/platform.cc.o.d"
+  "libhana_platform.a"
+  "libhana_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_sql.dir/ast.cc.o"
+  "CMakeFiles/hana_sql.dir/ast.cc.o.d"
+  "CMakeFiles/hana_sql.dir/lexer.cc.o"
+  "CMakeFiles/hana_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/hana_sql.dir/parser.cc.o"
+  "CMakeFiles/hana_sql.dir/parser.cc.o.d"
+  "libhana_sql.a"
+  "libhana_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

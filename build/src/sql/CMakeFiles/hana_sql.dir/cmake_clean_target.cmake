@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhana_sql.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/codec.cc" "src/storage/CMakeFiles/hana_storage.dir/codec.cc.o" "gcc" "src/storage/CMakeFiles/hana_storage.dir/codec.cc.o.d"
+  "/root/repo/src/storage/column_table.cc" "src/storage/CMakeFiles/hana_storage.dir/column_table.cc.o" "gcc" "src/storage/CMakeFiles/hana_storage.dir/column_table.cc.o.d"
+  "/root/repo/src/storage/column_vector.cc" "src/storage/CMakeFiles/hana_storage.dir/column_vector.cc.o" "gcc" "src/storage/CMakeFiles/hana_storage.dir/column_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hana_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_storage.dir/codec.cc.o"
+  "CMakeFiles/hana_storage.dir/codec.cc.o.d"
+  "CMakeFiles/hana_storage.dir/column_table.cc.o"
+  "CMakeFiles/hana_storage.dir/column_table.cc.o.d"
+  "CMakeFiles/hana_storage.dir/column_vector.cc.o"
+  "CMakeFiles/hana_storage.dir/column_vector.cc.o.d"
+  "libhana_storage.a"
+  "libhana_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_timeseries.dir/series_table.cc.o"
+  "CMakeFiles/hana_timeseries.dir/series_table.cc.o.d"
+  "libhana_timeseries.a"
+  "libhana_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/hana_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/hana_tpch.dir/queries.cc.o"
+  "CMakeFiles/hana_tpch.dir/queries.cc.o.d"
+  "libhana_tpch.a"
+  "libhana_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

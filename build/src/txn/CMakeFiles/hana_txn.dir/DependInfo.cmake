@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/participants.cc" "src/txn/CMakeFiles/hana_txn.dir/participants.cc.o" "gcc" "src/txn/CMakeFiles/hana_txn.dir/participants.cc.o.d"
+  "/root/repo/src/txn/two_phase.cc" "src/txn/CMakeFiles/hana_txn.dir/two_phase.cc.o" "gcc" "src/txn/CMakeFiles/hana_txn.dir/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hana_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hana_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/extended/CMakeFiles/hana_extended.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/hana_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/hana_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/hana_sql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

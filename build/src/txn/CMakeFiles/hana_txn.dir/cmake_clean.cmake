@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hana_txn.dir/participants.cc.o"
+  "CMakeFiles/hana_txn.dir/participants.cc.o.d"
+  "CMakeFiles/hana_txn.dir/two_phase.cc.o"
+  "CMakeFiles/hana_txn.dir/two_phase.cc.o.d"
+  "libhana_txn.a"
+  "libhana_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hana_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

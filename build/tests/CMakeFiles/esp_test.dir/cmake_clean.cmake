@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esp_test.dir/esp_test.cc.o"
+  "CMakeFiles/esp_test.dir/esp_test.cc.o.d"
+  "esp_test"
+  "esp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

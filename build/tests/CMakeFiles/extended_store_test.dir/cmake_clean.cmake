@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_store_test.dir/extended_store_test.cc.o"
+  "CMakeFiles/extended_store_test.dir/extended_store_test.cc.o.d"
+  "extended_store_test"
+  "extended_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pal_test.dir/pal_test.cc.o"
+  "CMakeFiles/pal_test.dir/pal_test.cc.o.d"
+  "pal_test"
+  "pal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_smoke_test.dir/platform_smoke_test.cc.o"
+  "CMakeFiles/platform_smoke_test.dir/platform_smoke_test.cc.o.d"
+  "platform_smoke_test"
+  "platform_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
