@@ -1,0 +1,129 @@
+#include "common/task_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+
+namespace hana {
+
+TaskPool::TaskPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TaskPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutdown with a drained queue.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                           size_t max_workers) {
+  if (n == 0) return;
+  size_t budget = max_workers == 0 ? num_threads()
+                                   : std::min(max_workers, num_threads() + 1);
+  // Helpers beyond the caller; never more than there are iterations.
+  size_t helpers = std::min(budget > 0 ? budget - 1 : 0, n - 1);
+
+  struct Shared {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto run = [shared, n, &fn] {
+    while (true) {
+      size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || shared->failed.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(shared->error_mu);
+        if (!shared->failed.exchange(true)) {
+          shared->error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(helpers);
+  for (size_t i = 0; i < helpers; ++i) futures.push_back(Submit(run));
+  run();  // Caller participates: guarantees progress even when saturated.
+  for (auto& f : futures) {
+    // Help drain the queue instead of blocking: nested ParallelFor
+    // calls would otherwise deadlock once every thread waits on helper
+    // tasks that are still queued behind each other.
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!TryRunOneTask()) {
+        f.wait_for(std::chrono::milliseconds(1));
+      }
+    }
+  }
+  if (shared->failed.load()) std::rethrow_exception(shared->error);
+}
+
+bool TaskPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+size_t TaskPool::DefaultDop() {
+  if (const char* env = std::getenv("HANA_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+TaskPool& TaskPool::Global() {
+  static TaskPool* pool = [] {
+    size_t hw = std::thread::hardware_concurrency();
+    size_t threads = std::max<size_t>({DefaultDop(), hw, 8});
+    return new TaskPool(threads);
+  }();
+  return *pool;
+}
+
+}  // namespace hana

@@ -1,0 +1,80 @@
+#ifndef HANA_COMMON_TASK_POOL_H_
+#define HANA_COMMON_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hana {
+
+/// Fixed-size worker pool backing every parallel code path in the
+/// platform (morsel-driven scans, parallel aggregation, concurrent
+/// federation dispatch). Tasks are plain closures executed FIFO.
+///
+/// Blocking on a future inside a worker is safe only when other workers
+/// remain free; ParallelFor instead uses caller participation (the
+/// submitting thread drains the same morsel counter as the workers), so
+/// nested ParallelFor calls never deadlock even on a saturated pool.
+class TaskPool {
+ public:
+  explicit TaskPool(size_t num_threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a closure; the future carries its result or exception.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(i) for every i in [0, n). Up to `max_workers - 1` pool
+  /// workers help (0 = use the whole pool); the calling thread always
+  /// participates, so max_workers == 1 degenerates to an inline loop.
+  /// Work is handed out dynamically (morsel stealing) via a shared
+  /// counter. Returns after every iteration finished; the first
+  /// exception thrown by any iteration is rethrown on the caller.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_workers = 0);
+
+  /// The process-wide pool. Sized by the HANA_THREADS environment
+  /// variable when set, otherwise max(hardware_concurrency, 8) so that
+  /// explicitly requested degrees of parallelism up to 8 get dedicated
+  /// workers even on small machines.
+  static TaskPool& Global();
+
+  /// The default degree of parallelism: HANA_THREADS when set, else
+  /// hardware_concurrency (at least 1).
+  static size_t DefaultDop();
+
+ private:
+  void Enqueue(std::function<void()> task);
+  void WorkerLoop();
+  /// Pops and runs one queued task if any; used by ParallelFor waiters
+  /// to keep the pool moving instead of blocking.
+  bool TryRunOneTask();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_TASK_POOL_H_

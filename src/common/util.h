@@ -1,6 +1,7 @@
 #ifndef HANA_COMMON_UTIL_H_
 #define HANA_COMMON_UTIL_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -63,16 +64,22 @@ class Stopwatch {
 /// model remote infrastructure (Hadoop cluster, ODBC link, disk arrays)
 /// advance this clock according to their cost models instead of sleeping;
 /// query metrics then report real local time + virtual remote time.
+/// Advances are atomic: concurrently dispatched federation branches
+/// (Union Plan) charge the same clock from pool workers. Negative
+/// advances are allowed — the SDA runtime refunds time after a
+/// concurrent dispatch region so branches cost max instead of sum.
 class SimClock {
  public:
   SimClock() = default;
 
-  double now_ms() const { return now_ms_; }
-  void Advance(double ms) { now_ms_ += ms; }
-  void Reset() { now_ms_ = 0.0; }
+  double now_ms() const { return now_ms_.load(std::memory_order_relaxed); }
+  void Advance(double ms) {
+    now_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+  void Reset() { now_ms_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double now_ms_ = 0.0;
+  std::atomic<double> now_ms_{0.0};
 };
 
 /// Severity-filtered logging to stderr. Defaults to kWarn so tests and

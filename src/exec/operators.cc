@@ -162,13 +162,38 @@ class LimitOp : public PhysicalOp {
   int64_t emitted_ = 0;
 };
 
+/// RAII bracket for concurrent federation dispatch (exception-safe).
+struct DispatchRegion {
+  explicit DispatchRegion(ExecContext* c) : ctx(c) {
+    ctx->BeginConcurrentRemoteDispatch();
+  }
+  ~DispatchRegion() { ctx->EndConcurrentRemoteDispatch(); }
+  ExecContext* ctx;
+};
+
 class UnionOp : public PhysicalOp {
  public:
-  UnionOp(std::shared_ptr<Schema> schema, std::vector<PhysicalOpPtr> children)
-      : PhysicalOp(std::move(schema)), children_(std::move(children)) {}
+  UnionOp(std::shared_ptr<Schema> schema, std::vector<PhysicalOpPtr> children,
+          ExecContext* ctx)
+      : PhysicalOp(std::move(schema)),
+        children_(std::move(children)),
+        ctx_(ctx) {}
 
   Status Open() override {
     current_ = 0;
+    ParallelPolicy policy = ctx_->parallel_policy();
+    if (policy.pool != nullptr && policy.dop > 1 && children_.size() > 1) {
+      // Union Plan execution (Section 5): open every branch at once so
+      // remote latencies overlap — the SDA runtime charges virtual time
+      // as max over branches instead of their sum.
+      std::vector<Status> statuses(children_.size());
+      DispatchRegion region(ctx_);
+      policy.pool->ParallelFor(
+          children_.size(),
+          [&](size_t i) { statuses[i] = children_[i]->Open(); }, policy.dop);
+      for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
+      return Status::OK();
+    }
     for (auto& c : children_) HANA_RETURN_IF_ERROR(c->Open());
     return Status::OK();
   }
@@ -190,6 +215,7 @@ class UnionOp : public PhysicalOp {
 
  private:
   std::vector<PhysicalOpPtr> children_;
+  ExecContext* ctx_;
   size_t current_ = 0;
 };
 
@@ -383,53 +409,89 @@ struct AggState {
   std::unique_ptr<std::unordered_set<Value, ValueHash>> distinct;
 };
 
-class HashAggregateOp : public PhysicalOp {
+Value FinalizeAgg(const BoundExpr* agg, const AggState& st) {
+  switch (agg->agg_kind) {
+    case plan::AggKind::kCountStar:
+    case plan::AggKind::kCount:
+      return Value::Int(st.count);
+    case plan::AggKind::kSum:
+      if (!st.any) return Value::Null();
+      return agg->type == DataType::kDouble ? Value::Double(st.sum_d)
+                                            : Value::Int(st.sum_i);
+    case plan::AggKind::kAvg:
+      if (!st.any || st.count == 0) return Value::Null();
+      return Value::Double(st.sum_d / static_cast<double>(st.count));
+    case plan::AggKind::kMin:
+      return st.min_v;
+    case plan::AggKind::kMax:
+      return st.max_v;
+  }
+  return Value::Null();
+}
+
+/// Folds `src` into `dst`. DISTINCT aggregates re-accumulate the source
+/// set element by element so values seen by both partials are not
+/// double-counted.
+void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
+  if (agg.agg_kind == plan::AggKind::kCountStar) {
+    dst.count += src.count;
+    return;
+  }
+  if (agg.distinct) {
+    if (src.distinct == nullptr) return;
+    if (dst.distinct == nullptr) {
+      dst.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
+    }
+    for (const Value& v : *src.distinct) {
+      if (!dst.distinct->insert(v).second) continue;
+      dst.any = true;
+      switch (agg.agg_kind) {
+        case plan::AggKind::kCount:
+          ++dst.count;
+          break;
+        case plan::AggKind::kSum:
+        case plan::AggKind::kAvg:
+          ++dst.count;
+          dst.sum_d += v.AsDouble();
+          dst.sum_i += v.AsInt();
+          break;
+        case plan::AggKind::kMin:
+          if (dst.min_v.is_null() || v.Compare(dst.min_v) < 0) dst.min_v = v;
+          break;
+        case plan::AggKind::kMax:
+          if (dst.max_v.is_null() || v.Compare(dst.max_v) > 0) dst.max_v = v;
+          break;
+        default:
+          break;
+      }
+    }
+    return;
+  }
+  dst.count += src.count;
+  dst.sum_d += src.sum_d;
+  dst.sum_i += src.sum_i;
+  dst.any = dst.any || src.any;
+  if (!src.min_v.is_null() &&
+      (dst.min_v.is_null() || src.min_v.Compare(dst.min_v) < 0)) {
+    dst.min_v = src.min_v;
+  }
+  if (!src.max_v.is_null() &&
+      (dst.max_v.is_null() || src.max_v.Compare(dst.max_v) > 0)) {
+    dst.max_v = src.max_v;
+  }
+}
+
+/// Hash table mapping group keys to per-aggregate states; groups keep
+/// first-seen order. Shared by the serial HashAggregateOp and the
+/// per-morsel partial aggregation of the parallel pipeline.
+class GroupTable {
  public:
-  HashAggregateOp(std::shared_ptr<Schema> schema, PhysicalOpPtr child,
-                  const std::vector<plan::BoundExprPtr>* group_by,
-                  const std::vector<plan::BoundExprPtr>* aggregates)
-      : PhysicalOp(std::move(schema)),
-        child_(std::move(child)),
-        group_by_(group_by),
-        aggregates_(aggregates) {}
+  GroupTable(const std::vector<plan::BoundExprPtr>* group_by,
+             const std::vector<plan::BoundExprPtr>* aggregates)
+      : group_by_(group_by), aggregates_(aggregates) {}
 
-  Status Open() override {
-    groups_.clear();
-    keys_.clear();
-    states_.clear();
-    emitted_ = 0;
-    HANA_RETURN_IF_ERROR(child_->Open());
-    while (true) {
-      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
-      if (!in.has_value()) break;
-      for (size_t r = 0; r < in->num_rows(); ++r) {
-        HANA_RETURN_IF_ERROR(Accumulate(*in, r));
-      }
-    }
-    // Global aggregate over an empty input still emits one row.
-    if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
-      keys_.push_back({});
-      states_.emplace_back(aggregates_->size());
-    }
-    return Status::OK();
-  }
+  size_t num_groups() const { return keys_.size(); }
 
-  Result<std::optional<Chunk>> Next() override {
-    if (emitted_ >= keys_.size()) return std::optional<Chunk>();
-    Chunk out = Chunk::Empty(schema_);
-    size_t end = std::min(keys_.size(), emitted_ + storage::kDefaultChunkRows);
-    for (size_t g = emitted_; g < end; ++g) {
-      std::vector<Value> row = keys_[g];
-      for (size_t a = 0; a < aggregates_->size(); ++a) {
-        row.push_back(Finalize((*aggregates_)[a].get(), states_[g][a]));
-      }
-      out.AppendRow(row);
-    }
-    emitted_ = end;
-    return std::optional<Chunk>(std::move(out));
-  }
-
- private:
   Status Accumulate(const Chunk& chunk, size_t row) {
     std::vector<Value> key;
     key.reserve(group_by_->size());
@@ -437,30 +499,7 @@ class HashAggregateOp : public PhysicalOp {
       HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, row));
       key.push_back(std::move(v));
     }
-    size_t h = HashKey(key);
-    size_t group_index;
-    auto [lo, hi] = groups_.equal_range(h);
-    auto it = lo;
-    for (; it != hi; ++it) {
-      const std::vector<Value>& existing = keys_[it->second];
-      bool equal = true;
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (key[i].Compare(existing[i]) != 0) {  // Group-by: NULL == NULL.
-          equal = false;
-          break;
-        }
-      }
-      if (equal) break;
-    }
-    if (it == hi) {
-      group_index = keys_.size();
-      keys_.push_back(key);
-      states_.emplace_back(aggregates_->size());
-      groups_.emplace(h, group_index);
-    } else {
-      group_index = it->second;
-    }
-    std::vector<AggState>& states = states_[group_index];
+    std::vector<AggState>& states = states_[FindOrCreate(key)];
     for (size_t a = 0; a < aggregates_->size(); ++a) {
       const BoundExpr& agg = *(*aggregates_)[a];
       AggState& st = states[a];
@@ -501,33 +540,268 @@ class HashAggregateOp : public PhysicalOp {
     return Status::OK();
   }
 
-  static Value Finalize(const BoundExpr* agg, const AggState& st) {
-    switch (agg->agg_kind) {
-      case plan::AggKind::kCountStar:
-      case plan::AggKind::kCount:
-        return Value::Int(st.count);
-      case plan::AggKind::kSum:
-        if (!st.any) return Value::Null();
-        return agg->type == DataType::kDouble ? Value::Double(st.sum_d)
-                                              : Value::Int(st.sum_i);
-      case plan::AggKind::kAvg:
-        if (!st.any || st.count == 0) return Value::Null();
-        return Value::Double(st.sum_d / static_cast<double>(st.count));
-      case plan::AggKind::kMin:
-        return st.min_v;
-      case plan::AggKind::kMax:
-        return st.max_v;
+  /// Folds `src` into this table, visiting src groups in their
+  /// first-seen order. Merging morsel partials in ascending morsel
+  /// order therefore reproduces the exact group order (and floating
+  /// point sums, morsel by morsel) of any other run with the same
+  /// morsel decomposition — the thread count never matters.
+  void MergeFrom(GroupTable& src) {
+    for (size_t g = 0; g < src.keys_.size(); ++g) {
+      std::vector<AggState>& states = states_[FindOrCreate(src.keys_[g])];
+      for (size_t a = 0; a < aggregates_->size(); ++a) {
+        MergeAggState(*(*aggregates_)[a], states[a], src.states_[g][a]);
+      }
     }
-    return Value::Null();
   }
 
-  PhysicalOpPtr child_;
+  /// A global aggregate over an empty input still emits one row.
+  void EnsureGlobalGroup() {
+    if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
+      keys_.push_back({});
+      states_.emplace_back(aggregates_->size());
+    }
+  }
+
+  /// Boxes group g as an output row: key values then finalized
+  /// aggregates.
+  std::vector<Value> EmitRow(size_t g) const {
+    std::vector<Value> row = keys_[g];
+    row.reserve(row.size() + aggregates_->size());
+    for (size_t a = 0; a < aggregates_->size(); ++a) {
+      row.push_back(FinalizeAgg((*aggregates_)[a].get(), states_[g][a]));
+    }
+    return row;
+  }
+
+ private:
+  size_t FindOrCreate(const std::vector<Value>& key) {
+    size_t h = HashKey(key);
+    auto [lo, hi] = groups_.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      const std::vector<Value>& existing = keys_[it->second];
+      bool equal = true;
+      for (size_t i = 0; i < key.size(); ++i) {
+        if (key[i].Compare(existing[i]) != 0) {  // Group-by: NULL == NULL.
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return it->second;
+    }
+    size_t group_index = keys_.size();
+    keys_.push_back(key);
+    states_.emplace_back(aggregates_->size());
+    groups_.emplace(h, group_index);
+    return group_index;
+  }
+
   const std::vector<plan::BoundExprPtr>* group_by_;
   const std::vector<plan::BoundExprPtr>* aggregates_;
   std::unordered_multimap<size_t, size_t> groups_;
   std::vector<std::vector<Value>> keys_;
   std::vector<std::vector<AggState>> states_;
+};
+
+class HashAggregateOp : public PhysicalOp {
+ public:
+  HashAggregateOp(std::shared_ptr<Schema> schema, PhysicalOpPtr child,
+                  const std::vector<plan::BoundExprPtr>* group_by,
+                  const std::vector<plan::BoundExprPtr>* aggregates)
+      : PhysicalOp(std::move(schema)),
+        child_(std::move(child)),
+        group_by_(group_by),
+        aggregates_(aggregates),
+        table_(group_by, aggregates) {}
+
+  Status Open() override {
+    table_ = GroupTable(group_by_, aggregates_);
+    emitted_ = 0;
+    HANA_RETURN_IF_ERROR(child_->Open());
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
+      if (!in.has_value()) break;
+      for (size_t r = 0; r < in->num_rows(); ++r) {
+        HANA_RETURN_IF_ERROR(table_.Accumulate(*in, r));
+      }
+    }
+    table_.EnsureGlobalGroup();
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (emitted_ >= table_.num_groups()) return std::optional<Chunk>();
+    Chunk out = Chunk::Empty(schema_);
+    size_t end =
+        std::min(table_.num_groups(), emitted_ + storage::kDefaultChunkRows);
+    for (size_t g = emitted_; g < end; ++g) out.AppendRow(table_.EmitRow(g));
+    emitted_ = end;
+    return std::optional<Chunk>(std::move(out));
+  }
+
+ private:
+  PhysicalOpPtr child_;
+  const std::vector<plan::BoundExprPtr>* group_by_;
+  const std::vector<plan::BoundExprPtr>* aggregates_;
+  GroupTable table_;
   size_t emitted_ = 0;
+};
+
+/// Morsel-driven parallel pipeline: partitioned scan → [filter] →
+/// [project] → [partial aggregate], one task per morsel. The morsel
+/// decomposition, per-morsel processing and the merge/emission order
+/// are all fixed by the plan, so output is bit-identical for any
+/// degree of parallelism (including 1).
+class MorselPipelineOp : public PhysicalOp {
+ public:
+  MorselPipelineOp(std::shared_ptr<Schema> schema, ExecContext* ctx,
+                   const LogicalOp* scan, const LogicalOp* filter,
+                   const LogicalOp* project, const LogicalOp* aggregate)
+      : PhysicalOp(std::move(schema)),
+        ctx_(ctx),
+        scan_(scan),
+        filter_(filter),
+        project_(project),
+        aggregate_(aggregate) {}
+
+  Status Open() override {
+    chunks_.clear();
+    merged_.reset();
+    emitted_groups_ = 0;
+    emit_morsel_ = 0;
+    emit_chunk_ = 0;
+    ParallelPolicy policy = ctx_->parallel_policy();
+    HANA_ASSIGN_OR_RETURN(
+        std::optional<PartitionSource> source,
+        ctx_->OpenPartitionedScan(*scan_, policy.morsel_rows));
+    if (!source.has_value()) {
+      return Status::Internal("morsel pipeline over a non-partitioned scan");
+    }
+    size_t n = source->num_morsels;
+    std::vector<std::unique_ptr<GroupTable>> partials(aggregate_ ? n : 0);
+    chunks_.assign(n, {});
+    std::vector<Status> statuses(n);
+    auto run_morsel = [&](size_t m) {
+      GroupTable* partial = nullptr;
+      if (aggregate_ != nullptr) {
+        partials[m] = std::make_unique<GroupTable>(&aggregate_->group_by,
+                                                   &aggregate_->aggregates);
+        partial = partials[m].get();
+      }
+      statuses[m] = ProcessMorsel(*source, m, partial, &chunks_[m]);
+    };
+    if (policy.pool != nullptr && policy.dop > 1 && n > 1) {
+      policy.pool->ParallelFor(n, run_morsel, policy.dop);
+    } else {
+      for (size_t m = 0; m < n; ++m) run_morsel(m);
+    }
+    // First failure in morsel order wins (deterministic error too).
+    for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
+    if (aggregate_ != nullptr) {
+      merged_ = std::make_unique<GroupTable>(&aggregate_->group_by,
+                                             &aggregate_->aggregates);
+      for (auto& p : partials) merged_->MergeFrom(*p);
+      merged_->EnsureGlobalGroup();
+      chunks_.clear();
+    }
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (merged_ != nullptr) {
+      if (emitted_groups_ >= merged_->num_groups()) {
+        return std::optional<Chunk>();
+      }
+      Chunk out = Chunk::Empty(schema_);
+      size_t end = std::min(merged_->num_groups(),
+                            emitted_groups_ + storage::kDefaultChunkRows);
+      for (size_t g = emitted_groups_; g < end; ++g) {
+        out.AppendRow(merged_->EmitRow(g));
+      }
+      emitted_groups_ = end;
+      return std::optional<Chunk>(std::move(out));
+    }
+    while (emit_morsel_ < chunks_.size()) {
+      if (emit_chunk_ < chunks_[emit_morsel_].size()) {
+        return std::optional<Chunk>(
+            std::move(chunks_[emit_morsel_][emit_chunk_++]));
+      }
+      ++emit_morsel_;
+      emit_chunk_ = 0;
+    }
+    return std::optional<Chunk>();
+  }
+
+ private:
+  Status ProcessMorsel(const PartitionSource& source, size_t m,
+                       GroupTable* partial,
+                       std::vector<Chunk>* out_chunks) const {
+    Status inner = Status::OK();
+    Status scan_status = source.scan_morsel(m, [&](const Chunk& in) {
+      inner = ProcessChunk(in, partial, out_chunks);
+      return inner.ok();
+    });
+    HANA_RETURN_IF_ERROR(inner);
+    return scan_status;
+  }
+
+  /// Runs the filter/project stages over one scanned chunk, then either
+  /// folds the rows into the morsel's partial aggregate or stores the
+  /// chunk for ordered emission.
+  Status ProcessChunk(const Chunk& in, GroupTable* partial,
+                      std::vector<Chunk>* out_chunks) const {
+    const Chunk* stage = &in;
+    Chunk filtered;
+    if (filter_ != nullptr) {
+      filtered = Chunk::Empty(in.schema);
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        HANA_ASSIGN_OR_RETURN(Value keep,
+                              EvalExpr(*filter_->predicate, in, r));
+        if (keep.is_null() || !IsTruthy(keep)) continue;
+        for (size_t c = 0; c < filtered.columns.size(); ++c) {
+          filtered.columns[c]->Append(in.columns[c]->GetValue(r));
+        }
+      }
+      stage = &filtered;
+    }
+    Chunk projected;
+    if (project_ != nullptr) {
+      projected = Chunk::Empty(project_->schema);
+      for (size_t r = 0; r < stage->num_rows(); ++r) {
+        for (size_t c = 0; c < project_->exprs.size(); ++c) {
+          HANA_ASSIGN_OR_RETURN(Value v,
+                                EvalExpr(*project_->exprs[c], *stage, r));
+          projected.columns[c]->Append(v);
+        }
+      }
+      stage = &projected;
+    }
+    if (partial != nullptr) {
+      for (size_t r = 0; r < stage->num_rows(); ++r) {
+        HANA_RETURN_IF_ERROR(partial->Accumulate(*stage, r));
+      }
+      return Status::OK();
+    }
+    if (stage->num_rows() == 0) return Status::OK();
+    Chunk out = stage == &in
+                    ? in
+                    : std::move(stage == &projected ? projected : filtered);
+    out.schema = schema_;
+    out_chunks->push_back(std::move(out));
+    return Status::OK();
+  }
+
+  ExecContext* ctx_;
+  const LogicalOp* scan_;
+  const LogicalOp* filter_;
+  const LogicalOp* project_;
+  const LogicalOp* aggregate_;
+  // Per-morsel output chunks (streaming pipelines), emitted in morsel
+  // order; or the merged group table (aggregating pipelines).
+  std::vector<std::vector<Chunk>> chunks_;
+  std::unique_ptr<GroupTable> merged_;
+  size_t emitted_groups_ = 0;
+  size_t emit_morsel_ = 0;
+  size_t emit_chunk_ = 0;
 };
 
 class SortOp : public PhysicalOp {
@@ -600,7 +874,7 @@ class RemoteQueryOp : public PhysicalOp {
         HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk,
                               relocated_child_->Next());
         if (!chunk.has_value()) break;
-        relocated.AppendChunk(*chunk);
+        relocated.AppendChunk(std::move(*chunk));
       }
       relocated_ptr = &relocated;
     }
@@ -722,12 +996,70 @@ class PushdownJoinOp : public PhysicalOp {
   size_t emitted_ = 0;
 };
 
-}  // namespace
+/// The operator chain a MorselPipelineOp can absorb:
+/// Aggregate?(Project?(Filter?(Scan))).
+struct MorselPipeline {
+  const LogicalOp* aggregate = nullptr;
+  const LogicalOp* project = nullptr;
+  const LogicalOp* filter = nullptr;
+  const LogicalOp* scan = nullptr;
+};
 
-Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+std::optional<MorselPipeline> MatchMorselPipeline(const LogicalOp& op) {
+  MorselPipeline p;
+  const LogicalOp* cur = &op;
+  if (cur->kind == LogicalKind::kAggregate) {
+    p.aggregate = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalKind::kProject && !cur->children.empty()) {
+    p.project = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalKind::kFilter) {
+    p.filter = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind != LogicalKind::kScan) return std::nullopt;
+  p.scan = cur;
+  return p;
+}
+
+/// Lowers `logical` to a MorselPipelineOp when the host context grants a
+/// pool and can decompose the scan into morsels; null otherwise. The
+/// decision depends only on the plan shape and the scan target — never
+/// on the degree of parallelism — so a query runs through the same
+/// operator at every thread count.
+Result<PhysicalOpPtr> TryMorselPipeline(const plan::LogicalOp& logical,
                                         ExecContext* ctx) {
+  std::optional<MorselPipeline> p = MatchMorselPipeline(logical);
+  if (!p.has_value()) return PhysicalOpPtr();
+  ParallelPolicy policy = ctx->parallel_policy();
+  if (policy.pool == nullptr) return PhysicalOpPtr();
+  HANA_ASSIGN_OR_RETURN(
+      std::optional<PartitionSource> source,
+      ctx->OpenPartitionedScan(*p->scan, policy.morsel_rows));
+  if (!source.has_value()) return PhysicalOpPtr();
+  return PhysicalOpPtr(std::make_unique<MorselPipelineOp>(
+      logical.schema, ctx, p->scan, p->filter, p->project, p->aggregate));
+}
+
+/// `parallel_ok` is false under a LIMIT whose input streams lazily: an
+/// eager morsel pipeline there would scan far past the cutoff. Blocking
+/// operators (aggregate, sort, join builds) consume their whole input
+/// anyway and reset the flag for their subtrees.
+Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
+                                        ExecContext* ctx, bool parallel_ok);
+
+Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
+                                        ExecContext* ctx, bool parallel_ok) {
   switch (logical.kind) {
     case LogicalKind::kScan:
+      if (parallel_ok) {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TryMorselPipeline(logical, ctx));
+        if (op != nullptr) return op;
+      }
       return PhysicalOpPtr(std::make_unique<StreamOp>(
           logical.schema, [&logical, ctx] { return ctx->OpenScan(logical); }));
     case LogicalKind::kTableFunctionScan:
@@ -744,29 +1076,42 @@ Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
           &logical, ctx, std::move(relocated)));
     }
     case LogicalKind::kFilter: {
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                            BuildPhysicalPlan(*logical.children[0], ctx));
+      if (parallel_ok) {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TryMorselPipeline(logical, ctx));
+        if (op != nullptr) return op;
+      }
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          BuildPhysicalImpl(*logical.children[0], ctx, parallel_ok));
       return PhysicalOpPtr(std::make_unique<FilterOp>(
           std::move(child), logical.predicate.get()));
     }
     case LogicalKind::kProject: {
+      if (parallel_ok && !logical.children.empty()) {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TryMorselPipeline(logical, ctx));
+        if (op != nullptr) return op;
+      }
       PhysicalOpPtr child;
       if (!logical.children.empty()) {
-        HANA_ASSIGN_OR_RETURN(child,
-                              BuildPhysicalPlan(*logical.children[0], ctx));
+        HANA_ASSIGN_OR_RETURN(
+            child, BuildPhysicalImpl(*logical.children[0], ctx, parallel_ok));
       }
       return PhysicalOpPtr(std::make_unique<ProjectOp>(
           logical.schema, std::move(child), &logical.exprs));
     }
     case LogicalKind::kJoin: {
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr left,
-                            BuildPhysicalPlan(*logical.children[0], ctx));
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr left,
+          BuildPhysicalImpl(*logical.children[0], ctx, true));
       if (logical.semijoin_pushdown) {
         return PhysicalOpPtr(std::make_unique<PushdownJoinOp>(
             &logical, std::move(left), ctx));
       }
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr right,
-                            BuildPhysicalPlan(*logical.children[1], ctx));
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr right,
+          BuildPhysicalImpl(*logical.children[1], ctx, true));
       size_t left_arity = logical.children[0]->schema->num_columns();
       if (logical.condition != nullptr && logical.join_kind != JoinKind::kCross) {
         plan::JoinConditionParts parts =
@@ -782,21 +1127,28 @@ Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
           logical.condition.get()));
     }
     case LogicalKind::kAggregate: {
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                            BuildPhysicalPlan(*logical.children[0], ctx));
+      // Aggregation is blocking, so the pipeline is eligible even under
+      // a LIMIT.
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TryMorselPipeline(logical, ctx));
+      if (op != nullptr) return op;
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          BuildPhysicalImpl(*logical.children[0], ctx, true));
       return PhysicalOpPtr(std::make_unique<HashAggregateOp>(
           logical.schema, std::move(child), &logical.group_by,
           &logical.aggregates));
     }
     case LogicalKind::kSort: {
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                            BuildPhysicalPlan(*logical.children[0], ctx));
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          BuildPhysicalImpl(*logical.children[0], ctx, true));
       return PhysicalOpPtr(
           std::make_unique<SortOp>(std::move(child), &logical.sort_keys));
     }
     case LogicalKind::kLimit: {
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                            BuildPhysicalPlan(*logical.children[0], ctx));
+      HANA_ASSIGN_OR_RETURN(
+          PhysicalOpPtr child,
+          BuildPhysicalImpl(*logical.children[0], ctx, false));
       return PhysicalOpPtr(
           std::make_unique<LimitOp>(std::move(child), logical.limit));
     }
@@ -804,14 +1156,21 @@ Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
       std::vector<PhysicalOpPtr> children;
       for (const auto& c : logical.children) {
         HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                              BuildPhysicalPlan(*c, ctx));
+                              BuildPhysicalImpl(*c, ctx, parallel_ok));
         children.push_back(std::move(child));
       }
-      return PhysicalOpPtr(
-          std::make_unique<UnionOp>(logical.schema, std::move(children)));
+      return PhysicalOpPtr(std::make_unique<UnionOp>(
+          logical.schema, std::move(children), ctx));
     }
   }
   return Status::Internal("unknown logical operator");
+}
+
+}  // namespace
+
+Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+                                        ExecContext* ctx) {
+  return BuildPhysicalImpl(logical, ctx, /*parallel_ok=*/true);
 }
 
 Result<storage::Table> DrainToTable(PhysicalOp* op) {
@@ -820,7 +1179,7 @@ Result<storage::Table> DrainToTable(PhysicalOp* op) {
   while (true) {
     HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, op->Next());
     if (!chunk.has_value()) break;
-    table.AppendChunk(*chunk);
+    table.AppendChunk(std::move(*chunk));
   }
   return table;
 }

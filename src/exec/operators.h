@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/task_pool.h"
 #include "plan/join_analysis.h"
 #include "plan/logical.h"
 #include "storage/column_vector.h"
@@ -23,6 +24,26 @@ using ChunkStream = std::function<Result<std::optional<Chunk>>()>;
 struct PushdownInList {
   std::string column;  // Remote-side column name.
   std::vector<Value> values;
+};
+
+/// Degree-of-parallelism policy the hosting platform grants the
+/// executor. A null pool (the default) keeps every operator serial.
+struct ParallelPolicy {
+  TaskPool* pool = nullptr;
+  size_t dop = 1;             // Worker budget per parallel region.
+  size_t morsel_rows = 16384; // Rows per morsel for partitioned scans.
+};
+
+/// A base-table scan decomposed into fixed, contiguous morsels. The
+/// decomposition depends only on the table size and morsel_rows — never
+/// on the thread count — so per-morsel streams are deterministic.
+struct PartitionSource {
+  size_t num_morsels = 0;
+  /// Streams morsel m's chunks into `sink` (return false to stop).
+  /// Must be safe to call concurrently for distinct morsel indices.
+  std::function<Status(size_t m,
+                       const std::function<bool(const Chunk&)>& sink)>
+      scan_morsel;
 };
 
 /// Runtime services the executor needs from the hosting platform:
@@ -45,6 +66,27 @@ class ExecContext {
 
   virtual Result<ChunkStream> OpenTableFunction(
       const plan::LogicalOp& fn) = 0;
+
+  /// Parallelism granted to this context's queries. The default policy
+  /// (no pool) makes every physical plan run serially.
+  virtual ParallelPolicy parallel_policy() { return {}; }
+
+  /// Morsel decomposition of a base-table scan, or nullopt when the
+  /// scan target does not support partitioned access (remote sources,
+  /// hybrid umbrella tables). The decomposition must not depend on the
+  /// degree of parallelism.
+  virtual Result<std::optional<PartitionSource>> OpenPartitionedScan(
+      const plan::LogicalOp& scan, size_t morsel_rows) {
+    (void)scan;
+    (void)morsel_rows;
+    return std::optional<PartitionSource>();
+  }
+
+  /// Brackets a region in which federation branches are dispatched
+  /// concurrently; the SDA runtime then charges virtual remote time as
+  /// the max over branches instead of the sum (Union Plan execution).
+  virtual void BeginConcurrentRemoteDispatch() {}
+  virtual void EndConcurrentRemoteDispatch() {}
 };
 
 /// Volcano-style physical operator.

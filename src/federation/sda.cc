@@ -1,8 +1,43 @@
 #include "federation/sda.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace hana::federation {
+
+void SdaRuntime::SetVirtualTime(std::function<double()> now,
+                                std::function<void(double)> credit) {
+  virtual_now_ = std::move(now);
+  credit_ = std::move(credit);
+}
+
+void SdaRuntime::BeginConcurrentRegion() {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  if (region_depth_++ == 0) branch_deltas_.clear();
+}
+
+void SdaRuntime::EndConcurrentRegion() {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  if (region_depth_ == 0) return;
+  if (--region_depth_ > 0) return;
+  if (branch_deltas_.size() > 1 && credit_) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (double d : branch_deltas_) {
+      sum += d;
+      max = std::max(max, d);
+    }
+    // The branches were charged sequentially (dispatch is serialized);
+    // concurrent execution costs only the slowest branch.
+    credit_(max - sum);
+  }
+  branch_deltas_.clear();
+}
+
+void SdaRuntime::RecordBranch(double delta) {
+  if (region_depth_ > 0) branch_deltas_.push_back(delta);
+}
 
 Status SdaRuntime::BindSource(const std::string& source_name,
                               std::unique_ptr<Adapter> adapter) {
@@ -46,6 +81,10 @@ std::string SdaRuntime::SqlLiteral(const Value& v) {
 Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
     const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
     const storage::Table* relocated_rows) {
+  // Adapter dispatch is serialized: the simulated engines mutate shared
+  // state (buffer caches, the virtual clock) on every call. Concurrency
+  // gains are modeled by EndConcurrentRegion's refund instead.
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
   HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(rq.remote_source));
 
   std::string sql = rq.remote_sql;
@@ -82,8 +121,11 @@ Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
   spec.has_predicate = rq.remote_has_predicate ||
                        (in_list != nullptr && !in_list->values.empty());
   RemoteStats remote_stats;
+  double before = virtual_now_ ? virtual_now_() : 0.0;
   HANA_ASSIGN_OR_RETURN(storage::Table table,
                         adapter->Execute(spec, &remote_stats));
+  RecordBranch(virtual_now_ ? virtual_now_() - before
+                            : remote_stats.remote_ms);
   stats_.remote_ms += remote_stats.remote_ms;
   stats_.remote_calls += 1;
   stats_.mapreduce_jobs += remote_stats.jobs;
@@ -95,11 +137,15 @@ Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
 
 Result<storage::Table> SdaRuntime::ExecuteVirtualFunction(
     const std::string& source, const std::string& configuration) {
+  std::lock_guard<std::mutex> lock(dispatch_mu_);
   HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(source));
   RemoteStats remote_stats;
+  double before = virtual_now_ ? virtual_now_() : 0.0;
   HANA_ASSIGN_OR_RETURN(
       storage::Table table,
       adapter->ExecuteVirtualFunction(configuration, &remote_stats));
+  RecordBranch(virtual_now_ ? virtual_now_() - before
+                            : remote_stats.remote_ms);
   stats_.remote_ms += remote_stats.remote_ms;
   stats_.remote_calls += 1;
   stats_.rows_fetched += remote_stats.rows;

@@ -1,9 +1,12 @@
 #ifndef HANA_FEDERATION_SDA_H_
 #define HANA_FEDERATION_SDA_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "exec/operators.h"
 #include "federation/adapter.h"
@@ -49,12 +52,64 @@ class SdaRuntime {
 
   StatementRemoteStats& stats() { return stats_; }
 
+  /// Injects the virtual-time probes used to account concurrent
+  /// dispatch regions: `now` returns the statement's total virtual
+  /// time, `credit` advances it — negative values refund time.
+  void SetVirtualTime(std::function<double()> now,
+                      std::function<void(double)> credit);
+
+  /// Brackets a region whose remote dispatches are issued concurrently
+  /// (Union Plan branches). Adapter calls stay serialized on the
+  /// dispatch mutex — the simulated engines mutate shared caches — but
+  /// on region end the elapsed virtual time is re-accounted from the
+  /// sum of the branch latencies down to their max, as if the branches
+  /// had truly overlapped. Regions nest; only the outermost refunds.
+  void BeginConcurrentRegion();
+  void EndConcurrentRegion();
+
+  /// Serializes direct engine access that bypasses the adapter path
+  /// (the platform scans extended-store tables in-process). Callers
+  /// must hold this around such access when queries run in parallel.
+  std::mutex& dispatch_mutex() { return dispatch_mu_; }
+
+  /// RAII guard for direct engine access: holds the dispatch mutex for
+  /// its lifetime and, inside a concurrent region, records the access's
+  /// virtual-time delta as one branch so it participates in the
+  /// max-of-latencies re-accounting like adapter dispatches do.
+  class TrackedDispatch {
+   public:
+    explicit TrackedDispatch(SdaRuntime* sda)
+        : sda_(sda), lock_(sda->dispatch_mu_),
+          before_(sda->virtual_now_ ? sda->virtual_now_() : 0.0) {}
+    ~TrackedDispatch() {
+      if (sda_->virtual_now_) {
+        sda_->RecordBranch(sda_->virtual_now_() - before_);
+      }
+    }
+    TrackedDispatch(const TrackedDispatch&) = delete;
+    TrackedDispatch& operator=(const TrackedDispatch&) = delete;
+
+   private:
+    SdaRuntime* sda_;
+    std::lock_guard<std::mutex> lock_;
+    double before_;
+  };
+
   /// Renders a Value as a SQL literal for IN-list splicing.
   static std::string SqlLiteral(const Value& v);
 
  private:
+  /// Records one dispatched branch's virtual-time delta when inside a
+  /// concurrent region. Must be called with dispatch_mu_ held.
+  void RecordBranch(double delta);
+
   std::map<std::string, std::unique_ptr<Adapter>> adapters_;
   StatementRemoteStats stats_;
+  std::mutex dispatch_mu_;
+  std::function<double()> virtual_now_;
+  std::function<void(double)> credit_;
+  int region_depth_ = 0;
+  std::vector<double> branch_deltas_;
 };
 
 }  // namespace hana::federation

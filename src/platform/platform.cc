@@ -76,6 +76,11 @@ Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
         std::make_unique<federation::IqAdapter>(iq_.get(), &clock_);
     (void)sda_.BindSource("EXTENDED", std::move(adapter));
   }
+  dop_ = options_.num_threads > 0 ? options_.num_threads
+                                  : TaskPool::DefaultDop();
+  if (options_.morsel_rows > 0) morsel_rows_ = options_.morsel_rows;
+  sda_.SetVirtualTime([this] { return VirtualNow(); },
+                      [this](double ms) { clock_.Advance(ms); });
 }
 
 Platform::~Platform() = default;
@@ -382,6 +387,20 @@ Status Platform::SetParameter(const std::string& name,
     }
     return Status::OK();
   }
+  if (key == "threads" || key == "morsel_rows") {
+    char* end = nullptr;
+    long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || parsed < 0) {
+      return Status::InvalidArgument("invalid " + key + ": " + value);
+    }
+    size_t v = static_cast<size_t>(parsed);
+    if (key == "threads") {
+      dop_ = v > 0 ? v : TaskPool::DefaultDop();
+    } else {
+      morsel_rows_ = v > 0 ? v : 16384;
+    }
+    return Status::OK();
+  }
   return Status::NotFound("unknown parameter: " + name);
 }
 
@@ -437,6 +456,10 @@ Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
             partition.hot->Scan(storage::kDefaultChunkRows, sink);
           } else if (scan.partition_index < 0) {
             // Unexpanded hybrid scan: read cold partitions directly.
+            // The extended engine mutates its buffer cache and clock on
+            // reads, so direct access shares the SDA dispatch mutex
+            // with concurrently opened federation branches.
+            federation::SdaRuntime::TrackedDispatch guard(&sda_);
             HANA_ASSIGN_OR_RETURN(
                 extended::ExtendedTable * cold,
                 iq_->store()->GetTable(partition.cold_table));
@@ -453,6 +476,8 @@ Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
       if (iq_ == nullptr) {
         return Status::Unavailable("extended storage not attached");
       }
+      // Direct engine access; see the hybrid cold-partition case above.
+      federation::SdaRuntime::TrackedDispatch guard(&sda_);
       HANA_ASSIGN_OR_RETURN(extended::ExtendedTable * table,
                             iq_->store()->GetTable(binding.name));
       std::vector<extended::ColumnRange> ranges;
@@ -491,6 +516,83 @@ Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
   }
   return Status::Internal("unknown table location");
 }
+
+exec::ParallelPolicy Platform::parallel_policy() {
+  exec::ParallelPolicy policy;
+  policy.pool = &TaskPool::Global();
+  policy.dop = dop_;
+  policy.morsel_rows = morsel_rows_;
+  return policy;
+}
+
+Result<std::optional<exec::PartitionSource>> Platform::OpenPartitionedScan(
+    const plan::LogicalOp& scan, size_t morsel_rows) {
+  const plan::TableBinding& binding = scan.table;
+  // Only plain local tables decompose into morsels; hybrid umbrella
+  // scans, expanded hot partitions and remote/extended sources keep the
+  // streaming path.
+  if ((binding.location != plan::TableLocation::kLocalColumn &&
+       binding.location != plan::TableLocation::kLocalRow) ||
+      scan.partition_index >= 0) {
+    return std::optional<exec::PartitionSource>();
+  }
+  Result<catalog::TableEntry*> entry = catalog_->GetTable(binding.name);
+  if (!entry.ok()) return std::optional<exec::PartitionSource>();
+  if (morsel_rows == 0) morsel_rows = morsel_rows_;
+
+  exec::PartitionSource source;
+  std::shared_ptr<Schema> schema = scan.schema;
+  auto restamp = [schema](
+      const std::function<bool(const storage::Chunk&)>& sink,
+      const storage::Chunk& chunk) {
+    storage::Chunk copy = chunk;
+    copy.schema = schema;
+    return sink(copy);
+  };
+  if ((*entry)->kind == catalog::TableKind::kColumn) {
+    storage::ColumnTable* table = (*entry)->column_table.get();
+    size_t rows = table->num_rows();
+    source.num_morsels = (rows + morsel_rows - 1) / morsel_rows;
+    source.scan_morsel =
+        [table, morsel_rows, restamp](
+            size_t m,
+            const std::function<bool(const storage::Chunk&)>& sink) {
+          size_t begin = m * morsel_rows;
+          table->ScanRange(begin,
+                           std::min(table->num_rows(), begin + morsel_rows),
+                           morsel_rows, [&](const storage::Chunk& chunk) {
+                             return restamp(sink, chunk);
+                           });
+          return Status::OK();
+        };
+    return std::optional<exec::PartitionSource>(std::move(source));
+  }
+  if ((*entry)->kind == catalog::TableKind::kRow) {
+    storage::RowTable* table = (*entry)->row_table.get();
+    size_t rows = table->num_rows();
+    source.num_morsels = (rows + morsel_rows - 1) / morsel_rows;
+    source.scan_morsel =
+        [table, morsel_rows, restamp](
+            size_t m,
+            const std::function<bool(const storage::Chunk&)>& sink) {
+          size_t begin = m * morsel_rows;
+          table->ScanRange(begin,
+                           std::min(table->num_rows(), begin + morsel_rows),
+                           morsel_rows, [&](const storage::Chunk& chunk) {
+                             return restamp(sink, chunk);
+                           });
+          return Status::OK();
+        };
+    return std::optional<exec::PartitionSource>(std::move(source));
+  }
+  return std::optional<exec::PartitionSource>();
+}
+
+void Platform::BeginConcurrentRemoteDispatch() {
+  sda_.BeginConcurrentRegion();
+}
+
+void Platform::EndConcurrentRemoteDispatch() { sda_.EndConcurrentRegion(); }
 
 Result<exec::ChunkStream> Platform::OpenRemoteQuery(
     const plan::LogicalOp& rq, const exec::PushdownInList* in_list,

@@ -31,6 +31,12 @@ struct PlatformOptions {
   hadoop::HdfsOptions hdfs_options;
   hadoop::ClusterConfig cluster;
   federation::OdbcLinkOptions hive_link;
+  /// Degree of parallelism for query execution (morsel-driven scans,
+  /// concurrent federation dispatch). 0 = HANA_THREADS env variable
+  /// when set, else the hardware concurrency.
+  size_t num_threads = 0;
+  /// Rows per morsel for partitioned scans. 0 = built-in default.
+  size_t morsel_rows = 0;
 };
 
 /// Timing and provenance of one executed statement. Local time is
@@ -80,7 +86,11 @@ class Platform : public exec::ExecContext {
   /// Platform configuration parameters:
   ///   enable_remote_cache      = true|false (Section 4.4)
   ///   remote_cache_validity    = seconds
+  ///   threads                  = degree of parallelism (0 = default)
+  ///   morsel_rows              = rows per scan morsel (0 = default)
   Status SetParameter(const std::string& name, const std::string& value);
+
+  size_t degree_of_parallelism() const { return dop_; }
 
   // ---- Component access -----------------------------------------------
   catalog::Catalog& catalog() { return *catalog_; }
@@ -107,6 +117,11 @@ class Platform : public exec::ExecContext {
       const storage::Table* relocated_rows) override;
   Result<exec::ChunkStream> OpenTableFunction(
       const plan::LogicalOp& fn) override;
+  exec::ParallelPolicy parallel_policy() override;
+  Result<std::optional<exec::PartitionSource>> OpenPartitionedScan(
+      const plan::LogicalOp& scan, size_t morsel_rows) override;
+  void BeginConcurrentRemoteDispatch() override;
+  void EndConcurrentRemoteDispatch() override;
 
  private:
   Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt);
@@ -129,6 +144,8 @@ class Platform : public exec::ExecContext {
   federation::SdaRuntime sda_;
   txn::TwoPhaseCoordinator coordinator_;
   optimizer::OptimizerOptions opt_options_;
+  size_t dop_ = 1;
+  size_t morsel_rows_ = 16384;
   QueryMetrics last_metrics_;
   std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
 };

@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/strings.h"
+#include "common/task_pool.h"
 #include "storage/codec.h"
 
 namespace hana::storage {
@@ -34,6 +35,65 @@ Value StoredColumn::Get(size_t row) const {
     return main_dict_[code];
   }
   return delta_dict_[delta_codes_[row - main_count_]];
+}
+
+void StoredColumn::Decode(size_t start, size_t count,
+                          ColumnVector* out) const {
+  out->Reserve(out->size() + count);
+  size_t end = start + count;
+  // Row -> dictionary value, reading packed main codes or plain delta
+  // codes in place. Null rows never reach the dictionaries.
+  auto dict_at = [this](size_t row) -> const Value& {
+    if (row < main_count_) {
+      return main_dict_[BitGet(main_words_, main_bits_, row)];
+    }
+    return delta_dict_[delta_codes_[row - main_count_]];
+  };
+  // The type switch lives outside the row loop so the hot path appends
+  // straight into the vector's typed array without boxing a Value.
+  switch (type_) {
+    case DataType::kDouble:
+      for (size_t r = start; r < end; ++r) {
+        if (nulls_[r]) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(dict_at(r).AsDouble());
+        }
+      }
+      break;
+    case DataType::kString:
+      for (size_t r = start; r < end; ++r) {
+        if (nulls_[r]) {
+          out->AppendNull();
+          continue;
+        }
+        const Value& v = dict_at(r);
+        if (v.type() == DataType::kString) {
+          out->AppendString(v.string_value());
+        } else {
+          out->Append(v);  // Coercing slow path for mistyped inserts.
+        }
+      }
+      break;
+    case DataType::kBool:
+      for (size_t r = start; r < end; ++r) {
+        if (nulls_[r]) {
+          out->AppendNull();
+        } else {
+          out->AppendBool(dict_at(r).AsInt() != 0);
+        }
+      }
+      break;
+    default:  // kInt64 / kDate / kTimestamp share the int64 array.
+      for (size_t r = start; r < end; ++r) {
+        if (nulls_[r]) {
+          out->AppendNull();
+        } else {
+          out->AppendInt(dict_at(r).AsInt());
+        }
+      }
+      break;
+  }
 }
 
 void StoredColumn::MergeDelta() {
@@ -136,18 +196,56 @@ Status ColumnTable::UpdateRow(size_t row, const std::vector<Value>& new_row) {
 void ColumnTable::Scan(
     size_t chunk_rows,
     const std::function<bool(const Chunk&)>& callback) const {
+  ScanRange(0, deleted_.size(), chunk_rows, callback);
+}
+
+void ColumnTable::ScanRange(
+    size_t begin, size_t end, size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
+  end = std::min(end, deleted_.size());
+  if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
   Chunk chunk = Chunk::Empty(schema_);
-  for (size_t r = 0; r < deleted_.size(); ++r) {
-    if (deleted_[r]) continue;
-    for (size_t c = 0; c < columns_.size(); ++c) {
-      chunk.columns[c]->Append(columns_[c].Get(r));
+  size_t r = begin;
+  while (r < end) {
+    if (deleted_[r]) {
+      ++r;
+      continue;
     }
+    // Bulk-decode the delete-free run, capped by the chunk capacity; a
+    // tombstone simply ends the run.
+    size_t cap = chunk_rows - chunk.num_rows();
+    size_t run = r;
+    while (run < end && !deleted_[run] && run - r < cap) ++run;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].Decode(r, run - r, chunk.columns[c].get());
+    }
+    r = run;
     if (chunk.num_rows() >= chunk_rows) {
       if (!callback(chunk)) return;
       chunk = Chunk::Empty(schema_);
     }
   }
   if (chunk.num_rows() > 0) callback(chunk);
+}
+
+void ColumnTable::ScanPartitioned(
+    size_t morsel_rows, size_t n_partitions,
+    const std::function<bool(size_t partition, const Chunk&)>& callback)
+    const {
+  size_t total = deleted_.size();
+  if (n_partitions == 0) n_partitions = 1;
+  if (morsel_rows == 0) morsel_rows = kDefaultChunkRows;
+  // Contiguous slices sized from (total, n_partitions) only, so the
+  // work decomposition — and therefore every per-partition stream — is
+  // identical no matter how many pool workers pick up the slices.
+  size_t per = (total + n_partitions - 1) / n_partitions;
+  TaskPool::Global().ParallelFor(n_partitions, [&](size_t p) {
+    size_t begin = p * per;
+    size_t slice_end = std::min(total, begin + per);
+    if (begin >= slice_end) return;
+    ScanRange(begin, slice_end, morsel_rows,
+              [&](const Chunk& chunk) { return callback(p, chunk); });
+  });
 }
 
 void ColumnTable::MergeDelta() {
@@ -205,8 +303,16 @@ Status RowTable::UpdateRow(size_t row, std::vector<Value> new_row) {
 
 void RowTable::Scan(size_t chunk_rows,
                     const std::function<bool(const Chunk&)>& callback) const {
+  ScanRange(0, rows_.size(), chunk_rows, callback);
+}
+
+void RowTable::ScanRange(
+    size_t begin, size_t end, size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
+  end = std::min(end, rows_.size());
+  if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
   Chunk chunk = Chunk::Empty(schema_);
-  for (size_t r = 0; r < rows_.size(); ++r) {
+  for (size_t r = begin; r < end; ++r) {
     if (deleted_[r]) continue;
     chunk.AppendRow(rows_[r]);
     if (chunk.num_rows() >= chunk_rows) {

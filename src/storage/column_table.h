@@ -35,6 +35,12 @@ class StoredColumn {
   Value Get(size_t row) const;
   bool IsNull(size_t row) const { return nulls_[row] != 0; }
 
+  /// Bulk-decodes rows [start, start + count) into `out`, unpacking
+  /// bit-packed main codes a morsel at a time and writing straight into
+  /// the vector's typed arrays instead of boxing one Value per Get()
+  /// call. Thread-safe for concurrent readers (no mutation).
+  void Decode(size_t start, size_t count, ColumnVector* out) const;
+
   /// Rebuilds the main store: merges delta codes, sorts the dictionary,
   /// re-maps codes and bit-packs them.
   void MergeDelta();
@@ -97,6 +103,25 @@ class ColumnTable {
   void Scan(size_t chunk_rows,
             const std::function<bool(const Chunk&)>& callback) const;
 
+  /// Streams live rows of the physical range [begin, end) as chunks of
+  /// at most `chunk_rows`, bulk-decoding delete-free runs. Thread-safe
+  /// for concurrent readers on disjoint (or even overlapping) ranges.
+  void ScanRange(size_t begin, size_t end, size_t chunk_rows,
+                 const std::function<bool(const Chunk&)>& callback) const;
+
+  /// Morsel-driven parallel scan: splits the physical row space into
+  /// `n_partitions` contiguous slices and fans them across the global
+  /// task pool, streaming each slice as chunks of at most `morsel_rows`
+  /// rows. The callback is invoked concurrently from pool workers and
+  /// must be thread-safe; returning false stops that partition only.
+  /// Row order within a partition follows physical row order, and
+  /// partition boundaries depend only on (num_rows, n_partitions) — not
+  /// on the thread count — so per-partition results are deterministic.
+  void ScanPartitioned(
+      size_t morsel_rows, size_t n_partitions,
+      const std::function<bool(size_t partition, const Chunk&)>& callback)
+      const;
+
   /// Merges all column deltas into their mains.
   void MergeDelta();
 
@@ -133,6 +158,11 @@ class RowTable {
 
   void Scan(size_t chunk_rows,
             const std::function<bool(const Chunk&)>& callback) const;
+
+  /// Streams live rows of the physical range [begin, end); see
+  /// ColumnTable::ScanRange.
+  void ScanRange(size_t begin, size_t end, size_t chunk_rows,
+                 const std::function<bool(const Chunk&)>& callback) const;
 
   /// Uncompressed row-layout footprint (fixed 16 bytes per field plus
   /// string payloads) — the Figure 2 row-storage baseline.

@@ -104,6 +104,13 @@ Value ColumnVector::GetValue(size_t i) const {
   }
 }
 
+Value ColumnVector::TakeValue(size_t i) {
+  if (type_ == DataType::kString && !nulls_[i]) {
+    return Value::String(std::move(strings_[i]));
+  }
+  return GetValue(i);
+}
+
 Chunk Chunk::Empty(std::shared_ptr<Schema> schema) {
   Chunk chunk;
   chunk.schema = std::move(schema);
@@ -127,7 +134,25 @@ void Chunk::AppendRow(const std::vector<Value>& row) {
 }
 
 void Table::AppendChunk(const Chunk& chunk) {
-  for (size_t r = 0; r < chunk.num_rows(); ++r) rows_.push_back(chunk.Row(r));
+  size_t n = chunk.num_rows();
+  rows_.reserve(rows_.size() + n);
+  for (size_t r = 0; r < n; ++r) rows_.push_back(chunk.Row(r));
+}
+
+void Table::AppendChunk(Chunk&& chunk) {
+  size_t n = chunk.num_rows();
+  rows_.reserve(rows_.size() + n);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<Value> row;
+    row.reserve(chunk.columns.size());
+    for (auto& col : chunk.columns) {
+      // Vectors can be shared between chunks (pass-through operators);
+      // only steal payloads from vectors we solely own.
+      row.push_back(col.use_count() == 1 ? col->TakeValue(r)
+                                         : col->GetValue(r));
+    }
+    rows_.push_back(std::move(row));
+  }
 }
 
 std::string Table::ToString(size_t max_rows) const {

@@ -41,6 +41,11 @@ class ColumnVector {
   /// Boxes row i into a Value (null-aware).
   Value GetValue(size_t i) const;
 
+  /// Like GetValue but transfers ownership of a string payload out of
+  /// the vector (the slot is left empty). Only valid when the caller is
+  /// the vector's sole owner and will discard it afterwards.
+  Value TakeValue(size_t i);
+
  private:
   DataType type_;
   std::vector<uint8_t> nulls_;
@@ -89,6 +94,9 @@ class Table {
 
   void AppendRow(std::vector<Value> row) { rows_.push_back(std::move(row)); }
   void AppendChunk(const Chunk& chunk);
+  /// Destructive drain: moves string payloads out of uniquely-owned
+  /// column vectors instead of copying them.
+  void AppendChunk(Chunk&& chunk);
 
   /// Renders an ASCII table (used by examples and EXPLAIN output).
   std::string ToString(size_t max_rows = 50) const;

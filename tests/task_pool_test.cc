@@ -1,0 +1,98 @@
+#include "common/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hana {
+namespace {
+
+TEST(TaskPoolTest, SubmitRunsEveryTask) {
+  TaskPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskPoolTest, SubmitReturnsValuesThroughFutures) {
+  TaskPool pool(2);
+  auto a = pool.Submit([] { return 6 * 7; });
+  auto b = pool.Submit([] { return std::string("hana"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "hana");
+}
+
+TEST(TaskPoolTest, SubmitPropagatesExceptionsThroughFutures) {
+  TaskPool pool(2);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(TaskPoolTest, ParallelForVisitsEveryIndexOnce) {
+  TaskPool pool(8);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskPoolTest, ParallelForRethrowsFirstIterationError) {
+  TaskPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [](size_t i) {
+                         if (i == 13) throw std::runtime_error("unlucky");
+                       }),
+      std::runtime_error);
+}
+
+TEST(TaskPoolTest, ParallelForWithOneWorkerRunsInline) {
+  TaskPool pool(4);
+  std::vector<int> order;
+  // max_workers == 1 degenerates to the calling thread, so appends
+  // need no synchronization and happen in index order.
+  pool.ParallelFor(
+      50, [&](size_t i) { order.push_back(static_cast<int>(i)); }, 1);
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(TaskPoolTest, NestedParallelForDoesNotDeadlockWhenSaturated) {
+  // Outer iterations outnumber the workers, and each spawns an inner
+  // ParallelFor on the same pool. Caller participation guarantees
+  // progress even with every worker busy.
+  TaskPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(8, [&](size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(TaskPoolTest, NestedSubmitCompletes) {
+  TaskPool pool(3);
+  auto outer = pool.Submit([&pool] {
+    auto inner = pool.Submit([] { return 7; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 8);
+}
+
+TEST(TaskPoolTest, DefaultDopHonorsEnvOverride) {
+  // HANA_THREADS is read per call, so the override is visible at once.
+  ASSERT_EQ(setenv("HANA_THREADS", "5", /*overwrite=*/1), 0);
+  EXPECT_EQ(TaskPool::DefaultDop(), 5u);
+  ASSERT_EQ(unsetenv("HANA_THREADS"), 0);
+  EXPECT_GE(TaskPool::DefaultDop(), 1u);
+}
+
+}  // namespace
+}  // namespace hana
