@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Project-invariant lint pass. Enforces the conventions the compiler
+# cannot (or that only Clang can), so they hold on every toolchain:
+#
+#   1. No naked std::mutex / std::lock_guard / std::unique_lock /
+#      std::scoped_lock / std::condition_variable outside
+#      src/common/sync.h. All locking goes through the annotated
+#      Mutex/MutexLock/CondVar wrappers so Clang -Wthread-safety can
+#      see every acquisition.
+#   2. No `throw` across API boundaries: src/ code reports failure via
+#      Status/Result. (std::rethrow_exception for ParallelFor's
+#      caller-side propagation does not trip the check.)
+#   3. Every const_cast / reinterpret_cast must carry a justification:
+#      a `lint: <cast> allowed` comment on the same or preceding line.
+#
+# When clang-tidy is on PATH and a compile database exists, it also
+# runs the .clang-tidy profile over the checked sources. Missing tools
+# skip with a message instead of failing, so GCC-only environments
+# still pass.
+#
+# Run from the repo root (the lint CMake target and the lint-labeled
+# ctest both do): scripts/lint.sh
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Strips // comments (preserving line count), then prints file:line:text
+# for lines matching the pattern, excluding files matching $3 (optional
+# grep -E pattern on the path).
+find_violations() {
+  local pattern="$1" exclude="${2:-^$}"
+  local f
+  while IFS= read -r f; do
+    echo "$f" | grep -Eq "$exclude" && continue
+    sed 's%//.*%%' "$f" | grep -nE "$pattern" | sed "s%^%$f:%"
+  done < <(find src -name '*.h' -o -name '*.cc' | sort)
+}
+
+check() {
+  local title="$1" out="$2"
+  if [ -n "$out" ]; then
+    echo "LINT FAIL: $title"
+    echo "$out" | sed 's/^/  /'
+    echo
+    fail=1
+  fi
+}
+
+check "naked standard-library locking outside src/common/sync.h \
+(use hana::Mutex / MutexLock / CondVar from common/sync.h)" \
+  "$(find_violations \
+     'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)' \
+     '^src/common/sync\.h$')"
+
+check "throw across an API boundary (report errors via Status/Result)" \
+  "$(find_violations '(^|[^_[:alnum:]])throw([^_[:alnum:]]|$)')"
+
+# const_cast / reinterpret_cast need a `lint: <cast> allowed`
+# justification on the same line or within the three preceding lines.
+cast_violations=""
+while IFS= read -r hit; do
+  f="${hit%%:*}" rest="${hit#*:}" line="${rest%%:*}"
+  start=$((line - 3)); [ "$start" -lt 1 ] && start=1
+  if ! sed -n "${start},${line}p" "$f" | grep -q 'lint:.*allowed'; then
+    cast_violations="${cast_violations}${hit}"$'\n'
+  fi
+done < <(find_violations '(const_cast|reinterpret_cast)[[:space:]]*<')
+check "unjustified const_cast/reinterpret_cast \
+(annotate with '// lint: <cast> allowed — why')" "$cast_violations"
+
+# clang-tidy profile (.clang-tidy) when the tool and a compile database
+# are available.
+if command -v clang-tidy > /dev/null 2>&1; then
+  db=""
+  for d in build build-lint; do
+    [ -f "$d/compile_commands.json" ] && db="$d" && break
+  done
+  if [ -n "$db" ]; then
+    echo "Running clang-tidy (compile database: $db) ..."
+    if ! find src -name '*.cc' | sort \
+        | xargs clang-tidy -p "$db" --quiet --warnings-as-errors='*'; then
+      echo "LINT FAIL: clang-tidy reported findings"
+      fail=1
+    fi
+  else
+    echo "SKIP clang-tidy: no compile_commands.json" \
+         "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)"
+  fi
+else
+  echo "SKIP clang-tidy: not installed"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED"
+  exit 1
+fi
+echo "lint: OK"

@@ -84,64 +84,64 @@ class Catalog : public plan::BinderCatalog {
   extended::IqEngine* iq() const { return iq_; }
 
   // ---- DDL -------------------------------------------------------------
-  Status CreateTable(const sql::CreateTableStmt& stmt);
-  Status DropTable(const std::string& name, bool if_exists);
-  Result<TableEntry*> GetTable(const std::string& name);
-  Result<const TableEntry*> GetTable(const std::string& name) const;
+  [[nodiscard]] Status CreateTable(const sql::CreateTableStmt& stmt);
+  [[nodiscard]] Status DropTable(const std::string& name, bool if_exists);
+  [[nodiscard]] Result<TableEntry*> GetTable(const std::string& name);
+  [[nodiscard]] Result<const TableEntry*> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
   // ---- Remote metadata ---------------------------------------------------
-  Status AddRemoteSource(RemoteSourceEntry entry);
-  Result<const RemoteSourceEntry*> GetRemoteSource(
+  [[nodiscard]] Status AddRemoteSource(RemoteSourceEntry entry);
+  [[nodiscard]] Result<const RemoteSourceEntry*> GetRemoteSource(
       const std::string& name) const;
-  Status AddVirtualTable(VirtualTableEntry entry);
-  Status AddVirtualFunction(VirtualFunctionEntry entry);
-  Result<const VirtualFunctionEntry*> GetVirtualFunction(
+  [[nodiscard]] Status AddVirtualTable(VirtualTableEntry entry);
+  [[nodiscard]] Status AddVirtualFunction(VirtualFunctionEntry entry);
+  [[nodiscard]] Result<const VirtualFunctionEntry*> GetVirtualFunction(
       const std::string& name) const;
 
   // ---- DML ---------------------------------------------------------------
   /// Routes rows to the right storage (partition-aware for hybrid
   /// tables; direct load into the extended store for extended tables —
   /// the paper's "direct load mechanism").
-  Status Insert(const std::string& name,
+  [[nodiscard]] Status Insert(const std::string& name,
                 const std::vector<std::vector<Value>>& rows);
 
   /// Insert with explicit column names; for flexible tables unknown
   /// columns extend the schema on the fly (Section 1 "flexible tables").
-  Status InsertNamed(const std::string& name,
+  [[nodiscard]] Status InsertNamed(const std::string& name,
                      const std::vector<std::string>& columns,
                      const std::vector<std::vector<Value>>& rows);
 
   /// Deletes rows matching a predicate bound against the table schema.
-  Result<size_t> DeleteWhere(const std::string& name,
+  [[nodiscard]] Result<size_t> DeleteWhere(const std::string& name,
                              const plan::BoundExpr& predicate);
 
   /// Updates rows matching `predicate`: assignment exprs are bound
   /// against the table schema. Returns rows updated.
-  Result<size_t> UpdateWhere(
+  [[nodiscard]] Result<size_t> UpdateWhere(
       const std::string& name, const plan::BoundExpr* predicate,
       const std::vector<std::pair<size_t, const plan::BoundExpr*>>&
           assignments);
 
-  Status MergeDelta(const std::string& name);
+  [[nodiscard]] Status MergeDelta(const std::string& name);
 
   // ---- Aging ---------------------------------------------------------------
   /// The built-in aging mechanism: moves rows from hot partitions into
   /// cold (extended-store) partitions. Flag-based when the table has an
   /// aging column (rows with a truthy flag age out), otherwise rows are
   /// re-evaluated against the partition ranges. Returns rows moved.
-  Result<size_t> RunAging(const std::string& name);
+  [[nodiscard]] Result<size_t> RunAging(const std::string& name);
 
   // ---- Binder interface ------------------------------------------------
-  Result<plan::TableBinding> ResolveTable(
+  [[nodiscard]] Result<plan::TableBinding> ResolveTable(
       const std::string& name) const override;
-  Result<plan::TableFunctionBinding> ResolveTableFunction(
+  [[nodiscard]] Result<plan::TableFunctionBinding> ResolveTableFunction(
       const std::string& name) const override;
 
  private:
   int PartitionIndexFor(const TableEntry& entry, const Value& v) const;
-  Status InsertHybrid(TableEntry* entry,
+  [[nodiscard]] Status InsertHybrid(TableEntry* entry,
                       const std::vector<std::vector<Value>>& rows);
   std::string ColdTableName(const TableEntry& entry, size_t partition) const;
 

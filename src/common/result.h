@@ -10,9 +10,11 @@
 namespace hana {
 
 /// Holds either a value of type T or an error Status. The lightweight
-/// analogue of absl::StatusOr used throughout the platform.
+/// analogue of absl::StatusOr used throughout the platform. Like
+/// Status, the class is [[nodiscard]]: a dropped Result silently
+/// swallows both the value and the error, so the compiler rejects it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value makes `return value;` work in
   /// Result-returning functions.

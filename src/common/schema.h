@@ -39,7 +39,7 @@ class Schema {
   /// A qualified name "t.c" matches a column named "t.c" or "c".
   int FindColumn(const std::string& name) const;
 
-  Result<size_t> ColumnIndex(const std::string& name) const;
+  [[nodiscard]] Result<size_t> ColumnIndex(const std::string& name) const;
 
   bool operator==(const Schema& other) const {
     return columns_ == other.columns_;

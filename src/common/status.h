@@ -27,7 +27,10 @@ enum class StatusCode {
 
 /// Lightweight success/error carrier. Cheap to copy when OK (no
 /// allocation); error states carry a code and a human-readable message.
-class Status {
+/// The class-level [[nodiscard]] makes the compiler flag every call
+/// site that drops a returned Status on the floor; intentional drops
+/// must say so via IgnoreStatus().
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -89,6 +92,13 @@ class Status {
 
 /// Returns the canonical name of a status code ("InvalidArgument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// Explicitly discards a Status (or Result<T>). Every intentional drop
+/// of a fallible call's outcome must go through this helper with a
+/// comment stating why ignoring is safe — a bare discarded call no
+/// longer compiles once [[nodiscard]] is enforced.
+template <typename T>
+inline void IgnoreStatus(T&&) {}
 
 }  // namespace hana
 

@@ -1,0 +1,101 @@
+#ifndef HANA_COMMON_SYNC_H_
+#define HANA_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Thread-safety annotations for Clang's -Wthread-safety static
+/// analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).
+/// Under Clang with HANA_LINT=ON the build promotes violations to
+/// errors (-Werror=thread-safety), turning lock-discipline mistakes —
+/// touching a GUARDED_BY member without its mutex, double-locking,
+/// leaking a lock out of scope — into compile failures. On other
+/// compilers every macro expands to nothing, so the annotated code
+/// stays portable.
+#if defined(__clang__) && !defined(SWIG)
+#define HANA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define HANA_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) HANA_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY HANA_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) HANA_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) HANA_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) HANA_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) HANA_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) HANA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ACQUIRE(...) HANA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define RELEASE(...) HANA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) HANA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) HANA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) HANA_THREAD_ANNOTATION_(lock_returned(x))
+#define ASSERT_CAPABILITY(x) HANA_THREAD_ANNOTATION_(assert_capability(x))
+#define NO_THREAD_SAFETY_ANALYSIS HANA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace hana {
+
+/// The platform's mutex: std::mutex wrapped so the analysis can name it
+/// as a capability. All locking in the platform goes through Mutex /
+/// MutexLock — scripts/lint.sh rejects naked std::mutex / lock_guard
+/// outside this header, so every lock is visible to -Wthread-safety.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over Mutex, the analogue of std::lock_guard. The
+/// SCOPED_CAPABILITY attribute lets the analysis treat construction as
+/// acquiring the mutex and destruction as releasing it, so GUARDED_BY
+/// members are accessible exactly within the guard's scope.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() takes the Mutex (not
+/// the MutexLock) so the REQUIRES annotation names the capability the
+/// caller must hold; the caller supplies its own while-loop around the
+/// wait, which keeps the guarded predicate check inside the annotated
+/// scope instead of an opaque lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and reacquires
+  /// `mu` before returning. Spurious wakeups are possible; callers loop.
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> inner(mu.mu_, std::adopt_lock);
+    cv_.wait(inner);
+    inner.release();  // Ownership stays with the caller's MutexLock.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace hana
+
+#endif  // HANA_COMMON_SYNC_H_

@@ -17,27 +17,29 @@ TaskPool::TaskPool(size_t num_threads) {
 
 TaskPool::~TaskPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
 }
 
 void TaskPool::Enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void TaskPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Manual wait loop (rather than a predicate lambda) keeps the
+      // guarded reads of shutdown_/queue_ inside the annotated scope.
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // Shutdown with a drained queue.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -57,8 +59,8 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   struct Shared {
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
+    Mutex error_mu;
+    std::exception_ptr error GUARDED_BY(error_mu);
   };
   auto shared = std::make_shared<Shared>();
 
@@ -69,7 +71,7 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(shared->error_mu);
+        MutexLock lock(shared->error_mu);
         if (!shared->failed.exchange(true)) {
           shared->error = std::current_exception();
         }
@@ -93,13 +95,22 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
       }
     }
   }
-  if (shared->failed.load()) std::rethrow_exception(shared->error);
+  if (shared->failed.load()) {
+    std::exception_ptr error;
+    {
+      // All helpers have finished (their futures are ready), but the
+      // analysis still requires the lock to read the guarded slot.
+      MutexLock lock(shared->error_mu);
+      error = shared->error;
+    }
+    std::rethrow_exception(error);
+  }
 }
 
 bool TaskPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (queue_.empty()) return false;
     task = std::move(queue_.front());
     queue_.pop_front();

@@ -1,15 +1,15 @@
 #ifndef HANA_COMMON_TASK_POOL_H_
 #define HANA_COMMON_TASK_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hana {
 
@@ -62,16 +62,19 @@ class TaskPool {
   static size_t DefaultDop();
 
  private:
-  void Enqueue(std::function<void()> task);
-  void WorkerLoop();
+  void Enqueue(std::function<void()> task) EXCLUDES(mu_);
+  void WorkerLoop() EXCLUDES(mu_);
   /// Pops and runs one queued task if any; used by ParallelFor waiters
   /// to keep the pool moving instead of blocking.
-  bool TryRunOneTask();
+  bool TryRunOneTask() EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  /// Guards the task queue and the shutdown flag; workers block on cv_
+  /// while both are empty/false. Lock order: mu_ is a leaf — no other
+  /// Mutex in the platform is acquired while holding it.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -27,7 +27,7 @@ const char* DataTypeName(DataType type);
 
 /// Parses a SQL type name (case-insensitive; accepts common aliases like
 /// INT, INTEGER, DECIMAL, VARCHAR(n), CHAR(n), TEXT, REAL, FLOAT).
-Result<DataType> DataTypeFromName(const std::string& name);
+[[nodiscard]] Result<DataType> DataTypeFromName(const std::string& name);
 
 /// True for kInt64/kDouble/kDate/kTimestamp (types with a numeric order).
 bool IsNumericType(DataType type);
@@ -79,7 +79,7 @@ class Value {
   std::string ToString() const;
 
   /// Casts to `target`, applying string<->numeric and date conversions.
-  Result<Value> CastTo(DataType target) const;
+  [[nodiscard]] Result<Value> CastTo(DataType target) const;
 
  private:
   Value(DataType type, bool v) : type_(type), data_(v) {}
@@ -92,7 +92,7 @@ class Value {
 };
 
 /// Parses "YYYY-MM-DD" into days since 1970-01-01 (proleptic Gregorian).
-Result<int64_t> ParseDate(const std::string& text);
+[[nodiscard]] Result<int64_t> ParseDate(const std::string& text);
 
 /// Formats days since epoch as "YYYY-MM-DD".
 std::string FormatDate(int64_t days);

@@ -76,7 +76,7 @@ class ContinuousQuery {
   void Process(const Event& event);
   void Emit(const Event& event);
   void CloseWindow(int64_t boundary_ms);
-  Result<Event> ApplyRowStages(const Event& event, bool* keep) const;
+  [[nodiscard]] Result<Event> ApplyRowStages(const Event& event, bool* keep) const;
 
   EspEngine* engine_ = nullptr;
   std::string name_;
@@ -147,7 +147,7 @@ class CqBuilder {
   CqBuilder& IntoStream(const std::string& derived_stream);
 
   /// Compiles and registers the query.
-  Result<ContinuousQuery*> Finish(const std::string& name);
+  [[nodiscard]] Result<ContinuousQuery*> Finish(const std::string& name);
 
  private:
   EspEngine* engine_;
@@ -175,19 +175,19 @@ class EspEngine {
  public:
   EspEngine() = default;
 
-  Status CreateStream(const std::string& name,
+  [[nodiscard]] Status CreateStream(const std::string& name,
                       std::shared_ptr<Schema> schema);
-  Result<std::shared_ptr<Schema>> StreamSchema(const std::string& name) const;
+  [[nodiscard]] Result<std::shared_ptr<Schema>> StreamSchema(const std::string& name) const;
 
   /// Publishes one event; all continuous queries attached to the stream
   /// run synchronously. Timestamps must be non-decreasing per stream.
-  Status Publish(const std::string& stream, int64_t timestamp_ms,
+  [[nodiscard]] Status Publish(const std::string& stream, int64_t timestamp_ms,
                  std::vector<Value> values);
 
   /// Closes all open windows (end of stream).
   void FlushAll();
 
-  Result<ContinuousQuery*> GetQuery(const std::string& name) const;
+  [[nodiscard]] Result<ContinuousQuery*> GetQuery(const std::string& name) const;
 
   size_t total_events() const { return total_events_; }
 

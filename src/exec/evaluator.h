@@ -11,12 +11,12 @@ namespace hana::exec {
 /// SQL three-valued logic: comparisons involving NULL yield NULL; AND/OR
 /// follow Kleene semantics; a filter keeps a row only when the predicate
 /// evaluates to TRUE.
-Result<Value> EvalExpr(const plan::BoundExpr& expr,
+[[nodiscard]] Result<Value> EvalExpr(const plan::BoundExpr& expr,
                        const storage::Chunk& chunk, size_t row);
 
 /// Evaluates against a boxed row (used by hash-join probe output and the
 /// ESP engine).
-Result<Value> EvalExprRow(const plan::BoundExpr& expr,
+[[nodiscard]] Result<Value> EvalExprRow(const plan::BoundExpr& expr,
                           const std::vector<Value>& row);
 
 /// True when `v` is a non-null TRUE (or non-zero numeric).

@@ -54,17 +54,17 @@ class ExecContext {
  public:
   virtual ~ExecContext() = default;
 
-  virtual Result<ChunkStream> OpenScan(const plan::LogicalOp& scan) = 0;
+  [[nodiscard]] virtual Result<ChunkStream> OpenScan(const plan::LogicalOp& scan) = 0;
 
   /// Executes a shipped remote query. `in_list` (may be null) carries
   /// semijoin-pushdown keys spliced into the /*PUSHDOWN*/ marker;
   /// `relocated_rows` (may be null) is the local data uploaded as
   /// `relocation_table` before execution (Table Relocation strategy).
-  virtual Result<ChunkStream> OpenRemoteQuery(
+  [[nodiscard]] virtual Result<ChunkStream> OpenRemoteQuery(
       const plan::LogicalOp& rq, const PushdownInList* in_list,
       const storage::Table* relocated_rows) = 0;
 
-  virtual Result<ChunkStream> OpenTableFunction(
+  [[nodiscard]] virtual Result<ChunkStream> OpenTableFunction(
       const plan::LogicalOp& fn) = 0;
 
   /// Parallelism granted to this context's queries. The default policy
@@ -75,7 +75,7 @@ class ExecContext {
   /// scan target does not support partitioned access (remote sources,
   /// hybrid umbrella tables). The decomposition must not depend on the
   /// degree of parallelism.
-  virtual Result<std::optional<PartitionSource>> OpenPartitionedScan(
+  [[nodiscard]] virtual Result<std::optional<PartitionSource>> OpenPartitionedScan(
       const plan::LogicalOp& scan, size_t morsel_rows) {
     (void)scan;
     (void)morsel_rows;
@@ -99,8 +99,8 @@ class PhysicalOp {
   PhysicalOp(const PhysicalOp&) = delete;
   PhysicalOp& operator=(const PhysicalOp&) = delete;
 
-  virtual Status Open() = 0;
-  virtual Result<std::optional<Chunk>> Next() = 0;
+  [[nodiscard]] virtual Status Open() = 0;
+  [[nodiscard]] virtual Result<std::optional<Chunk>> Next() = 0;
 
   const std::shared_ptr<Schema>& schema() const { return schema_; }
 
@@ -112,15 +112,15 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 
 /// Lowers a bound logical plan to a physical operator tree. The logical
 /// plan must outlive execution (operators keep pointers into it).
-Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+[[nodiscard]] Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
                                         ExecContext* ctx);
 
 /// Builds, opens and fully drains the plan into a materialized table.
-Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
+[[nodiscard]] Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
                                    ExecContext* ctx);
 
 /// Drains a physical operator into a table (testing hook).
-Result<storage::Table> DrainToTable(PhysicalOp* op);
+[[nodiscard]] Result<storage::Table> DrainToTable(PhysicalOp* op);
 
 }  // namespace hana::exec
 

@@ -62,22 +62,22 @@ class ExtendedTable {
 
   /// Direct bulk load: appends rows as sealed row groups, bypassing any
   /// in-memory staging (Section 3.1 "direct load mechanism").
-  Status BulkLoad(const std::vector<std::vector<Value>>& rows);
+  [[nodiscard]] Status BulkLoad(const std::vector<std::vector<Value>>& rows);
 
   /// Streams live rows as chunks. `ranges` prunes row groups whose zone
   /// maps cannot satisfy the constraints (pruning is conservative; the
   /// caller still applies its full filter).
-  Status Scan(const std::vector<ColumnRange>& ranges, size_t chunk_rows,
+  [[nodiscard]] Status Scan(const std::vector<ColumnRange>& ranges, size_t chunk_rows,
               const std::function<bool(const storage::Chunk&)>& callback);
 
   /// Marks rows matching `predicate` (row-wise callback) deleted.
   /// Returns the number of rows deleted.
-  Result<size_t> DeleteWhere(
+  [[nodiscard]] Result<size_t> DeleteWhere(
       const std::function<bool(const std::vector<Value>&)>& predicate);
 
   /// Zone-map summary for statistics.
-  Result<Value> ColumnMin(size_t col) const;
-  Result<Value> ColumnMax(size_t col) const;
+  [[nodiscard]] Result<Value> ColumnMin(size_t col) const;
+  [[nodiscard]] Result<Value> ColumnMax(size_t col) const;
 
  private:
   friend class ExtendedStore;
@@ -98,9 +98,9 @@ class ExtendedTable {
   ExtendedTable(ExtendedStore* store, std::string name,
                 std::shared_ptr<Schema> schema, std::string path);
 
-  Status WriteGroup(const std::vector<std::vector<Value>>& rows, size_t begin,
+  [[nodiscard]] Status WriteGroup(const std::vector<std::vector<Value>>& rows, size_t begin,
                     size_t end);
-  Result<storage::ColumnVectorPtr> ReadColumn(size_t group, size_t col);
+  [[nodiscard]] Result<storage::ColumnVectorPtr> ReadColumn(size_t group, size_t col);
   bool GroupMatches(const RowGroup& group,
                     const std::vector<ColumnRange>& ranges) const;
 
@@ -122,11 +122,11 @@ class ExtendedStore {
   ExtendedStore(const ExtendedStore&) = delete;
   ExtendedStore& operator=(const ExtendedStore&) = delete;
 
-  Result<ExtendedTable*> CreateTable(const std::string& name,
+  [[nodiscard]] Result<ExtendedTable*> CreateTable(const std::string& name,
                                      std::shared_ptr<Schema> schema);
-  Result<ExtendedTable*> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<ExtendedTable*> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
-  Status DropTable(const std::string& name);
+  [[nodiscard]] Status DropTable(const std::string& name);
   std::vector<std::string> TableNames() const;
 
   const ExtendedStoreOptions& options() const { return options_; }
@@ -137,7 +137,7 @@ class ExtendedStore {
   friend class ExtendedTable;
 
   /// Reads (and caches) a decoded column block; charges virtual I/O.
-  Result<storage::ColumnVectorPtr> ReadBlock(ExtendedTable* table,
+  [[nodiscard]] Result<storage::ColumnVectorPtr> ReadBlock(ExtendedTable* table,
                                              size_t group, size_t col);
   void ChargeRead(size_t bytes);
   void ChargeWrite(size_t bytes);

@@ -22,28 +22,28 @@ class IqEngine : public plan::BinderCatalog, public exec::ExecContext {
   explicit IqEngine(ExtendedStore* store) : store_(store) {}
 
   /// Executes a SELECT against the extended store.
-  Result<storage::Table> ExecuteSql(const std::string& sql);
+  [[nodiscard]] Result<storage::Table> ExecuteSql(const std::string& sql);
 
   /// Creates + populates a table (used for cold partitions, the Table
   /// Relocation strategy and the direct bulk-load path).
-  Status CreateAndLoad(const std::string& name,
+  [[nodiscard]] Status CreateAndLoad(const std::string& name,
                        std::shared_ptr<Schema> schema,
                        const std::vector<std::vector<Value>>& rows);
 
   ExtendedStore* store() const { return store_; }
 
   // BinderCatalog:
-  Result<plan::TableBinding> ResolveTable(
+  [[nodiscard]] Result<plan::TableBinding> ResolveTable(
       const std::string& name) const override;
-  Result<plan::TableFunctionBinding> ResolveTableFunction(
+  [[nodiscard]] Result<plan::TableFunctionBinding> ResolveTableFunction(
       const std::string& name) const override;
 
   // ExecContext:
-  Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
-  Result<exec::ChunkStream> OpenRemoteQuery(
+  [[nodiscard]] Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
+  [[nodiscard]] Result<exec::ChunkStream> OpenRemoteQuery(
       const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
       const storage::Table* relocated_rows) override;
-  Result<exec::ChunkStream> OpenTableFunction(
+  [[nodiscard]] Result<exec::ChunkStream> OpenTableFunction(
       const plan::LogicalOp& fn) override;
 
  private:

@@ -58,23 +58,23 @@ class Adapter {
   virtual const Capabilities& capabilities() const = 0;
 
   /// Imports the schema of a remote object (CREATE VIRTUAL TABLE).
-  virtual Result<std::shared_ptr<Schema>> FetchTableSchema(
+  [[nodiscard]] virtual Result<std::shared_ptr<Schema>> FetchTableSchema(
       const std::string& remote_object) = 0;
 
   /// Statistics for costing (row count from the remote metastore).
-  virtual Result<double> EstimateRows(const std::string& remote_object) = 0;
+  [[nodiscard]] virtual Result<double> EstimateRows(const std::string& remote_object) = 0;
 
   /// Executes a shipped query; returns rows plus remote-side stats.
-  virtual Result<storage::Table> Execute(const RemoteQuerySpec& spec,
+  [[nodiscard]] virtual Result<storage::Table> Execute(const RemoteQuerySpec& spec,
                                          RemoteStats* stats) = 0;
 
   /// Uploads local rows as a remote temp table (Table Relocation).
-  virtual Status CreateTempTable(const std::string& name,
+  [[nodiscard]] virtual Status CreateTempTable(const std::string& name,
                                  std::shared_ptr<Schema> schema,
                                  const storage::Table& rows) = 0;
 
   /// Runs a registered map-reduce job exposed as a virtual function.
-  virtual Result<storage::Table> ExecuteVirtualFunction(
+  [[nodiscard]] virtual Result<storage::Table> ExecuteVirtualFunction(
       const std::string& configuration, RemoteStats* stats) {
     (void)configuration;
     (void)stats;

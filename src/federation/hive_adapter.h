@@ -38,21 +38,21 @@ class HiveAdapter : public Adapter {
   const std::string& adapter_name() const override { return name_; }
   const Capabilities& capabilities() const override { return caps_; }
 
-  Result<std::shared_ptr<Schema>> FetchTableSchema(
+  [[nodiscard]] Result<std::shared_ptr<Schema>> FetchTableSchema(
       const std::string& remote_object) override;
-  Result<double> EstimateRows(const std::string& remote_object) override;
-  Result<storage::Table> Execute(const RemoteQuerySpec& spec,
+  [[nodiscard]] Result<double> EstimateRows(const std::string& remote_object) override;
+  [[nodiscard]] Result<storage::Table> Execute(const RemoteQuerySpec& spec,
                                  RemoteStats* stats) override;
-  Status CreateTempTable(const std::string& name,
+  [[nodiscard]] Status CreateTempTable(const std::string& name,
                          std::shared_ptr<Schema> schema,
                          const storage::Table& rows) override;
-  Result<storage::Table> ExecuteVirtualFunction(
+  [[nodiscard]] Result<storage::Table> ExecuteVirtualFunction(
       const std::string& configuration, RemoteStats* stats) override;
 
   // ---- Remote-cache controls -------------------------------------------
   RemoteCacheOptions& cache_options() { return cache_options_; }
   /// Drops every materialized temp table.
-  Status ClearCache();
+  [[nodiscard]] Status ClearCache();
   size_t cache_entries() const { return cache_.size(); }
   /// Injectable time source for validity tests (seconds).
   void SetTimeSource(std::function<double()> now_seconds) {
@@ -76,7 +76,7 @@ class HiveAdapter : public Adapter {
   static bool HasPredicate(const std::string& sql);
 
   /// Reads a materialized temp table back over the link (fetch task).
-  Result<storage::Table> FetchTempTable(const std::string& temp_table,
+  [[nodiscard]] Result<storage::Table> FetchTempTable(const std::string& temp_table,
                                         RemoteStats* stats);
 
   std::string name_ = "hiveodbc";

@@ -23,12 +23,12 @@ class IqAdapter : public Adapter {
   const std::string& adapter_name() const override { return name_; }
   const Capabilities& capabilities() const override { return caps_; }
 
-  Result<std::shared_ptr<Schema>> FetchTableSchema(
+  [[nodiscard]] Result<std::shared_ptr<Schema>> FetchTableSchema(
       const std::string& remote_object) override;
-  Result<double> EstimateRows(const std::string& remote_object) override;
-  Result<storage::Table> Execute(const RemoteQuerySpec& spec,
+  [[nodiscard]] Result<double> EstimateRows(const std::string& remote_object) override;
+  [[nodiscard]] Result<storage::Table> Execute(const RemoteQuerySpec& spec,
                                  RemoteStats* stats) override;
-  Status CreateTempTable(const std::string& name,
+  [[nodiscard]] Status CreateTempTable(const std::string& name,
                          std::shared_ptr<Schema> schema,
                          const storage::Table& rows) override;
 

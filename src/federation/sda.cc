@@ -8,17 +8,18 @@ namespace hana::federation {
 
 void SdaRuntime::SetVirtualTime(std::function<double()> now,
                                 std::function<void(double)> credit) {
+  MutexLock lock(dispatch_mu_);
   virtual_now_ = std::move(now);
   credit_ = std::move(credit);
 }
 
 void SdaRuntime::BeginConcurrentRegion() {
-  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  MutexLock lock(dispatch_mu_);
   if (region_depth_++ == 0) branch_deltas_.clear();
 }
 
 void SdaRuntime::EndConcurrentRegion() {
-  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  MutexLock lock(dispatch_mu_);
   if (region_depth_ == 0) return;
   if (--region_depth_ > 0) return;
   if (branch_deltas_.size() > 1 && credit_) {
@@ -42,6 +43,7 @@ void SdaRuntime::RecordBranch(double delta) {
 Status SdaRuntime::BindSource(const std::string& source_name,
                               std::unique_ptr<Adapter> adapter) {
   std::string key = ToUpper(source_name);
+  MutexLock lock(registry_mu_);
   if (adapters_.count(key) > 0) {
     return Status::AlreadyExists("source already bound: " + source_name);
   }
@@ -49,7 +51,8 @@ Status SdaRuntime::BindSource(const std::string& source_name,
   return Status::OK();
 }
 
-Result<Adapter*> SdaRuntime::AdapterFor(const std::string& source_name) const {
+Result<Adapter*> SdaRuntime::AdapterForLocked(
+    const std::string& source_name) const {
   auto it = adapters_.find(ToUpper(source_name));
   if (it == adapters_.end()) {
     return Status::NotFound("no adapter bound for source " + source_name);
@@ -57,8 +60,24 @@ Result<Adapter*> SdaRuntime::AdapterFor(const std::string& source_name) const {
   return it->second.get();
 }
 
+Result<Adapter*> SdaRuntime::AdapterFor(const std::string& source_name) const {
+  MutexLock lock(registry_mu_);
+  return AdapterForLocked(source_name);
+}
+
 bool SdaRuntime::HasSource(const std::string& source_name) const {
+  MutexLock lock(registry_mu_);
   return adapters_.count(ToUpper(source_name)) > 0;
+}
+
+StatementRemoteStats SdaRuntime::stats() const {
+  MutexLock lock(dispatch_mu_);
+  return stats_;
+}
+
+void SdaRuntime::ResetStats() {
+  MutexLock lock(dispatch_mu_);
+  stats_.Reset();
 }
 
 std::string SdaRuntime::SqlLiteral(const Value& v) {
@@ -84,7 +103,7 @@ Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
   // Adapter dispatch is serialized: the simulated engines mutate shared
   // state (buffer caches, the virtual clock) on every call. Concurrency
   // gains are modeled by EndConcurrentRegion's refund instead.
-  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  MutexLock lock(dispatch_mu_);
   HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(rq.remote_source));
 
   std::string sql = rq.remote_sql;
@@ -137,7 +156,7 @@ Result<storage::Table> SdaRuntime::ExecuteRemoteQuery(
 
 Result<storage::Table> SdaRuntime::ExecuteVirtualFunction(
     const std::string& source, const std::string& configuration) {
-  std::lock_guard<std::mutex> lock(dispatch_mu_);
+  MutexLock lock(dispatch_mu_);
   HANA_ASSIGN_OR_RETURN(Adapter * adapter, AdapterFor(source));
   RemoteStats remote_stats;
   double before = virtual_now_ ? virtual_now_() : 0.0;

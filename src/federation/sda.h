@@ -4,10 +4,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/operators.h"
 #include "federation/adapter.h"
 #include "plan/logical.h"
@@ -35,28 +35,36 @@ class SdaRuntime {
 
   /// Binds a remote source name (from CREATE REMOTE SOURCE) to an
   /// adapter instance. Takes ownership.
-  Status BindSource(const std::string& source_name,
-                    std::unique_ptr<Adapter> adapter);
+  [[nodiscard]] Status BindSource(const std::string& source_name,
+                                  std::unique_ptr<Adapter> adapter)
+      EXCLUDES(registry_mu_);
 
-  Result<Adapter*> AdapterFor(const std::string& source_name) const;
-  bool HasSource(const std::string& source_name) const;
+  [[nodiscard]] Result<Adapter*> AdapterFor(const std::string& source_name)
+      const EXCLUDES(registry_mu_);
+  bool HasSource(const std::string& source_name) const EXCLUDES(registry_mu_);
 
   /// Executes a kRemoteQuery logical node.
-  Result<storage::Table> ExecuteRemoteQuery(
+  [[nodiscard]] Result<storage::Table> ExecuteRemoteQuery(
       const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
-      const storage::Table* relocated_rows);
+      const storage::Table* relocated_rows) EXCLUDES(dispatch_mu_);
 
   /// Runs a virtual (map-reduce) function at its source.
-  Result<storage::Table> ExecuteVirtualFunction(
-      const std::string& source, const std::string& configuration);
+  [[nodiscard]] Result<storage::Table> ExecuteVirtualFunction(
+      const std::string& source, const std::string& configuration)
+      EXCLUDES(dispatch_mu_);
 
-  StatementRemoteStats& stats() { return stats_; }
+  /// Snapshot of the statement's remote statistics. Returned by value:
+  /// the live struct is guarded by the dispatch mutex, so handing out a
+  /// reference would invite unsynchronized reads during dispatch.
+  StatementRemoteStats stats() const EXCLUDES(dispatch_mu_);
+  void ResetStats() EXCLUDES(dispatch_mu_);
 
   /// Injects the virtual-time probes used to account concurrent
   /// dispatch regions: `now` returns the statement's total virtual
   /// time, `credit` advances it — negative values refund time.
   void SetVirtualTime(std::function<double()> now,
-                      std::function<void(double)> credit);
+                      std::function<void(double)> credit)
+      EXCLUDES(dispatch_mu_);
 
   /// Brackets a region whose remote dispatches are issued concurrently
   /// (Union Plan branches). Adapter calls stay serialized on the
@@ -64,24 +72,31 @@ class SdaRuntime {
   /// on region end the elapsed virtual time is re-accounted from the
   /// sum of the branch latencies down to their max, as if the branches
   /// had truly overlapped. Regions nest; only the outermost refunds.
-  void BeginConcurrentRegion();
-  void EndConcurrentRegion();
+  void BeginConcurrentRegion() EXCLUDES(dispatch_mu_);
+  void EndConcurrentRegion() EXCLUDES(dispatch_mu_);
 
   /// Serializes direct engine access that bypasses the adapter path
   /// (the platform scans extended-store tables in-process). Callers
   /// must hold this around such access when queries run in parallel.
-  std::mutex& dispatch_mutex() { return dispatch_mu_; }
+  Mutex& dispatch_mutex() RETURN_CAPABILITY(dispatch_mu_) {
+    return dispatch_mu_;
+  }
 
   /// RAII guard for direct engine access: holds the dispatch mutex for
   /// its lifetime and, inside a concurrent region, records the access's
   /// virtual-time delta as one branch so it participates in the
   /// max-of-latencies re-accounting like adapter dispatches do.
+  ///
+  /// The analysis cannot model a capability acquired through a member
+  /// lock of a *different* object (lock_ guards sda_->dispatch_mu_), so
+  /// both special members opt out explicitly; the capability is held
+  /// for the guard's whole lifetime by construction.
   class TrackedDispatch {
    public:
-    explicit TrackedDispatch(SdaRuntime* sda)
+    explicit TrackedDispatch(SdaRuntime* sda) NO_THREAD_SAFETY_ANALYSIS
         : sda_(sda), lock_(sda->dispatch_mu_),
           before_(sda->virtual_now_ ? sda->virtual_now_() : 0.0) {}
-    ~TrackedDispatch() {
+    ~TrackedDispatch() NO_THREAD_SAFETY_ANALYSIS {
       if (sda_->virtual_now_) {
         sda_->RecordBranch(sda_->virtual_now_() - before_);
       }
@@ -91,7 +106,7 @@ class SdaRuntime {
 
    private:
     SdaRuntime* sda_;
-    std::lock_guard<std::mutex> lock_;
+    MutexLock lock_;
     double before_;
   };
 
@@ -100,16 +115,28 @@ class SdaRuntime {
 
  private:
   /// Records one dispatched branch's virtual-time delta when inside a
-  /// concurrent region. Must be called with dispatch_mu_ held.
-  void RecordBranch(double delta);
+  /// concurrent region.
+  void RecordBranch(double delta) REQUIRES(dispatch_mu_);
 
-  std::map<std::string, std::unique_ptr<Adapter>> adapters_;
-  StatementRemoteStats stats_;
-  std::mutex dispatch_mu_;
-  std::function<double()> virtual_now_;
-  std::function<void(double)> credit_;
-  int region_depth_ = 0;
-  std::vector<double> branch_deltas_;
+  /// Looks up an adapter with registry_mu_ already held; shared by
+  /// AdapterFor and the dispatch paths (which hold dispatch_mu_ and
+  /// must respect the dispatch-before-registry lock order).
+  Result<Adapter*> AdapterForLocked(const std::string& source_name) const
+      REQUIRES(registry_mu_);
+
+  /// Lock order: dispatch_mu_ may be held when registry_mu_ is
+  /// acquired (dispatch paths resolve adapters), never the reverse.
+  /// Neither is ever held while calling into TaskPool::mu_.
+  mutable Mutex registry_mu_ ACQUIRED_AFTER(dispatch_mu_);
+  std::map<std::string, std::unique_ptr<Adapter>> adapters_
+      GUARDED_BY(registry_mu_);
+
+  mutable Mutex dispatch_mu_;
+  StatementRemoteStats stats_ GUARDED_BY(dispatch_mu_);
+  std::function<double()> virtual_now_ GUARDED_BY(dispatch_mu_);
+  std::function<void(double)> credit_ GUARDED_BY(dispatch_mu_);
+  int region_depth_ GUARDED_BY(dispatch_mu_) = 0;
+  std::vector<double> branch_deltas_ GUARDED_BY(dispatch_mu_);
 };
 
 }  // namespace hana::federation

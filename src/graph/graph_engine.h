@@ -23,8 +23,8 @@ class GraphEngine {
   GraphEngine();
 
   // ---- Mutation ---------------------------------------------------------
-  Status AddVertex(int64_t id, const std::string& label);
-  Status AddEdge(int64_t src, int64_t dst, const std::string& label,
+  [[nodiscard]] Status AddVertex(int64_t id, const std::string& label);
+  [[nodiscard]] Status AddEdge(int64_t src, int64_t dst, const std::string& label,
                  double weight = 1.0);
 
   size_t num_vertices() const;
@@ -34,17 +34,17 @@ class GraphEngine {
   void BuildCsr();
 
   // ---- Traversals (require a current CSR snapshot) -----------------------
-  Result<std::vector<int64_t>> Neighbors(int64_t id,
+  [[nodiscard]] Result<std::vector<int64_t>> Neighbors(int64_t id,
                                          const std::string& label = "") const;
   /// Hop distance from `start` to every reachable vertex.
-  Result<std::map<int64_t, int64_t>> Bfs(int64_t start) const;
+  [[nodiscard]] Result<std::map<int64_t, int64_t>> Bfs(int64_t start) const;
   /// Minimum hop count between two vertices (-1 = unreachable).
-  Result<int64_t> ShortestPathHops(int64_t from, int64_t to) const;
+  [[nodiscard]] Result<int64_t> ShortestPathHops(int64_t from, int64_t to) const;
   /// Dijkstra over edge weights.
-  Result<double> ShortestPathWeight(int64_t from, int64_t to) const;
+  [[nodiscard]] Result<double> ShortestPathWeight(int64_t from, int64_t to) const;
   /// Number of undirected triangles.
-  Result<size_t> TriangleCount() const;
-  Result<size_t> OutDegree(int64_t id) const;
+  [[nodiscard]] Result<size_t> TriangleCount() const;
+  [[nodiscard]] Result<size_t> OutDegree(int64_t id) const;
 
   // ---- Cross-model access -------------------------------------------------
   /// The backing relational tables (vertices: id, label; edges: src,
@@ -56,7 +56,7 @@ class GraphEngine {
   storage::Table EdgesTable() const;
 
  private:
-  Result<size_t> VertexIndex(int64_t id) const;
+  [[nodiscard]] Result<size_t> VertexIndex(int64_t id) const;
 
   std::unique_ptr<storage::ColumnTable> vertices_;
   std::unique_ptr<storage::ColumnTable> edges_;

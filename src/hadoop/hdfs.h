@@ -42,20 +42,20 @@ class Hdfs {
   explicit Hdfs(HdfsOptions options = {});
 
   /// Creates (or replaces) a file from lines.
-  Status WriteFile(const std::string& path,
+  [[nodiscard]] Status WriteFile(const std::string& path,
                    const std::vector<std::string>& lines);
-  Status AppendLines(const std::string& path,
+  [[nodiscard]] Status AppendLines(const std::string& path,
                      const std::vector<std::string>& lines);
-  Result<std::vector<std::string>> ReadFile(const std::string& path) const;
+  [[nodiscard]] Result<std::vector<std::string>> ReadFile(const std::string& path) const;
   bool Exists(const std::string& path) const;
-  Status Delete(const std::string& path);
-  Status Rename(const std::string& from, const std::string& to);
+  [[nodiscard]] Status Delete(const std::string& path);
+  [[nodiscard]] Status Rename(const std::string& from, const std::string& to);
   std::vector<std::string> List(const std::string& prefix) const;
-  Result<HdfsFileInfo> Stat(const std::string& path) const;
+  [[nodiscard]] Result<HdfsFileInfo> Stat(const std::string& path) const;
 
   /// The blocks of a file (the MapReduce engine schedules one map task
   /// per block).
-  Result<std::vector<const HdfsBlock*>> Blocks(const std::string& path) const;
+  [[nodiscard]] Result<std::vector<const HdfsBlock*>> Blocks(const std::string& path) const;
 
   uint64_t used_bytes() const { return used_bytes_; }
   uint64_t capacity_bytes() const { return options_.capacity_bytes; }

@@ -50,33 +50,33 @@ class HiveEngine : public plan::BinderCatalog {
       : hdfs_(hdfs), mapreduce_(mapreduce) {}
 
   // ---- MetaStore ------------------------------------------------------
-  Status CreateTable(const std::string& name, std::shared_ptr<Schema> schema,
+  [[nodiscard]] Status CreateTable(const std::string& name, std::shared_ptr<Schema> schema,
                      bool temporary = false);
-  Status LoadRows(const std::string& name,
+  [[nodiscard]] Status LoadRows(const std::string& name,
                   const std::vector<std::vector<Value>>& rows);
-  Result<const HiveTable*> GetTable(const std::string& name) const;
-  Status DropTable(const std::string& name);
-  Result<HiveTableStats> Stats(const std::string& name) const;
+  [[nodiscard]] Result<const HiveTable*> GetTable(const std::string& name) const;
+  [[nodiscard]] Status DropTable(const std::string& name);
+  [[nodiscard]] Result<HiveTableStats> Stats(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
   // ---- Query execution ------------------------------------------------
   /// Parses, plans and executes a HiveQL SELECT as MapReduce jobs.
-  Result<HiveResult> ExecuteQuery(const std::string& sql);
+  [[nodiscard]] Result<HiveResult> ExecuteQuery(const std::string& sql);
 
   /// CREATE TABLE AS SELECT. Per the paper this is a two-phase
   /// implementation (schema first, then the target table), which is the
   /// source of the materialization overhead in Figure 15. Returns the
   /// created table's name.
-  Result<std::string> CreateTableAsSelect(const std::string& name,
+  [[nodiscard]] Result<std::string> CreateTableAsSelect(const std::string& name,
                                           const std::string& sql);
 
   Hdfs* hdfs() const { return hdfs_; }
   MapReduceEngine* mapreduce() const { return mapreduce_; }
 
   // ---- plan::BinderCatalog (Hive's own name resolution) ---------------
-  Result<plan::TableBinding> ResolveTable(
+  [[nodiscard]] Result<plan::TableBinding> ResolveTable(
       const std::string& name) const override;
-  Result<plan::TableFunctionBinding> ResolveTableFunction(
+  [[nodiscard]] Result<plan::TableFunctionBinding> ResolveTableFunction(
       const std::string& name) const override;
 
  private:
@@ -86,7 +86,7 @@ class HiveEngine : public plan::BinderCatalog {
     std::shared_ptr<Schema> schema;
   };
 
-  Result<Dataset> CompileNode(const plan::LogicalOp& op, size_t* job_counter,
+  [[nodiscard]] Result<Dataset> CompileNode(const plan::LogicalOp& op, size_t* job_counter,
                               size_t query_id);
   std::string TempPath(size_t query_id, size_t job) const;
 

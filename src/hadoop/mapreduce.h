@@ -72,7 +72,7 @@ class MapReduceEngine {
   MapReduceEngine(Hdfs* hdfs, ClusterConfig config, SimClock* clock)
       : hdfs_(hdfs), config_(config), clock_(clock) {}
 
-  Result<JobStats> RunJob(const JobSpec& spec);
+  [[nodiscard]] Result<JobStats> RunJob(const JobSpec& spec);
 
   /// Charges non-job cluster time (metadata round-trips, CTAS rewrite
   /// passes) to the shared virtual clock.

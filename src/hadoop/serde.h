@@ -15,14 +15,14 @@ namespace hana::hadoop {
 std::string SerializeRow(const std::vector<Value>& row);
 
 /// Parses a serialized line back into typed values per `schema`.
-Result<std::vector<Value>> ParseRow(const std::string& line,
+[[nodiscard]] Result<std::vector<Value>> ParseRow(const std::string& line,
                                     const Schema& schema);
 
 /// Serializes a single value (dates as day numbers, doubles with full
 /// precision so round-trips are exact).
 std::string SerializeValue(const Value& v);
 
-Result<Value> ParseValue(const std::string& field, DataType type);
+[[nodiscard]] Result<Value> ParseValue(const std::string& field, DataType type);
 
 }  // namespace hana::hadoop
 

@@ -414,6 +414,8 @@ Status SplitFederated(LogicalOpPtr* node, const OptimizeContext& ctx) {
         // table the remote SQL references.
         std::string reloc_name =
             "HANA_RELOC_" + std::to_string(
+                                // lint: reinterpret_cast allowed — pointer
+                                // identity only; unique per plan node.
                                 reinterpret_cast<uintptr_t>(op) & 0xffff);
         // Synthetic remote-side scan standing in for the local child.
         auto synthetic = std::make_unique<LogicalOp>();

@@ -46,7 +46,7 @@ struct OptimizeContext {
 ///     kRemoteQuery nodes (capability-checked per adapter), with
 ///     cost-based Semijoin / Table Relocation handling at local-remote
 ///     join boundaries.
-Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx);
+[[nodiscard]] Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx);
 
 /// Heuristic output-cardinality estimate for costing.
 double EstimateRows(const plan::LogicalOp& op);

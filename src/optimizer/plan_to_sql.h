@@ -24,7 +24,7 @@ struct PlanToSqlOptions {
 /// aggregates, limits) round-trip through the remote engine's parser.
 /// Output columns are aliased c0..cN-1 positionally, matching how the
 /// local plan consumes the result.
-Result<std::string> PlanToSql(const plan::LogicalOp& op,
+[[nodiscard]] Result<std::string> PlanToSql(const plan::LogicalOp& op,
                               const PlanToSqlOptions& options = {});
 
 }  // namespace hana::optimizer

@@ -32,7 +32,7 @@ struct AssociationRule {
 /// library (PAL) algorithm the warranty-claim scenario of Section 4.1
 /// applies to car diagnosis read-outs. Rules are returned sorted by
 /// confidence (descending), ties broken by support.
-Result<std::vector<AssociationRule>> Apriori(
+[[nodiscard]] Result<std::vector<AssociationRule>> Apriori(
     const std::vector<Transaction>& transactions,
     const AprioriOptions& options);
 
@@ -47,7 +47,7 @@ class RuleClassifier {
   double Score(const Transaction& items, const std::string& target) const;
 
   /// Best (rhs, confidence) prediction over all applicable rules.
-  Result<std::pair<std::string, double>> Predict(
+  [[nodiscard]] Result<std::pair<std::string, double>> Predict(
       const Transaction& items) const;
 
   size_t num_rules() const { return rules_.size(); }

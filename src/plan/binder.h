@@ -24,12 +24,12 @@ struct Scope {
 ///  * unnests [NOT] IN (subquery) and [NOT] EXISTS into semi/anti joins
 ///    (equality-correlated EXISTS supported),
 ///  * plans GROUP BY / aggregates / HAVING / DISTINCT / ORDER BY / LIMIT.
-Result<LogicalOpPtr> BindSelectStatement(const BinderCatalog& catalog,
+[[nodiscard]] Result<LogicalOpPtr> BindSelectStatement(const BinderCatalog& catalog,
                                          const sql::SelectStmt& stmt);
 
 /// Binds a standalone scalar expression against a schema (used for
 /// aging predicates, ESP filters and tests).
-Result<BoundExprPtr> BindScalarExpr(const sql::Expr& expr,
+[[nodiscard]] Result<BoundExprPtr> BindScalarExpr(const sql::Expr& expr,
                                     const Schema& schema);
 
 /// True if the AST contains an aggregate function call (at this level;

@@ -76,7 +76,7 @@ struct BoundExpr {
 /// Remaps every kColumn index through `mapping` (old index -> new index);
 /// indexes absent from the mapping are left untouched when `strict` is
 /// false and reported as an error otherwise.
-Status RemapColumns(BoundExpr* expr,
+[[nodiscard]] Status RemapColumns(BoundExpr* expr,
                     const std::vector<int>& mapping, bool strict = true);
 
 /// Shifts every kColumn index by `offset` (used when concatenating the

@@ -47,8 +47,8 @@ struct TableFunctionBinding {
 class BinderCatalog {
  public:
   virtual ~BinderCatalog() = default;
-  virtual Result<TableBinding> ResolveTable(const std::string& name) const = 0;
-  virtual Result<TableFunctionBinding> ResolveTableFunction(
+  [[nodiscard]] virtual Result<TableBinding> ResolveTable(const std::string& name) const = 0;
+  [[nodiscard]] virtual Result<TableFunctionBinding> ResolveTableFunction(
       const std::string& name) const = 0;
 };
 

@@ -12,7 +12,7 @@ namespace hana::plan {
 ///  * through unions into every branch.
 /// Filters that straddle both join sides become (or remain) part of a
 /// filter directly above the join.
-Status PushDownFilters(LogicalOpPtr* plan);
+[[nodiscard]] Status PushDownFilters(LogicalOpPtr* plan);
 
 /// Moves filter conjuncts that reference both sides of an inner/cross
 /// join below them into the join condition (turning cross joins into

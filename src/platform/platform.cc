@@ -50,6 +50,8 @@ Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
     options_.workspace_dir =
         (fs::temp_directory_path() /
          ("hana_platform_" + std::to_string(::getpid()) + "_" +
+          // lint: reinterpret_cast allowed — pointer identity only, as a
+          // unique workspace-name suffix; never dereferenced.
           std::to_string(reinterpret_cast<uintptr_t>(this) & 0xffff)))
             .string();
   }
@@ -74,7 +76,9 @@ Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
     // automatically under the reserved source name EXTENDED.
     auto adapter =
         std::make_unique<federation::IqAdapter>(iq_.get(), &clock_);
-    (void)sda_.BindSource("EXTENDED", std::move(adapter));
+    // The registry is empty at construction, so the reserved name can
+    // only collide if a second IQ engine is started — impossible here.
+    IgnoreStatus(sda_.BindSource("EXTENDED", std::move(adapter)));
   }
   dop_ = options_.num_threads > 0 ? options_.num_threads
                                   : TaskPool::DefaultDop();
@@ -111,7 +115,7 @@ Result<plan::LogicalOpPtr> Platform::PlanSelect(const sql::SelectStmt& stmt) {
 
 Result<ExecResult> Platform::ExecuteSelect(const sql::SelectStmt& stmt) {
   double virtual_before = VirtualNow();
-  sda_.stats().Reset();
+  sda_.ResetStats();
   Stopwatch watch;
   HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical, PlanSelect(stmt));
   HANA_ASSIGN_OR_RETURN(storage::Table table,
@@ -122,10 +126,11 @@ Result<ExecResult> Platform::ExecuteSelect(const sql::SelectStmt& stmt) {
   result.metrics.total_ms =
       result.metrics.local_ms + result.metrics.simulated_remote_ms;
   result.metrics.rows = table.num_rows();
-  result.metrics.remote_calls = sda_.stats().remote_calls;
-  result.metrics.mapreduce_jobs = sda_.stats().mapreduce_jobs;
-  result.metrics.remote_cache_hit = sda_.stats().any_cache_hit;
-  result.metrics.remote_materialization = sda_.stats().any_materialization;
+  federation::StatementRemoteStats remote_stats = sda_.stats();
+  result.metrics.remote_calls = remote_stats.remote_calls;
+  result.metrics.mapreduce_jobs = remote_stats.mapreduce_jobs;
+  result.metrics.remote_cache_hit = remote_stats.any_cache_hit;
+  result.metrics.remote_materialization = remote_stats.any_materialization;
   result.table = std::move(table);
   last_metrics_ = result.metrics;
   return result;

@@ -72,23 +72,23 @@ class Platform : public exec::ExecContext {
   Platform& operator=(const Platform&) = delete;
 
   /// Executes one SQL statement (DDL, DML or query).
-  Result<ExecResult> Execute(const std::string& sql);
+  [[nodiscard]] Result<ExecResult> Execute(const std::string& sql);
 
   /// Convenience: executes a query, returning only the result table.
-  Result<storage::Table> Query(const std::string& sql);
+  [[nodiscard]] Result<storage::Table> Query(const std::string& sql);
 
   /// Executes each ';'-separated statement of a script.
-  Status Run(const std::string& script);
+  [[nodiscard]] Status Run(const std::string& script);
 
   /// EXPLAIN: the optimized plan for a SELECT.
-  Result<std::string> Explain(const std::string& sql);
+  [[nodiscard]] Result<std::string> Explain(const std::string& sql);
 
   /// Platform configuration parameters:
   ///   enable_remote_cache      = true|false (Section 4.4)
   ///   remote_cache_validity    = seconds
   ///   threads                  = degree of parallelism (0 = default)
   ///   morsel_rows              = rows per scan morsel (0 = default)
-  Status SetParameter(const std::string& name, const std::string& value);
+  [[nodiscard]] Status SetParameter(const std::string& name, const std::string& value);
 
   size_t degree_of_parallelism() const { return dop_; }
 
@@ -106,31 +106,31 @@ class Platform : public exec::ExecContext {
 
   /// Registers a native map-reduce job runnable through CREATE VIRTUAL
   /// FUNCTION configurations (driver-class dispatch).
-  Status RegisterMapReduceJob(
+  [[nodiscard]] Status RegisterMapReduceJob(
       const std::string& driver_class,
       std::function<Result<storage::Table>(hadoop::HiveEngine*)> runner);
 
   // ---- exec::ExecContext ------------------------------------------------
-  Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
-  Result<exec::ChunkStream> OpenRemoteQuery(
+  [[nodiscard]] Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
+  [[nodiscard]] Result<exec::ChunkStream> OpenRemoteQuery(
       const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
       const storage::Table* relocated_rows) override;
-  Result<exec::ChunkStream> OpenTableFunction(
+  [[nodiscard]] Result<exec::ChunkStream> OpenTableFunction(
       const plan::LogicalOp& fn) override;
   exec::ParallelPolicy parallel_policy() override;
-  Result<std::optional<exec::PartitionSource>> OpenPartitionedScan(
+  [[nodiscard]] Result<std::optional<exec::PartitionSource>> OpenPartitionedScan(
       const plan::LogicalOp& scan, size_t morsel_rows) override;
   void BeginConcurrentRemoteDispatch() override;
   void EndConcurrentRemoteDispatch() override;
 
  private:
-  Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt);
-  Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt);
-  Result<ExecResult> ExecuteDelete(const sql::DeleteStmt& stmt);
-  Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt);
-  Status HandleCreateRemoteSource(const sql::CreateRemoteSourceStmt& stmt);
-  Status HandleCreateVirtualTable(const sql::CreateVirtualTableStmt& stmt);
-  Result<plan::LogicalOpPtr> PlanSelect(const sql::SelectStmt& stmt);
+  [[nodiscard]] Result<ExecResult> ExecuteSelect(const sql::SelectStmt& stmt);
+  [[nodiscard]] Result<ExecResult> ExecuteInsert(const sql::InsertStmt& stmt);
+  [[nodiscard]] Result<ExecResult> ExecuteDelete(const sql::DeleteStmt& stmt);
+  [[nodiscard]] Result<ExecResult> ExecuteUpdate(const sql::UpdateStmt& stmt);
+  [[nodiscard]] Status HandleCreateRemoteSource(const sql::CreateRemoteSourceStmt& stmt);
+  [[nodiscard]] Status HandleCreateVirtualTable(const sql::CreateVirtualTableStmt& stmt);
+  [[nodiscard]] Result<plan::LogicalOpPtr> PlanSelect(const sql::SelectStmt& stmt);
   double VirtualNow() const;
 
   PlatformOptions options_;

@@ -26,7 +26,7 @@ struct Token {
 
 /// Tokenizes a SQL statement. Comments: `-- ...` to end of line and
 /// /* ... */ blocks.
-Result<std::vector<Token>> Tokenize(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Tokenize(const std::string& sql);
 
 }  // namespace hana::sql
 

@@ -11,14 +11,14 @@
 namespace hana::sql {
 
 /// Parses one SQL statement (a trailing ';' is allowed).
-Result<StmtPtr> ParseStatement(const std::string& sql);
+[[nodiscard]] Result<StmtPtr> ParseStatement(const std::string& sql);
 
 /// Parses a SELECT statement (convenience wrapper used by the Hive
 /// compiler and by federated query shipping).
-Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+[[nodiscard]] Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
 
 /// Parses a standalone scalar expression (testing hook).
-Result<ExprPtr> ParseExpression(const std::string& text);
+[[nodiscard]] Result<ExprPtr> ParseExpression(const std::string& text);
 
 /// Splits a script on top-level ';' (quotes respected) into statements.
 std::vector<std::string> SplitStatements(const std::string& script);

@@ -243,6 +243,8 @@ Result<std::vector<std::string>> DecodeStrings(
   for (uint64_t i = 0; i < count; ++i) {
     HANA_ASSIGN_OR_RETURN(uint64_t len, VarintRead(data, &pos));
     if (data.size() - pos < len) return Status::IoError("corrupt string block");
+    // lint: reinterpret_cast allowed — uint8_t -> char aliasing of the
+    // same byte buffer, which the standard permits.
     out.emplace_back(reinterpret_cast<const char*>(data.data()) + pos, len);
     pos += len;
   }

@@ -30,38 +30,38 @@ int64_t ZigZagDecode(uint64_t v);
 /// LEB128 variable-length encoding appended to `out`.
 void VarintAppend(std::vector<uint8_t>* out, uint64_t v);
 /// Decodes one varint at *pos (advancing it).
-Result<uint64_t> VarintRead(const std::vector<uint8_t>& data, size_t* pos);
+[[nodiscard]] Result<uint64_t> VarintRead(const std::vector<uint8_t>& data, size_t* pos);
 
 /// Delta + zigzag + varint for sorted-ish integer sequences
 /// (timestamps, surrogate keys, dictionary codes).
 std::vector<uint8_t> DeltaEncode(const std::vector<int64_t>& values);
-Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data);
 
 /// Run-length encoding: (value, run) varint pairs. Shines on the aging
 /// flag column and low-cardinality dimension attributes.
 std::vector<uint8_t> RleEncode(const std::vector<int64_t>& values);
-Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data);
 
 /// Frame-of-reference + bit-packing: min + packed (v - min). Returns an
 /// opaque byte buffer with a small header.
 std::vector<uint8_t> ForEncode(const std::vector<int64_t>& values);
-Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data);
 
 /// Picks the smallest of RLE / FOR / delta for the sequence and prefixes
 /// a codec tag byte. Used by extended-store pages.
 enum class IntCodec : uint8_t { kRle = 1, kFor = 2, kDelta = 3 };
 std::vector<uint8_t> EncodeIntsBest(const std::vector<int64_t>& values);
-Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data);
 
 /// Length-prefixed string block.
 std::vector<uint8_t> EncodeStrings(const std::vector<std::string>& values);
-Result<std::vector<std::string>> DecodeStrings(
+[[nodiscard]] Result<std::vector<std::string>> DecodeStrings(
     const std::vector<uint8_t>& data);
 
 /// Doubles stored raw (IEEE bits), varint-compressed via XOR with the
 /// previous value (Gorilla-style byte-aligned variant).
 std::vector<uint8_t> EncodeDoubles(const std::vector<double>& values);
-Result<std::vector<double>> DecodeDoubles(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<double>> DecodeDoubles(const std::vector<uint8_t>& data);
 
 }  // namespace hana::storage
 

@@ -85,9 +85,9 @@ class ColumnTable {
   /// Rows not marked deleted.
   size_t live_rows() const { return live_rows_; }
 
-  Status AppendRow(const std::vector<Value>& row);
+  [[nodiscard]] Status AppendRow(const std::vector<Value>& row);
   /// Bulk append used by the TPC-H generator and load paths.
-  Status AppendRows(const std::vector<std::vector<Value>>& rows);
+  [[nodiscard]] Status AppendRows(const std::vector<std::vector<Value>>& rows);
 
   std::vector<Value> GetRow(size_t row) const;
   Value GetCell(size_t row, size_t col) const {
@@ -95,8 +95,8 @@ class ColumnTable {
   }
   bool IsDeleted(size_t row) const { return deleted_[row] != 0; }
 
-  Status DeleteRow(size_t row);
-  Status UpdateRow(size_t row, const std::vector<Value>& new_row);
+  [[nodiscard]] Status DeleteRow(size_t row);
+  [[nodiscard]] Status UpdateRow(size_t row, const std::vector<Value>& new_row);
 
   /// Streams live rows as chunks of at most `chunk_rows`.
   /// The callback returns false to stop the scan early.
@@ -128,7 +128,7 @@ class ColumnTable {
   /// Appends a new column, backfilled with NULLs for existing rows
   /// (schema-on-the-fly support for flexible tables). Mutates the shared
   /// schema object.
-  Status AddColumn(const ColumnDef& def);
+  [[nodiscard]] Status AddColumn(const ColumnDef& def);
 
   size_t MemoryBytes() const;
 
@@ -150,11 +150,11 @@ class RowTable {
   size_t num_rows() const { return rows_.size(); }
   size_t live_rows() const { return live_rows_; }
 
-  Status AppendRow(std::vector<Value> row);
+  [[nodiscard]] Status AppendRow(std::vector<Value> row);
   const std::vector<Value>& GetRow(size_t row) const { return rows_[row]; }
   bool IsDeleted(size_t row) const { return deleted_[row] != 0; }
-  Status DeleteRow(size_t row);
-  Status UpdateRow(size_t row, std::vector<Value> new_row);
+  [[nodiscard]] Status DeleteRow(size_t row);
+  [[nodiscard]] Status UpdateRow(size_t row, std::vector<Value> new_row);
 
   void Scan(size_t chunk_rows,
             const std::function<bool(const Chunk&)>& callback) const;

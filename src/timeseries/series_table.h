@@ -34,13 +34,13 @@ class SeriesTable {
 
   /// Appends a measurement. The timestamp must fall on (or is snapped
   /// to) the next grid slots; skipped slots become missing values.
-  Status Append(int64_t timestamp_ms, double value);
+  [[nodiscard]] Status Append(int64_t timestamp_ms, double value);
 
   size_t num_slots() const { return present_.size(); }
   size_t num_present() const { return num_present_; }
 
   /// Value at slot i with the configured compensation applied.
-  Result<double> At(size_t slot) const;
+  [[nodiscard]] Result<double> At(size_t slot) const;
   int64_t TimestampAt(size_t slot) const {
     return options_.start_ms +
            static_cast<int64_t>(slot) * options_.interval_ms;
@@ -63,9 +63,9 @@ class SeriesTable {
   double Min() const;
   double Max() const;
   /// Mean-aggregated resampling onto a coarser grid.
-  Result<SeriesTable> Resample(int64_t new_interval_ms) const;
+  [[nodiscard]] Result<SeriesTable> Resample(int64_t new_interval_ms) const;
   /// Pearson correlation of two equally gridded series.
-  static Result<double> Correlation(const SeriesTable& a,
+  [[nodiscard]] static Result<double> Correlation(const SeriesTable& a,
                                     const SeriesTable& b);
 
  private:

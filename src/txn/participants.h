@@ -22,12 +22,12 @@ class ColumnTableParticipant : public Participant {
 
   const std::string& name() const override { return name_; }
 
-  Status StageInsert(TxnId txn, std::vector<Value> row);
-  Status StageDelete(TxnId txn, size_t row_index);
+  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row);
+  [[nodiscard]] Status StageDelete(TxnId txn, size_t row_index);
 
-  Status Prepare(TxnId txn) override;
-  Status Commit(TxnId txn, uint64_t commit_id) override;
-  Status Abort(TxnId txn) override;
+  [[nodiscard]] Status Prepare(TxnId txn) override;
+  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override;
+  [[nodiscard]] Status Abort(TxnId txn) override;
 
   /// Failure injection: the next Prepare votes abort.
   void FailNextPrepare() { fail_next_prepare_ = true; }
@@ -59,11 +59,11 @@ class ExtendedTableParticipant : public Participant {
 
   const std::string& name() const override { return name_; }
 
-  Status StageInsert(TxnId txn, std::vector<Value> row);
+  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row);
 
-  Status Prepare(TxnId txn) override;
-  Status Commit(TxnId txn, uint64_t commit_id) override;
-  Status Abort(TxnId txn) override;
+  [[nodiscard]] Status Prepare(TxnId txn) override;
+  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override;
+  [[nodiscard]] Status Abort(TxnId txn) override;
 
   void FailNextPrepare() { fail_next_prepare_ = true; }
   /// Simulates an unavailable extended store: every access errors until

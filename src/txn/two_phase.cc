@@ -55,9 +55,15 @@ Status TwoPhaseCoordinator::Commit(TxnId txn) {
     for (Participant* p : parts) {
       Status s = p->Prepare(txn);
       if (!s.ok()) {
-        AbortEverywhere(txn, parts);
-        return Status::TransactionAborted("prepare failed at " + p->name() +
-                                          ": " + s.message());
+        // The prepare failure is the primary error; a failed rollback
+        // must not be swallowed either, so it rides along in the message.
+        Status abort_status = AbortEverywhere(txn, parts);
+        std::string detail = "prepare failed at " + p->name() + ": " +
+                             s.message();
+        if (!abort_status.ok()) {
+          detail += "; rollback also failed: " + abort_status.message();
+        }
+        return Status::TransactionAborted(std::move(detail));
       }
       names.push_back(p->name());
     }
@@ -87,9 +93,15 @@ Status TwoPhaseCoordinator::Commit(TxnId txn) {
                       : p->Commit(txn, commit_id);
     if (!s.ok()) {
       if (single) {
-        AbortEverywhere(txn, parts);
-        return Status::TransactionAborted("commit failed at " + p->name() +
-                                          ": " + s.message());
+        // Same pattern as the prepare path: report a failed rollback
+        // alongside the primary one-phase commit failure.
+        Status abort_status = AbortEverywhere(txn, parts);
+        std::string detail = "commit failed at " + p->name() + ": " +
+                             s.message();
+        if (!abort_status.ok()) {
+          detail += "; rollback also failed: " + abort_status.message();
+        }
+        return Status::TransactionAborted(std::move(detail));
       }
       return Status::Internal("participant " + p->name() +
                               " failed after global commit: " + s.message());

@@ -27,12 +27,12 @@ class Participant {
 
   /// Phase 1: make the transaction's effects durable-but-undoable.
   /// Returning non-OK votes "abort".
-  virtual Status Prepare(TxnId txn) = 0;
+  [[nodiscard]] virtual Status Prepare(TxnId txn) = 0;
   /// Phase 2 success: apply/expose the effects. Must not fail after a
   /// successful Prepare (any failure is an infrastructure error).
-  virtual Status Commit(TxnId txn, uint64_t commit_id) = 0;
+  [[nodiscard]] virtual Status Commit(TxnId txn, uint64_t commit_id) = 0;
   /// Phase 2 failure (or presumed abort during recovery).
-  virtual Status Abort(TxnId txn) = 0;
+  [[nodiscard]] virtual Status Abort(TxnId txn) = 0;
 };
 
 /// Coordinator log record kinds.
@@ -65,13 +65,13 @@ class TwoPhaseCoordinator {
   TxnId Begin();
 
   /// Enlists a participant in `txn` (idempotent).
-  Status Enlist(TxnId txn, Participant* participant);
+  [[nodiscard]] Status Enlist(TxnId txn, Participant* participant);
 
   /// Runs the full two-phase protocol. On any prepare failure the
   /// transaction aborts everywhere and the error is returned.
-  Status Commit(TxnId txn);
+  [[nodiscard]] Status Commit(TxnId txn);
 
-  Status Abort(TxnId txn);
+  [[nodiscard]] Status Abort(TxnId txn);
 
   /// Simulates a coordinator crash: volatile state is dropped; only the
   /// log survives. Prepared-but-unresolved transactions become in-doubt.
@@ -80,7 +80,7 @@ class TwoPhaseCoordinator {
   /// Replays the log: commits transactions with a commit record, aborts
   /// (presumed abort) the rest. Participants must be re-registered via
   /// RegisterRecoveryParticipant before calling.
-  Status Recover();
+  [[nodiscard]] Status Recover();
 
   void RegisterRecoveryParticipant(Participant* participant);
 
@@ -90,7 +90,7 @@ class TwoPhaseCoordinator {
 
   /// Manually aborts an in-doubt transaction (paper: "Clients will have
   /// the ability to manually abort these in-doubt transactions").
-  Status AbortInDoubt(TxnId txn);
+  [[nodiscard]] Status AbortInDoubt(TxnId txn);
 
   void SetFailpoint(Failpoint fp) { failpoint_ = fp; }
 
@@ -102,7 +102,7 @@ class TwoPhaseCoordinator {
     std::vector<Participant*> participants;
   };
 
-  Status AbortEverywhere(TxnId txn, const std::vector<Participant*>& parts);
+  [[nodiscard]] Status AbortEverywhere(TxnId txn, const std::vector<Participant*>& parts);
   Participant* FindRecoveryParticipant(const std::string& name) const;
 
   TxnId next_txn_ = 1;

@@ -1,0 +1,26 @@
+// Negative-compile probe for the [[nodiscard]] Status enforcement.
+//
+// Compiled twice by tests/lint_negative_test/CMakeLists.txt:
+//   - with LINT_EXPECT_FAIL and -Werror=unused-result: the bare
+//     `Fallible();` call discards a [[nodiscard]] Status and MUST fail
+//     to compile — proving the enforcement fires;
+//   - without LINT_EXPECT_FAIL: the discard is routed through
+//     IgnoreStatus() and the file MUST compile — proving the failure
+//     above comes from the check, not an unrelated error.
+#include "common/status.h"
+
+namespace {
+
+hana::Status Fallible() { return hana::Status::Internal("probe"); }
+
+}  // namespace
+
+int main() {
+#ifdef LINT_EXPECT_FAIL
+  Fallible();  // Discarded [[nodiscard]] Status: must not compile.
+#else
+  // lint control build: the explicit-ignore helper compiles clean.
+  hana::IgnoreStatus(Fallible());
+#endif
+  return 0;
+}

@@ -1,0 +1,4 @@
+# Invoked by a lint_negative test whose configure-time try_compile
+# outcome did not match the expectation; prints why and fails ctest.
+message(FATAL_ERROR "negative-compile expectation violated: ${DETAIL} "
+        "(re-run cmake to refresh the configure-time try_compile probes)")

@@ -1,0 +1,41 @@
+// Negative-compile probe for the -Wthread-safety enforcement (Clang).
+//
+// Compiled twice by tests/lint_negative_test/CMakeLists.txt:
+//   - with LINT_EXPECT_FAIL and -Werror=thread-safety: Add() touches a
+//     GUARDED_BY member without holding its mutex and MUST fail to
+//     compile under Clang — proving the analysis fires;
+//   - without LINT_EXPECT_FAIL: the access is wrapped in a MutexLock
+//     and the file MUST compile — proving the failure above comes from
+//     the analysis, not an unrelated error.
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Add() {
+#ifdef LINT_EXPECT_FAIL
+    ++n_;  // GUARDED_BY(mu_) without the lock: must not compile.
+#else
+    hana::MutexLock lock(mu_);
+    ++n_;
+#endif
+  }
+
+  int Get() {
+    hana::MutexLock lock(mu_);
+    return n_;
+  }
+
+ private:
+  hana::Mutex mu_;
+  int n_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Add();
+  return c.Get() == 1 ? 0 : 1;
+}
