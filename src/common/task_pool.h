@@ -51,6 +51,15 @@ class TaskPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    size_t max_workers = 0);
 
+  /// Pops and runs one queued task if any, returning whether one ran.
+  /// Lets a thread that must await an out-of-pool condition (a future
+  /// from Submit, a 2PC vote straggler, a fault-injection latch) keep
+  /// the pool draining instead of blocking a slot: loop on this between
+  /// short waits, as ParallelFor does internally. The task runs on the
+  /// calling thread, so don't call while holding any lock a task might
+  /// also take.
+  bool TryRunOneTask() EXCLUDES(mu_);
+
   /// The process-wide pool. Sized by the HANA_THREADS environment
   /// variable when set, otherwise max(hardware_concurrency, 8) so that
   /// explicitly requested degrees of parallelism up to 8 get dedicated
@@ -64,9 +73,6 @@ class TaskPool {
  private:
   void Enqueue(std::function<void()> task) EXCLUDES(mu_);
   void WorkerLoop() EXCLUDES(mu_);
-  /// Pops and runs one queued task if any; used by ParallelFor waiters
-  /// to keep the pool moving instead of blocking.
-  bool TryRunOneTask() EXCLUDES(mu_);
 
   /// Guards the task queue and the shutdown flag; workers block on cv_
   /// while both are empty/false. Lock order: mu_ is a leaf — no other

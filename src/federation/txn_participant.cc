@@ -1,0 +1,100 @@
+#include "federation/txn_participant.h"
+
+#include "txn/fault_injection.h"
+
+namespace hana::federation {
+
+namespace {
+
+storage::Table ToTable(std::shared_ptr<Schema> schema,
+                       const std::vector<std::vector<Value>>& rows) {
+  storage::Table table(std::move(schema));
+  for (const auto& row : rows) table.AppendRow(row);
+  return table;
+}
+
+}  // namespace
+
+Status RemoteSourceParticipant::StageInsert(txn::TxnId txn,
+                                            std::vector<Value> row) {
+  if (row.size() != schema_->num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  MutexLock lock(mu_);
+  staged_[txn].inserts.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status RemoteSourceParticipant::Prepare(txn::TxnId txn) {
+  {
+    MutexLock lock(mu_);
+    auto it = staged_.find(txn);
+    if (it != staged_.end() && it->second.prepared) return Status::OK();
+  }
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(
+        injector_->OnCall(txn::FaultOp::kPrepare, name_, txn));
+  }
+  const Capabilities& caps = adapter_->capabilities();
+  if (!caps.transactions || !caps.insert) {
+    return Status::CapabilityError(
+        name_ + ": remote source " + adapter_->adapter_name() +
+        " does not support transactional writes (CAP_TRANSACTIONS)");
+  }
+  // mu_ is held across the adapter call: it serializes remote staging
+  // and publishes per participant (the injector call above, which may
+  // block on a latch, already happened lock-free).
+  MutexLock lock(mu_);
+  auto it = staged_.find(txn);
+  if (it == staged_.end()) return Status::OK();  // Nothing staged here.
+  HANA_RETURN_IF_ERROR(adapter_->CreateTempTable(
+      StagingName(txn), schema_, ToTable(schema_, it->second.inserts)));
+  it->second.prepared = true;
+  return Status::OK();
+}
+
+Status RemoteSourceParticipant::Commit(txn::TxnId txn, uint64_t commit_id) {
+  (void)commit_id;
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(txn::FaultOp::kCommit, name_, txn));
+  }
+  MutexLock lock(mu_);
+  auto it = staged_.find(txn);
+  if (it == staged_.end()) return Status::OK();
+  // Publish the new snapshot under the real name; the staged rows only
+  // join committed_ once the publish succeeded, so a failed publish can
+  // be retried by recovery without duplicating rows.
+  std::vector<std::vector<Value>> snapshot = committed_;
+  snapshot.insert(snapshot.end(), it->second.inserts.begin(),
+                  it->second.inserts.end());
+  HANA_RETURN_IF_ERROR(adapter_->CreateTempTable(remote_object_, schema_,
+                                                 ToTable(schema_, snapshot)));
+  committed_ = std::move(snapshot);
+  staged_.erase(it);
+  return Status::OK();
+}
+
+Status RemoteSourceParticipant::Abort(txn::TxnId txn) {
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(txn::FaultOp::kAbort, name_, txn));
+  }
+  MutexLock lock(mu_);
+  auto it = staged_.find(txn);
+  if (it == staged_.end()) return Status::OK();
+  bool shipped = it->second.prepared;
+  staged_.erase(it);
+  if (shipped) {
+    // Truncate the remote staging table so the undoable rows cannot
+    // leak; a later transaction reusing the name overwrites it anyway.
+    HANA_RETURN_IF_ERROR(
+        adapter_->CreateTempTable(StagingName(txn), schema_, ToTable(schema_, {})));
+  }
+  return Status::OK();
+}
+
+size_t RemoteSourceParticipant::committed_rows() const {
+  MutexLock lock(mu_);
+  return committed_.size();
+}
+
+}  // namespace hana::federation

@@ -1,0 +1,90 @@
+#ifndef HANA_FEDERATION_TXN_PARTICIPANT_H_
+#define HANA_FEDERATION_TXN_PARTICIPANT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "federation/adapter.h"
+#include "txn/two_phase.h"
+
+namespace hana::federation {
+
+/// Enlists an SDA remote source in the platform's two-phase commit —
+/// the write-back side of Table Relocation (Section 4.2): rows staged
+/// for a remote object ride in the same distributed transaction as the
+/// in-memory and extended-storage writes.
+///
+/// The protocol maps onto the adapter surface:
+///  * Prepare — votes abort with kCapabilityError unless the adapter
+///    declares `transactions` + `insert` (the loosely coupled Hive
+///    source cannot enlist; the tightly integrated IQ adapter can),
+///    then ships the staged rows to a per-transaction remote staging
+///    table (`#txn_<id>_<object>`) over the ODBC link — durable on the
+///    remote side but not yet visible.
+///  * Commit — publishes an updated snapshot of the remote object
+///    (committed rows so far + this transaction's rows) under its real
+///    name; CreateTempTable's drop-and-recreate is the atomic switch.
+///  * Abort — drops the local staging and truncates the remote staging
+///    table (best effort: an unreachable remote is cleaned by the next
+///    prepare that reuses the name).
+///
+/// Thread-safety: staging state is guarded by mu_, which is also held
+/// across adapter calls so per-participant remote ships and publishes
+/// serialize; injector calls (which may block on a hold latch) happen
+/// with mu_ released. The coordinator's fan-out runs this participant
+/// concurrently with other participants.
+class RemoteSourceParticipant : public txn::Participant {
+ public:
+  RemoteSourceParticipant(std::string name, Adapter* adapter,
+                          std::string remote_object,
+                          std::shared_ptr<Schema> schema,
+                          txn::FaultInjector* injector = nullptr)
+      : name_(std::move(name)),
+        adapter_(adapter),
+        remote_object_(std::move(remote_object)),
+        schema_(std::move(schema)),
+        injector_(injector) {}
+
+  const std::string& name() const override { return name_; }
+
+  [[nodiscard]] Status StageInsert(txn::TxnId txn, std::vector<Value> row)
+      EXCLUDES(mu_);
+
+  [[nodiscard]] Status Prepare(txn::TxnId txn) override EXCLUDES(mu_);
+  [[nodiscard]] Status Commit(txn::TxnId txn, uint64_t commit_id) override
+      EXCLUDES(mu_);
+  [[nodiscard]] Status Abort(txn::TxnId txn) override EXCLUDES(mu_);
+
+  void SetFaultInjector(txn::FaultInjector* injector) { injector_ = injector; }
+
+  /// Rows published to the remote object by committed transactions.
+  size_t committed_rows() const EXCLUDES(mu_);
+
+ private:
+  struct Staged {
+    std::vector<std::vector<Value>> inserts;
+    bool prepared = false;
+  };
+
+  std::string StagingName(txn::TxnId txn) const {
+    return "#txn_" + std::to_string(txn) + "_" + remote_object_;
+  }
+
+  std::string name_;
+  Adapter* adapter_;
+  std::string remote_object_;
+  std::shared_ptr<Schema> schema_;
+  txn::FaultInjector* injector_;
+  mutable Mutex mu_;
+  std::map<txn::TxnId, Staged> staged_ GUARDED_BY(mu_);
+  /// Snapshot of the remote object's committed contents; Commit
+  /// republishes it plus the transaction's staged rows.
+  std::vector<std::vector<Value>> committed_ GUARDED_BY(mu_);
+};
+
+}  // namespace hana::federation
+
+#endif  // HANA_FEDERATION_TXN_PARTICIPANT_H_

@@ -1,0 +1,291 @@
+#include "txn/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace hana::txn {
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kPrepare:
+      return "prepare";
+    case FaultOp::kCommit:
+      return "commit";
+    case FaultOp::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+bool FaultEvent::operator<(const FaultEvent& other) const {
+  if (txn != other.txn) return txn < other.txn;
+  if (participant != other.participant) return participant < other.participant;
+  if (op != other.op) return static_cast<int>(op) < static_cast<int>(other.op);
+  return action < other.action;
+}
+
+bool FaultEvent::operator==(const FaultEvent& other) const {
+  return txn == other.txn && participant == other.participant &&
+         op == other.op && action == other.action;
+}
+
+std::string FaultEvent::ToString() const {
+  return "txn=" + std::to_string(txn) + " " + participant + "." +
+         FaultOpName(op) + " " + action;
+}
+
+void FaultInjector::FailNext(const std::string& participant, FaultOp op,
+                             int times) {
+  MutexLock lock(mu_);
+  fail_counts_[Key{participant, op}] += times;
+}
+
+void FaultInjector::SetLatencyMs(const std::string& participant, FaultOp op,
+                                 double ms) {
+  MutexLock lock(mu_);
+  if (ms <= 0) {
+    latency_ms_.erase(Key{participant, op});
+  } else {
+    latency_ms_[Key{participant, op}] = ms;
+  }
+}
+
+void FaultInjector::Hold(const std::string& participant, FaultOp op,
+                         size_t release_after_arrivals,
+                         size_t release_after_completions) {
+  MutexLock lock(mu_);
+  holds_[Key{participant, op}] =
+      HoldSpec{true, release_after_arrivals, release_after_completions};
+}
+
+void FaultInjector::Release(const std::string& participant, FaultOp op) {
+  {
+    MutexLock lock(mu_);
+    auto it = holds_.find(Key{participant, op});
+    if (it == holds_.end()) return;
+    it->second.held = false;
+  }
+  cv_.NotifyAll();
+}
+
+void FaultInjector::ReleaseAll() {
+  {
+    MutexLock lock(mu_);
+    for (auto& [key, spec] : holds_) spec.held = false;
+  }
+  cv_.NotifyAll();
+}
+
+void FaultInjector::CrashCoordinatorAt(Failpoint fp) {
+  MutexLock lock(mu_);
+  coordinator_crashes_[fp] += 1;
+}
+
+void FaultInjector::Record(TxnId txn, const std::string& participant,
+                           FaultOp op, const char* action) {
+  trace_.push_back(FaultEvent{txn, participant, op, action});
+}
+
+Status FaultInjector::OnCall(FaultOp op, const std::string& participant,
+                             TxnId txn) {
+  Key key{participant, op};
+  std::pair<int, TxnId> counter_key{static_cast<int>(op), txn};
+  double sleep_ms = 0;
+  bool fail = false;
+  {
+    MutexLock lock(mu_);
+    counters_[counter_key].arrivals += 1;
+    auto hold_it = holds_.find(key);
+    if (hold_it != holds_.end() && hold_it->second.held) {
+      Record(txn, participant, op, "hold");
+      // Wake any other held call whose auto-release condition this
+      // arrival satisfied, then wait for our own.
+      cv_.NotifyAll();
+      while (true) {
+        hold_it = holds_.find(key);  // Re-find: the map may have grown.
+        if (hold_it == holds_.end() || !hold_it->second.held) break;
+        const HoldSpec& spec = hold_it->second;
+        const Counter& c = counters_[counter_key];
+        if (spec.release_after_arrivals > 0 &&
+            c.arrivals >= spec.release_after_arrivals) {
+          break;
+        }
+        if (spec.release_after_completions > 0 &&
+            c.completions >= spec.release_after_completions) {
+          break;
+        }
+        cv_.Wait(mu_);
+      }
+      holds_.erase(key);  // One-shot: the latch is consumed.
+      Record(txn, participant, op, "release");
+    } else {
+      cv_.NotifyAll();  // Arrival may satisfy someone else's condition.
+    }
+    auto latency_it = latency_ms_.find(key);
+    if (latency_it != latency_ms_.end()) {
+      sleep_ms = latency_it->second;
+      Record(txn, participant, op, "latency");
+    }
+    auto fail_it = fail_counts_.find(key);
+    if (fail_it != fail_counts_.end() && fail_it->second > 0) {
+      fail_it->second -= 1;
+      fail = true;
+      Record(txn, participant, op, "fail");
+    }
+  }
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        sleep_ms));
+  }
+  Status result = Status::OK();
+  if (fail) {
+    std::string msg = participant + ": injected " +
+                      std::string(FaultOpName(op)) + " failure";
+    result = op == FaultOp::kPrepare
+                 ? Status::TransactionAborted(std::move(msg))
+                 : Status::Unavailable(std::move(msg));
+  }
+  {
+    MutexLock lock(mu_);
+    counters_[counter_key].completions += 1;
+  }
+  cv_.NotifyAll();
+  return result;
+}
+
+bool FaultInjector::ConsumeCoordinatorCrash(Failpoint fp) {
+  MutexLock lock(mu_);
+  auto it = coordinator_crashes_.find(fp);
+  if (it == coordinator_crashes_.end() || it->second <= 0) return false;
+  it->second -= 1;
+  Record(0, "coordinator", FaultOp::kPrepare, "crash");
+  return true;
+}
+
+std::vector<FaultEvent> FaultInjector::Trace() const {
+  std::vector<FaultEvent> copy;
+  {
+    MutexLock lock(mu_);
+    copy = trace_;
+  }
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+std::string FaultInjector::TraceToString() const {
+  std::string out;
+  for (const FaultEvent& event : Trace()) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void FaultInjector::ClearTrace() {
+  MutexLock lock(mu_);
+  trace_.clear();
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFailPrepare:
+      return "fail_prepare";
+    case FaultKind::kFailCommit:
+      return "fail_commit";
+    case FaultKind::kHangPrepare:
+      return "hang_prepare";
+    case FaultKind::kPrepareLatency:
+      return "prepare_latency";
+  }
+  return "unknown";
+}
+
+std::string TxnFaultPlan::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < participant_faults.size(); ++i) {
+    if (i > 0) out += ",";
+    out += FaultKindName(participant_faults[i]);
+  }
+  out += "] failpoint=";
+  out += std::to_string(static_cast<int>(failpoint));
+  return out;
+}
+
+std::vector<TxnFaultPlan> FaultSchedule::Generate(size_t num_txns,
+                                                  size_t num_participants,
+                                                  const Mix& mix) {
+  std::vector<TxnFaultPlan> plans;
+  plans.reserve(num_txns);
+  for (size_t t = 0; t < num_txns; ++t) {
+    TxnFaultPlan plan;
+    plan.participant_faults.resize(num_participants, FaultKind::kNone);
+    bool hang_assigned = false;  // One hang per txn keeps release
+                                 // conditions trivially satisfiable.
+    for (size_t p = 0; p < num_participants; ++p) {
+      double roll = rng_.NextDouble();
+      if (roll < mix.fail_prepare) {
+        plan.participant_faults[p] = FaultKind::kFailPrepare;
+      } else if (roll < mix.fail_prepare + mix.fail_commit) {
+        plan.participant_faults[p] = FaultKind::kFailCommit;
+      } else if (roll < mix.fail_prepare + mix.fail_commit +
+                            mix.hang_prepare) {
+        if (!hang_assigned) {
+          plan.participant_faults[p] = FaultKind::kHangPrepare;
+          hang_assigned = true;
+        }
+      } else if (roll < mix.fail_prepare + mix.fail_commit +
+                            mix.hang_prepare + mix.prepare_latency) {
+        plan.participant_faults[p] = FaultKind::kPrepareLatency;
+      }
+    }
+    if (rng_.NextDouble() < mix.coordinator_crash) {
+      switch (rng_.Uniform(0, 2)) {
+        case 0:
+          plan.failpoint = Failpoint::kBeforePrepare;
+          break;
+        case 1:
+          plan.failpoint = Failpoint::kAfterPrepare;
+          break;
+        default:
+          plan.failpoint = Failpoint::kAfterCommitRecord;
+          break;
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+void FaultSchedule::Arm(const TxnFaultPlan& plan,
+                        const std::vector<std::string>& names,
+                        double latency_ms, FaultInjector* injector) {
+  for (size_t i = 0; i < plan.participant_faults.size() && i < names.size();
+       ++i) {
+    switch (plan.participant_faults[i]) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kFailPrepare:
+        injector->FailNext(names[i], FaultOp::kPrepare);
+        break;
+      case FaultKind::kFailCommit:
+        injector->FailNext(names[i], FaultOp::kCommit);
+        break;
+      case FaultKind::kHangPrepare:
+        // Recovers once every vote of the transaction has arrived.
+        injector->Hold(names[i], FaultOp::kPrepare,
+                       /*release_after_arrivals=*/names.size());
+        break;
+      case FaultKind::kPrepareLatency:
+        injector->SetLatencyMs(names[i], FaultOp::kPrepare, latency_ms);
+        break;
+    }
+  }
+  if (plan.failpoint != Failpoint::kNone) {
+    injector->CrashCoordinatorAt(plan.failpoint);
+  }
+}
+
+}  // namespace hana::txn

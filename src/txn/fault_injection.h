@@ -1,0 +1,205 @@
+#ifndef HANA_TXN_FAULT_INJECTION_H_
+#define HANA_TXN_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sync.h"
+#include "common/util.h"
+#include "txn/two_phase.h"
+
+namespace hana::txn {
+
+/// The participant-side operations a fault can attach to.
+enum class FaultOp { kPrepare, kCommit, kAbort };
+
+const char* FaultOpName(FaultOp op);
+
+/// One fired fault-layer event. The trace is the replayable record of a
+/// schedule: Trace() returns events in a canonical order that does not
+/// depend on thread interleaving, so two runs of the same seeded
+/// schedule produce byte-identical traces.
+struct FaultEvent {
+  TxnId txn = 0;
+  std::string participant;
+  FaultOp op = FaultOp::kPrepare;
+  std::string action;  // "fail", "latency", "hold", "release", "crash".
+
+  bool operator<(const FaultEvent& other) const;
+  bool operator==(const FaultEvent& other) const;
+  std::string ToString() const;
+};
+
+/// Deterministic fault-injection layer for the two-phase commit path.
+///
+/// Participants call OnCall() at the top of Prepare/Commit/Abort (the
+/// modeled resource-manager boundary — where a real system would cross
+/// the network); the coordinator consults ConsumeCoordinatorCrash() at
+/// its failpoints. Faults are armed per (participant, op):
+///
+///   * FailNext       — the next call returns an injected error (votes
+///                      abort on prepare; infrastructure error on
+///                      commit/abort). Armed N times.
+///   * SetLatencyMs   — every call sleeps for the given wall-clock time
+///                      before proceeding (commit-latency benchmarks).
+///   * Hold           — the call blocks on a latch until Release(), or
+///                      automatically once the armed arrival /
+///                      completion count for (op, txn) is reached.
+///                      Auto-release conditions are what make hang
+///                      interleavings deterministic: "participant A
+///                      hangs until B and C finished voting" replays
+///                      identically regardless of thread scheduling.
+///
+/// Arrival/completion counters are kept per (op, txn), so holds in one
+/// transaction never key off the progress of another.
+///
+/// Thread-safety: fully synchronized on mu_; OnCall blocks on cv_ while
+/// held (the mutex is released during the wait). mu_ is a leaf lock —
+/// OnCall never calls out while holding it.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `times` injected failures for (participant, op).
+  void FailNext(const std::string& participant, FaultOp op, int times = 1)
+      EXCLUDES(mu_);
+
+  /// Every (participant, op) call sleeps `ms` wall-clock milliseconds.
+  /// 0 clears.
+  void SetLatencyMs(const std::string& participant, FaultOp op, double ms)
+      EXCLUDES(mu_);
+
+  /// The next (participant, op) call blocks until released. A non-zero
+  /// `release_after_arrivals` releases the latch automatically once
+  /// that many calls of `op` (for the same transaction, the held one
+  /// included) have *arrived*; `release_after_completions` once that
+  /// many other calls have *returned*. Zero for both = manual Release.
+  void Hold(const std::string& participant, FaultOp op,
+            size_t release_after_arrivals = 0,
+            size_t release_after_completions = 0) EXCLUDES(mu_);
+
+  /// Releases a held (participant, op) latch.
+  void Release(const std::string& participant, FaultOp op) EXCLUDES(mu_);
+
+  /// Releases every latch and disarms all pending holds.
+  void ReleaseAll() EXCLUDES(mu_);
+
+  /// Arms a coordinator crash at `fp` (consumed by the coordinator on
+  /// first passage, like SetFailpoint but owned by the fault schedule).
+  void CrashCoordinatorAt(Failpoint fp) EXCLUDES(mu_);
+
+  // --- Hook API (called by participants / the coordinator) ---
+
+  /// Applies armed faults for (participant, op): blocks while held,
+  /// sleeps armed latency, then returns the injected error if one is
+  /// armed (consuming it) or OK.
+  [[nodiscard]] Status OnCall(FaultOp op, const std::string& participant,
+                              TxnId txn) EXCLUDES(mu_);
+
+  /// True (once) if a coordinator crash is armed at `fp`.
+  bool ConsumeCoordinatorCrash(Failpoint fp) EXCLUDES(mu_);
+
+  /// Canonically ordered copy of all fired events (see FaultEvent).
+  std::vector<FaultEvent> Trace() const EXCLUDES(mu_);
+  std::string TraceToString() const EXCLUDES(mu_);
+  void ClearTrace() EXCLUDES(mu_);
+
+ private:
+  struct Key {
+    std::string participant;
+    FaultOp op;
+    bool operator<(const Key& other) const {
+      if (participant != other.participant)
+        return participant < other.participant;
+      return static_cast<int>(op) < static_cast<int>(other.op);
+    }
+  };
+  struct HoldSpec {
+    bool held = false;
+    size_t release_after_arrivals = 0;
+    size_t release_after_completions = 0;
+  };
+  struct Counter {
+    size_t arrivals = 0;
+    size_t completions = 0;
+  };
+
+  void Record(TxnId txn, const std::string& participant, FaultOp op,
+              const char* action) REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<Key, int> fail_counts_ GUARDED_BY(mu_);
+  std::map<Key, double> latency_ms_ GUARDED_BY(mu_);
+  std::map<Key, HoldSpec> holds_ GUARDED_BY(mu_);
+  /// Per-(op, txn) arrival/completion counters driving auto-release.
+  std::map<std::pair<int, TxnId>, Counter> counters_ GUARDED_BY(mu_);
+  std::map<Failpoint, int> coordinator_crashes_ GUARDED_BY(mu_);
+  std::vector<FaultEvent> trace_ GUARDED_BY(mu_);
+};
+
+/// The fault kinds a seeded schedule can assign to one participant of
+/// one transaction.
+enum class FaultKind {
+  kNone,
+  kFailPrepare,     // Votes abort.
+  kFailCommit,      // Infrastructure error after global commit.
+  kHangPrepare,     // Holds the vote until every vote has arrived.
+  kPrepareLatency,  // Slow voter (latency_ms).
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// The faults of one transaction in a schedule: one kind per
+/// participant slot plus an optional coordinator failpoint.
+struct TxnFaultPlan {
+  std::vector<FaultKind> participant_faults;
+  Failpoint failpoint = Failpoint::kNone;
+
+  std::string ToString() const;
+};
+
+/// Seeded deterministic schedule generator: maps (seed, #txns,
+/// #participants) to a fixed sequence of TxnFaultPlans via the
+/// repository's SplitMix64 Rng. The same seed always yields the same
+/// schedule on every platform, which combined with the injector's
+/// canonical trace and the coordinator's enlist-order vote aggregation
+/// makes every randomized run bit-identically replayable.
+class FaultSchedule {
+ public:
+  /// Per-fault probabilities (the remainder is kNone).
+  struct Mix {
+    double fail_prepare = 0.15;
+    double fail_commit = 0.05;
+    double hang_prepare = 0.10;
+    double prepare_latency = 0.15;
+    double coordinator_crash = 0.10;  // Uniform over the 3 failpoints.
+  };
+
+  explicit FaultSchedule(uint64_t seed) : rng_(seed) {}
+
+  std::vector<TxnFaultPlan> Generate(size_t num_txns, size_t num_participants,
+                                     const Mix& mix);
+  std::vector<TxnFaultPlan> Generate(size_t num_txns,
+                                     size_t num_participants) {
+    return Generate(num_txns, num_participants, Mix());
+  }
+
+  /// Arms one plan on an injector: translates each participant slot's
+  /// FaultKind into the matching injector call (hangs auto-release once
+  /// all `names.size()` votes arrived) and arms the coordinator crash.
+  static void Arm(const TxnFaultPlan& plan,
+                  const std::vector<std::string>& names,
+                  double latency_ms, FaultInjector* injector);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace hana::txn
+
+#endif  // HANA_TXN_FAULT_INJECTION_H_

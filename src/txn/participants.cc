@@ -1,11 +1,14 @@
 #include "txn/participants.h"
 
+#include "txn/fault_injection.h"
+
 namespace hana::txn {
 
 Status ColumnTableParticipant::StageInsert(TxnId txn, std::vector<Value> row) {
   if (row.size() != table_->schema()->num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
   }
+  MutexLock lock(mu_);
   staged_[txn].inserts.push_back(std::move(row));
   return Status::OK();
 }
@@ -14,11 +17,29 @@ Status ColumnTableParticipant::StageDelete(TxnId txn, size_t row_index) {
   if (row_index >= table_->num_rows()) {
     return Status::OutOfRange("row index out of range");
   }
+  MutexLock lock(mu_);
   staged_[txn].deletes.push_back(row_index);
   return Status::OK();
 }
 
+bool ColumnTableParticipant::IsPrepared(TxnId txn) const {
+  MutexLock lock(mu_);
+  auto it = staged_.find(txn);
+  return it != staged_.end() && it->second.prepared;
+}
+
 Status ColumnTableParticipant::Prepare(TxnId txn) {
+  {
+    // Idempotence: an already-cast vote stands; do not re-validate or
+    // consume armed faults on the coordinator's re-drive.
+    MutexLock lock(mu_);
+    auto it = staged_.find(txn);
+    if (it != staged_.end() && it->second.prepared) return Status::OK();
+  }
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kPrepare, name_, txn));
+  }
+  MutexLock lock(mu_);
   if (fail_next_prepare_) {
     fail_next_prepare_ = false;
     return Status::TransactionAborted(name_ + ": injected prepare failure");
@@ -40,6 +61,10 @@ Status ColumnTableParticipant::Prepare(TxnId txn) {
 }
 
 Status ColumnTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kCommit, name_, txn));
+  }
+  MutexLock lock(mu_);
   auto it = staged_.find(txn);
   if (it == staged_.end()) return Status::OK();  // Nothing staged here.
   for (size_t row : it->second.deletes) {
@@ -54,23 +79,37 @@ Status ColumnTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
 }
 
 Status ColumnTableParticipant::Abort(TxnId txn) {
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kAbort, name_, txn));
+  }
+  MutexLock lock(mu_);
   staged_.erase(txn);  // Unknown transactions are a no-op by design.
   return Status::OK();
 }
 
 Status ExtendedTableParticipant::StageInsert(TxnId txn,
                                              std::vector<Value> row) {
-  if (unavailable_) {
-    return Status::Unavailable(name_ + ": extended storage unreachable");
-  }
   if (row.size() != table_->schema()->num_columns()) {
     return Status::InvalidArgument("row arity mismatch");
+  }
+  MutexLock lock(mu_);
+  if (unavailable_) {
+    return Status::Unavailable(name_ + ": extended storage unreachable");
   }
   staged_[txn].inserts.push_back(std::move(row));
   return Status::OK();
 }
 
 Status ExtendedTableParticipant::Prepare(TxnId txn) {
+  {
+    MutexLock lock(mu_);
+    auto it = staged_.find(txn);
+    if (it != staged_.end() && it->second.prepared) return Status::OK();
+  }
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kPrepare, name_, txn));
+  }
+  MutexLock lock(mu_);
   if (unavailable_) {
     return Status::Unavailable(name_ + ": extended storage unreachable");
   }
@@ -85,6 +124,10 @@ Status ExtendedTableParticipant::Prepare(TxnId txn) {
 
 Status ExtendedTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
   (void)commit_id;
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kCommit, name_, txn));
+  }
+  MutexLock lock(mu_);
   if (unavailable_) {
     return Status::Unavailable(name_ + ": extended storage unreachable");
   }
@@ -96,6 +139,10 @@ Status ExtendedTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
 }
 
 Status ExtendedTableParticipant::Abort(TxnId txn) {
+  if (injector_ != nullptr) {
+    HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kAbort, name_, txn));
+  }
+  MutexLock lock(mu_);
   staged_.erase(txn);
   return Status::OK();
 }

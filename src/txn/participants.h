@@ -5,35 +5,61 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "extended/extended_store.h"
 #include "storage/column_table.h"
 #include "txn/two_phase.h"
 
 namespace hana::txn {
 
+class FaultInjector;
+
 /// Write staging for an in-memory column table. Inserts and deletes are
 /// buffered per transaction and applied atomically at Commit. Abort (and
 /// Abort of unknown transactions, as happens during presumed-abort
 /// recovery) simply drops the staging.
+///
+/// Prepare is idempotent: once a transaction is prepared, a repeated
+/// Prepare (a Commit retry after a phase-2 infrastructure failure, or
+/// the one-phase path re-driving) returns OK without re-validating or
+/// consuming armed faults. All state is guarded by mu_ — the
+/// coordinator calls participants concurrently from pool workers.
 class ColumnTableParticipant : public Participant {
  public:
-  ColumnTableParticipant(std::string name, storage::ColumnTable* table)
-      : name_(std::move(name)), table_(table) {}
+  ColumnTableParticipant(std::string name, storage::ColumnTable* table,
+                         FaultInjector* injector = nullptr)
+      : name_(std::move(name)), table_(table), injector_(injector) {}
 
   const std::string& name() const override { return name_; }
 
-  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row);
-  [[nodiscard]] Status StageDelete(TxnId txn, size_t row_index);
+  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row)
+      EXCLUDES(mu_);
+  [[nodiscard]] Status StageDelete(TxnId txn, size_t row_index) EXCLUDES(mu_);
 
-  [[nodiscard]] Status Prepare(TxnId txn) override;
-  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override;
-  [[nodiscard]] Status Abort(TxnId txn) override;
+  [[nodiscard]] Status Prepare(TxnId txn) override EXCLUDES(mu_);
+  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override
+      EXCLUDES(mu_);
+  [[nodiscard]] Status Abort(TxnId txn) override EXCLUDES(mu_);
 
-  /// Failure injection: the next Prepare votes abort.
-  void FailNextPrepare() { fail_next_prepare_ = true; }
+  /// Failure injection: the next Prepare votes abort. (Predates the
+  /// FaultInjector layer; kept for single-fault tests.)
+  void FailNextPrepare() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    fail_next_prepare_ = true;
+  }
+
+  /// Attaches the fault-injection layer; Prepare/Commit/Abort route
+  /// through it at entry. Set before enlisting in concurrent commits.
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// True while `txn` is staged and prepared (vote cast, not resolved).
+  bool IsPrepared(TxnId txn) const EXCLUDES(mu_);
 
   /// Commit id of the last applied transaction (visibility watermark).
-  uint64_t last_commit_id() const { return last_commit_id_; }
+  uint64_t last_commit_id() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return last_commit_id_;
+  }
 
  private:
   struct Staged {
@@ -44,33 +70,53 @@ class ColumnTableParticipant : public Participant {
 
   std::string name_;
   storage::ColumnTable* table_;
-  std::map<TxnId, Staged> staged_;
-  bool fail_next_prepare_ = false;
-  uint64_t last_commit_id_ = 0;
+  FaultInjector* injector_;
+  /// Leaf lock guarding staging and the watermark; held across the
+  /// table apply in Commit so concurrent transactions touching the same
+  /// table serialize their writes. Never held while calling the
+  /// injector (which may block on a hold latch).
+  mutable Mutex mu_;
+  std::map<TxnId, Staged> staged_ GUARDED_BY(mu_);
+  bool fail_next_prepare_ GUARDED_BY(mu_) = false;
+  uint64_t last_commit_id_ GUARDED_BY(mu_) = 0;
 };
 
 /// Write staging for an extended-storage table. Commit bulk-loads the
 /// staged rows into the disk store — the transactional (non-direct)
-/// write path of the extended storage.
+/// write path of the extended storage. Same idempotence and
+/// thread-safety contract as ColumnTableParticipant.
 class ExtendedTableParticipant : public Participant {
  public:
-  ExtendedTableParticipant(std::string name, extended::ExtendedTable* table)
-      : name_(std::move(name)), table_(table) {}
+  ExtendedTableParticipant(std::string name, extended::ExtendedTable* table,
+                           FaultInjector* injector = nullptr)
+      : name_(std::move(name)), table_(table), injector_(injector) {}
 
   const std::string& name() const override { return name_; }
 
-  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row);
+  [[nodiscard]] Status StageInsert(TxnId txn, std::vector<Value> row)
+      EXCLUDES(mu_);
 
-  [[nodiscard]] Status Prepare(TxnId txn) override;
-  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override;
-  [[nodiscard]] Status Abort(TxnId txn) override;
+  [[nodiscard]] Status Prepare(TxnId txn) override EXCLUDES(mu_);
+  [[nodiscard]] Status Commit(TxnId txn, uint64_t commit_id) override
+      EXCLUDES(mu_);
+  [[nodiscard]] Status Abort(TxnId txn) override EXCLUDES(mu_);
 
-  void FailNextPrepare() { fail_next_prepare_ = true; }
+  void FailNextPrepare() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    fail_next_prepare_ = true;
+  }
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
   /// Simulates an unavailable extended store: every access errors until
   /// cleared (paper: "every access to a SAP HANA table may throw a
   /// runtime error" while the extended system is down).
-  void SetUnavailable(bool value) { unavailable_ = value; }
-  bool unavailable() const { return unavailable_; }
+  void SetUnavailable(bool value) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    unavailable_ = value;
+  }
+  bool unavailable() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return unavailable_;
+  }
 
  private:
   struct Staged {
@@ -80,9 +126,11 @@ class ExtendedTableParticipant : public Participant {
 
   std::string name_;
   extended::ExtendedTable* table_;
-  std::map<TxnId, Staged> staged_;
-  bool fail_next_prepare_ = false;
-  bool unavailable_ = false;
+  FaultInjector* injector_;
+  mutable Mutex mu_;
+  std::map<TxnId, Staged> staged_ GUARDED_BY(mu_);
+  bool fail_next_prepare_ GUARDED_BY(mu_) = false;
+  bool unavailable_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hana::txn

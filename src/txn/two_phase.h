@@ -2,6 +2,7 @@
 #define HANA_TXN_TWO_PHASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -9,16 +10,29 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
+
+namespace hana {
+class TaskPool;
+}
 
 namespace hana::txn {
 
 using TxnId = uint64_t;
+
+class FaultInjector;
 
 /// A resource manager participating in distributed transactions —
 /// implemented by the in-memory table store and the extended storage
 /// (Section 3.1 "Transactions"): SAP HANA coordinates the transaction,
 /// generating transaction and commit IDs, using an improved two-phase
 /// commit protocol [14].
+///
+/// Concurrency contract: the coordinator fans Prepare/Commit/Abort out
+/// over the task pool, so different participants of one transaction are
+/// called concurrently. A single participant is called at most once at
+/// a time per transaction, but successive calls may come from different
+/// threads — implementations synchronize their own state.
 class Participant {
  public:
   virtual ~Participant() = default;
@@ -26,7 +40,10 @@ class Participant {
   virtual const std::string& name() const = 0;
 
   /// Phase 1: make the transaction's effects durable-but-undoable.
-  /// Returning non-OK votes "abort".
+  /// Returning non-OK votes "abort". Must be idempotent: a second
+  /// Prepare of an already-prepared transaction is a no-op returning OK
+  /// (the coordinator re-prepares when a client retries Commit after a
+  /// phase-2 infrastructure failure).
   [[nodiscard]] virtual Status Prepare(TxnId txn) = 0;
   /// Phase 2 success: apply/expose the effects. Must not fail after a
   /// successful Prepare (any failure is an infrastructure error).
@@ -45,6 +62,10 @@ struct LogRecord {
   std::vector<std::string> participants;  // On kPrepared.
 };
 
+/// Renders a log as one line per record — the canonical form the
+/// deterministic-replay tests compare across runs.
+std::string LogToString(const std::vector<LogRecord>& log);
+
 /// Failure-injection points for tests and the 2PC ablation benchmark.
 enum class Failpoint {
   kNone,
@@ -54,64 +75,124 @@ enum class Failpoint {
   kAfterCommitRecord,
 };
 
+/// Coordinator tuning knobs.
+struct TwoPhaseOptions {
+  /// Fan participant Prepare/Commit/Abort calls out over the task pool
+  /// (votes are collected concurrently; commit latency is the slowest
+  /// participant instead of the sum). Off = the sequential protocol,
+  /// kept for the bench_2pc ablation.
+  bool parallel_vote = true;
+  /// Pool for the fan-out; nullptr = TaskPool::Global().
+  TaskPool* pool = nullptr;
+};
+
 /// The distributed transaction coordinator. Keeps a (in-memory,
 /// replayable) write-ahead log; Recover() resolves in-doubt transactions
 /// jointly with all registered participants — mirroring the paper's
 /// integrated recovery of HANA + extended storage.
+///
+/// Thread-safety: all public methods are safe to call concurrently;
+/// coordinator state (log, active set, id counters) is guarded by mu_.
+/// Participant calls always happen with mu_ released, fanned out over
+/// the task pool when parallel_vote is on. Votes are aggregated in
+/// enlist order — the first failure *in participant order* (not
+/// completion order) becomes the primary error — so the outcome, the
+/// log and the in-doubt set are deterministic for a given fault
+/// schedule regardless of thread interleaving.
 class TwoPhaseCoordinator {
  public:
   TwoPhaseCoordinator() = default;
+  explicit TwoPhaseCoordinator(TwoPhaseOptions options)
+      : options_(options) {}
 
-  TxnId Begin();
+  TxnId Begin() EXCLUDES(mu_);
 
   /// Enlists a participant in `txn` (idempotent).
-  [[nodiscard]] Status Enlist(TxnId txn, Participant* participant);
+  [[nodiscard]] Status Enlist(TxnId txn, Participant* participant)
+      EXCLUDES(mu_);
 
-  /// Runs the full two-phase protocol. On any prepare failure the
-  /// transaction aborts everywhere and the error is returned.
-  [[nodiscard]] Status Commit(TxnId txn);
+  /// Runs the full two-phase protocol. Votes are collected concurrently;
+  /// on any prepare failure the transaction aborts everywhere (late
+  /// voters are still awaited and rolled back) and the error is
+  /// returned, naming every failed voter in enlist order.
+  [[nodiscard]] Status Commit(TxnId txn) EXCLUDES(mu_);
 
-  [[nodiscard]] Status Abort(TxnId txn);
+  [[nodiscard]] Status Abort(TxnId txn) EXCLUDES(mu_);
 
   /// Simulates a coordinator crash: volatile state is dropped; only the
   /// log survives. Prepared-but-unresolved transactions become in-doubt.
-  void Crash();
+  void Crash() EXCLUDES(mu_);
 
   /// Replays the log: commits transactions with a commit record, aborts
   /// (presumed abort) the rest. Participants must be re-registered via
   /// RegisterRecoveryParticipant before calling.
-  [[nodiscard]] Status Recover();
+  [[nodiscard]] Status Recover() EXCLUDES(mu_);
 
-  void RegisterRecoveryParticipant(Participant* participant);
+  void RegisterRecoveryParticipant(Participant* participant) EXCLUDES(mu_);
 
   /// Transactions prepared but neither committed nor aborted (visible
   /// after Crash(), before Recover()). Clients may manually abort them.
-  std::vector<TxnId> InDoubt() const;
+  std::vector<TxnId> InDoubt() const EXCLUDES(mu_);
 
   /// Manually aborts an in-doubt transaction (paper: "Clients will have
   /// the ability to manually abort these in-doubt transactions").
-  [[nodiscard]] Status AbortInDoubt(TxnId txn);
+  [[nodiscard]] Status AbortInDoubt(TxnId txn) EXCLUDES(mu_);
 
-  void SetFailpoint(Failpoint fp) { failpoint_ = fp; }
+  void SetFailpoint(Failpoint fp) EXCLUDES(mu_);
 
-  const std::vector<LogRecord>& log() const { return log_; }
-  uint64_t last_commit_id() const { return next_commit_id_ - 1; }
+  /// Attaches a fault-injection layer; the coordinator consults it at
+  /// every failpoint (participants hook it separately). Set before the
+  /// first Commit and keep alive for the coordinator's lifetime.
+  void SetFaultInjector(FaultInjector* injector) EXCLUDES(mu_);
+
+  /// Snapshot of the write-ahead log (by value: commits on other
+  /// threads may be appending concurrently).
+  std::vector<LogRecord> log() const EXCLUDES(mu_);
+  uint64_t last_commit_id() const EXCLUDES(mu_);
 
  private:
   struct ActiveTxn {
     std::vector<Participant*> participants;
   };
 
-  [[nodiscard]] Status AbortEverywhere(TxnId txn, const std::vector<Participant*>& parts);
-  Participant* FindRecoveryParticipant(const std::string& name) const;
+  /// Runs fn over every participant — concurrently over the task pool
+  /// when parallel_vote is on (the calling thread participates and
+  /// helps drain the pool queue while awaiting stragglers, so a
+  /// saturated pool cannot deadlock the vote) — and returns the
+  /// statuses indexed in participant order. Always awaits every call.
+  std::vector<Status> FanOut(
+      const std::vector<Participant*>& parts,
+      const std::function<Status(Participant*)>& fn) EXCLUDES(mu_);
 
-  TxnId next_txn_ = 1;
-  uint64_t next_commit_id_ = 1;
-  std::map<TxnId, ActiveTxn> active_;
-  std::vector<LogRecord> log_;
-  std::vector<Participant*> recovery_participants_;
-  Failpoint failpoint_ = Failpoint::kNone;
-  bool crashed_ = false;
+  /// Fans out Abort, appends the abort record and drops the txn.
+  /// Returns the first rollback failure (participant order), with any
+  /// additional failures folded into its message.
+  [[nodiscard]] Status AbortEverywhere(
+      TxnId txn, const std::vector<Participant*>& parts) EXCLUDES(mu_);
+
+  /// True when a crash is due at `fp` — via SetFailpoint or the
+  /// attached fault injector.
+  bool CrashDueAt(Failpoint fp) REQUIRES(mu_);
+  void CrashLocked() REQUIRES(mu_);
+
+  Participant* FindRecoveryParticipant(const std::string& name) const
+      REQUIRES(mu_);
+  std::vector<TxnId> InDoubtLocked() const REQUIRES(mu_);
+
+  TwoPhaseOptions options_;
+
+  /// Guards all coordinator state. Never held across participant calls
+  /// or task-pool submission/waits (fan-out copies what it needs out
+  /// first), so it cannot order against participant or pool mutexes.
+  mutable Mutex mu_;
+  TxnId next_txn_ GUARDED_BY(mu_) = 1;
+  uint64_t next_commit_id_ GUARDED_BY(mu_) = 1;
+  std::map<TxnId, ActiveTxn> active_ GUARDED_BY(mu_);
+  std::vector<LogRecord> log_ GUARDED_BY(mu_);
+  std::vector<Participant*> recovery_participants_ GUARDED_BY(mu_);
+  Failpoint failpoint_ GUARDED_BY(mu_) = Failpoint::kNone;
+  FaultInjector* injector_ GUARDED_BY(mu_) = nullptr;
+  bool crashed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hana::txn
