@@ -50,11 +50,23 @@ void TaskPool::WorkerLoop() {
 
 void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                            size_t max_workers) {
-  if (n == 0) return;
+  ParallelForWorker(
+      n, [&fn](size_t, size_t i) { fn(i); }, max_workers);
+}
+
+size_t TaskPool::WorkerSlots(size_t n, size_t max_workers) const {
+  if (n == 0) return 0;
   size_t budget = max_workers == 0 ? num_threads()
                                    : std::min(max_workers, num_threads() + 1);
+  return std::min(budget > 0 ? budget - 1 : 0, n - 1) + 1;
+}
+
+void TaskPool::ParallelForWorker(
+    size_t n, const std::function<void(size_t, size_t)>& fn,
+    size_t max_workers) {
+  if (n == 0) return;
   // Helpers beyond the caller; never more than there are iterations.
-  size_t helpers = std::min(budget > 0 ? budget - 1 : 0, n - 1);
+  size_t helpers = WorkerSlots(n, max_workers) - 1;
 
   struct Shared {
     std::atomic<size_t> next{0};
@@ -64,12 +76,12 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   };
   auto shared = std::make_shared<Shared>();
 
-  auto run = [shared, n, &fn] {
+  auto run = [shared, n, &fn](size_t worker) {
     while (true) {
       size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n || shared->failed.load(std::memory_order_relaxed)) return;
       try {
-        fn(i);
+        fn(worker, i);
       } catch (...) {
         MutexLock lock(shared->error_mu);
         if (!shared->failed.exchange(true)) {
@@ -82,8 +94,10 @@ void TaskPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
 
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
-  for (size_t i = 0; i < helpers; ++i) futures.push_back(Submit(run));
-  run();  // Caller participates: guarantees progress even when saturated.
+  for (size_t i = 0; i < helpers; ++i) {
+    futures.push_back(Submit([run, slot = i + 1] { run(slot); }));
+  }
+  run(0);  // Caller participates: guarantees progress even when saturated.
   for (auto& f : futures) {
     // Help drain the queue instead of blocking: nested ParallelFor
     // calls would otherwise deadlock once every thread waits on helper

@@ -51,6 +51,21 @@ class TaskPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    size_t max_workers = 0);
 
+  /// Like ParallelFor, but every participating thread is handed a stable
+  /// worker slot in [0, WorkerSlots(n, max_workers)) alongside the
+  /// iteration index, so iterations can reuse per-worker scratch (radix
+  /// partition buffers, hash staging) without locks: slot s is only ever
+  /// used by one thread for the duration of the call. Which slot runs
+  /// which iteration varies with scheduling, so deterministic output
+  /// must never depend on the slot id — only on the iteration index.
+  void ParallelForWorker(
+      size_t n, const std::function<void(size_t worker, size_t i)>& fn,
+      size_t max_workers = 0);
+
+  /// Number of worker slots a ParallelForWorker(n, ..., max_workers)
+  /// call would use (caller + helpers); for sizing scratch arrays.
+  size_t WorkerSlots(size_t n, size_t max_workers = 0) const;
+
   /// Pops and runs one queued task if any, returning whether one ran.
   /// Lets a thread that must await an out-of-pool condition (a future
   /// from Submit, a 2PC vote straggler, a fault-injection latch) keep

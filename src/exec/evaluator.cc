@@ -273,4 +273,20 @@ Result<Value> EvalExprRow(const plan::BoundExpr& expr,
   return Eval(expr, view);
 }
 
+Result<storage::ColumnVectorPtr> EvalExprColumn(const plan::BoundExpr& expr,
+                                                const storage::Chunk& chunk) {
+  if (expr.kind == plan::BoundKind::kColumn &&
+      expr.column_index < chunk.columns.size()) {
+    return chunk.columns[expr.column_index];  // Zero-copy fast path.
+  }
+  auto out = std::make_shared<storage::ColumnVector>(expr.type);
+  size_t n = chunk.num_rows();
+  out->Reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, chunk, r));
+    out->Append(v);
+  }
+  return out;
+}
+
 }  // namespace hana::exec

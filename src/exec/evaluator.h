@@ -19,6 +19,14 @@ namespace hana::exec {
 [[nodiscard]] Result<Value> EvalExprRow(const plan::BoundExpr& expr,
                           const std::vector<Value>& row);
 
+/// Evaluates `expr` for every row of `chunk` into one column vector,
+/// typed by expr.type. Bare column references return the chunk's vector
+/// unchanged (zero-copy); computed expressions evaluate row-wise into a
+/// fresh vector. Used by the vectorized join-key path, which hashes and
+/// compares keys on the resulting arrays instead of boxed rows.
+[[nodiscard]] Result<storage::ColumnVectorPtr> EvalExprColumn(
+    const plan::BoundExpr& expr, const storage::Chunk& chunk);
+
 /// True when `v` is a non-null TRUE (or non-zero numeric).
 bool IsTruthy(const Value& v);
 

@@ -6,6 +6,7 @@
 
 #include "common/util.h"
 #include "exec/evaluator.h"
+#include "exec/radix_join.h"
 #include "storage/column_table.h"
 
 namespace hana::exec {
@@ -233,21 +234,108 @@ Result<std::vector<std::vector<Value>>> Materialize(PhysicalOp* op) {
   return rows;
 }
 
-/// Shared probe logic for hash-based joins.
+/// `parallel_ok` is false under a LIMIT whose input streams lazily: an
+/// eager morsel pipeline there would scan far past the cutoff. Blocking
+/// operators (aggregate, sort, join builds) consume their whole input
+/// anyway and reset the flag for their subtrees.
+Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
+                                        ExecContext* ctx, bool parallel_ok);
+
+/// The operator chain a MorselPipelineOp can absorb:
+/// Aggregate?(Project?(Join?(Filter?(Scan), build))). The probe side of
+/// a fused join is the chain continuing down to the scan; the build
+/// side is the join's other child (an arbitrary subtree).
+struct MorselPipeline {
+  const LogicalOp* aggregate = nullptr;
+  const LogicalOp* project = nullptr;
+  /// Hash-joinable join fused into the pipeline (null when absent).
+  const LogicalOp* join = nullptr;
+  /// The join's build-side subtree (the child not on the probe chain).
+  const LogicalOp* build = nullptr;
+  /// True when the optimizer marked the LEFT child as the build side
+  /// (inner joins only); the probe chain is then the right child.
+  bool build_is_left = false;
+  const LogicalOp* filter = nullptr;  // Probe-side filter, below join.
+  const LogicalOp* scan = nullptr;    // Probe scan.
+};
+
+std::optional<MorselPipeline> MatchMorselPipeline(const LogicalOp& op) {
+  MorselPipeline p;
+  const LogicalOp* cur = &op;
+  if (cur->kind == LogicalKind::kAggregate) {
+    p.aggregate = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalKind::kProject && !cur->children.empty()) {
+    p.project = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind == LogicalKind::kJoin && cur->condition != nullptr &&
+      !cur->semijoin_pushdown && cur->children.size() == 2 &&
+      (cur->join_kind == JoinKind::kInner ||
+       cur->join_kind == JoinKind::kLeft ||
+       cur->join_kind == JoinKind::kSemi ||
+       cur->join_kind == JoinKind::kAnti)) {
+    p.join = cur;
+    p.build_is_left =
+        cur->join_kind == JoinKind::kInner && cur->build_left;
+    p.build = cur->children[p.build_is_left ? 0 : 1].get();
+    cur = cur->children[p.build_is_left ? 1 : 0].get();
+  }
+  if (cur->kind == LogicalKind::kFilter) {
+    p.filter = cur;
+    cur = cur->children[0].get();
+  }
+  if (cur->kind != LogicalKind::kScan) return std::nullopt;
+  p.scan = cur;
+  return p;
+}
+
+/// Chunk-at-a-time filter: keeps rows whose predicate is TRUE.
+Result<Chunk> FilterChunk(const BoundExpr& predicate, const Chunk& in) {
+  Chunk out = Chunk::Empty(in.schema);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    HANA_ASSIGN_OR_RETURN(Value keep, EvalExpr(predicate, in, r));
+    if (keep.is_null() || !IsTruthy(keep)) continue;
+    out.AppendRowFrom(in, r);
+  }
+  return out;
+}
+
+/// Chunk-at-a-time projection into the project node's schema.
+Result<Chunk> ProjectChunk(const LogicalOp& project, const Chunk& in) {
+  Chunk out = Chunk::Empty(project.schema);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    for (size_t c = 0; c < project.exprs.size(); ++c) {
+      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*project.exprs[c], in, r));
+      out.columns[c]->Append(v);
+    }
+  }
+  return out;
+}
+
+/// Shared probe logic for hash-based joins (serial row-at-a-time path;
+/// parallel plans run joins through MorselPipelineOp's radix join
+/// instead). With `build_left` (optimizer-selected, inner joins only)
+/// the LEFT child is built and the right child probes; output column
+/// order stays left++right either way.
 class HashJoinOp : public PhysicalOp {
  public:
   HashJoinOp(std::shared_ptr<Schema> schema, JoinKind kind,
              PhysicalOpPtr left, PhysicalOpPtr right,
-             plan::JoinConditionParts parts)
+             plan::JoinConditionParts parts, bool build_left)
       : PhysicalOp(std::move(schema)),
         kind_(kind),
         left_(std::move(left)),
         right_(std::move(right)),
-        parts_(std::move(parts)) {}
+        parts_(std::move(parts)),
+        build_left_(build_left && kind == JoinKind::kInner) {}
 
   Status Open() override {
-    HANA_RETURN_IF_ERROR(left_->Open());
-    HANA_ASSIGN_OR_RETURN(build_rows_, Materialize(right_.get()));
+    PhysicalOp* probe = build_left_ ? right_.get() : left_.get();
+    PhysicalOp* build = build_left_ ? left_.get() : right_.get();
+    HANA_RETURN_IF_ERROR(probe->Open());
+    HANA_ASSIGN_OR_RETURN(build_rows_, Materialize(build));
     table_.clear();
     build_keys_.clear();
     build_keys_.reserve(build_rows_.size());
@@ -255,31 +343,38 @@ class HashJoinOp : public PhysicalOp {
       std::vector<Value> key;
       key.reserve(parts_.equi_keys.size());
       for (const auto& ek : parts_.equi_keys) {
-        HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*ek.right, build_rows_[i]));
+        const BoundExpr& expr = build_left_ ? *ek.left : *ek.right;
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(expr, build_rows_[i]));
         key.push_back(std::move(v));
       }
       table_.emplace(HashKey(key), i);
       build_keys_.push_back(std::move(key));
     }
+    // Fixed by the schemas; hoisted out of the per-chunk Next() loop.
+    build_width_ = kind_ == JoinKind::kSemi || kind_ == JoinKind::kAnti
+                       ? 0
+                       : schema_->num_columns() -
+                             (build_left_ ? right_ : left_)
+                                 ->schema()
+                                 ->num_columns();
     return Status::OK();
   }
 
   Result<std::optional<Chunk>> Next() override {
-    size_t right_width = kind_ == JoinKind::kSemi || kind_ == JoinKind::kAnti
-                             ? 0
-                             : schema_->num_columns() -
-                                   (left_->schema()->num_columns());
+    PhysicalOp* probe = build_left_ ? right_.get() : left_.get();
+    std::vector<Value> key;  // Reused across rows; cleared per row.
+    key.reserve(parts_.equi_keys.size());
     while (true) {
-      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, left_->Next());
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, probe->Next());
       if (!in.has_value()) return std::optional<Chunk>();
       Chunk out = Chunk::Empty(schema_);
       for (size_t r = 0; r < in->num_rows(); ++r) {
-        std::vector<Value> left_row = in->Row(r);
-        std::vector<Value> key;
-        key.reserve(parts_.equi_keys.size());
+        std::vector<Value> probe_row = in->Row(r);
+        key.clear();
         bool key_null = false;
         for (const auto& ek : parts_.equi_keys) {
-          HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*ek.left, left_row));
+          const BoundExpr& expr = build_left_ ? *ek.right : *ek.left;
+          HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(expr, probe_row));
           if (v.is_null()) key_null = true;
           key.push_back(std::move(v));
         }
@@ -289,10 +384,12 @@ class HashJoinOp : public PhysicalOp {
           for (auto it = lo; it != hi; ++it) {
             size_t b = it->second;
             if (!KeysEqualNonNull(key, build_keys_[b])) continue;
-            // Residual over the combined row.
-            std::vector<Value> combined = left_row;
-            combined.insert(combined.end(), build_rows_[b].begin(),
-                            build_rows_[b].end());
+            // Residual over the combined row (left++right order).
+            std::vector<Value> combined =
+                build_left_ ? build_rows_[b] : probe_row;
+            const std::vector<Value>& tail =
+                build_left_ ? probe_row : build_rows_[b];
+            combined.insert(combined.end(), tail.begin(), tail.end());
             if (parts_.residual != nullptr) {
               HANA_ASSIGN_OR_RETURN(Value keep,
                                     EvalExprRow(*parts_.residual, combined));
@@ -302,7 +399,7 @@ class HashJoinOp : public PhysicalOp {
             if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeft) {
               out.AppendRow(combined);
             } else if (kind_ == JoinKind::kSemi) {
-              out.AppendRow(left_row);
+              out.AppendRow(probe_row);
               break;
             } else {  // kAnti: first match disqualifies.
               break;
@@ -311,10 +408,10 @@ class HashJoinOp : public PhysicalOp {
         }
         if (!matched) {
           if (kind_ == JoinKind::kAnti) {
-            out.AppendRow(left_row);
+            out.AppendRow(probe_row);
           } else if (kind_ == JoinKind::kLeft) {
-            std::vector<Value> combined = left_row;
-            combined.resize(left_row.size() + right_width, Value::Null());
+            std::vector<Value> combined = probe_row;
+            combined.resize(probe_row.size() + build_width_, Value::Null());
             out.AppendRow(combined);
           }
         }
@@ -328,6 +425,8 @@ class HashJoinOp : public PhysicalOp {
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
   plan::JoinConditionParts parts_;
+  bool build_left_;
+  size_t build_width_ = 0;  // Build-side column count in the output.
   std::vector<std::vector<Value>> build_rows_;
   std::vector<std::vector<Value>> build_keys_;
   std::unordered_multimap<size_t, size_t> table_;
@@ -647,62 +746,71 @@ class HashAggregateOp : public PhysicalOp {
 };
 
 /// Morsel-driven parallel pipeline: partitioned scan → [filter] →
-/// [project] → [partial aggregate], one task per morsel. The morsel
-/// decomposition, per-morsel processing and the merge/emission order
-/// are all fixed by the plan, so output is bit-identical for any
-/// degree of parallelism (including 1).
+/// [radix hash join] → [project] → [partial aggregate], one task per
+/// morsel. The morsel decomposition, per-morsel processing and the
+/// merge/emission order are all fixed by the plan, so output is
+/// bit-identical for any degree of parallelism (including 1).
+///
+/// With a fused join, Open() first builds a RadixJoinTable over the
+/// build subtree (morsel-parallel when that subtree is itself a
+/// partitioned scan chain, else a serial drain), then probes it from
+/// the pipeline's scan morsels. Probe workers reuse per-worker-slot key
+/// scratch; which slot runs which morsel varies with scheduling, but
+/// every per-morsel result depends only on the morsel index.
 class MorselPipelineOp : public PhysicalOp {
  public:
   MorselPipelineOp(std::shared_ptr<Schema> schema, ExecContext* ctx,
-                   const LogicalOp* scan, const LogicalOp* filter,
-                   const LogicalOp* project, const LogicalOp* aggregate)
-      : PhysicalOp(std::move(schema)),
-        ctx_(ctx),
-        scan_(scan),
-        filter_(filter),
-        project_(project),
-        aggregate_(aggregate) {}
+                   MorselPipeline pipeline)
+      : PhysicalOp(std::move(schema)), ctx_(ctx), p_(pipeline) {}
 
   Status Open() override {
     chunks_.clear();
     merged_.reset();
+    join_table_.reset();
     emitted_groups_ = 0;
     emit_morsel_ = 0;
     emit_chunk_ = 0;
     ParallelPolicy policy = ctx_->parallel_policy();
     HANA_ASSIGN_OR_RETURN(
         std::optional<PartitionSource> source,
-        ctx_->OpenPartitionedScan(*scan_, policy.morsel_rows));
+        ctx_->OpenPartitionedScan(*p_.scan, policy.morsel_rows));
     if (!source.has_value()) {
       return Status::Internal("morsel pipeline over a non-partitioned scan");
     }
+    if (p_.join != nullptr) HANA_RETURN_IF_ERROR(BuildJoinTable(policy));
     size_t n = source->num_morsels;
-    std::vector<std::unique_ptr<GroupTable>> partials(aggregate_ ? n : 0);
+    std::vector<std::unique_ptr<GroupTable>> partials(p_.aggregate ? n : 0);
     chunks_.assign(n, {});
     std::vector<Status> statuses(n);
-    auto run_morsel = [&](size_t m) {
+    bool parallel = policy.pool != nullptr && policy.dop > 1 && n > 1;
+    probe_scratch_.assign(
+        parallel ? policy.pool->WorkerSlots(n, policy.dop) : 1,
+        RadixJoinTable::ProbeKeys{});
+    auto run_morsel = [&](size_t worker, size_t m) {
       GroupTable* partial = nullptr;
-      if (aggregate_ != nullptr) {
-        partials[m] = std::make_unique<GroupTable>(&aggregate_->group_by,
-                                                   &aggregate_->aggregates);
+      if (p_.aggregate != nullptr) {
+        partials[m] = std::make_unique<GroupTable>(&p_.aggregate->group_by,
+                                                   &p_.aggregate->aggregates);
         partial = partials[m].get();
       }
-      statuses[m] = ProcessMorsel(*source, m, partial, &chunks_[m]);
+      statuses[m] = ProcessMorsel(*source, m, partial, &chunks_[m], worker);
     };
-    if (policy.pool != nullptr && policy.dop > 1 && n > 1) {
-      policy.pool->ParallelFor(n, run_morsel, policy.dop);
+    if (parallel) {
+      policy.pool->ParallelForWorker(n, run_morsel, policy.dop);
     } else {
-      for (size_t m = 0; m < n; ++m) run_morsel(m);
+      for (size_t m = 0; m < n; ++m) run_morsel(0, m);
     }
     // First failure in morsel order wins (deterministic error too).
     for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
-    if (aggregate_ != nullptr) {
-      merged_ = std::make_unique<GroupTable>(&aggregate_->group_by,
-                                             &aggregate_->aggregates);
-      for (auto& p : partials) merged_->MergeFrom(*p);
+    if (p_.aggregate != nullptr) {
+      merged_ = std::make_unique<GroupTable>(&p_.aggregate->group_by,
+                                             &p_.aggregate->aggregates);
+      for (auto& partial : partials) merged_->MergeFrom(*partial);
       merged_->EnsureGlobalGroup();
       chunks_.clear();
     }
+    join_table_.reset();  // Probe finished; release the build side.
+    probe_scratch_.clear();
     return Status::OK();
   }
 
@@ -732,48 +840,192 @@ class MorselPipelineOp : public PhysicalOp {
   }
 
  private:
+  /// Builds the radix hash table over the join's build subtree. When
+  /// the subtree is itself a morsel-scannable chain over a partitioned
+  /// table, build morsels are partitioned in parallel (one staging
+  /// buffer set per morsel — no locks); otherwise the subtree's
+  /// physical plan is drained serially as a single morsel. Partition
+  /// finalization parallelizes over the radix partitions either way.
+  Status BuildJoinTable(const ParallelPolicy& policy) {
+    size_t left_arity = p_.join->children[0]->schema->num_columns();
+    join_parts_ = plan::AnalyzeJoinCondition(*p_.join->condition, left_arity);
+    if (join_parts_.equi_keys.empty()) {
+      return Status::Internal("morsel join pipeline without equi keys");
+    }
+    bool vectorized = plan::EquiKeysVectorizable(join_parts_);
+    std::vector<const BoundExpr*> build_keys;
+    probe_key_exprs_.clear();
+    for (const auto& ek : join_parts_.equi_keys) {
+      build_keys.push_back(p_.build_is_left ? ek.left.get() : ek.right.get());
+      probe_key_exprs_.push_back(p_.build_is_left ? ek.right.get()
+                                                  : ek.left.get());
+    }
+    join_table_ = std::make_unique<RadixJoinTable>(
+        p_.build->schema, std::move(build_keys), vectorized);
+    if (!vectorized) {
+      GlobalJoinExecStats().boxed_key_builds.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    std::optional<MorselPipeline> bp = MatchMorselPipeline(*p_.build);
+    if (bp.has_value() && bp->join == nullptr && bp->aggregate == nullptr &&
+        policy.pool != nullptr) {
+      HANA_ASSIGN_OR_RETURN(
+          std::optional<PartitionSource> bsource,
+          ctx_->OpenPartitionedScan(*bp->scan, policy.morsel_rows));
+      if (bsource.has_value()) {
+        size_t n = bsource->num_morsels;
+        join_table_->SetNumMorsels(n);
+        std::vector<Status> statuses(n);
+        auto build_morsel = [&](size_t m) {
+          Status inner = Status::OK();
+          Status scan_status = bsource->scan_morsel(m, [&](const Chunk& in) {
+            inner = [&]() -> Status {
+              const Chunk* stage = &in;
+              Chunk owned;
+              if (bp->filter != nullptr) {
+                HANA_ASSIGN_OR_RETURN(
+                    owned, FilterChunk(*bp->filter->predicate, *stage));
+                stage = &owned;
+              }
+              if (bp->project != nullptr) {
+                HANA_ASSIGN_OR_RETURN(owned,
+                                      ProjectChunk(*bp->project, *stage));
+                stage = &owned;
+              }
+              return join_table_->AddBuildChunk(m, *stage);
+            }();
+            return inner.ok();
+          });
+          statuses[m] = inner.ok() ? scan_status : inner;
+        };
+        if (policy.dop > 1 && n > 1) {
+          policy.pool->ParallelFor(n, build_morsel, policy.dop);
+        } else {
+          for (size_t m = 0; m < n; ++m) build_morsel(m);
+        }
+        for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
+        return join_table_->Finalize(policy.pool, policy.dop);
+      }
+    }
+    // Serial drain: the whole build side counts as one morsel, so the
+    // concatenation order is trivially the drain order.
+    HANA_ASSIGN_OR_RETURN(PhysicalOpPtr build_op,
+                          BuildPhysicalImpl(*p_.build, ctx_, true));
+    HANA_RETURN_IF_ERROR(build_op->Open());
+    join_table_->SetNumMorsels(1);
+    while (true) {
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, build_op->Next());
+      if (!chunk.has_value()) break;
+      HANA_RETURN_IF_ERROR(join_table_->AddBuildChunk(0, *chunk));
+    }
+    return join_table_->Finalize(policy.pool, policy.dop);
+  }
+
+  /// Probes one (already filtered) scan chunk against the radix table,
+  /// emitting joined rows in probe-row order with matches per probe row
+  /// in ascending build-row order. Output columns keep the join's
+  /// left++right layout regardless of which side built.
+  Result<Chunk> ProbeChunk(const Chunk& probe, size_t worker) {
+    RadixJoinTable::ProbeKeys& scratch = probe_scratch_[worker];
+    HANA_RETURN_IF_ERROR(
+        join_table_->ComputeProbeKeys(probe, probe_key_exprs_, &scratch));
+    JoinKind kind = p_.join->join_kind;
+    Chunk out = Chunk::Empty(p_.join->schema);
+    size_t probe_width = probe.num_columns();
+    size_t build_width = out.num_columns() > probe_width
+                             ? out.num_columns() - probe_width
+                             : 0;  // Semi/anti emit probe columns only.
+    size_t probe_off = p_.build_is_left ? build_width : 0;
+    size_t build_off = p_.build_is_left ? 0 : probe_width;
+    const BoundExpr* residual = join_parts_.residual.get();
+    for (size_t r = 0; r < probe.num_rows(); ++r) {
+      bool matched = false;
+      Status status = Status::OK();
+      join_table_->ForEachMatch(
+          scratch, r,
+          [&](const RadixJoinTable::Partition& part, size_t b) {
+            if (residual != nullptr) {
+              std::vector<Value> combined =
+                  p_.build_is_left ? part.payload.Row(b) : probe.Row(r);
+              std::vector<Value> tail =
+                  p_.build_is_left ? probe.Row(r) : part.payload.Row(b);
+              combined.insert(combined.end(),
+                              std::make_move_iterator(tail.begin()),
+                              std::make_move_iterator(tail.end()));
+              Result<Value> keep = EvalExprRow(*residual, combined);
+              if (!keep.ok()) {
+                status = keep.status();
+                return false;
+              }
+              if (keep->is_null() || !IsTruthy(*keep)) return true;
+            }
+            matched = true;
+            switch (kind) {
+              case JoinKind::kInner:
+              case JoinKind::kLeft:
+                for (size_t c = 0; c < probe_width; ++c) {
+                  out.columns[probe_off + c]->AppendFrom(*probe.columns[c],
+                                                         r);
+                }
+                for (size_t c = 0; c < build_width; ++c) {
+                  out.columns[build_off + c]->AppendFrom(
+                      *part.payload.columns[c], b);
+                }
+                return true;
+              case JoinKind::kSemi:
+                out.AppendRowFrom(probe, r);
+                return false;  // Existence established.
+              default:
+                return false;  // kAnti: first match disqualifies.
+            }
+          });
+      HANA_RETURN_IF_ERROR(status);
+      if (!matched) {
+        if (kind == JoinKind::kAnti) {
+          out.AppendRowFrom(probe, r);
+        } else if (kind == JoinKind::kLeft) {
+          for (size_t c = 0; c < probe_width; ++c) {
+            out.columns[c]->AppendFrom(*probe.columns[c], r);
+          }
+          for (size_t c = 0; c < build_width; ++c) {
+            out.columns[probe_width + c]->AppendNull();
+          }
+        }
+      }
+    }
+    return out;
+  }
+
   Status ProcessMorsel(const PartitionSource& source, size_t m,
-                       GroupTable* partial,
-                       std::vector<Chunk>* out_chunks) const {
+                       GroupTable* partial, std::vector<Chunk>* out_chunks,
+                       size_t worker) {
     Status inner = Status::OK();
     Status scan_status = source.scan_morsel(m, [&](const Chunk& in) {
-      inner = ProcessChunk(in, partial, out_chunks);
+      inner = ProcessChunk(in, partial, out_chunks, worker);
       return inner.ok();
     });
     HANA_RETURN_IF_ERROR(inner);
     return scan_status;
   }
 
-  /// Runs the filter/project stages over one scanned chunk, then either
-  /// folds the rows into the morsel's partial aggregate or stores the
-  /// chunk for ordered emission.
+  /// Runs the filter/join/project stages over one scanned chunk, then
+  /// either folds the rows into the morsel's partial aggregate or
+  /// stores the chunk for ordered emission.
   Status ProcessChunk(const Chunk& in, GroupTable* partial,
-                      std::vector<Chunk>* out_chunks) const {
+                      std::vector<Chunk>* out_chunks, size_t worker) {
+    Chunk owned;
     const Chunk* stage = &in;
-    Chunk filtered;
-    if (filter_ != nullptr) {
-      filtered = Chunk::Empty(in.schema);
-      for (size_t r = 0; r < in.num_rows(); ++r) {
-        HANA_ASSIGN_OR_RETURN(Value keep,
-                              EvalExpr(*filter_->predicate, in, r));
-        if (keep.is_null() || !IsTruthy(keep)) continue;
-        for (size_t c = 0; c < filtered.columns.size(); ++c) {
-          filtered.columns[c]->Append(in.columns[c]->GetValue(r));
-        }
-      }
-      stage = &filtered;
+    if (p_.filter != nullptr) {
+      HANA_ASSIGN_OR_RETURN(owned, FilterChunk(*p_.filter->predicate, *stage));
+      stage = &owned;
     }
-    Chunk projected;
-    if (project_ != nullptr) {
-      projected = Chunk::Empty(project_->schema);
-      for (size_t r = 0; r < stage->num_rows(); ++r) {
-        for (size_t c = 0; c < project_->exprs.size(); ++c) {
-          HANA_ASSIGN_OR_RETURN(Value v,
-                                EvalExpr(*project_->exprs[c], *stage, r));
-          projected.columns[c]->Append(v);
-        }
-      }
-      stage = &projected;
+    if (p_.join != nullptr) {
+      HANA_ASSIGN_OR_RETURN(owned, ProbeChunk(*stage, worker));
+      stage = &owned;
+    }
+    if (p_.project != nullptr) {
+      HANA_ASSIGN_OR_RETURN(owned, ProjectChunk(*p_.project, *stage));
+      stage = &owned;
     }
     if (partial != nullptr) {
       for (size_t r = 0; r < stage->num_rows(); ++r) {
@@ -782,19 +1034,19 @@ class MorselPipelineOp : public PhysicalOp {
       return Status::OK();
     }
     if (stage->num_rows() == 0) return Status::OK();
-    Chunk out = stage == &in
-                    ? in
-                    : std::move(stage == &projected ? projected : filtered);
+    Chunk out = stage == &in ? in : std::move(owned);
     out.schema = schema_;
     out_chunks->push_back(std::move(out));
     return Status::OK();
   }
 
   ExecContext* ctx_;
-  const LogicalOp* scan_;
-  const LogicalOp* filter_;
-  const LogicalOp* project_;
-  const LogicalOp* aggregate_;
+  MorselPipeline p_;
+  // Join runtime state, alive only during Open().
+  std::unique_ptr<RadixJoinTable> join_table_;
+  plan::JoinConditionParts join_parts_;
+  std::vector<const BoundExpr*> probe_key_exprs_;
+  std::vector<RadixJoinTable::ProbeKeys> probe_scratch_;  // One per slot.
   // Per-morsel output chunks (streaming pipelines), emitted in morsel
   // order; or the merged group table (aggregating pipelines).
   std::vector<std::vector<Chunk>> chunks_;
@@ -996,60 +1248,36 @@ class PushdownJoinOp : public PhysicalOp {
   size_t emitted_ = 0;
 };
 
-/// The operator chain a MorselPipelineOp can absorb:
-/// Aggregate?(Project?(Filter?(Scan))).
-struct MorselPipeline {
-  const LogicalOp* aggregate = nullptr;
-  const LogicalOp* project = nullptr;
-  const LogicalOp* filter = nullptr;
-  const LogicalOp* scan = nullptr;
-};
-
-std::optional<MorselPipeline> MatchMorselPipeline(const LogicalOp& op) {
-  MorselPipeline p;
-  const LogicalOp* cur = &op;
-  if (cur->kind == LogicalKind::kAggregate) {
-    p.aggregate = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind == LogicalKind::kProject && !cur->children.empty()) {
-    p.project = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind == LogicalKind::kFilter) {
-    p.filter = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind != LogicalKind::kScan) return std::nullopt;
-  p.scan = cur;
-  return p;
-}
-
 /// Lowers `logical` to a MorselPipelineOp when the host context grants a
-/// pool and can decompose the scan into morsels; null otherwise. The
-/// decision depends only on the plan shape and the scan target — never
-/// on the degree of parallelism — so a query runs through the same
-/// operator at every thread count.
+/// pool and can decompose the probe scan into morsels; null otherwise.
+/// The decision depends only on the plan shape, the policy flags and the
+/// scan target — never on the degree of parallelism — so a query runs
+/// through the same operator at every thread count. Join pipelines are
+/// additionally gated on policy.parallel_join and a usable equi key.
 Result<PhysicalOpPtr> TryMorselPipeline(const plan::LogicalOp& logical,
                                         ExecContext* ctx) {
   std::optional<MorselPipeline> p = MatchMorselPipeline(logical);
   if (!p.has_value()) return PhysicalOpPtr();
   ParallelPolicy policy = ctx->parallel_policy();
   if (policy.pool == nullptr) return PhysicalOpPtr();
+  if (p->join != nullptr) {
+    if (!policy.parallel_join) return PhysicalOpPtr();
+    size_t left_arity = p->join->children[0]->schema->num_columns();
+    plan::JoinConditionParts parts =
+        plan::AnalyzeJoinCondition(*p->join->condition, left_arity);
+    if (parts.equi_keys.empty()) return PhysicalOpPtr();
+  }
   HANA_ASSIGN_OR_RETURN(
       std::optional<PartitionSource> source,
       ctx->OpenPartitionedScan(*p->scan, policy.morsel_rows));
   if (!source.has_value()) return PhysicalOpPtr();
-  return PhysicalOpPtr(std::make_unique<MorselPipelineOp>(
-      logical.schema, ctx, p->scan, p->filter, p->project, p->aggregate));
+  if (p->join != nullptr) {
+    GlobalJoinExecStats().radix_hash_joins.fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return PhysicalOpPtr(
+      std::make_unique<MorselPipelineOp>(logical.schema, ctx, *p));
 }
-
-/// `parallel_ok` is false under a LIMIT whose input streams lazily: an
-/// eager morsel pipeline there would scan far past the cutoff. Blocking
-/// operators (aggregate, sort, join builds) consume their whole input
-/// anyway and reset the flag for their subtrees.
-Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
-                                        ExecContext* ctx, bool parallel_ok);
 
 Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
                                         ExecContext* ctx, bool parallel_ok) {
@@ -1102,6 +1330,13 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
           logical.schema, std::move(child), &logical.exprs));
     }
     case LogicalKind::kJoin: {
+      // The join build is blocking but its probe streams lazily, so the
+      // eager morsel pipeline is only eligible when not under a LIMIT.
+      if (parallel_ok && !logical.semijoin_pushdown) {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TryMorselPipeline(logical, ctx));
+        if (op != nullptr) return op;
+      }
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr left,
           BuildPhysicalImpl(*logical.children[0], ctx, true));
@@ -1117,10 +1352,19 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
         plan::JoinConditionParts parts =
             plan::AnalyzeJoinCondition(*logical.condition, left_arity);
         if (!parts.equi_keys.empty()) {
+          GlobalJoinExecStats().serial_hash_joins.fetch_add(
+              1, std::memory_order_relaxed);
           return PhysicalOpPtr(std::make_unique<HashJoinOp>(
               logical.schema, logical.join_kind, std::move(left),
-              std::move(right), std::move(parts)));
+              std::move(right), std::move(parts), logical.build_left));
         }
+        // Conditioned join with no usable equi key: silently falling
+        // off the hash path is worth noticing — count it and log.
+        GlobalJoinExecStats().nested_loop_fallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+        HANA_LOG(LogLevel::kDebug,
+                 "join fell back to nested-loop: no equi key in " +
+                     logical.condition->ToString());
       }
       return PhysicalOpPtr(std::make_unique<NestedLoopJoinOp>(
           logical.schema, logical.join_kind, std::move(left), std::move(right),

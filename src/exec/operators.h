@@ -32,6 +32,10 @@ struct ParallelPolicy {
   TaskPool* pool = nullptr;
   size_t dop = 1;             // Worker budget per parallel region.
   size_t morsel_rows = 16384; // Rows per morsel for partitioned scans.
+  /// Allow joins to fuse into the morsel pipeline (radix hash join).
+  /// Off forces the serial row-at-a-time hash join, regardless of dop;
+  /// scans and aggregates stay eligible for the pipeline either way.
+  bool parallel_join = true;
 };
 
 /// A base-table scan decomposed into fixed, contiguous morsels. The

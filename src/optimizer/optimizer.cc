@@ -466,6 +466,32 @@ Status SplitFederated(LogicalOpPtr* node, const OptimizeContext& ctx) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------
+// Hash-join build-side selection.
+// ---------------------------------------------------------------------
+
+/// Marks inner equi joins whose LEFT child is the estimated-smaller
+/// side: the executor then builds the hash table over the left input
+/// and probes with the right, instead of always building on the right.
+/// Row estimates come from the statistics-backed scan cardinalities
+/// (TableBinding::estimated_rows) refined by the selectivity heuristics
+/// above. Inner joins only — the outer/semi/anti kinds are direction
+/// sensitive and always probe from the left.
+void ChooseBuildSides(LogicalOp* op) {
+  for (auto& child : op->children) ChooseBuildSides(child.get());
+  if (op->kind != LogicalKind::kJoin || op->join_kind != JoinKind::kInner ||
+      op->semijoin_pushdown || op->condition == nullptr ||
+      op->children.size() != 2) {
+    return;
+  }
+  size_t left_arity = op->children[0]->schema->num_columns();
+  plan::JoinConditionParts parts =
+      plan::AnalyzeJoinCondition(*op->condition, left_arity);
+  if (parts.equi_keys.empty()) return;  // Nested loop; no build side.
+  op->build_left = EstimateRowsImpl(*op->children[0]) <
+                   EstimateRowsImpl(*op->children[1]);
+}
+
 }  // namespace
 
 double EstimateRows(const plan::LogicalOp& op) { return EstimateRowsImpl(op); }
@@ -480,6 +506,7 @@ Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx) {
   if (ctx.sda != nullptr && ctx.options.enable_federation) {
     HANA_RETURN_IF_ERROR(SplitFederated(plan, ctx));
   }
+  ChooseBuildSides(plan->get());
   return Status::OK();
 }
 

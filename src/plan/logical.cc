@@ -72,6 +72,7 @@ std::string LogicalOp::ToString(int indent) const {
     case LogicalKind::kJoin:
       line += StrFormat("%s Join", JoinKindName(join_kind));
       if (condition) line += " ON " + condition->ToString();
+      if (build_left) line += " [build=left]";
       break;
     case LogicalKind::kAggregate: {
       std::vector<std::string> groups, aggs;

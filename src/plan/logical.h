@@ -114,6 +114,11 @@ struct LogicalOp {
   // kJoin: condition indexes the concatenated left++right schema.
   JoinKind join_kind = JoinKind::kInner;
   BoundExprPtr condition;
+  /// Hash-join build-side selection (optimizer, inner joins only): true
+  /// when the LEFT child is the estimated-smaller side and should be
+  /// built into the hash table while the right side probes. Output
+  /// column order stays left++right either way.
+  bool build_left = false;
   /// Semijoin federation strategy (Figure 7): the left (local) side's
   /// distinct join keys are shipped into the remote query's WHERE as an
   /// IN-list before the remote child (a kRemoteQuery) executes.

@@ -1,5 +1,6 @@
 #include "platform/platform.h"
 
+#include <cctype>
 #include <deque>
 #include <filesystem>
 
@@ -392,6 +393,18 @@ Status Platform::SetParameter(const std::string& name,
     }
     return Status::OK();
   }
+  if (key == "parallel_join") {
+    std::string v;
+    for (char c : value) v += static_cast<char>(std::tolower(c));
+    if (v == "on" || v == "true" || v == "1") {
+      parallel_join_ = true;
+    } else if (v == "off" || v == "false" || v == "0") {
+      parallel_join_ = false;
+    } else {
+      return Status::InvalidArgument("invalid parallel_join: " + value);
+    }
+    return Status::OK();
+  }
   if (key == "threads" || key == "morsel_rows") {
     char* end = nullptr;
     long parsed = std::strtol(value.c_str(), &end, 10);
@@ -527,6 +540,7 @@ exec::ParallelPolicy Platform::parallel_policy() {
   policy.pool = &TaskPool::Global();
   policy.dop = dop_;
   policy.morsel_rows = morsel_rows_;
+  policy.parallel_join = parallel_join_;
   return policy;
 }
 

@@ -88,6 +88,7 @@ class Platform : public exec::ExecContext {
   ///   remote_cache_validity    = seconds
   ///   threads                  = degree of parallelism (0 = default)
   ///   morsel_rows              = rows per scan morsel (0 = default)
+  ///   parallel_join            = on|off morsel-parallel radix hash join
   [[nodiscard]] Status SetParameter(const std::string& name, const std::string& value);
 
   size_t degree_of_parallelism() const { return dop_; }
@@ -146,6 +147,7 @@ class Platform : public exec::ExecContext {
   optimizer::OptimizerOptions opt_options_;
   size_t dop_ = 1;
   size_t morsel_rows_ = 16384;
+  bool parallel_join_ = true;
   QueryMetrics last_metrics_;
   std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
 };

@@ -84,6 +84,29 @@ void ColumnVector::Append(const Value& v) {
   }
 }
 
+void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
+  if (src.type_ != type_) {
+    Append(src.GetValue(i));  // Mixed types: go through the boxed path.
+    return;
+  }
+  if (src.nulls_[i]) {
+    AppendNull();
+    return;
+  }
+  nulls_.push_back(0);
+  switch (type_) {
+    case DataType::kDouble:
+      doubles_.push_back(src.doubles_[i]);
+      break;
+    case DataType::kString:
+      strings_.push_back(src.strings_[i]);
+      break;
+    default:
+      ints_.push_back(src.ints_[i]);
+      break;
+  }
+}
+
 Value ColumnVector::GetValue(size_t i) const {
   if (nulls_[i]) return Value::Null();
   switch (type_) {
@@ -131,6 +154,12 @@ std::vector<Value> Chunk::Row(size_t r) const {
 
 void Chunk::AppendRow(const std::vector<Value>& row) {
   for (size_t i = 0; i < columns.size(); ++i) columns[i]->Append(row[i]);
+}
+
+void Chunk::AppendRowFrom(const Chunk& src, size_t r) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    columns[i]->AppendFrom(*src.columns[i], r);
+  }
 }
 
 void Table::AppendChunk(const Chunk& chunk) {

@@ -38,6 +38,18 @@ class ColumnVector {
   bool GetBool(size_t i) const { return ints_[i] != 0; }
   const std::string& GetString(size_t i) const { return strings_[i]; }
 
+  /// Raw array views for vectorized operators (column-wise key hashing
+  /// and comparison in the radix hash join). ints_data() backs the
+  /// int64/bool/date/timestamp physical representation.
+  const uint8_t* nulls_data() const { return nulls_.data(); }
+  const int64_t* ints_data() const { return ints_.data(); }
+  const double* doubles_data() const { return doubles_.data(); }
+  const std::string* strings_data() const { return strings_.data(); }
+
+  /// Appends row i of `src` without boxing through Value. The source
+  /// must have the same physical type as this vector.
+  void AppendFrom(const ColumnVector& src, size_t i);
+
   /// Boxes row i into a Value (null-aware).
   Value GetValue(size_t i) const;
 
@@ -72,6 +84,10 @@ struct Chunk {
 
   /// Appends a boxed row; types must match the schema.
   void AppendRow(const std::vector<Value>& row);
+
+  /// Appends row r of `src` column-wise (no Value boxing). The source
+  /// columns must have the same physical types, column for column.
+  void AppendRowFrom(const Chunk& src, size_t r);
 };
 
 /// Default number of rows per chunk produced by scans.
