@@ -66,7 +66,7 @@ int Main(int argc, char** argv) {
   for (const auto& [ts, v] : raw) {
     (void)column_table.AppendRow({Value::Timestamp(ts), Value::Double(v)});
   }
-  column_table.MergeDelta();
+  IgnoreStatus(column_table.MergeDelta());
 
   size_t row_bytes = series.RowFormatBytes();
   size_t column_bytes = column_table.MemoryBytes();

@@ -1,6 +1,7 @@
 #include "catalog/catalog.h"
 
 #include "common/strings.h"
+#include "common/task_pool.h"
 #include "exec/evaluator.h"
 
 namespace hana::catalog {
@@ -462,15 +463,31 @@ Result<size_t> Catalog::UpdateWhere(
   return updated;
 }
 
-Status Catalog::MergeDelta(const std::string& name) {
+Status Catalog::MergeDelta(const std::string& name,
+                           const storage::MergeOptions& options) {
   HANA_ASSIGN_OR_RETURN(TableEntry * entry, GetTable(name));
   if (entry->kind == TableKind::kColumn) {
-    entry->column_table->MergeDelta();
-    return Status::OK();
+    return entry->column_table->MergeDelta(options);
   }
   if (entry->kind == TableKind::kHybrid) {
+    // Fan the per-partition merges across the pool; each partition's
+    // merge is itself online and per-column parallel. Statuses are
+    // slotted by partition index so the reported (first) failure is
+    // deterministic regardless of completion order.
+    std::vector<storage::ColumnTable*> hot;
     for (Partition& p : entry->partitions) {
-      if (p.hot != nullptr) p.hot->MergeDelta();
+      if (p.hot != nullptr) hot.push_back(p.hot.get());
+    }
+    std::vector<Status> statuses(hot.size(), Status::OK());
+    auto merge_one = [&](size_t i) { statuses[i] = hot[i]->MergeDelta(options); };
+    if (options.parallel && hot.size() > 1) {
+      TaskPool::Global().ParallelFor(hot.size(), merge_one,
+                                     options.max_workers);
+    } else {
+      for (size_t i = 0; i < hot.size(); ++i) merge_one(i);
+    }
+    for (Status& status : statuses) {
+      if (!status.ok()) return std::move(status);
     }
     return Status::OK();
   }

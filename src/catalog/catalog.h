@@ -124,7 +124,13 @@ class Catalog : public plan::BinderCatalog {
       const std::vector<std::pair<size_t, const plan::BoundExpr*>>&
           assignments);
 
-  [[nodiscard]] Status MergeDelta(const std::string& name);
+  /// Merges the table's (or, for hybrid tables, every hot partition's)
+  /// column deltas into their mains — online, per the ColumnTable merge
+  /// protocol. Hybrid partitions are fanned out across the task pool
+  /// when `options.parallel`. Returns the first table-level failure
+  /// (e.g. Unavailable when a merge is already in flight).
+  [[nodiscard]] Status MergeDelta(const std::string& name,
+                                  const storage::MergeOptions& options = {});
 
   // ---- Aging ---------------------------------------------------------------
   /// The built-in aging mechanism: moves rows from hot partitions into

@@ -185,6 +185,30 @@ Result<ExecResult> Platform::ExecuteInsert(const sql::InsertStmt& stmt) {
   } else {
     HANA_RETURN_IF_ERROR(catalog_->Insert(stmt.table, rows));
   }
+
+  // Auto-merge: once an insert leaves a column table (or a hot hybrid
+  // partition) with at least merge_threshold_rows unmerged delta rows,
+  // consolidate it online right away. Best-effort with respect to
+  // overlapping merges: Unavailable just means another merge is already
+  // folding the delta.
+  if (merge_threshold_rows_ > 0) {
+    storage::MergeOptions options;
+    options.parallel = parallel_merge_;
+    auto merge_if_due = [&](storage::ColumnTable* table) -> Status {
+      if (table->delta_rows() < merge_threshold_rows_) return Status::OK();
+      Status status = table->MergeDelta(options);
+      if (status.code() == StatusCode::kUnavailable) return Status::OK();
+      return status;
+    };
+    if (entry->kind == catalog::TableKind::kColumn) {
+      HANA_RETURN_IF_ERROR(merge_if_due(entry->column_table.get()));
+    } else if (entry->kind == catalog::TableKind::kHybrid) {
+      for (auto& p : entry->partitions) {
+        if (p.hot != nullptr) HANA_RETURN_IF_ERROR(merge_if_due(p.hot.get()));
+      }
+    }
+  }
+
   ExecResult result;
   result.metrics.rows = rows.size();
   result.message = StrFormat("%zu rows inserted", rows.size());
@@ -346,7 +370,9 @@ Result<ExecResult> Platform::Execute(const std::string& sql) {
     }
     case sql::StmtKind::kMergeDelta: {
       const auto& merge = static_cast<const sql::MergeDeltaStmt&>(*stmt);
-      HANA_RETURN_IF_ERROR(catalog_->MergeDelta(merge.table));
+      storage::MergeOptions options;
+      options.parallel = parallel_merge_;
+      HANA_RETURN_IF_ERROR(catalog_->MergeDelta(merge.table, options));
       ExecResult result;
       result.message = "delta merged";
       return result;
@@ -393,16 +419,27 @@ Status Platform::SetParameter(const std::string& name,
     }
     return Status::OK();
   }
-  if (key == "parallel_join") {
+  if (key == "parallel_join" || key == "parallel_merge") {
     std::string v;
     for (char c : value) v += static_cast<char>(std::tolower(c));
+    bool enabled;
     if (v == "on" || v == "true" || v == "1") {
-      parallel_join_ = true;
+      enabled = true;
     } else if (v == "off" || v == "false" || v == "0") {
-      parallel_join_ = false;
+      enabled = false;
     } else {
-      return Status::InvalidArgument("invalid parallel_join: " + value);
+      return Status::InvalidArgument("invalid " + key + ": " + value);
     }
+    (key == "parallel_join" ? parallel_join_ : parallel_merge_) = enabled;
+    return Status::OK();
+  }
+  if (key == "merge_threshold_rows") {
+    char* end = nullptr;
+    long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || parsed < 0) {
+      return Status::InvalidArgument("invalid merge_threshold_rows: " + value);
+    }
+    merge_threshold_rows_ = static_cast<size_t>(parsed);
     return Status::OK();
   }
   if (key == "threads" || key == "morsel_rows") {

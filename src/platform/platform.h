@@ -89,6 +89,12 @@ class Platform : public exec::ExecContext {
   ///   threads                  = degree of parallelism (0 = default)
   ///   morsel_rows              = rows per scan morsel (0 = default)
   ///   parallel_join            = on|off morsel-parallel radix hash join
+  ///   parallel_merge           = on|off online parallel delta merge
+  ///                              (off = serial remap-table baseline)
+  ///   merge_threshold_rows     = auto-merge a column table (or hot
+  ///                              hybrid partition) after an INSERT
+  ///                              leaves >= this many delta rows
+  ///                              (0 = auto-merge disabled)
   [[nodiscard]] Status SetParameter(const std::string& name, const std::string& value);
 
   size_t degree_of_parallelism() const { return dop_; }
@@ -148,6 +154,8 @@ class Platform : public exec::ExecContext {
   size_t dop_ = 1;
   size_t morsel_rows_ = 16384;
   bool parallel_join_ = true;
+  bool parallel_merge_ = true;
+  size_t merge_threshold_rows_ = 0;  // 0 = auto-merge disabled.
   QueryMetrics last_metrics_;
   std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
 };

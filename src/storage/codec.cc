@@ -25,6 +25,19 @@ std::vector<uint64_t> BitPack(const std::vector<uint32_t>& values,
   return words;
 }
 
+void BitPackInto(uint64_t* words, int bit_width, size_t start_index,
+                 const uint32_t* values, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    size_t bit = (start_index + i) * bit_width;
+    size_t word = bit / 64;
+    size_t off = bit % 64;
+    words[word] |= static_cast<uint64_t>(values[i]) << off;
+    if (off + bit_width > 64) {
+      words[word + 1] |= static_cast<uint64_t>(values[i]) >> (64 - off);
+    }
+  }
+}
+
 uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i) {
   size_t bit = i * bit_width;
   size_t word = bit / 64;

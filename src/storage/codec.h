@@ -16,6 +16,16 @@ int BitWidth(uint64_t max_value);
 std::vector<uint64_t> BitPack(const std::vector<uint32_t>& values,
                               int bit_width);
 
+/// Packs `count` codes into an existing zero-initialized word array
+/// starting at logical index `start_index` (i.e. bit offset
+/// start_index * bit_width). Requires (start_index * bit_width) % 64 ==
+/// 0 so the write range starts on a word boundary: disjoint aligned
+/// ranges then touch disjoint words, which lets morsel-parallel encoders
+/// pack into one shared array without atomics (each morsel's row count
+/// is a multiple of 64, so every morsel's range is whole words).
+void BitPackInto(uint64_t* words, int bit_width, size_t start_index,
+                 const uint32_t* values, size_t count);
+
 /// Unpacks `count` codes packed with `bit_width` bits.
 std::vector<uint32_t> BitUnpack(const std::vector<uint64_t>& words,
                                 int bit_width, size_t count);

@@ -1,60 +1,74 @@
 #include "storage/column_table.h"
 
 #include <algorithm>
+#include <cstring>
 #include <functional>
+#include <utility>
 
 #include "common/strings.h"
 #include "common/task_pool.h"
+#include "common/util.h"
 #include "storage/codec.h"
 
 namespace hana::storage {
 
-uint32_t StoredColumn::DeltaCode(const Value& v) {
-  auto it = delta_lookup_.find(v);
-  if (it != delta_lookup_.end()) return it->second;
-  uint32_t code = static_cast<uint32_t>(delta_dict_.size());
-  delta_dict_.push_back(v);
-  delta_lookup_.emplace(v, code);
-  return code;
-}
-
-void StoredColumn::Append(const Value& v) {
+void DeltaPart::Append(const Value& v) {
   if (v.is_null()) {
-    nulls_.push_back(1);
-    delta_codes_.push_back(0);
+    nulls.push_back(1);
+    codes.push_back(0);
     return;
   }
-  nulls_.push_back(0);
-  delta_codes_.push_back(DeltaCode(v));
-}
-
-Value StoredColumn::Get(size_t row) const {
-  if (nulls_[row]) return Value::Null();
-  if (row < main_count_) {
-    uint32_t code = BitGet(main_words_, main_bits_, row);
-    return main_dict_[code];
+  nulls.push_back(0);
+  auto it = lookup.find(v);
+  if (it != lookup.end()) {
+    codes.push_back(it->second);
+    return;
   }
-  return delta_dict_[delta_codes_[row - main_count_]];
+  uint32_t code = static_cast<uint32_t>(dict.size());
+  dict.push_back(v);
+  lookup.emplace(v, code);
+  codes.push_back(code);
 }
 
-void StoredColumn::Decode(size_t start, size_t count,
-                          ColumnVector* out) const {
-  out->Reserve(out->size() + count);
-  size_t end = start + count;
-  // Row -> dictionary value, reading packed main codes or plain delta
-  // codes in place. Null rows never reach the dictionaries.
-  auto dict_at = [this](size_t row) -> const Value& {
-    if (row < main_count_) {
-      return main_dict_[BitGet(main_words_, main_bits_, row)];
+bool ColumnSnapshot::IsNull(size_t row) const {
+  if (row < main->rows) return main->nulls[row] != 0;
+  row -= main->rows;
+  if (frozen != nullptr) {
+    if (row < frozen->rows()) return frozen->nulls[row] != 0;
+    row -= frozen->rows();
+  }
+  return live->nulls[row] != 0;
+}
+
+Value ColumnSnapshot::Get(size_t row) const {
+  if (row < main->rows) {
+    if (main->nulls[row]) return Value::Null();
+    return main->dict[BitGet(main->words, main->bits, row)];
+  }
+  row -= main->rows;
+  if (frozen != nullptr) {
+    if (row < frozen->rows()) {
+      if (frozen->nulls[row]) return Value::Null();
+      return frozen->dict[frozen->codes[row]];
     }
-    return delta_dict_[delta_codes_[row - main_count_]];
-  };
-  // The type switch lives outside the row loop so the hot path appends
-  // straight into the vector's typed array without boxing a Value.
-  switch (type_) {
+    row -= frozen->rows();
+  }
+  if (live->nulls[row]) return Value::Null();
+  return live->dict[live->codes[row]];
+}
+
+namespace {
+
+/// Appends rows [begin, end) of one encoded segment into `out`. The
+/// type switch lives outside the row loop so the hot path appends
+/// straight into the vector's typed array without boxing a Value.
+template <typename NullAt, typename DictAt>
+void DecodeRows(DataType type, size_t begin, size_t end, const NullAt& null_at,
+                const DictAt& dict_at, ColumnVector* out) {
+  switch (type) {
     case DataType::kDouble:
-      for (size_t r = start; r < end; ++r) {
-        if (nulls_[r]) {
+      for (size_t r = begin; r < end; ++r) {
+        if (null_at(r)) {
           out->AppendNull();
         } else {
           out->AppendDouble(dict_at(r).AsDouble());
@@ -62,8 +76,8 @@ void StoredColumn::Decode(size_t start, size_t count,
       }
       break;
     case DataType::kString:
-      for (size_t r = start; r < end; ++r) {
-        if (nulls_[r]) {
+      for (size_t r = begin; r < end; ++r) {
+        if (null_at(r)) {
           out->AppendNull();
           continue;
         }
@@ -76,8 +90,8 @@ void StoredColumn::Decode(size_t start, size_t count,
       }
       break;
     case DataType::kBool:
-      for (size_t r = start; r < end; ++r) {
-        if (nulls_[r]) {
+      for (size_t r = begin; r < end; ++r) {
+        if (null_at(r)) {
           out->AppendNull();
         } else {
           out->AppendBool(dict_at(r).AsInt() != 0);
@@ -85,8 +99,8 @@ void StoredColumn::Decode(size_t start, size_t count,
       }
       break;
     default:  // kInt64 / kDate / kTimestamp share the int64 array.
-      for (size_t r = start; r < end; ++r) {
-        if (nulls_[r]) {
+      for (size_t r = begin; r < end; ++r) {
+        if (null_at(r)) {
           out->AppendNull();
         } else {
           out->AppendInt(dict_at(r).AsInt());
@@ -96,57 +110,207 @@ void StoredColumn::Decode(size_t start, size_t count,
   }
 }
 
-void StoredColumn::MergeDelta() {
-  if (delta_codes_.empty()) return;
-  // Decode everything, rebuild a sorted dictionary, re-encode.
-  size_t total = nulls_.size();
-  std::vector<Value> all;
-  all.reserve(total);
-  for (size_t i = 0; i < total; ++i) all.push_back(Get(i));
-
-  std::vector<Value> dict;
-  dict.reserve(main_dict_.size() + delta_dict_.size());
-  for (const Value& v : all) {
-    if (!v.is_null()) dict.push_back(v);
+size_t DictBytes(const std::vector<Value>& dict) {
+  size_t bytes = 0;
+  for (const Value& v : dict) {
+    bytes += v.type() == DataType::kString ? v.string_value().size() + 4 : 8;
   }
-  std::sort(dict.begin(), dict.end());
-  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
-
-  std::vector<uint32_t> codes(total, 0);
-  for (size_t i = 0; i < total; ++i) {
-    if (nulls_[i]) continue;
-    auto it = std::lower_bound(dict.begin(), dict.end(), all[i]);
-    codes[i] = static_cast<uint32_t>(it - dict.begin());
-  }
-  main_bits_ = BitWidth(dict.empty() ? 0 : dict.size() - 1);
-  main_words_ = BitPack(codes, main_bits_);
-  main_dict_ = std::move(dict);
-  main_count_ = total;
-  delta_dict_.clear();
-  delta_lookup_.clear();
-  delta_codes_.clear();
-}
-
-size_t StoredColumn::MemoryBytes() const {
-  size_t bytes = nulls_.size() / 8 + 1;  // Null flags, modeled as a bitmap.
-  auto dict_bytes = [&](const std::vector<Value>& dict) {
-    size_t b = 0;
-    for (const Value& v : dict) {
-      b += v.type() == DataType::kString ? v.string_value().size() + 4 : 8;
-    }
-    return b;
-  };
-  bytes += dict_bytes(main_dict_) + main_words_.size() * 8;
-  bytes += dict_bytes(delta_dict_) + delta_codes_.size() * 4;
   return bytes;
 }
 
+}  // namespace
+
+void ColumnSnapshot::Decode(size_t start, size_t count,
+                            ColumnVector* out) const {
+  out->Reserve(out->size() + count);
+  size_t end = start + count;
+  // Main segment: packed codes read in place.
+  if (start < main->rows) {
+    size_t seg_end = std::min(end, main->rows);
+    DecodeRows(
+        type, start, seg_end, [&](size_t r) { return main->nulls[r] != 0; },
+        [&](size_t r) -> const Value& {
+          return main->dict[BitGet(main->words, main->bits, r)];
+        },
+        out);
+  }
+  // Delta segments (frozen, then live): plain codes, part-local rows.
+  size_t base = main->rows;
+  for (const DeltaPart* part : {frozen.get(), live.get()}) {
+    if (part == nullptr) continue;
+    size_t part_end = base + part->rows();
+    if (start < part_end && end > base) {
+      size_t seg_begin = std::max(start, base) - base;
+      size_t seg_end = std::min(end, part_end) - base;
+      DecodeRows(
+          type, seg_begin, seg_end,
+          [&](size_t r) { return part->nulls[r] != 0; },
+          [&](size_t r) -> const Value& { return part->dict[part->codes[r]]; },
+          out);
+    }
+    base = part_end;
+  }
+}
+
+// ---------------------------------------------------------------------
+// StoredColumn
+// ---------------------------------------------------------------------
+
+StoredColumn::StoredColumn(DataType type)
+    : type_(type),
+      main_(std::make_shared<ColumnMain>()),
+      live_(std::make_shared<DeltaPart>()) {}
+
+bool StoredColumn::FreezeDelta() {
+  if (frozen_ == nullptr && !live_->codes.empty()) {
+    frozen_ = std::move(live_);
+    live_ = std::make_shared<DeltaPart>();
+  }
+  return frozen_ != nullptr;
+}
+
+void StoredColumn::SwitchMain(std::shared_ptr<const ColumnMain> merged) {
+  main_ = std::move(merged);
+  frozen_.reset();
+}
+
+void StoredColumn::MergeDelta() {
+  if (!FreezeDelta()) return;
+  MergeOptions serial;
+  serial.parallel = false;
+  SwitchMain(BuildMergedMain(*main_, *frozen_, serial));
+}
+
+size_t StoredColumn::MainMemoryBytes() const {
+  return DictBytes(main_->dict) + main_->words.size() * 8 +
+         main_->rows / 8 + 1;  // Null flags, modeled as a bitmap.
+}
+
+size_t StoredColumn::DeltaMemoryBytes() const {
+  size_t bytes = 0;
+  const DeltaPart* live = live_.get();
+  for (const DeltaPart* part : {frozen_.get(), live}) {
+    if (part == nullptr) continue;
+    bytes += DictBytes(part->dict) + part->codes.size() * 4 +
+             part->rows() / 8 + 1;
+  }
+  return bytes;
+}
+
+std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
+                                                  const DeltaPart& frozen,
+                                                  const MergeOptions& options) {
+  const size_t main_rows = main.rows;
+  const size_t delta_rows = frozen.rows();
+  const size_t total = main_rows + delta_rows;
+
+  // Sort the frozen delta dictionary by value. Entries are distinct by
+  // construction, so the order (and therefore the merged dictionary) is
+  // unambiguous — a prerequisite for serial/parallel bit-identity.
+  std::vector<uint32_t> order(frozen.dict.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<uint32_t>(i);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return frozen.dict[a] < frozen.dict[b];
+  });
+
+  // Merge-walk the two sorted dictionaries into the new one, recording
+  // old-code -> new-code remap tables for both sides. O(dict log dict)
+  // total, replacing the seed's per-row lower_bound over the full
+  // dictionary.
+  auto merged = std::make_shared<ColumnMain>();
+  merged->dict.reserve(main.dict.size() + frozen.dict.size());
+  std::vector<uint32_t> remap_main(main.dict.size());
+  std::vector<uint32_t> remap_delta(frozen.dict.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < main.dict.size() || j < order.size()) {
+    int cmp;
+    if (i == main.dict.size()) {
+      cmp = 1;
+    } else if (j == order.size()) {
+      cmp = -1;
+    } else {
+      cmp = main.dict[i].Compare(frozen.dict[order[j]]);
+    }
+    uint32_t code = static_cast<uint32_t>(merged->dict.size());
+    if (cmp <= 0) {
+      merged->dict.push_back(main.dict[i]);
+      remap_main[i++] = code;
+      if (cmp == 0) remap_delta[order[j++]] = code;
+    } else {
+      merged->dict.push_back(frozen.dict[order[j]]);
+      remap_delta[order[j++]] = code;
+    }
+  }
+
+  merged->rows = total;
+  merged->bits = BitWidth(merged->dict.empty() ? 0 : merged->dict.size() - 1);
+  merged->nulls.resize(total);
+  if (main_rows > 0) {
+    std::memcpy(merged->nulls.data(), main.nulls.data(), main_rows);
+  }
+  if (delta_rows > 0) {
+    std::memcpy(merged->nulls.data() + main_rows, frozen.nulls.data(),
+                delta_rows);
+  }
+  merged->words.assign(
+      (total * static_cast<size_t>(merged->bits) + 63) / 64, 0);
+
+  // Re-encode: one remap lookup per row, packed morsel-at-a-time.
+  // Morsels are multiples of 64 rows, so every morsel's packed range
+  // covers whole disjoint words and workers never share a word.
+  size_t morsel = options.morsel_rows > 0 ? options.morsel_rows : (1u << 16);
+  morsel = (morsel + 63) / 64 * 64;
+  size_t n_morsels = (total + morsel - 1) / morsel;
+  ColumnMain* out = merged.get();
+  auto encode_morsel = [&remap_main, &remap_delta, &main, &frozen, out,
+                        main_rows, total, morsel](size_t m) {
+    size_t begin = m * morsel;
+    size_t end = std::min(total, begin + morsel);
+    std::vector<uint32_t> codes;
+    codes.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) {
+      if (out->nulls[r]) {
+        codes.push_back(0);  // Null rows keep code 0 (never dereferenced).
+      } else if (r < main_rows) {
+        codes.push_back(remap_main[BitGet(main.words, main.bits, r)]);
+      } else {
+        codes.push_back(remap_delta[frozen.codes[r - main_rows]]);
+      }
+    }
+    BitPackInto(out->words.data(), out->bits, begin, codes.data(),
+                codes.size());
+  };
+  if (options.parallel && n_morsels > 1) {
+    TaskPool::Global().ParallelFor(n_morsels, encode_morsel,
+                                   options.max_workers);
+  } else {
+    for (size_t m = 0; m < n_morsels; ++m) encode_morsel(m);
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------
+// ColumnTable
+// ---------------------------------------------------------------------
+
 ColumnTable::ColumnTable(std::shared_ptr<Schema> schema)
-    : schema_(std::move(schema)) {
+    : schema_(std::move(schema)), sync_(std::make_unique<Sync>()) {
   columns_.reserve(schema_->num_columns());
   for (size_t i = 0; i < schema_->num_columns(); ++i) {
     columns_.emplace_back(schema_->column(i).type);
   }
+}
+
+ColumnTable::TableSnapshot ColumnTable::SnapshotColumns() const {
+  TableSnapshot snapshot;
+  MutexLock lock(sync_->state_mu);
+  snapshot.columns.reserve(columns_.size());
+  for (const auto& col : columns_) snapshot.columns.push_back(col.snapshot());
+  if (sync_->merge_active) {
+    sync_->stats.scans_overlapped.fetch_add(1, std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 Status ColumnTable::AppendRow(const std::vector<Value>& row) {
@@ -160,8 +324,12 @@ Status ColumnTable::AppendRow(const std::vector<Value>& row) {
       return Status::InvalidArgument("NULL in NOT NULL column " +
                                      schema_->column(c).name);
     }
-    columns_[c].Append(row[c]);
   }
+  // Appends only touch the live deltas; the state lock orders them
+  // against a concurrent merge's freeze/switch, so rows appended while
+  // a merge is in flight land in the fresh live parts.
+  MutexLock lock(sync_->state_mu);
+  for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
   deleted_.push_back(0);
   ++live_rows_;
   return Status::OK();
@@ -173,10 +341,20 @@ Status ColumnTable::AppendRows(const std::vector<std::vector<Value>>& rows) {
 }
 
 std::vector<Value> ColumnTable::GetRow(size_t row) const {
+  TableSnapshot snapshot = SnapshotColumns();
   std::vector<Value> out;
-  out.reserve(columns_.size());
-  for (const auto& col : columns_) out.push_back(col.Get(row));
+  out.reserve(snapshot.columns.size());
+  for (const auto& col : snapshot.columns) out.push_back(col.Get(row));
   return out;
+}
+
+Value ColumnTable::GetCell(size_t row, size_t col) const {
+  ColumnSnapshot snapshot;
+  {
+    MutexLock lock(sync_->state_mu);
+    snapshot = columns_[col].snapshot();
+  }
+  return snapshot.Get(row);
 }
 
 Status ColumnTable::DeleteRow(size_t row) {
@@ -202,6 +380,12 @@ void ColumnTable::Scan(
 void ColumnTable::ScanRange(
     size_t begin, size_t end, size_t chunk_rows,
     const std::function<bool(const Chunk&)>& callback) const {
+  ScanRangeSnapshot(SnapshotColumns(), begin, end, chunk_rows, callback);
+}
+
+void ColumnTable::ScanRangeSnapshot(
+    const TableSnapshot& snapshot, size_t begin, size_t end, size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
   end = std::min(end, deleted_.size());
   if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
   Chunk chunk = Chunk::Empty(schema_);
@@ -216,8 +400,8 @@ void ColumnTable::ScanRange(
     size_t cap = chunk_rows - chunk.num_rows();
     size_t run = r;
     while (run < end && !deleted_[run] && run - r < cap) ++run;
-    for (size_t c = 0; c < columns_.size(); ++c) {
-      columns_[c].Decode(r, run - r, chunk.columns[c].get());
+    for (size_t c = 0; c < snapshot.columns.size(); ++c) {
+      snapshot.columns[c].Decode(r, run - r, chunk.columns[c].get());
     }
     r = run;
     if (chunk.num_rows() >= chunk_rows) {
@@ -235,21 +419,119 @@ void ColumnTable::ScanPartitioned(
   size_t total = deleted_.size();
   if (n_partitions == 0) n_partitions = 1;
   if (morsel_rows == 0) morsel_rows = kDefaultChunkRows;
-  // Contiguous slices sized from (total, n_partitions) only, so the
-  // work decomposition — and therefore every per-partition stream — is
-  // identical no matter how many pool workers pick up the slices.
+  // One snapshot serves every partition, so the whole parallel scan
+  // observes a single consistent table state even if a merge switches
+  // mid-flight. Contiguous slices sized from (total, n_partitions)
+  // only, so the work decomposition — and therefore every
+  // per-partition stream — is identical no matter how many pool
+  // workers pick up the slices.
+  TableSnapshot snapshot = SnapshotColumns();
   size_t per = (total + n_partitions - 1) / n_partitions;
   TaskPool::Global().ParallelFor(n_partitions, [&](size_t p) {
     size_t begin = p * per;
     size_t slice_end = std::min(total, begin + per);
     if (begin >= slice_end) return;
-    ScanRange(begin, slice_end, morsel_rows,
-              [&](const Chunk& chunk) { return callback(p, chunk); });
+    ScanRangeSnapshot(snapshot, begin, slice_end, morsel_rows,
+                      [&](const Chunk& chunk) { return callback(p, chunk); });
   });
 }
 
-void ColumnTable::MergeDelta() {
-  for (auto& col : columns_) col.MergeDelta();
+Status ColumnTable::MergeDelta(const MergeOptions& options) {
+  if (!sync_->merge_mu.TryLock()) {
+    sync_->stats.merges_rejected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("delta merge already in progress on table");
+  }
+  Status status = MergeDeltaHoldingMergeMu(options);
+  sync_->merge_mu.Unlock();
+  return status;
+}
+
+Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options) {
+  Stopwatch watch;
+  MergeStats& stats = sync_->stats;
+  size_t bytes_before = MemoryBytes();
+
+  // Phase 1 (freeze, under the state lock): seal every column's live
+  // delta and capture the immutable inputs of each shadow build.
+  struct Work {
+    size_t col;
+    std::shared_ptr<const ColumnMain> main;
+    std::shared_ptr<const DeltaPart> frozen;
+  };
+  std::vector<Work> work;
+  size_t rows_frozen = 0;
+  size_t dict_before = 0;
+  {
+    MutexLock lock(sync_->state_mu);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (!columns_[c].FreezeDelta()) continue;  // No delta: skip (a
+                                                 // second merge is a no-op).
+      work.push_back({c, columns_[c].main_part(), columns_[c].frozen_part()});
+      rows_frozen += work.back().frozen->rows();
+      dict_before += work.back().main->dict.size() +
+                     work.back().frozen->dict.size();
+    }
+    if (work.empty()) return Status::OK();
+    sync_->merge_active = true;
+  }
+
+  // Phase 2 (build, no table lock held): per-column fan-out across the
+  // pool; each build is itself morsel-parallel. Readers keep scanning
+  // the old parts the whole time.
+  std::vector<std::shared_ptr<const ColumnMain>> merged(work.size());
+  Status build_status = Status::OK();
+  try {
+    auto build_one = [&](size_t w) {
+      merged[w] = BuildMergedMain(*work[w].main, *work[w].frozen, options);
+    };
+    if (options.parallel && work.size() > 1) {
+      TaskPool::Global().ParallelFor(work.size(), build_one,
+                                     options.max_workers);
+    } else {
+      for (size_t w = 0; w < work.size(); ++w) build_one(w);
+    }
+  } catch (const std::exception& e) {
+    build_status =
+        Status::Internal(std::string("delta merge build failed: ") + e.what());
+  }
+  if (!build_status.ok()) {
+    // Leave the frozen parts in place: readers still see every row via
+    // the main/frozen/live chain, and the next merge retries them
+    // before freezing newer delta rows.
+    MutexLock lock(sync_->state_mu);
+    sync_->merge_active = false;
+    return build_status;
+  }
+
+  // Phase 3 (switch, under the state lock): publish every shadow main
+  // atomically with respect to snapshot-taking readers.
+  size_t dict_after = 0;
+  {
+    MutexLock lock(sync_->state_mu);
+    for (size_t w = 0; w < work.size(); ++w) {
+      dict_after += merged[w]->dict.size();
+      columns_[work[w].col].SwitchMain(std::move(merged[w]));
+    }
+    sync_->merge_active = false;
+  }
+
+  stats.merges_completed.fetch_add(1, std::memory_order_relaxed);
+  stats.rows_merged.fetch_add(rows_frozen, std::memory_order_relaxed);
+  stats.dict_entries_before.store(dict_before, std::memory_order_relaxed);
+  stats.dict_entries_after.store(dict_after, std::memory_order_relaxed);
+  stats.bytes_before.store(bytes_before, std::memory_order_relaxed);
+  stats.bytes_after.store(MemoryBytes(), std::memory_order_relaxed);
+  stats.merge_micros.fetch_add(
+      static_cast<uint64_t>(watch.ElapsedMillis() * 1000.0),
+      std::memory_order_relaxed);
+  return Status::OK();
+}
+
+size_t ColumnTable::delta_rows() const {
+  MutexLock lock(sync_->state_mu);
+  size_t rows = 0;
+  for (const auto& col : columns_) rows = std::max(rows, col.delta_rows());
+  return rows;
 }
 
 Status ColumnTable::AddColumn(const ColumnDef& def) {
@@ -263,15 +545,35 @@ Status ColumnTable::AddColumn(const ColumnDef& def) {
   schema_->AddColumn(def);
   StoredColumn column(def.type);
   for (size_t r = 0; r < deleted_.size(); ++r) column.Append(Value::Null());
+  MutexLock lock(sync_->state_mu);
   columns_.push_back(std::move(column));
   return Status::OK();
 }
 
 size_t ColumnTable::MemoryBytes() const {
   size_t bytes = deleted_.size() / 8 + 1;
+  MutexLock lock(sync_->state_mu);
   for (const auto& col : columns_) bytes += col.MemoryBytes();
   return bytes;
 }
+
+size_t ColumnTable::MainMemoryBytes() const {
+  size_t bytes = 0;
+  MutexLock lock(sync_->state_mu);
+  for (const auto& col : columns_) bytes += col.MainMemoryBytes();
+  return bytes;
+}
+
+size_t ColumnTable::DeltaMemoryBytes() const {
+  size_t bytes = 0;
+  MutexLock lock(sync_->state_mu);
+  for (const auto& col : columns_) bytes += col.DeltaMemoryBytes();
+  return bytes;
+}
+
+// ---------------------------------------------------------------------
+// RowTable
+// ---------------------------------------------------------------------
 
 Status RowTable::AppendRow(std::vector<Value> row) {
   if (row.size() != schema_->num_columns()) {

@@ -1,6 +1,7 @@
 #ifndef HANA_STORAGE_COLUMN_TABLE_H_
 #define HANA_STORAGE_COLUMN_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/schema.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "storage/column_vector.h"
 
@@ -20,62 +22,222 @@ struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
 
+/// The read-optimized *main* store of one column: sorted dictionary +
+/// bit-packed codes + null flags. Immutable once published via
+/// shared_ptr — readers decode it without locks, and a delta merge
+/// builds a fresh ColumnMain (the shadow copy) instead of mutating the
+/// one scans may still be reading.
+struct ColumnMain {
+  std::vector<Value> dict;      // Sorted, unique, non-null values.
+  std::vector<uint64_t> words;  // Codes bit-packed at `bits` each.
+  int bits = 1;
+  size_t rows = 0;
+  std::vector<uint8_t> nulls;  // One flag per row.
+};
+
+/// One generation of the write-optimized *delta*: insertion-ordered
+/// dictionary with plain 32-bit codes. Mutable only while it is the
+/// live delta of a StoredColumn; FreezeDelta() seals it for an
+/// in-flight merge, after which it is read-only forever (readers that
+/// snapshotted it keep it alive through their shared_ptr).
+struct DeltaPart {
+  std::vector<Value> dict;
+  std::unordered_map<Value, uint32_t, ValueHash> lookup;
+  std::vector<uint32_t> codes;
+  std::vector<uint8_t> nulls;  // One flag per delta row.
+
+  size_t rows() const { return codes.size(); }
+  void Append(const Value& v);
+};
+
+/// A reader's snapshot of one column: the main plus up to two delta
+/// generations (frozen = sealed by an in-flight merge, live = current
+/// append target). The shared_ptrs pin every part for the snapshot's
+/// lifetime, so a concurrent merge switching the column to its new
+/// main never invalidates an ongoing scan — the scan simply finishes
+/// against the pre-merge parts. Rows are addressed globally:
+/// [0, main->rows) in main, then frozen, then live.
+struct ColumnSnapshot {
+  DataType type = DataType::kNull;
+  std::shared_ptr<const ColumnMain> main;
+  std::shared_ptr<const DeltaPart> frozen;  // Null unless a merge is (or
+                                            // was) in flight.
+  std::shared_ptr<const DeltaPart> live;
+
+  size_t rows() const {
+    return main->rows + (frozen ? frozen->rows() : 0) + live->rows();
+  }
+  bool IsNull(size_t row) const;
+  Value Get(size_t row) const;
+  /// Bulk-decodes rows [start, start + count) into `out`, unpacking
+  /// bit-packed main codes segment-at-a-time and writing straight into
+  /// the vector's typed arrays instead of boxing one Value per row.
+  void Decode(size_t start, size_t count, ColumnVector* out) const;
+};
+
+/// Tuning for ColumnTable::MergeDelta.
+struct MergeOptions {
+  /// Fan the per-column shadow builds and per-morsel re-encodes across
+  /// the global task pool. Results are bit-identical to parallel=false
+  /// at any thread count (all output is indexed by row/column, never by
+  /// worker or completion order).
+  bool parallel = true;
+  /// Pool workers to use (0 = the whole pool); the calling thread
+  /// always participates.
+  size_t max_workers = 0;
+  /// Rows per re-encode morsel; rounded up to a multiple of 64 so each
+  /// morsel packs a disjoint range of whole 64-bit words.
+  size_t morsel_rows = 1u << 16;
+};
+
+/// Per-table observability counters for delta merges, in the spirit of
+/// JoinExecStats: merges (and rejected overlapping attempts), rows
+/// folded into mains, dictionary growth, merge wall time, and how many
+/// scans snapshotted the table while a merge was in flight — the
+/// online-merge analogue of "did the fast path actually run".
+struct MergeStats {
+  std::atomic<uint64_t> merges_completed{0};
+  /// MergeDelta calls rejected because a merge was already in flight.
+  std::atomic<uint64_t> merges_rejected{0};
+  /// Delta rows folded into mains across all completed merges.
+  std::atomic<uint64_t> rows_merged{0};
+  /// Dictionary entries across merged columns, before/after the last
+  /// merge (before = old main + frozen delta dictionaries).
+  std::atomic<uint64_t> dict_entries_before{0};
+  std::atomic<uint64_t> dict_entries_after{0};
+  /// Accumulated merge wall time, microseconds.
+  std::atomic<uint64_t> merge_micros{0};
+  /// Scans that took their snapshot while a merge was in flight (i.e.
+  /// scans that ran online against the pre-merge parts).
+  std::atomic<uint64_t> scans_overlapped{0};
+  /// Whole-table footprint around the last merge; their quotient is the
+  /// post-merge compression ratio (delta codes + unsorted dictionaries
+  /// vs bit-packed codes + sorted dictionaries).
+  std::atomic<uint64_t> bytes_before{0};
+  std::atomic<uint64_t> bytes_after{0};
+
+  double LastCompressionRatio() const {
+    uint64_t after = bytes_after.load(std::memory_order_relaxed);
+    if (after == 0) return 0.0;
+    return static_cast<double>(bytes_before.load(std::memory_order_relaxed)) /
+           static_cast<double>(after);
+  }
+};
+
+/// Builds the merged main for one column from its current main and a
+/// frozen delta using old-code -> new-code remap tables: the new sorted
+/// dictionary comes from a merge-walk of the (sorted) main dictionary
+/// with the sorted frozen-delta dictionary — O(dict log dict) — and the
+/// re-encode is then one table lookup per row, morsel-parallel when
+/// `options.parallel`. A pure function of its immutable inputs, so it
+/// runs on pool workers while concurrent readers keep scanning the old
+/// parts.
+std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
+                                                  const DeltaPart& frozen,
+                                                  const MergeOptions& options);
+
 /// Dictionary-encoded column following HANA's main/delta organization:
-/// the write-optimized *delta* keeps an insertion-ordered dictionary with
-/// plain codes; MergeDelta() folds it into the read-optimized *main*
+/// the write-optimized *delta* keeps an insertion-ordered dictionary
+/// with plain codes; merging folds it into the read-optimized *main*
 /// whose dictionary is sorted and whose codes are bit-packed.
+///
+/// Thread-safety: a bare StoredColumn is single-threaded. ColumnTable
+/// layers its own locking on the part pointers (see the online-merge
+/// protocol there); the phased merge API below (FreezeDelta /
+/// BuildMergedMain / SwitchMain) exists so the table can freeze and
+/// switch under its lock while the expensive build runs outside it.
 class StoredColumn {
  public:
-  explicit StoredColumn(DataType type) : type_(type) {}
+  explicit StoredColumn(DataType type);
+
+  StoredColumn(StoredColumn&&) = default;
+  StoredColumn& operator=(StoredColumn&&) = default;
+  // Copying would alias the mutable live delta across two columns.
+  StoredColumn(const StoredColumn&) = delete;
+  StoredColumn& operator=(const StoredColumn&) = delete;
 
   DataType type() const { return type_; }
-  size_t size() const { return nulls_.size(); }
+  size_t size() const { return snapshot().rows(); }
 
-  void Append(const Value& v);
-  Value Get(size_t row) const;
-  bool IsNull(size_t row) const { return nulls_[row] != 0; }
+  void Append(const Value& v) { live_->Append(v); }
+  Value Get(size_t row) const { return snapshot().Get(row); }
+  bool IsNull(size_t row) const { return snapshot().IsNull(row); }
 
-  /// Bulk-decodes rows [start, start + count) into `out`, unpacking
-  /// bit-packed main codes a morsel at a time and writing straight into
-  /// the vector's typed arrays instead of boxing one Value per Get()
-  /// call. Thread-safe for concurrent readers (no mutation).
-  void Decode(size_t start, size_t count, ColumnVector* out) const;
+  /// See ColumnSnapshot::Decode. Thread-safe for concurrent readers
+  /// (no mutation).
+  void Decode(size_t start, size_t count, ColumnVector* out) const {
+    snapshot().Decode(start, count, out);
+  }
 
-  /// Rebuilds the main store: merges delta codes, sorts the dictionary,
-  /// re-maps codes and bit-packs them.
+  /// Serial in-place merge for standalone (single-threaded) columns:
+  /// freeze + remap-table rebuild + switch. ColumnTable drives the
+  /// phased protocol instead so its merges run online.
   void MergeDelta();
 
-  size_t delta_rows() const { return delta_codes_.size(); }
-  size_t main_rows() const { return main_count_; }
+  size_t delta_rows() const {
+    return (frozen_ ? frozen_->rows() : 0) + live_->rows();
+  }
+  size_t main_rows() const { return main_->rows; }
   size_t dictionary_size() const {
-    return main_dict_.size() + delta_dict_.size();
+    return main_->dict.size() + (frozen_ ? frozen_->dict.size() : 0) +
+           live_->dict.size();
   }
 
   /// Compressed footprint in bytes (dictionaries + packed/plain codes +
-  /// null flags). Used by the Figure 2 compression experiment.
-  size_t MemoryBytes() const;
+  /// null flags modeled as bitmaps). Main and delta are accounted
+  /// separately so the Figure 2 experiment and merge observability
+  /// share one number: MemoryBytes() == MainMemoryBytes() +
+  /// DeltaMemoryBytes().
+  size_t MemoryBytes() const {
+    return MainMemoryBytes() + DeltaMemoryBytes();
+  }
+  size_t MainMemoryBytes() const;
+  size_t DeltaMemoryBytes() const;
+
+  // ---- Online-merge protocol (driven by ColumnTable) ------------------
+  /// Copies the three part pointers. The caller provides the mutual
+  /// exclusion against FreezeDelta/SwitchMain (ColumnTable's state
+  /// mutex); the parts themselves are safe to read lock-free afterward.
+  ColumnSnapshot snapshot() const { return {type_, main_, frozen_, live_}; }
+
+  /// Seals the live delta for merging (new appends go to a fresh live
+  /// part) unless a frozen part from an earlier failed merge is still
+  /// pending, in which case that one is merged first. Returns whether a
+  /// frozen part exists, i.e. whether this column has merge work.
+  bool FreezeDelta();
+
+  /// Publishes the shadow-built main and retires the frozen delta. The
+  /// previous parts stay alive for readers that snapshotted them.
+  void SwitchMain(std::shared_ptr<const ColumnMain> merged);
+
+  const std::shared_ptr<const ColumnMain>& main_part() const { return main_; }
+  const std::shared_ptr<const DeltaPart>& frozen_part() const {
+    return frozen_;
+  }
 
  private:
-  uint32_t DeltaCode(const Value& v);
-
   DataType type_;
-  std::vector<uint8_t> nulls_;
-
-  // Main: sorted dictionary + bit-packed codes.
-  std::vector<Value> main_dict_;
-  std::vector<uint64_t> main_words_;
-  int main_bits_ = 1;
-  size_t main_count_ = 0;
-
-  // Delta: insertion-ordered dictionary + plain codes.
-  std::vector<Value> delta_dict_;
-  std::unordered_map<Value, uint32_t, ValueHash> delta_lookup_;
-  std::vector<uint32_t> delta_codes_;
+  std::shared_ptr<const ColumnMain> main_;
+  std::shared_ptr<const DeltaPart> frozen_;  // Non-null only mid-merge.
+  std::shared_ptr<DeltaPart> live_;
 };
 
 /// In-memory column table: the HANA core storage option for OLAP
 /// workloads. Rows are append-only with a tombstone flag for deletes;
 /// updates are delete + re-insert (delta-store semantics).
+///
+/// Concurrency contract:
+///   - Any number of concurrent readers (Scan/ScanRange/
+///     ScanPartitioned/GetRow/GetCell) are safe against a concurrent
+///     MergeDelta: each scan pins a snapshot of every column's parts
+///     and streams from it while the merge builds shadow mains and
+///     atomically switches them in.
+///   - A single writer (AppendRow/DeleteRow/UpdateRow/AddColumn) is
+///     safe against a concurrent MergeDelta: rows appended while a
+///     merge is in flight land in the fresh live delta and survive the
+///     switch untouched.
+///   - Writer vs. concurrent readers still requires external
+///     synchronization (unchanged from the seed).
 class ColumnTable {
  public:
   explicit ColumnTable(std::shared_ptr<Schema> schema);
@@ -90,9 +252,7 @@ class ColumnTable {
   [[nodiscard]] Status AppendRows(const std::vector<std::vector<Value>>& rows);
 
   std::vector<Value> GetRow(size_t row) const;
-  Value GetCell(size_t row, size_t col) const {
-    return columns_[col].Get(row);
-  }
+  Value GetCell(size_t row, size_t col) const;
   bool IsDeleted(size_t row) const { return deleted_[row] != 0; }
 
   [[nodiscard]] Status DeleteRow(size_t row);
@@ -105,7 +265,8 @@ class ColumnTable {
 
   /// Streams live rows of the physical range [begin, end) as chunks of
   /// at most `chunk_rows`, bulk-decoding delete-free runs. Thread-safe
-  /// for concurrent readers on disjoint (or even overlapping) ranges.
+  /// for concurrent readers on disjoint (or even overlapping) ranges,
+  /// and against a concurrent MergeDelta (snapshot semantics above).
   void ScanRange(size_t begin, size_t end, size_t chunk_rows,
                  const std::function<bool(const Chunk&)>& callback) const;
 
@@ -117,26 +278,72 @@ class ColumnTable {
   /// Row order within a partition follows physical row order, and
   /// partition boundaries depend only on (num_rows, n_partitions) — not
   /// on the thread count — so per-partition results are deterministic.
+  /// All partitions stream from one snapshot taken at call start.
   void ScanPartitioned(
       size_t morsel_rows, size_t n_partitions,
       const std::function<bool(size_t partition, const Chunk&)>& callback)
       const;
 
-  /// Merges all column deltas into their mains.
-  void MergeDelta();
+  /// Merges all column deltas into their mains, online: concurrent
+  /// scans keep streaming from their pre-merge snapshots while pool
+  /// workers build each column's new main into a shadow copy
+  /// (per-column fan-out plus morsel-parallel re-encode), then the
+  /// table switches every column atomically. Rows appended during the
+  /// merge land in fresh live deltas and survive the switch. Returns
+  /// Unavailable when a merge is already in flight on this table.
+  [[nodiscard]] Status MergeDelta(const MergeOptions& options = {});
+
+  /// Unmerged rows (frozen + live deltas) in the widest column — the
+  /// auto-merge trigger input.
+  size_t delta_rows() const;
+
+  const MergeStats& merge_stats() const { return sync_->stats; }
 
   /// Appends a new column, backfilled with NULLs for existing rows
   /// (schema-on-the-fly support for flexible tables). Mutates the shared
   /// schema object.
   [[nodiscard]] Status AddColumn(const ColumnDef& def);
 
+  /// MemoryBytes() == MainMemoryBytes() + DeltaMemoryBytes() + the
+  /// tombstone bitmap.
   size_t MemoryBytes() const;
+  size_t MainMemoryBytes() const;
+  size_t DeltaMemoryBytes() const;
 
  private:
+  struct TableSnapshot {
+    std::vector<ColumnSnapshot> columns;
+  };
+
+  /// Holds the table's synchronization state out-of-line so the table
+  /// stays movable (mutexes and atomics are not).
+  struct Sync {
+    /// Guards every column's part pointers (main/frozen/live), the
+    /// columns_ vector structure, and merge_active. Held briefly: for
+    /// snapshot copies, appends, and the merge's freeze/switch phases —
+    /// never across a shadow build or while waiting on the pool. Leaf
+    /// lock except that merge_mu is held around it during a merge.
+    Mutex state_mu;
+    /// Serializes merges on this table. Acquired with TryLock only
+    /// (overlapping merges are rejected, not queued), held across the
+    /// whole merge including pool waits; pool tasks never acquire it.
+    Mutex merge_mu;
+    bool merge_active GUARDED_BY(state_mu) = false;
+    MergeStats stats;
+  };
+
+  TableSnapshot SnapshotColumns() const;
+  void ScanRangeSnapshot(const TableSnapshot& snapshot, size_t begin,
+                         size_t end, size_t chunk_rows,
+                         const std::function<bool(const Chunk&)>& callback)
+      const;
+  Status MergeDeltaHoldingMergeMu(const MergeOptions& options);
+
   std::shared_ptr<Schema> schema_;
   std::vector<StoredColumn> columns_;
   std::vector<uint8_t> deleted_;
   size_t live_rows_ = 0;
+  std::unique_ptr<Sync> sync_;
 };
 
 /// Row-oriented storage option: best for high update frequencies on

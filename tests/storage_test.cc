@@ -315,7 +315,7 @@ ColumnTable MakeScanTable(size_t rows, size_t merge_at) {
                               Value::String("tag_" + std::to_string(
                                                 rng.Uniform(0, 20)))};
     EXPECT_TRUE(table.AppendRow(row).ok());
-    if (i + 1 == merge_at) table.MergeDelta();
+    if (i + 1 == merge_at) EXPECT_TRUE(table.MergeDelta().ok());
   }
   return table;
 }
@@ -435,7 +435,7 @@ TEST(CompressionComparison, ColumnBeatsRowOnRepetitiveData) {
     ASSERT_TRUE(column.AppendRow(r).ok());
     ASSERT_TRUE(row.AppendRow(r).ok());
   }
-  column.MergeDelta();
+  EXPECT_TRUE(column.MergeDelta().ok());
   EXPECT_LT(column.MemoryBytes(), row.MemoryBytes() / 5);
 }
 
