@@ -12,6 +12,10 @@
 #      caller-side propagation does not trip the check.)
 #   3. Every const_cast / reinterpret_cast must carry a justification:
 #      a `lint: <cast> allowed` comment on the same or preceding line.
+#   4. No hand-rolled Volcano pull loops outside src/exec: calling
+#      PhysicalOp::Next() or DrainToTable directly bypasses the pipeline
+#      executor (and its stats, scheduling and determinism guarantees).
+#      Other layers run plans through exec::ExecutePlan[WithStats].
 #
 # When clang-tidy is on PATH and a compile database exists, it also
 # runs the .clang-tidy profile over the checked sources. Missing tools
@@ -56,6 +60,10 @@ check "naked standard-library locking outside src/common/sync.h \
 
 check "throw across an API boundary (report errors via Status/Result)" \
   "$(find_violations '(^|[^_[:alnum:]])throw([^_[:alnum:]]|$)')"
+
+check "direct operator pull loop outside src/exec \
+(run plans through exec::ExecutePlan[WithStats], not ->Next()/DrainToTable)" \
+  "$(find_violations '\->Next\(\)|DrainToTable' '^src/exec/')"
 
 # const_cast / reinterpret_cast need a `lint: <cast> allowed`
 # justification on the same line or within the three preceding lines.

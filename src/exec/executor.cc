@@ -1,0 +1,633 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "common/sync.h"
+#include "common/task_pool.h"
+#include "common/util.h"
+#include "exec/evaluator.h"
+#include "exec/pipeline.h"
+#include "exec/radix_join.h"
+#include "storage/column_table.h"
+
+namespace hana::exec {
+
+namespace {
+
+using plan::LogicalOp;
+
+size_t ProbeStageCount(const Pipeline& p) {
+  size_t n = 0;
+  for (const PipelineStage& s : p.stages) {
+    if (s.kind == PipelineStage::Kind::kJoinProbe) ++n;
+  }
+  return n;
+}
+
+/// Runtime state of one pipeline. Morsel-indexed members are sized at
+/// Prepare() and each index is touched by exactly one worker; the
+/// completion counter publishes them to whichever thread merges.
+struct PipelineRun {
+  const Pipeline* p = nullptr;
+
+  std::optional<PartitionSource> partition;  // kScan, when partitionable.
+  size_t num_morsels = 0;
+  std::atomic<size_t> next_morsel{0};
+  std::atomic<size_t> workers_remaining{0};
+  std::vector<Status> statuses;                       // Per morsel.
+  std::vector<std::vector<Chunk>> collected;          // kCollect / kSort.
+  std::vector<std::unique_ptr<GroupTable>> partials;  // kGroups.
+
+  /// Merged result chunks (consumed by dependents or the caller).
+  std::vector<Chunk> output;
+  Status final_status;
+
+  Stopwatch wall;
+  double wall_ms = 0.0;
+  std::atomic<uint64_t> rows{0};
+  std::atomic<int64_t> cpu_us{0};
+};
+
+/// Drives one decomposed plan to completion. Three schedules share the
+/// same morsel decomposition and the same morsel-order merges, so their
+/// results are bit-identical; only the wall-clock overlap differs:
+///   kSerial   — pipelines in id (topological) order, morsels inline.
+///   kFused    — pipelines in id order, morsels of each in parallel.
+///   kPipeline — every dependency-free pipeline scheduled on the pool
+///               at once; a dynamic SDA bracket (opened when the number
+///               of in-flight pipelines reaches 2, closed when it drops
+///               back to 1) charges concurrently dispatched federation
+///               branches max instead of sum.
+///
+/// Lock order: mu_ may be held while entering the SDA dispatch bracket
+/// (mu_ -> sda dispatch_mu_); tasks are never submitted and
+/// TryRunOneTask is never called while holding mu_ (TaskPool::mu_ is a
+/// leaf and a popped task may itself lock mu_ on completion).
+class PipelineExecutor {
+ public:
+  PipelineExecutor(PipelinePlan* plan, ExecContext* ctx, ParallelPolicy policy)
+      : plan_(plan),
+        ctx_(ctx),
+        policy_(policy),
+        runs_(plan->pipelines.size()),
+        dependents_(plan->pipelines.size()),
+        pending_(plan->pipelines.size(), 0),
+        done_(plan->pipelines.size(), 0) {
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      runs_[i].p = &plan_->pipelines[i];
+    }
+    for (const Pipeline& p : plan_->pipelines) {
+      for (size_t d : p.deps) dependents_[d].push_back(p.id);
+    }
+  }
+
+  /// Runs every pipeline, returning the root pipeline's output chunks.
+  /// The reported error is deterministic: within a pipeline the first
+  /// failing morsel in morsel order wins, across pipelines the lowest
+  /// failed pipeline id wins, and dependents of a failed pipeline are
+  /// skipped (inheriting its status) rather than run.
+  [[nodiscard]] Result<std::vector<Chunk>> Run(
+      std::vector<PipelineStats>* stats) {
+    bool concurrent = policy_.executor == ExecutorMode::kPipeline &&
+                      policy_.pool != nullptr && policy_.dop > 1 &&
+                      runs_.size() > 1;
+    if (concurrent) {
+      RunConcurrent();
+    } else {
+      RunSequential();
+    }
+    if (stats != nullptr) {
+      for (const PipelineRun& run : runs_) {
+        PipelineStats st;
+        st.id = run.p->id;
+        st.label = run.p->label;
+        st.morsels = run.num_morsels;
+        st.rows = run.rows.load(std::memory_order_relaxed);
+        st.wall_ms = run.wall_ms;
+        st.cpu_ms =
+            static_cast<double>(run.cpu_us.load(std::memory_order_relaxed)) /
+            1000.0;
+        stats->push_back(std::move(st));
+      }
+    }
+    for (PipelineRun& run : runs_) {
+      HANA_RETURN_IF_ERROR(run.final_status);
+    }
+    return std::move(runs_.back().output);
+  }
+
+ private:
+  /// First failed dependency (lowest pipeline id) of `run`, or OK.
+  Status DepsStatus(const PipelineRun& run) const {
+    size_t best = runs_.size();
+    for (size_t d : run.p->deps) {
+      if (!runs_[d].final_status.ok() && d < best) best = d;
+    }
+    return best < runs_.size() ? runs_[best].final_status : Status::OK();
+  }
+
+  void RunSequential() {
+    for (PipelineRun& run : runs_) {
+      Status dep = DepsStatus(run);
+      if (!dep.ok()) {
+        run.final_status = std::move(dep);
+        continue;
+      }
+      run.wall.Reset();
+      Status st = Prepare(run);
+      if (st.ok()) {
+        size_t n = run.num_morsels;
+        size_t probes = ProbeStageCount(*run.p);
+        bool parallel = policy_.executor != ExecutorMode::kSerial &&
+                        policy_.pool != nullptr && policy_.dop > 1 && n > 1;
+        if (parallel) {
+          size_t slots = policy_.pool->WorkerSlots(n, policy_.dop);
+          std::vector<std::vector<RadixJoinTable::ProbeKeys>> scratch(
+              slots, std::vector<RadixJoinTable::ProbeKeys>(probes));
+          policy_.pool->ParallelForWorker(
+              n,
+              [&](size_t worker, size_t m) {
+                run.statuses[m] = ProcessMorsel(run, m, &scratch[worker]);
+              },
+              policy_.dop);
+        } else {
+          std::vector<RadixJoinTable::ProbeKeys> scratch(probes);
+          for (size_t m = 0; m < n; ++m) {
+            run.statuses[m] = ProcessMorsel(run, m, &scratch);
+          }
+        }
+        st = Finish(run);
+      }
+      run.final_status = std::move(st);
+      run.wall_ms = run.wall.ElapsedMillis();
+      run.cpu_us.store(static_cast<int64_t>(run.wall_ms * 1000.0),
+                       std::memory_order_relaxed);
+    }
+  }
+
+  void RunConcurrent() {
+    {
+      MutexLock lock(mu_);
+      for (size_t i = 0; i < runs_.size(); ++i) {
+        pending_[i] = runs_[i].p->deps.size();
+        if (pending_[i] == 0) ready_.push_back(i);
+      }
+    }
+    while (true) {
+      std::vector<size_t> batch;
+      {
+        MutexLock lock(mu_);
+        if (done_count_ == runs_.size()) break;
+        batch.swap(ready_);
+        if (!batch.empty()) {
+          // Open the SDA bracket BEFORE the batch's tasks can dispatch
+          // remote branches, so overlapping federation latencies charge
+          // max instead of sum (Union Plan execution, Section 5). The
+          // bracket call stays under mu_ (lock order mu_ -> SDA
+          // dispatch_mu_) so Begin/End reach the SDA in the same order
+          // as the region_open_ transitions; issued outside the lock, a
+          // racing completion's End could run first, no-op at depth
+          // zero, and leave the region depth unbalanced across
+          // statements.
+          if (in_flight_ + batch.size() >= 2 && !region_open_) {
+            region_open_ = true;
+            ctx_->BeginConcurrentRemoteDispatch();
+          }
+          in_flight_ += batch.size();
+        }
+      }
+      if (!batch.empty()) {
+        std::sort(batch.begin(), batch.end());  // Launch order: id order.
+        for (size_t id : batch) Launch(runs_[id]);
+        continue;
+      }
+      // Nothing ready: help drain the pool, then sleep until a
+      // completion changes the schedule. TryRunOneTask drains FIFO, so
+      // this thread eventually runs its own queued tasks — the untimed
+      // wait below can always be satisfied.
+      if (policy_.pool->TryRunOneTask()) continue;
+      MutexLock lock(mu_);
+      if (ready_.empty() && done_count_ < runs_.size()) cv_.Wait(mu_);
+    }
+    {
+      MutexLock lock(mu_);
+      if (region_open_) {
+        region_open_ = false;
+        ctx_->EndConcurrentRemoteDispatch();
+      }
+    }
+  }
+
+  /// Prepares and schedules one pipeline's morsel tasks on the pool.
+  void Launch(PipelineRun& run) {
+    run.wall.Reset();
+    Status st = Prepare(run);
+    if (!st.ok()) {
+      CompleteLaunched(run, std::move(st));
+      return;
+    }
+    size_t n = run.num_morsels;
+    if (n == 0) {
+      // Empty source (zero-morsel table): nothing to schedule, merge
+      // directly — kGroups still emits the global-aggregate row.
+      CompleteLaunched(run, Finish(run));
+      return;
+    }
+    size_t probes = ProbeStageCount(*run.p);
+    size_t k = std::min(policy_.dop, n);
+    run.workers_remaining.store(k, std::memory_order_relaxed);
+    for (size_t t = 0; t < k; ++t) {
+      policy_.pool->Submit([this, &run, probes] {
+        Stopwatch sw;
+        std::vector<RadixJoinTable::ProbeKeys> scratch(probes);
+        while (true) {
+          size_t m = run.next_morsel.fetch_add(1, std::memory_order_relaxed);
+          if (m >= run.num_morsels) break;
+          run.statuses[m] = ProcessMorsel(run, m, &scratch);
+        }
+        run.cpu_us.fetch_add(static_cast<int64_t>(sw.ElapsedMillis() * 1000.0),
+                             std::memory_order_relaxed);
+        if (run.workers_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          // Last worker out merges and completes the pipeline.
+          CompleteLaunched(run, Finish(run));
+        }
+      });
+    }
+  }
+
+  /// Completion of a pipeline counted in in_flight_ (concurrent mode).
+  void CompleteLaunched(PipelineRun& run, Status st) EXCLUDES(mu_) {
+    run.final_status = std::move(st);
+    run.wall_ms = run.wall.ElapsedMillis();
+    {
+      MutexLock lock(mu_);
+      MarkDone(run.p->id);
+      --in_flight_;
+      if (region_open_ && in_flight_ <= 1) {
+        region_open_ = false;
+        ctx_->EndConcurrentRemoteDispatch();
+      }
+      cv_.NotifyAll();
+    }
+  }
+
+  /// Marks a pipeline done and cascades: dependents whose dependencies
+  /// all succeeded become ready; dependents of a failure are marked
+  /// done immediately with the failed dependency's status.
+  void MarkDone(size_t id) REQUIRES(mu_) {
+    done_[id] = 1;
+    ++done_count_;
+    for (size_t d : dependents_[id]) {
+      if (--pending_[d] != 0) continue;
+      Status dep = DepsStatus(runs_[d]);
+      if (dep.ok()) {
+        ready_.push_back(d);
+      } else {
+        runs_[d].final_status = std::move(dep);
+        MarkDone(d);
+      }
+    }
+  }
+
+  /// Resolves the source into a morsel count and creates the pipeline's
+  /// join build table when it feeds one.
+  [[nodiscard]] Status Prepare(PipelineRun& run) {
+    const Pipeline& p = *run.p;
+    run.num_morsels = 1;
+    run.partition.reset();
+    if (p.source == Pipeline::SourceKind::kScan) {
+      HANA_ASSIGN_OR_RETURN(
+          run.partition,
+          ctx_->OpenPartitionedScan(*p.scan, policy_.morsel_rows));
+      if (run.partition.has_value()) {
+        run.num_morsels = run.partition->num_morsels;
+      }
+      // Non-partitionable scan targets (remote, hybrid umbrella) fall
+      // back to a single morsel streaming through OpenScan.
+    }
+    if (p.sink == Pipeline::SinkKind::kJoinBuild) {
+      JoinBuildState* b = p.build_target;
+      bool vectorized = plan::EquiKeysVectorizable(b->parts);
+      b->table = std::make_unique<RadixJoinTable>(
+          b->build->schema, b->build_key_exprs, vectorized);
+      GlobalJoinExecStats().radix_hash_joins.fetch_add(
+          1, std::memory_order_relaxed);
+      if (!vectorized) {
+        GlobalJoinExecStats().boxed_key_builds.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      b->table->SetNumMorsels(run.num_morsels);
+    }
+    run.statuses.assign(run.num_morsels, Status::OK());
+    if (p.sink == Pipeline::SinkKind::kGroups) {
+      run.partials.clear();
+      run.partials.resize(run.num_morsels);
+    } else {
+      run.collected.assign(run.num_morsels, {});
+    }
+    run.next_morsel.store(0, std::memory_order_relaxed);
+    run.output.clear();
+    return Status::OK();
+  }
+
+  /// Streams morsel m's chunks from the source through the stage chain
+  /// into the sink. Per-morsel state depends only on the morsel index.
+  [[nodiscard]] Status ProcessMorsel(
+      PipelineRun& run, size_t m,
+      std::vector<RadixJoinTable::ProbeKeys>* scratch) {
+    const Pipeline& p = *run.p;
+    GroupTable* partial = nullptr;
+    if (p.sink == Pipeline::SinkKind::kGroups) {
+      run.partials[m] = std::make_unique<GroupTable>(&p.sink_op->group_by,
+                                                     &p.sink_op->aggregates);
+      partial = run.partials[m].get();
+    }
+    switch (p.source) {
+      case Pipeline::SourceKind::kScan: {
+        if (run.partition.has_value()) {
+          Status inner = Status::OK();
+          Status scan_status =
+              run.partition->scan_morsel(m, [&](const Chunk& in) {
+                inner = ProcessChunk(run, m, in, partial, scratch);
+                return inner.ok();
+              });
+          HANA_RETURN_IF_ERROR(inner);
+          return scan_status;
+        }
+        HANA_ASSIGN_OR_RETURN(ChunkStream stream, ctx_->OpenScan(*p.scan));
+        while (true) {
+          HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, stream());
+          if (!chunk.has_value()) break;
+          HANA_RETURN_IF_ERROR(ProcessChunk(run, m, *chunk, partial, scratch));
+        }
+        return Status::OK();
+      }
+      case Pipeline::SourceKind::kSerialOp: {
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              BuildPhysicalPlan(*p.serial_root, ctx_));
+        HANA_RETURN_IF_ERROR(op->Open());
+        while (true) {
+          HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, op->Next());
+          if (!chunk.has_value()) break;
+          HANA_RETURN_IF_ERROR(ProcessChunk(run, m, *chunk, partial, scratch));
+        }
+        return Status::OK();
+      }
+      case Pipeline::SourceKind::kUpstream: {
+        // Upstream outputs, in listed (child) order, as one morsel. The
+        // producer finished before this pipeline launched, so its
+        // chunks can be consumed destructively (single consumer).
+        for (size_t uid : p.upstream) {
+          for (Chunk& chunk : runs_[uid].output) {
+            chunk.schema = p.source_schema;  // Restamp, like UnionOp.
+            HANA_RETURN_IF_ERROR(
+                ProcessChunk(run, m, chunk, partial, scratch));
+          }
+          runs_[uid].output.clear();
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown pipeline source");
+  }
+
+  /// Runs the stage chain over one chunk, then feeds the sink — the
+  /// moved ProcessChunk of the old fused MorselPipelineOp.
+  [[nodiscard]] Status ProcessChunk(
+      PipelineRun& run, size_t m, const Chunk& in, GroupTable* partial,
+      std::vector<RadixJoinTable::ProbeKeys>* scratch) {
+    const Pipeline& p = *run.p;
+    Chunk owned;
+    const Chunk* stage = &in;
+    size_t probe_idx = 0;
+    for (const PipelineStage& s : p.stages) {
+      if (s.kind == PipelineStage::Kind::kFilter) {
+        HANA_ASSIGN_OR_RETURN(owned, FilterChunk(*s.op->predicate, *stage));
+      } else if (s.kind == PipelineStage::Kind::kJoinProbe) {
+        HANA_ASSIGN_OR_RETURN(
+            owned, ProbeJoinChunk(*s.build, *stage, &(*scratch)[probe_idx]));
+        ++probe_idx;
+      } else {  // kProject
+        HANA_ASSIGN_OR_RETURN(owned, ProjectChunk(*s.op, *stage));
+      }
+      stage = &owned;
+    }
+    switch (p.sink) {
+      case Pipeline::SinkKind::kGroups:
+        for (size_t r = 0; r < stage->num_rows(); ++r) {
+          HANA_RETURN_IF_ERROR(partial->Accumulate(*stage, r));
+        }
+        return Status::OK();
+      case Pipeline::SinkKind::kJoinBuild:
+        run.rows.fetch_add(stage->num_rows(), std::memory_order_relaxed);
+        return p.build_target->table->AddBuildChunk(m, *stage);
+      case Pipeline::SinkKind::kCollect:
+      case Pipeline::SinkKind::kSort: {
+        if (stage->num_rows() == 0) return Status::OK();
+        Chunk out = stage == &in ? in : std::move(owned);
+        out.schema = p.output_schema;
+        run.collected[m].push_back(std::move(out));
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown pipeline sink");
+  }
+
+  /// Merges per-morsel results in ascending morsel order — the step
+  /// that makes every schedule (and thread count) bit-identical.
+  [[nodiscard]] Status Finish(PipelineRun& run) {
+    const Pipeline& p = *run.p;
+    // First failure in morsel order wins (deterministic error too).
+    for (Status& s : run.statuses) HANA_RETURN_IF_ERROR(s);
+    switch (p.sink) {
+      case Pipeline::SinkKind::kCollect: {
+        uint64_t rows = 0;
+        for (std::vector<Chunk>& morsel : run.collected) {
+          for (Chunk& chunk : morsel) {
+            rows += chunk.num_rows();
+            run.output.push_back(std::move(chunk));
+          }
+        }
+        run.collected.clear();
+        run.rows.fetch_add(rows, std::memory_order_relaxed);
+        return Status::OK();
+      }
+      case Pipeline::SinkKind::kGroups: {
+        GroupTable merged(&p.sink_op->group_by, &p.sink_op->aggregates);
+        for (std::unique_ptr<GroupTable>& partial : run.partials) {
+          if (partial != nullptr) merged.MergeFrom(*partial);
+        }
+        run.partials.clear();
+        merged.EnsureGlobalGroup();
+        size_t g = 0;
+        while (g < merged.num_groups()) {
+          Chunk out = Chunk::Empty(p.output_schema);
+          size_t end =
+              std::min(merged.num_groups(), g + storage::kDefaultChunkRows);
+          for (; g < end; ++g) out.AppendRow(merged.EmitRow(g));
+          run.output.push_back(std::move(out));
+        }
+        run.rows.store(merged.num_groups(), std::memory_order_relaxed);
+        return Status::OK();
+      }
+      case Pipeline::SinkKind::kJoinBuild:
+        return p.build_target->table->Finalize(
+            policy_.pool,
+            policy_.executor == ExecutorMode::kSerial ? 1 : policy_.dop);
+      case Pipeline::SinkKind::kSort: {
+        std::vector<std::vector<Value>> rows;
+        for (std::vector<Chunk>& morsel : run.collected) {
+          for (const Chunk& chunk : morsel) {
+            for (size_t r = 0; r < chunk.num_rows(); ++r) {
+              rows.push_back(chunk.Row(r));
+            }
+          }
+        }
+        run.collected.clear();
+        const std::vector<plan::SortKey>& keys = p.sink_op->sort_keys;
+        std::vector<std::vector<Value>> sort_keys(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          for (const plan::SortKey& k : keys) {
+            HANA_ASSIGN_OR_RETURN(Value v, EvalExprRow(*k.expr, rows[i]));
+            sort_keys[i].push_back(std::move(v));
+          }
+        }
+        std::vector<size_t> order(rows.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          for (size_t k = 0; k < keys.size(); ++k) {
+            int cmp = sort_keys[a][k].Compare(sort_keys[b][k]);
+            if (cmp != 0) return keys[k].ascending ? cmp < 0 : cmp > 0;
+          }
+          return false;
+        });
+        size_t emitted = 0;
+        while (emitted < order.size()) {
+          Chunk out = Chunk::Empty(p.output_schema);
+          size_t end =
+              std::min(order.size(), emitted + storage::kDefaultChunkRows);
+          for (; emitted < end; ++emitted) {
+            out.AppendRow(rows[order[emitted]]);
+          }
+          run.output.push_back(std::move(out));
+        }
+        run.rows.store(rows.size(), std::memory_order_relaxed);
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown pipeline sink");
+  }
+
+  PipelinePlan* plan_;
+  ExecContext* ctx_;
+  ParallelPolicy policy_;
+  std::vector<PipelineRun> runs_;
+  std::vector<std::vector<size_t>> dependents_;  // Immutable after ctor.
+
+  /// Guards the schedule. Acquired before the SDA dispatch bracket;
+  /// never held across TaskPool calls (Submit / TryRunOneTask).
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<size_t> pending_ GUARDED_BY(mu_);  // Unfinished dep counts.
+  std::vector<size_t> ready_ GUARDED_BY(mu_);
+  std::vector<char> done_ GUARDED_BY(mu_);
+  size_t done_count_ GUARDED_BY(mu_) = 0;
+  size_t in_flight_ GUARDED_BY(mu_) = 0;
+  bool region_open_ GUARDED_BY(mu_) = false;
+};
+
+/// Physical operator running a decomposed subtree through the pipeline
+/// executor; replaces the old single-fused-pipeline MorselPipelineOp.
+class SubPipelineOp : public PhysicalOp {
+ public:
+  SubPipelineOp(std::shared_ptr<Schema> schema, ExecContext* ctx,
+                PipelinePlan plan)
+      : PhysicalOp(std::move(schema)), ctx_(ctx), plan_(std::move(plan)) {}
+
+  Status Open() override {
+    chunks_.clear();
+    next_ = 0;
+    PipelineExecutor executor(&plan_, ctx_, ctx_->parallel_policy());
+    HANA_ASSIGN_OR_RETURN(chunks_, executor.Run(nullptr));
+    return Status::OK();
+  }
+
+  Result<std::optional<Chunk>> Next() override {
+    if (next_ >= chunks_.size()) return std::optional<Chunk>();
+    return std::optional<Chunk>(std::move(chunks_[next_++]));
+  }
+
+ private:
+  ExecContext* ctx_;
+  PipelinePlan plan_;
+  std::vector<Chunk> chunks_;
+  size_t next_ = 0;
+};
+
+void AnnotateNode(LogicalOp* op, const PipelinePlan& plan, int inherited) {
+  auto it = plan.op_pipeline.find(op);
+  int id = it != plan.op_pipeline.end() ? static_cast<int>(it->second)
+                                        : inherited;
+  op->pipeline_id = id;
+  for (const auto& child : op->children) AnnotateNode(child.get(), plan, id);
+}
+
+}  // namespace
+
+Result<PhysicalOpPtr> TrySubPipeline(const plan::LogicalOp& logical,
+                                     ExecContext* ctx) {
+  ParallelPolicy policy = ctx->parallel_policy();
+  if (policy.pool == nullptr) return PhysicalOpPtr();
+  PipelinePlan plan = DecomposePlan(logical, policy);
+  if (plan.trivial()) return PhysicalOpPtr();
+  return PhysicalOpPtr(
+      std::make_unique<SubPipelineOp>(logical.schema, ctx, std::move(plan)));
+}
+
+Result<storage::Table> ExecutePlanWithStats(const plan::LogicalOp& logical,
+                                            ExecContext* ctx,
+                                            std::vector<PipelineStats>* stats) {
+  if (stats != nullptr) stats->clear();
+  ParallelPolicy policy = ctx->parallel_policy();
+  if (policy.pool != nullptr) {
+    PipelinePlan plan = DecomposePlan(logical, policy);
+    if (!plan.trivial()) {
+      PipelineExecutor executor(&plan, ctx, policy);
+      HANA_ASSIGN_OR_RETURN(std::vector<Chunk> chunks, executor.Run(stats));
+      storage::Table table(plan.root().output_schema);
+      for (Chunk& chunk : chunks) table.AppendChunk(std::move(chunk));
+      return table;
+    }
+  }
+  HANA_ASSIGN_OR_RETURN(PhysicalOpPtr root, BuildPhysicalPlan(logical, ctx));
+  return DrainToTable(root.get());
+}
+
+Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
+                                   ExecContext* ctx) {
+  return ExecutePlanWithStats(logical, ctx, nullptr);
+}
+
+std::vector<plan::PipelineSummary> AnnotatePipelines(plan::LogicalOp* root,
+                                                     ExecContext* ctx) {
+  std::vector<plan::PipelineSummary> out;
+  ParallelPolicy policy = ctx->parallel_policy();
+  if (policy.pool == nullptr) return out;
+  PipelinePlan plan = DecomposePlan(*root, policy);
+  AnnotateNode(root, plan, static_cast<int>(plan.root().id));
+  for (const Pipeline& p : plan.pipelines) {
+    plan::PipelineSummary summary;
+    summary.id = static_cast<int>(p.id);
+    for (size_t d : p.deps) summary.deps.push_back(static_cast<int>(d));
+    summary.description = p.label;
+    out.push_back(std::move(summary));
+  }
+  return out;
+}
+
+}  // namespace hana::exec

@@ -1,0 +1,55 @@
+#ifndef HANA_EXEC_EXECUTOR_H_
+#define HANA_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "exec/operators.h"
+#include "plan/logical.h"
+
+namespace hana::exec {
+
+/// Per-pipeline execution counters collected by the pipeline executor
+/// (surfaced by the platform as `last_pipeline_stats()` for EXPLAIN and
+/// benchmarking). Counters never influence results.
+struct PipelineStats {
+  size_t id = 0;
+  std::string label;     // "scan lineitem -> probe -> aggregate".
+  size_t morsels = 0;    // Morsels the pipeline's source decomposed into.
+  uint64_t rows = 0;     // Rows the pipeline's sink emitted (or staged,
+                         // for join builds).
+  double wall_ms = 0.0;  // Launch-to-finish wall time.
+  double cpu_ms = 0.0;   // Summed task execution time (== wall time when
+                         // the pipeline ran inline).
+};
+
+/// ExecutePlan plus per-pipeline stats. When the context grants no pool
+/// (or the plan degenerates to a single opaque pipeline) the plan runs
+/// through the serial Volcano operators and `stats` stays empty.
+[[nodiscard]] Result<storage::Table> ExecutePlanWithStats(
+    const plan::LogicalOp& logical, ExecContext* ctx,
+    std::vector<PipelineStats>* stats);
+
+/// Stamps every node of `root` with the pipeline id the executor's
+/// decomposition assigns it (rendered by LogicalOp::ToString as a
+/// "[P<n>]" suffix) and returns one summary per pipeline for EXPLAIN.
+/// Purely structural — nothing executes and no counters move. Returns
+/// empty (and leaves the plan unstamped) when the context grants no
+/// pool, since the plan would run serially.
+std::vector<plan::PipelineSummary> AnnotatePipelines(plan::LogicalOp* root,
+                                                     ExecContext* ctx);
+
+/// Lowers `logical` to a physical operator that runs the subtree
+/// through the pipeline executor, or null when the context grants no
+/// pool or the decomposition degenerates to a single opaque serial
+/// pipeline (where the executor would only add overhead). The decision
+/// depends only on the plan shape and the policy flags — never on the
+/// degree of parallelism — so a query runs through the same operator at
+/// every thread count.
+[[nodiscard]] Result<PhysicalOpPtr> TrySubPipeline(
+    const plan::LogicalOp& logical, ExecContext* ctx);
+
+}  // namespace hana::exec
+
+#endif  // HANA_EXEC_EXECUTOR_H_

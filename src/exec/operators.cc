@@ -6,6 +6,8 @@
 
 #include "common/util.h"
 #include "exec/evaluator.h"
+#include "exec/executor.h"
+#include "exec/pipeline.h"
 #include "exec/radix_join.h"
 #include "storage/column_table.h"
 
@@ -18,12 +20,6 @@ using plan::JoinKind;
 using plan::LogicalKind;
 using plan::LogicalOp;
 using storage::ValueHash;
-
-size_t HashKey(const std::vector<Value>& key) {
-  size_t h = 0x12345;
-  for (const Value& v : key) h = HashCombine(h, v.Hash());
-  return h;
-}
 
 bool KeysEqualNonNull(const std::vector<Value>& a,
                       const std::vector<Value>& b) {
@@ -163,61 +159,48 @@ class LimitOp : public PhysicalOp {
   int64_t emitted_ = 0;
 };
 
-/// RAII bracket for concurrent federation dispatch (exception-safe).
-struct DispatchRegion {
-  explicit DispatchRegion(ExecContext* c) : ctx(c) {
-    ctx->BeginConcurrentRemoteDispatch();
-  }
-  ~DispatchRegion() { ctx->EndConcurrentRemoteDispatch(); }
-  ExecContext* ctx;
-};
-
+/// Serial union fallback: the pipeline executor turns a union's
+/// branches into independent pipelines, so this operator only runs when
+/// the context grants no pool (or the union sits under a LIMIT). It
+/// interleaves its children round-robin so one chunk-heavy branch
+/// cannot monopolize the stream and LIMIT cutoffs see every branch
+/// early.
 class UnionOp : public PhysicalOp {
  public:
-  UnionOp(std::shared_ptr<Schema> schema, std::vector<PhysicalOpPtr> children,
-          ExecContext* ctx)
-      : PhysicalOp(std::move(schema)),
-        children_(std::move(children)),
-        ctx_(ctx) {}
+  UnionOp(std::shared_ptr<Schema> schema, std::vector<PhysicalOpPtr> children)
+      : PhysicalOp(std::move(schema)), children_(std::move(children)) {}
 
   Status Open() override {
-    current_ = 0;
-    ParallelPolicy policy = ctx_->parallel_policy();
-    if (policy.pool != nullptr && policy.dop > 1 && children_.size() > 1) {
-      // Union Plan execution (Section 5): open every branch at once so
-      // remote latencies overlap — the SDA runtime charges virtual time
-      // as max over branches instead of their sum.
-      std::vector<Status> statuses(children_.size());
-      DispatchRegion region(ctx_);
-      policy.pool->ParallelFor(
-          children_.size(),
-          [&](size_t i) { statuses[i] = children_[i]->Open(); }, policy.dop);
-      for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
-      return Status::OK();
-    }
+    cursor_ = 0;
+    remaining_ = children_.size();
+    exhausted_.assign(children_.size(), false);
     for (auto& c : children_) HANA_RETURN_IF_ERROR(c->Open());
     return Status::OK();
   }
 
   Result<std::optional<Chunk>> Next() override {
-    while (current_ < children_.size()) {
-      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in,
-                            children_[current_]->Next());
+    while (remaining_ > 0) {
+      size_t i = cursor_;
+      cursor_ = (cursor_ + 1) % children_.size();
+      if (exhausted_[i]) continue;
+      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, children_[i]->Next());
       if (in.has_value()) {
         // Re-stamp with the union's schema (children may use different
         // qualified names).
         in->schema = schema_;
         return in;
       }
-      ++current_;
+      exhausted_[i] = true;
+      --remaining_;
     }
     return std::optional<Chunk>();
   }
 
  private:
   std::vector<PhysicalOpPtr> children_;
-  ExecContext* ctx_;
-  size_t current_ = 0;
+  std::vector<bool> exhausted_;
+  size_t cursor_ = 0;
+  size_t remaining_ = 0;
 };
 
 /// Materializes a child into boxed rows.
@@ -241,81 +224,8 @@ Result<std::vector<std::vector<Value>>> Materialize(PhysicalOp* op) {
 Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
                                         ExecContext* ctx, bool parallel_ok);
 
-/// The operator chain a MorselPipelineOp can absorb:
-/// Aggregate?(Project?(Join?(Filter?(Scan), build))). The probe side of
-/// a fused join is the chain continuing down to the scan; the build
-/// side is the join's other child (an arbitrary subtree).
-struct MorselPipeline {
-  const LogicalOp* aggregate = nullptr;
-  const LogicalOp* project = nullptr;
-  /// Hash-joinable join fused into the pipeline (null when absent).
-  const LogicalOp* join = nullptr;
-  /// The join's build-side subtree (the child not on the probe chain).
-  const LogicalOp* build = nullptr;
-  /// True when the optimizer marked the LEFT child as the build side
-  /// (inner joins only); the probe chain is then the right child.
-  bool build_is_left = false;
-  const LogicalOp* filter = nullptr;  // Probe-side filter, below join.
-  const LogicalOp* scan = nullptr;    // Probe scan.
-};
-
-std::optional<MorselPipeline> MatchMorselPipeline(const LogicalOp& op) {
-  MorselPipeline p;
-  const LogicalOp* cur = &op;
-  if (cur->kind == LogicalKind::kAggregate) {
-    p.aggregate = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind == LogicalKind::kProject && !cur->children.empty()) {
-    p.project = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind == LogicalKind::kJoin && cur->condition != nullptr &&
-      !cur->semijoin_pushdown && cur->children.size() == 2 &&
-      (cur->join_kind == JoinKind::kInner ||
-       cur->join_kind == JoinKind::kLeft ||
-       cur->join_kind == JoinKind::kSemi ||
-       cur->join_kind == JoinKind::kAnti)) {
-    p.join = cur;
-    p.build_is_left =
-        cur->join_kind == JoinKind::kInner && cur->build_left;
-    p.build = cur->children[p.build_is_left ? 0 : 1].get();
-    cur = cur->children[p.build_is_left ? 1 : 0].get();
-  }
-  if (cur->kind == LogicalKind::kFilter) {
-    p.filter = cur;
-    cur = cur->children[0].get();
-  }
-  if (cur->kind != LogicalKind::kScan) return std::nullopt;
-  p.scan = cur;
-  return p;
-}
-
-/// Chunk-at-a-time filter: keeps rows whose predicate is TRUE.
-Result<Chunk> FilterChunk(const BoundExpr& predicate, const Chunk& in) {
-  Chunk out = Chunk::Empty(in.schema);
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    HANA_ASSIGN_OR_RETURN(Value keep, EvalExpr(predicate, in, r));
-    if (keep.is_null() || !IsTruthy(keep)) continue;
-    out.AppendRowFrom(in, r);
-  }
-  return out;
-}
-
-/// Chunk-at-a-time projection into the project node's schema.
-Result<Chunk> ProjectChunk(const LogicalOp& project, const Chunk& in) {
-  Chunk out = Chunk::Empty(project.schema);
-  for (size_t r = 0; r < in.num_rows(); ++r) {
-    for (size_t c = 0; c < project.exprs.size(); ++c) {
-      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*project.exprs[c], in, r));
-      out.columns[c]->Append(v);
-    }
-  }
-  return out;
-}
-
 /// Shared probe logic for hash-based joins (serial row-at-a-time path;
-/// parallel plans run joins through MorselPipelineOp's radix join
+/// parallel plans run joins through the pipeline executor's radix join
 /// instead). With `build_left` (optimizer-selected, inner joins only)
 /// the LEFT child is built and the right child probes; output column
 /// order stays left++right either way.
@@ -497,210 +407,6 @@ class NestedLoopJoinOp : public PhysicalOp {
   std::vector<std::vector<Value>> build_rows_;
 };
 
-/// Aggregation state for one (group, aggregate) pair.
-struct AggState {
-  int64_t count = 0;
-  double sum_d = 0.0;
-  int64_t sum_i = 0;
-  bool any = false;
-  Value min_v;
-  Value max_v;
-  std::unique_ptr<std::unordered_set<Value, ValueHash>> distinct;
-};
-
-Value FinalizeAgg(const BoundExpr* agg, const AggState& st) {
-  switch (agg->agg_kind) {
-    case plan::AggKind::kCountStar:
-    case plan::AggKind::kCount:
-      return Value::Int(st.count);
-    case plan::AggKind::kSum:
-      if (!st.any) return Value::Null();
-      return agg->type == DataType::kDouble ? Value::Double(st.sum_d)
-                                            : Value::Int(st.sum_i);
-    case plan::AggKind::kAvg:
-      if (!st.any || st.count == 0) return Value::Null();
-      return Value::Double(st.sum_d / static_cast<double>(st.count));
-    case plan::AggKind::kMin:
-      return st.min_v;
-    case plan::AggKind::kMax:
-      return st.max_v;
-  }
-  return Value::Null();
-}
-
-/// Folds `src` into `dst`. DISTINCT aggregates re-accumulate the source
-/// set element by element so values seen by both partials are not
-/// double-counted.
-void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
-  if (agg.agg_kind == plan::AggKind::kCountStar) {
-    dst.count += src.count;
-    return;
-  }
-  if (agg.distinct) {
-    if (src.distinct == nullptr) return;
-    if (dst.distinct == nullptr) {
-      dst.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
-    }
-    for (const Value& v : *src.distinct) {
-      if (!dst.distinct->insert(v).second) continue;
-      dst.any = true;
-      switch (agg.agg_kind) {
-        case plan::AggKind::kCount:
-          ++dst.count;
-          break;
-        case plan::AggKind::kSum:
-        case plan::AggKind::kAvg:
-          ++dst.count;
-          dst.sum_d += v.AsDouble();
-          dst.sum_i += v.AsInt();
-          break;
-        case plan::AggKind::kMin:
-          if (dst.min_v.is_null() || v.Compare(dst.min_v) < 0) dst.min_v = v;
-          break;
-        case plan::AggKind::kMax:
-          if (dst.max_v.is_null() || v.Compare(dst.max_v) > 0) dst.max_v = v;
-          break;
-        default:
-          break;
-      }
-    }
-    return;
-  }
-  dst.count += src.count;
-  dst.sum_d += src.sum_d;
-  dst.sum_i += src.sum_i;
-  dst.any = dst.any || src.any;
-  if (!src.min_v.is_null() &&
-      (dst.min_v.is_null() || src.min_v.Compare(dst.min_v) < 0)) {
-    dst.min_v = src.min_v;
-  }
-  if (!src.max_v.is_null() &&
-      (dst.max_v.is_null() || src.max_v.Compare(dst.max_v) > 0)) {
-    dst.max_v = src.max_v;
-  }
-}
-
-/// Hash table mapping group keys to per-aggregate states; groups keep
-/// first-seen order. Shared by the serial HashAggregateOp and the
-/// per-morsel partial aggregation of the parallel pipeline.
-class GroupTable {
- public:
-  GroupTable(const std::vector<plan::BoundExprPtr>* group_by,
-             const std::vector<plan::BoundExprPtr>* aggregates)
-      : group_by_(group_by), aggregates_(aggregates) {}
-
-  size_t num_groups() const { return keys_.size(); }
-
-  Status Accumulate(const Chunk& chunk, size_t row) {
-    std::vector<Value> key;
-    key.reserve(group_by_->size());
-    for (const auto& g : *group_by_) {
-      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, row));
-      key.push_back(std::move(v));
-    }
-    std::vector<AggState>& states = states_[FindOrCreate(key)];
-    for (size_t a = 0; a < aggregates_->size(); ++a) {
-      const BoundExpr& agg = *(*aggregates_)[a];
-      AggState& st = states[a];
-      if (agg.agg_kind == plan::AggKind::kCountStar) {
-        ++st.count;
-        continue;
-      }
-      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.child0, chunk, row));
-      if (v.is_null()) continue;
-      if (agg.distinct) {
-        if (st.distinct == nullptr) {
-          st.distinct =
-              std::make_unique<std::unordered_set<Value, ValueHash>>();
-        }
-        if (!st.distinct->insert(v).second) continue;
-      }
-      st.any = true;
-      switch (agg.agg_kind) {
-        case plan::AggKind::kCount:
-          ++st.count;
-          break;
-        case plan::AggKind::kSum:
-        case plan::AggKind::kAvg:
-          ++st.count;
-          st.sum_d += v.AsDouble();
-          st.sum_i += v.AsInt();
-          break;
-        case plan::AggKind::kMin:
-          if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
-          break;
-        case plan::AggKind::kMax:
-          if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
-          break;
-        default:
-          break;
-      }
-    }
-    return Status::OK();
-  }
-
-  /// Folds `src` into this table, visiting src groups in their
-  /// first-seen order. Merging morsel partials in ascending morsel
-  /// order therefore reproduces the exact group order (and floating
-  /// point sums, morsel by morsel) of any other run with the same
-  /// morsel decomposition — the thread count never matters.
-  void MergeFrom(GroupTable& src) {
-    for (size_t g = 0; g < src.keys_.size(); ++g) {
-      std::vector<AggState>& states = states_[FindOrCreate(src.keys_[g])];
-      for (size_t a = 0; a < aggregates_->size(); ++a) {
-        MergeAggState(*(*aggregates_)[a], states[a], src.states_[g][a]);
-      }
-    }
-  }
-
-  /// A global aggregate over an empty input still emits one row.
-  void EnsureGlobalGroup() {
-    if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
-      keys_.push_back({});
-      states_.emplace_back(aggregates_->size());
-    }
-  }
-
-  /// Boxes group g as an output row: key values then finalized
-  /// aggregates.
-  std::vector<Value> EmitRow(size_t g) const {
-    std::vector<Value> row = keys_[g];
-    row.reserve(row.size() + aggregates_->size());
-    for (size_t a = 0; a < aggregates_->size(); ++a) {
-      row.push_back(FinalizeAgg((*aggregates_)[a].get(), states_[g][a]));
-    }
-    return row;
-  }
-
- private:
-  size_t FindOrCreate(const std::vector<Value>& key) {
-    size_t h = HashKey(key);
-    auto [lo, hi] = groups_.equal_range(h);
-    for (auto it = lo; it != hi; ++it) {
-      const std::vector<Value>& existing = keys_[it->second];
-      bool equal = true;
-      for (size_t i = 0; i < key.size(); ++i) {
-        if (key[i].Compare(existing[i]) != 0) {  // Group-by: NULL == NULL.
-          equal = false;
-          break;
-        }
-      }
-      if (equal) return it->second;
-    }
-    size_t group_index = keys_.size();
-    keys_.push_back(key);
-    states_.emplace_back(aggregates_->size());
-    groups_.emplace(h, group_index);
-    return group_index;
-  }
-
-  const std::vector<plan::BoundExprPtr>* group_by_;
-  const std::vector<plan::BoundExprPtr>* aggregates_;
-  std::unordered_multimap<size_t, size_t> groups_;
-  std::vector<std::vector<Value>> keys_;
-  std::vector<std::vector<AggState>> states_;
-};
-
 class HashAggregateOp : public PhysicalOp {
  public:
   HashAggregateOp(std::shared_ptr<Schema> schema, PhysicalOpPtr child,
@@ -743,317 +449,6 @@ class HashAggregateOp : public PhysicalOp {
   const std::vector<plan::BoundExprPtr>* aggregates_;
   GroupTable table_;
   size_t emitted_ = 0;
-};
-
-/// Morsel-driven parallel pipeline: partitioned scan → [filter] →
-/// [radix hash join] → [project] → [partial aggregate], one task per
-/// morsel. The morsel decomposition, per-morsel processing and the
-/// merge/emission order are all fixed by the plan, so output is
-/// bit-identical for any degree of parallelism (including 1).
-///
-/// With a fused join, Open() first builds a RadixJoinTable over the
-/// build subtree (morsel-parallel when that subtree is itself a
-/// partitioned scan chain, else a serial drain), then probes it from
-/// the pipeline's scan morsels. Probe workers reuse per-worker-slot key
-/// scratch; which slot runs which morsel varies with scheduling, but
-/// every per-morsel result depends only on the morsel index.
-class MorselPipelineOp : public PhysicalOp {
- public:
-  MorselPipelineOp(std::shared_ptr<Schema> schema, ExecContext* ctx,
-                   MorselPipeline pipeline)
-      : PhysicalOp(std::move(schema)), ctx_(ctx), p_(pipeline) {}
-
-  Status Open() override {
-    chunks_.clear();
-    merged_.reset();
-    join_table_.reset();
-    emitted_groups_ = 0;
-    emit_morsel_ = 0;
-    emit_chunk_ = 0;
-    ParallelPolicy policy = ctx_->parallel_policy();
-    HANA_ASSIGN_OR_RETURN(
-        std::optional<PartitionSource> source,
-        ctx_->OpenPartitionedScan(*p_.scan, policy.morsel_rows));
-    if (!source.has_value()) {
-      return Status::Internal("morsel pipeline over a non-partitioned scan");
-    }
-    if (p_.join != nullptr) HANA_RETURN_IF_ERROR(BuildJoinTable(policy));
-    size_t n = source->num_morsels;
-    std::vector<std::unique_ptr<GroupTable>> partials(p_.aggregate ? n : 0);
-    chunks_.assign(n, {});
-    std::vector<Status> statuses(n);
-    bool parallel = policy.pool != nullptr && policy.dop > 1 && n > 1;
-    probe_scratch_.assign(
-        parallel ? policy.pool->WorkerSlots(n, policy.dop) : 1,
-        RadixJoinTable::ProbeKeys{});
-    auto run_morsel = [&](size_t worker, size_t m) {
-      GroupTable* partial = nullptr;
-      if (p_.aggregate != nullptr) {
-        partials[m] = std::make_unique<GroupTable>(&p_.aggregate->group_by,
-                                                   &p_.aggregate->aggregates);
-        partial = partials[m].get();
-      }
-      statuses[m] = ProcessMorsel(*source, m, partial, &chunks_[m], worker);
-    };
-    if (parallel) {
-      policy.pool->ParallelForWorker(n, run_morsel, policy.dop);
-    } else {
-      for (size_t m = 0; m < n; ++m) run_morsel(0, m);
-    }
-    // First failure in morsel order wins (deterministic error too).
-    for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
-    if (p_.aggregate != nullptr) {
-      merged_ = std::make_unique<GroupTable>(&p_.aggregate->group_by,
-                                             &p_.aggregate->aggregates);
-      for (auto& partial : partials) merged_->MergeFrom(*partial);
-      merged_->EnsureGlobalGroup();
-      chunks_.clear();
-    }
-    join_table_.reset();  // Probe finished; release the build side.
-    probe_scratch_.clear();
-    return Status::OK();
-  }
-
-  Result<std::optional<Chunk>> Next() override {
-    if (merged_ != nullptr) {
-      if (emitted_groups_ >= merged_->num_groups()) {
-        return std::optional<Chunk>();
-      }
-      Chunk out = Chunk::Empty(schema_);
-      size_t end = std::min(merged_->num_groups(),
-                            emitted_groups_ + storage::kDefaultChunkRows);
-      for (size_t g = emitted_groups_; g < end; ++g) {
-        out.AppendRow(merged_->EmitRow(g));
-      }
-      emitted_groups_ = end;
-      return std::optional<Chunk>(std::move(out));
-    }
-    while (emit_morsel_ < chunks_.size()) {
-      if (emit_chunk_ < chunks_[emit_morsel_].size()) {
-        return std::optional<Chunk>(
-            std::move(chunks_[emit_morsel_][emit_chunk_++]));
-      }
-      ++emit_morsel_;
-      emit_chunk_ = 0;
-    }
-    return std::optional<Chunk>();
-  }
-
- private:
-  /// Builds the radix hash table over the join's build subtree. When
-  /// the subtree is itself a morsel-scannable chain over a partitioned
-  /// table, build morsels are partitioned in parallel (one staging
-  /// buffer set per morsel — no locks); otherwise the subtree's
-  /// physical plan is drained serially as a single morsel. Partition
-  /// finalization parallelizes over the radix partitions either way.
-  Status BuildJoinTable(const ParallelPolicy& policy) {
-    size_t left_arity = p_.join->children[0]->schema->num_columns();
-    join_parts_ = plan::AnalyzeJoinCondition(*p_.join->condition, left_arity);
-    if (join_parts_.equi_keys.empty()) {
-      return Status::Internal("morsel join pipeline without equi keys");
-    }
-    bool vectorized = plan::EquiKeysVectorizable(join_parts_);
-    std::vector<const BoundExpr*> build_keys;
-    probe_key_exprs_.clear();
-    for (const auto& ek : join_parts_.equi_keys) {
-      build_keys.push_back(p_.build_is_left ? ek.left.get() : ek.right.get());
-      probe_key_exprs_.push_back(p_.build_is_left ? ek.right.get()
-                                                  : ek.left.get());
-    }
-    join_table_ = std::make_unique<RadixJoinTable>(
-        p_.build->schema, std::move(build_keys), vectorized);
-    if (!vectorized) {
-      GlobalJoinExecStats().boxed_key_builds.fetch_add(
-          1, std::memory_order_relaxed);
-    }
-    std::optional<MorselPipeline> bp = MatchMorselPipeline(*p_.build);
-    if (bp.has_value() && bp->join == nullptr && bp->aggregate == nullptr &&
-        policy.pool != nullptr) {
-      HANA_ASSIGN_OR_RETURN(
-          std::optional<PartitionSource> bsource,
-          ctx_->OpenPartitionedScan(*bp->scan, policy.morsel_rows));
-      if (bsource.has_value()) {
-        size_t n = bsource->num_morsels;
-        join_table_->SetNumMorsels(n);
-        std::vector<Status> statuses(n);
-        auto build_morsel = [&](size_t m) {
-          Status inner = Status::OK();
-          Status scan_status = bsource->scan_morsel(m, [&](const Chunk& in) {
-            inner = [&]() -> Status {
-              const Chunk* stage = &in;
-              Chunk owned;
-              if (bp->filter != nullptr) {
-                HANA_ASSIGN_OR_RETURN(
-                    owned, FilterChunk(*bp->filter->predicate, *stage));
-                stage = &owned;
-              }
-              if (bp->project != nullptr) {
-                HANA_ASSIGN_OR_RETURN(owned,
-                                      ProjectChunk(*bp->project, *stage));
-                stage = &owned;
-              }
-              return join_table_->AddBuildChunk(m, *stage);
-            }();
-            return inner.ok();
-          });
-          statuses[m] = inner.ok() ? scan_status : inner;
-        };
-        if (policy.dop > 1 && n > 1) {
-          policy.pool->ParallelFor(n, build_morsel, policy.dop);
-        } else {
-          for (size_t m = 0; m < n; ++m) build_morsel(m);
-        }
-        for (Status& s : statuses) HANA_RETURN_IF_ERROR(s);
-        return join_table_->Finalize(policy.pool, policy.dop);
-      }
-    }
-    // Serial drain: the whole build side counts as one morsel, so the
-    // concatenation order is trivially the drain order.
-    HANA_ASSIGN_OR_RETURN(PhysicalOpPtr build_op,
-                          BuildPhysicalImpl(*p_.build, ctx_, true));
-    HANA_RETURN_IF_ERROR(build_op->Open());
-    join_table_->SetNumMorsels(1);
-    while (true) {
-      HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, build_op->Next());
-      if (!chunk.has_value()) break;
-      HANA_RETURN_IF_ERROR(join_table_->AddBuildChunk(0, *chunk));
-    }
-    return join_table_->Finalize(policy.pool, policy.dop);
-  }
-
-  /// Probes one (already filtered) scan chunk against the radix table,
-  /// emitting joined rows in probe-row order with matches per probe row
-  /// in ascending build-row order. Output columns keep the join's
-  /// left++right layout regardless of which side built.
-  Result<Chunk> ProbeChunk(const Chunk& probe, size_t worker) {
-    RadixJoinTable::ProbeKeys& scratch = probe_scratch_[worker];
-    HANA_RETURN_IF_ERROR(
-        join_table_->ComputeProbeKeys(probe, probe_key_exprs_, &scratch));
-    JoinKind kind = p_.join->join_kind;
-    Chunk out = Chunk::Empty(p_.join->schema);
-    size_t probe_width = probe.num_columns();
-    size_t build_width = out.num_columns() > probe_width
-                             ? out.num_columns() - probe_width
-                             : 0;  // Semi/anti emit probe columns only.
-    size_t probe_off = p_.build_is_left ? build_width : 0;
-    size_t build_off = p_.build_is_left ? 0 : probe_width;
-    const BoundExpr* residual = join_parts_.residual.get();
-    for (size_t r = 0; r < probe.num_rows(); ++r) {
-      bool matched = false;
-      Status status = Status::OK();
-      join_table_->ForEachMatch(
-          scratch, r,
-          [&](const RadixJoinTable::Partition& part, size_t b) {
-            if (residual != nullptr) {
-              std::vector<Value> combined =
-                  p_.build_is_left ? part.payload.Row(b) : probe.Row(r);
-              std::vector<Value> tail =
-                  p_.build_is_left ? probe.Row(r) : part.payload.Row(b);
-              combined.insert(combined.end(),
-                              std::make_move_iterator(tail.begin()),
-                              std::make_move_iterator(tail.end()));
-              Result<Value> keep = EvalExprRow(*residual, combined);
-              if (!keep.ok()) {
-                status = keep.status();
-                return false;
-              }
-              if (keep->is_null() || !IsTruthy(*keep)) return true;
-            }
-            matched = true;
-            switch (kind) {
-              case JoinKind::kInner:
-              case JoinKind::kLeft:
-                for (size_t c = 0; c < probe_width; ++c) {
-                  out.columns[probe_off + c]->AppendFrom(*probe.columns[c],
-                                                         r);
-                }
-                for (size_t c = 0; c < build_width; ++c) {
-                  out.columns[build_off + c]->AppendFrom(
-                      *part.payload.columns[c], b);
-                }
-                return true;
-              case JoinKind::kSemi:
-                out.AppendRowFrom(probe, r);
-                return false;  // Existence established.
-              default:
-                return false;  // kAnti: first match disqualifies.
-            }
-          });
-      HANA_RETURN_IF_ERROR(status);
-      if (!matched) {
-        if (kind == JoinKind::kAnti) {
-          out.AppendRowFrom(probe, r);
-        } else if (kind == JoinKind::kLeft) {
-          for (size_t c = 0; c < probe_width; ++c) {
-            out.columns[c]->AppendFrom(*probe.columns[c], r);
-          }
-          for (size_t c = 0; c < build_width; ++c) {
-            out.columns[probe_width + c]->AppendNull();
-          }
-        }
-      }
-    }
-    return out;
-  }
-
-  Status ProcessMorsel(const PartitionSource& source, size_t m,
-                       GroupTable* partial, std::vector<Chunk>* out_chunks,
-                       size_t worker) {
-    Status inner = Status::OK();
-    Status scan_status = source.scan_morsel(m, [&](const Chunk& in) {
-      inner = ProcessChunk(in, partial, out_chunks, worker);
-      return inner.ok();
-    });
-    HANA_RETURN_IF_ERROR(inner);
-    return scan_status;
-  }
-
-  /// Runs the filter/join/project stages over one scanned chunk, then
-  /// either folds the rows into the morsel's partial aggregate or
-  /// stores the chunk for ordered emission.
-  Status ProcessChunk(const Chunk& in, GroupTable* partial,
-                      std::vector<Chunk>* out_chunks, size_t worker) {
-    Chunk owned;
-    const Chunk* stage = &in;
-    if (p_.filter != nullptr) {
-      HANA_ASSIGN_OR_RETURN(owned, FilterChunk(*p_.filter->predicate, *stage));
-      stage = &owned;
-    }
-    if (p_.join != nullptr) {
-      HANA_ASSIGN_OR_RETURN(owned, ProbeChunk(*stage, worker));
-      stage = &owned;
-    }
-    if (p_.project != nullptr) {
-      HANA_ASSIGN_OR_RETURN(owned, ProjectChunk(*p_.project, *stage));
-      stage = &owned;
-    }
-    if (partial != nullptr) {
-      for (size_t r = 0; r < stage->num_rows(); ++r) {
-        HANA_RETURN_IF_ERROR(partial->Accumulate(*stage, r));
-      }
-      return Status::OK();
-    }
-    if (stage->num_rows() == 0) return Status::OK();
-    Chunk out = stage == &in ? in : std::move(owned);
-    out.schema = schema_;
-    out_chunks->push_back(std::move(out));
-    return Status::OK();
-  }
-
-  ExecContext* ctx_;
-  MorselPipeline p_;
-  // Join runtime state, alive only during Open().
-  std::unique_ptr<RadixJoinTable> join_table_;
-  plan::JoinConditionParts join_parts_;
-  std::vector<const BoundExpr*> probe_key_exprs_;
-  std::vector<RadixJoinTable::ProbeKeys> probe_scratch_;  // One per slot.
-  // Per-morsel output chunks (streaming pipelines), emitted in morsel
-  // order; or the merged group table (aggregating pipelines).
-  std::vector<std::vector<Chunk>> chunks_;
-  std::unique_ptr<GroupTable> merged_;
-  size_t emitted_groups_ = 0;
-  size_t emit_morsel_ = 0;
-  size_t emit_chunk_ = 0;
 };
 
 class SortOp : public PhysicalOp {
@@ -1248,44 +643,12 @@ class PushdownJoinOp : public PhysicalOp {
   size_t emitted_ = 0;
 };
 
-/// Lowers `logical` to a MorselPipelineOp when the host context grants a
-/// pool and can decompose the probe scan into morsels; null otherwise.
-/// The decision depends only on the plan shape, the policy flags and the
-/// scan target — never on the degree of parallelism — so a query runs
-/// through the same operator at every thread count. Join pipelines are
-/// additionally gated on policy.parallel_join and a usable equi key.
-Result<PhysicalOpPtr> TryMorselPipeline(const plan::LogicalOp& logical,
-                                        ExecContext* ctx) {
-  std::optional<MorselPipeline> p = MatchMorselPipeline(logical);
-  if (!p.has_value()) return PhysicalOpPtr();
-  ParallelPolicy policy = ctx->parallel_policy();
-  if (policy.pool == nullptr) return PhysicalOpPtr();
-  if (p->join != nullptr) {
-    if (!policy.parallel_join) return PhysicalOpPtr();
-    size_t left_arity = p->join->children[0]->schema->num_columns();
-    plan::JoinConditionParts parts =
-        plan::AnalyzeJoinCondition(*p->join->condition, left_arity);
-    if (parts.equi_keys.empty()) return PhysicalOpPtr();
-  }
-  HANA_ASSIGN_OR_RETURN(
-      std::optional<PartitionSource> source,
-      ctx->OpenPartitionedScan(*p->scan, policy.morsel_rows));
-  if (!source.has_value()) return PhysicalOpPtr();
-  if (p->join != nullptr) {
-    GlobalJoinExecStats().radix_hash_joins.fetch_add(
-        1, std::memory_order_relaxed);
-  }
-  return PhysicalOpPtr(
-      std::make_unique<MorselPipelineOp>(logical.schema, ctx, *p));
-}
-
 Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
                                         ExecContext* ctx, bool parallel_ok) {
   switch (logical.kind) {
     case LogicalKind::kScan:
       if (parallel_ok) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
-                              TryMorselPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
         if (op != nullptr) return op;
       }
       return PhysicalOpPtr(std::make_unique<StreamOp>(
@@ -1305,8 +668,7 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     }
     case LogicalKind::kFilter: {
       if (parallel_ok) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
-                              TryMorselPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
         if (op != nullptr) return op;
       }
       HANA_ASSIGN_OR_RETURN(
@@ -1317,8 +679,7 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     }
     case LogicalKind::kProject: {
       if (parallel_ok && !logical.children.empty()) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
-                              TryMorselPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
         if (op != nullptr) return op;
       }
       PhysicalOpPtr child;
@@ -1331,10 +692,9 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     }
     case LogicalKind::kJoin: {
       // The join build is blocking but its probe streams lazily, so the
-      // eager morsel pipeline is only eligible when not under a LIMIT.
+      // eager pipeline executor is only eligible when not under a LIMIT.
       if (parallel_ok && !logical.semijoin_pushdown) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
-                              TryMorselPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
         if (op != nullptr) return op;
       }
       HANA_ASSIGN_OR_RETURN(
@@ -1373,7 +733,7 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     case LogicalKind::kAggregate: {
       // Aggregation is blocking, so the pipeline is eligible even under
       // a LIMIT.
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TryMorselPipeline(logical, ctx));
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
       if (op != nullptr) return op;
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
@@ -1404,7 +764,7 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
         children.push_back(std::move(child));
       }
       return PhysicalOpPtr(std::make_unique<UnionOp>(
-          logical.schema, std::move(children), ctx));
+          logical.schema, std::move(children)));
     }
   }
   return Status::Internal("unknown logical operator");
@@ -1426,12 +786,6 @@ Result<storage::Table> DrainToTable(PhysicalOp* op) {
     table.AppendChunk(std::move(*chunk));
   }
   return table;
-}
-
-Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,
-                                   ExecContext* ctx) {
-  HANA_ASSIGN_OR_RETURN(PhysicalOpPtr root, BuildPhysicalPlan(logical, ctx));
-  return DrainToTable(root.get());
 }
 
 }  // namespace hana::exec

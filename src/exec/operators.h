@@ -26,16 +26,34 @@ struct PushdownInList {
   std::vector<Value> values;
 };
 
+/// The single source of truth for the rows-per-morsel default. The
+/// platform `morsel_rows` knob and ParallelPolicy both reference this
+/// constant instead of repeating the literal.
+inline constexpr size_t kDefaultMorselRows = 16384;
+
+/// How ExecutePlan drives the pipeline DAG (the `executor` platform
+/// knob). All three modes share one plan decomposition and one
+/// morsel-order merge, so their results are bit-identical; only the
+/// scheduling differs.
+enum class ExecutorMode {
+  kSerial,    // Pipelines in dependency order, morsels inline.
+  kFused,     // One pipeline at a time, morsels in parallel (the old
+              // single-fused-pipeline engine's schedule).
+  kPipeline,  // Ready pipelines scheduled concurrently on the pool.
+};
+
 /// Degree-of-parallelism policy the hosting platform grants the
 /// executor. A null pool (the default) keeps every operator serial.
 struct ParallelPolicy {
   TaskPool* pool = nullptr;
-  size_t dop = 1;             // Worker budget per parallel region.
-  size_t morsel_rows = 16384; // Rows per morsel for partitioned scans.
-  /// Allow joins to fuse into the morsel pipeline (radix hash join).
+  size_t dop = 1;  // Worker budget per parallel region.
+  size_t morsel_rows = kDefaultMorselRows;  // Rows per partitioned-scan morsel.
+  /// Allow joins to fuse into morsel pipelines (radix hash join).
   /// Off forces the serial row-at-a-time hash join, regardless of dop;
-  /// scans and aggregates stay eligible for the pipeline either way.
+  /// scans and aggregates stay eligible for pipelines either way.
   bool parallel_join = true;
+  /// Pipeline scheduling mode (ignored when pool is null).
+  ExecutorMode executor = ExecutorMode::kPipeline;
 };
 
 /// A base-table scan decomposed into fixed, contiguous morsels. The

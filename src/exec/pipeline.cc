@@ -1,0 +1,483 @@
+#include "exec/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "exec/evaluator.h"
+
+namespace hana::exec {
+
+namespace {
+
+using plan::BoundExpr;
+using plan::JoinKind;
+using plan::LogicalKind;
+using plan::LogicalOp;
+using storage::ValueHash;
+
+}  // namespace
+
+Result<Chunk> FilterChunk(const BoundExpr& predicate, const Chunk& in) {
+  Chunk out = Chunk::Empty(in.schema);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    HANA_ASSIGN_OR_RETURN(Value keep, EvalExpr(predicate, in, r));
+    if (keep.is_null() || !IsTruthy(keep)) continue;
+    out.AppendRowFrom(in, r);
+  }
+  return out;
+}
+
+Result<Chunk> ProjectChunk(const LogicalOp& project, const Chunk& in) {
+  Chunk out = Chunk::Empty(project.schema);
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    for (size_t c = 0; c < project.exprs.size(); ++c) {
+      HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*project.exprs[c], in, r));
+      out.columns[c]->Append(v);
+    }
+  }
+  return out;
+}
+
+Value FinalizeAgg(const BoundExpr* agg, const AggState& st) {
+  switch (agg->agg_kind) {
+    case plan::AggKind::kCountStar:
+    case plan::AggKind::kCount:
+      return Value::Int(st.count);
+    case plan::AggKind::kSum:
+      if (!st.any) return Value::Null();
+      return agg->type == DataType::kDouble ? Value::Double(st.sum_d)
+                                            : Value::Int(st.sum_i);
+    case plan::AggKind::kAvg:
+      if (!st.any || st.count == 0) return Value::Null();
+      return Value::Double(st.sum_d / static_cast<double>(st.count));
+    case plan::AggKind::kMin:
+      return st.min_v;
+    case plan::AggKind::kMax:
+      return st.max_v;
+  }
+  return Value::Null();
+}
+
+void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
+  if (agg.agg_kind == plan::AggKind::kCountStar) {
+    dst.count += src.count;
+    return;
+  }
+  if (agg.distinct) {
+    if (src.distinct == nullptr) return;
+    if (dst.distinct == nullptr) {
+      dst.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
+    }
+    for (const Value& v : *src.distinct) {
+      if (!dst.distinct->insert(v).second) continue;
+      dst.any = true;
+      switch (agg.agg_kind) {
+        case plan::AggKind::kCount:
+          ++dst.count;
+          break;
+        case plan::AggKind::kSum:
+        case plan::AggKind::kAvg:
+          ++dst.count;
+          dst.sum_d += v.AsDouble();
+          dst.sum_i += v.AsInt();
+          break;
+        case plan::AggKind::kMin:
+          if (dst.min_v.is_null() || v.Compare(dst.min_v) < 0) dst.min_v = v;
+          break;
+        case plan::AggKind::kMax:
+          if (dst.max_v.is_null() || v.Compare(dst.max_v) > 0) dst.max_v = v;
+          break;
+        default:
+          break;
+      }
+    }
+    return;
+  }
+  dst.count += src.count;
+  dst.sum_d += src.sum_d;
+  dst.sum_i += src.sum_i;
+  dst.any = dst.any || src.any;
+  if (!src.min_v.is_null() &&
+      (dst.min_v.is_null() || src.min_v.Compare(dst.min_v) < 0)) {
+    dst.min_v = src.min_v;
+  }
+  if (!src.max_v.is_null() &&
+      (dst.max_v.is_null() || src.max_v.Compare(dst.max_v) > 0)) {
+    dst.max_v = src.max_v;
+  }
+}
+
+Status GroupTable::Accumulate(const Chunk& chunk, size_t row) {
+  std::vector<Value> key;
+  key.reserve(group_by_->size());
+  for (const auto& g : *group_by_) {
+    HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, row));
+    key.push_back(std::move(v));
+  }
+  std::vector<AggState>& states = states_[FindOrCreate(key)];
+  for (size_t a = 0; a < aggregates_->size(); ++a) {
+    const BoundExpr& agg = *(*aggregates_)[a];
+    AggState& st = states[a];
+    if (agg.agg_kind == plan::AggKind::kCountStar) {
+      ++st.count;
+      continue;
+    }
+    HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.child0, chunk, row));
+    if (v.is_null()) continue;
+    if (agg.distinct) {
+      if (st.distinct == nullptr) {
+        st.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
+      }
+      if (!st.distinct->insert(v).second) continue;
+    }
+    st.any = true;
+    switch (agg.agg_kind) {
+      case plan::AggKind::kCount:
+        ++st.count;
+        break;
+      case plan::AggKind::kSum:
+      case plan::AggKind::kAvg:
+        ++st.count;
+        st.sum_d += v.AsDouble();
+        st.sum_i += v.AsInt();
+        break;
+      case plan::AggKind::kMin:
+        if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
+        break;
+      case plan::AggKind::kMax:
+        if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
+        break;
+      default:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+void GroupTable::MergeFrom(GroupTable& src) {
+  for (size_t g = 0; g < src.keys_.size(); ++g) {
+    std::vector<AggState>& states = states_[FindOrCreate(src.keys_[g])];
+    for (size_t a = 0; a < aggregates_->size(); ++a) {
+      MergeAggState(*(*aggregates_)[a], states[a], src.states_[g][a]);
+    }
+  }
+}
+
+void GroupTable::EnsureGlobalGroup() {
+  if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
+    keys_.push_back({});
+    states_.emplace_back(aggregates_->size());
+  }
+}
+
+std::vector<Value> GroupTable::EmitRow(size_t g) const {
+  std::vector<Value> row = keys_[g];
+  row.reserve(row.size() + aggregates_->size());
+  for (size_t a = 0; a < aggregates_->size(); ++a) {
+    row.push_back(FinalizeAgg((*aggregates_)[a].get(), states_[g][a]));
+  }
+  return row;
+}
+
+size_t GroupTable::FindOrCreate(const std::vector<Value>& key) {
+  size_t h = HashKey(key);
+  auto [lo, hi] = groups_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const std::vector<Value>& existing = keys_[it->second];
+    bool equal = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i].Compare(existing[i]) != 0) {  // Group-by: NULL == NULL.
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return it->second;
+  }
+  size_t group_index = keys_.size();
+  keys_.push_back(key);
+  states_.emplace_back(aggregates_->size());
+  groups_.emplace(h, group_index);
+  return group_index;
+}
+
+Result<Chunk> ProbeJoinChunk(const JoinBuildState& state, const Chunk& probe,
+                             RadixJoinTable::ProbeKeys* scratch) {
+  HANA_RETURN_IF_ERROR(
+      state.table->ComputeProbeKeys(probe, state.probe_key_exprs, scratch));
+  JoinKind kind = state.join->join_kind;
+  Chunk out = Chunk::Empty(state.join->schema);
+  size_t probe_width = probe.num_columns();
+  size_t build_width = out.num_columns() > probe_width
+                           ? out.num_columns() - probe_width
+                           : 0;  // Semi/anti emit probe columns only.
+  size_t probe_off = state.build_is_left ? build_width : 0;
+  size_t build_off = state.build_is_left ? 0 : probe_width;
+  const BoundExpr* residual = state.parts.residual.get();
+  for (size_t r = 0; r < probe.num_rows(); ++r) {
+    bool matched = false;
+    Status status = Status::OK();
+    state.table->ForEachMatch(
+        *scratch, r,
+        [&](const RadixJoinTable::Partition& part, size_t b) {
+          if (residual != nullptr) {
+            std::vector<Value> combined =
+                state.build_is_left ? part.payload.Row(b) : probe.Row(r);
+            std::vector<Value> tail =
+                state.build_is_left ? probe.Row(r) : part.payload.Row(b);
+            combined.insert(combined.end(),
+                            std::make_move_iterator(tail.begin()),
+                            std::make_move_iterator(tail.end()));
+            Result<Value> keep = EvalExprRow(*residual, combined);
+            if (!keep.ok()) {
+              status = keep.status();
+              return false;
+            }
+            if (keep->is_null() || !IsTruthy(*keep)) return true;
+          }
+          matched = true;
+          switch (kind) {
+            case JoinKind::kInner:
+            case JoinKind::kLeft:
+              for (size_t c = 0; c < probe_width; ++c) {
+                out.columns[probe_off + c]->AppendFrom(*probe.columns[c], r);
+              }
+              for (size_t c = 0; c < build_width; ++c) {
+                out.columns[build_off + c]->AppendFrom(
+                    *part.payload.columns[c], b);
+              }
+              return true;
+            case JoinKind::kSemi:
+              out.AppendRowFrom(probe, r);
+              return false;  // Existence established.
+            default:
+              return false;  // kAnti: first match disqualifies.
+          }
+        });
+    HANA_RETURN_IF_ERROR(status);
+    if (!matched) {
+      if (kind == JoinKind::kAnti) {
+        out.AppendRowFrom(probe, r);
+      } else if (kind == JoinKind::kLeft) {
+        for (size_t c = 0; c < probe_width; ++c) {
+          out.columns[c]->AppendFrom(*probe.columns[c], r);
+        }
+        for (size_t c = 0; c < build_width; ++c) {
+          out.columns[probe_width + c]->AppendNull();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+const char* KindLabel(LogicalKind kind) {
+  switch (kind) {
+    case LogicalKind::kScan:
+      return "scan";
+    case LogicalKind::kTableFunctionScan:
+      return "table function";
+    case LogicalKind::kFilter:
+      return "filter";
+    case LogicalKind::kProject:
+      return "project";
+    case LogicalKind::kJoin:
+      return "join";
+    case LogicalKind::kAggregate:
+      return "aggregate";
+    case LogicalKind::kSort:
+      return "sort";
+    case LogicalKind::kLimit:
+      return "limit";
+    case LogicalKind::kUnion:
+      return "union";
+    case LogicalKind::kRemoteQuery:
+      return "remote query";
+  }
+  return "?";
+}
+
+/// Recursive plan splitter. Pipelines are appended post-order, so every
+/// dependency has a smaller id and the root pipeline comes out last.
+struct Decomposer {
+  const ParallelPolicy& policy;
+  PipelinePlan plan;
+
+  /// A join the executor can run as build pipeline + probe stage. The
+  /// decision is purely structural (plan shape + policy flags) so it is
+  /// identical at every degree of parallelism.
+  bool JoinEligible(const LogicalOp& op, plan::JoinConditionParts* parts) const {
+    if (op.kind != LogicalKind::kJoin || op.condition == nullptr ||
+        op.semijoin_pushdown || op.children.size() != 2) {
+      return false;
+    }
+    if (op.join_kind != JoinKind::kInner && op.join_kind != JoinKind::kLeft &&
+        op.join_kind != JoinKind::kSemi && op.join_kind != JoinKind::kAnti) {
+      return false;
+    }
+    if (!policy.parallel_join) return false;
+    size_t left_arity = op.children[0]->schema->num_columns();
+    *parts = plan::AnalyzeJoinCondition(*op.condition, left_arity);
+    return !parts->equi_keys.empty();
+  }
+
+  /// Decomposes the subtree rooted at `node` into pipelines producing
+  /// its collected output; peels a top aggregate/sort into the sink.
+  size_t Subtree(const LogicalOp& node) {
+    if (node.kind == LogicalKind::kAggregate) {
+      return Build(*node.children[0], Pipeline::SinkKind::kGroups, &node,
+                   nullptr);
+    }
+    if (node.kind == LogicalKind::kSort) {
+      return Build(*node.children[0], Pipeline::SinkKind::kSort, &node,
+                   nullptr);
+    }
+    return Build(node, Pipeline::SinkKind::kCollect, nullptr, nullptr);
+  }
+
+  /// Builds one pipeline whose stage chain starts at `top` and ends in
+  /// the given sink; returns its id.
+  size_t Build(const LogicalOp& top, Pipeline::SinkKind sink,
+               const LogicalOp* sink_op, JoinBuildState* build_target) {
+    Pipeline p;
+    std::vector<size_t> deps;
+    // Walk the streaming chain top-down (stages reversed afterwards so
+    // they run innermost-first).
+    const LogicalOp* cur = &top;
+    while (true) {
+      if (cur->kind == LogicalKind::kFilter) {
+        p.stages.push_back({PipelineStage::Kind::kFilter, cur, nullptr});
+        cur = cur->children[0].get();
+        continue;
+      }
+      if (cur->kind == LogicalKind::kProject && !cur->children.empty()) {
+        p.stages.push_back({PipelineStage::Kind::kProject, cur, nullptr});
+        cur = cur->children[0].get();
+        continue;
+      }
+      plan::JoinConditionParts parts;
+      if (JoinEligible(*cur, &parts)) {
+        auto state = std::make_unique<JoinBuildState>();
+        JoinBuildState* raw = state.get();
+        raw->join = cur;
+        raw->build_is_left =
+            cur->join_kind == JoinKind::kInner && cur->build_left;
+        raw->build = cur->children[raw->build_is_left ? 0 : 1].get();
+        raw->parts = std::move(parts);
+        for (const auto& ek : raw->parts.equi_keys) {
+          raw->build_key_exprs.push_back(
+              raw->build_is_left ? ek.left.get() : ek.right.get());
+          raw->probe_key_exprs.push_back(
+              raw->build_is_left ? ek.right.get() : ek.left.get());
+        }
+        plan.builds.push_back(std::move(state));
+        deps.push_back(
+            Build(*raw->build, Pipeline::SinkKind::kJoinBuild, nullptr, raw));
+        p.stages.push_back({PipelineStage::Kind::kJoinProbe, cur, raw});
+        cur = cur->children[raw->build_is_left ? 1 : 0].get();
+        continue;
+      }
+      break;
+    }
+    std::reverse(p.stages.begin(), p.stages.end());
+
+    // Resolve the source terminator.
+    std::string source_label;
+    if (cur->kind == LogicalKind::kScan) {
+      p.source = Pipeline::SourceKind::kScan;
+      p.scan = cur;
+      source_label = "scan " + cur->table.name;
+    } else if (cur->kind == LogicalKind::kUnion) {
+      p.source = Pipeline::SourceKind::kUpstream;
+      for (const auto& child : cur->children) {
+        size_t cid = Subtree(*child);
+        p.upstream.push_back(cid);
+        deps.push_back(cid);
+      }
+      source_label = "union";
+    } else if (cur->kind == LogicalKind::kAggregate ||
+               cur->kind == LogicalKind::kSort) {
+      size_t cid = Subtree(*cur);
+      p.upstream.push_back(cid);
+      deps.push_back(cid);
+      p.source = Pipeline::SourceKind::kUpstream;
+      source_label = StrFormat("from P%zu", cid);
+    } else {
+      p.source = Pipeline::SourceKind::kSerialOp;
+      p.serial_root = cur;
+      source_label = std::string("serial ") + KindLabel(cur->kind);
+    }
+    p.source_schema = cur->schema;
+
+    p.sink = sink;
+    p.sink_op = sink_op;
+    p.build_target = build_target;
+    switch (sink) {
+      case Pipeline::SinkKind::kCollect:
+        p.output_schema = p.stages.empty() ? p.source_schema : top.schema;
+        break;
+      case Pipeline::SinkKind::kGroups:
+      case Pipeline::SinkKind::kSort:
+        p.output_schema = sink_op->schema;
+        break;
+      case Pipeline::SinkKind::kJoinBuild:
+        p.output_schema = build_target->build->schema;
+        break;
+    }
+    p.deps = std::move(deps);
+
+    p.label = source_label;
+    for (const PipelineStage& s : p.stages) {
+      switch (s.kind) {
+        case PipelineStage::Kind::kFilter:
+          p.label += " -> filter";
+          break;
+        case PipelineStage::Kind::kProject:
+          p.label += " -> project";
+          break;
+        case PipelineStage::Kind::kJoinProbe:
+          p.label += " -> probe";
+          break;
+      }
+    }
+    switch (sink) {
+      case Pipeline::SinkKind::kCollect:
+        break;
+      case Pipeline::SinkKind::kGroups:
+        p.label += " -> aggregate";
+        break;
+      case Pipeline::SinkKind::kJoinBuild:
+        p.label += " -> build";
+        break;
+      case Pipeline::SinkKind::kSort:
+        p.label += " -> sort";
+        break;
+    }
+
+    p.id = plan.pipelines.size();
+    // EXPLAIN annotation: every node this pipeline touches directly.
+    for (const PipelineStage& s : p.stages) plan.op_pipeline[s.op] = p.id;
+    if (p.scan != nullptr) plan.op_pipeline[p.scan] = p.id;
+    if (p.serial_root != nullptr) plan.op_pipeline[p.serial_root] = p.id;
+    if (sink_op != nullptr) plan.op_pipeline[sink_op] = p.id;
+    if (p.source == Pipeline::SourceKind::kUpstream &&
+        cur->kind == LogicalKind::kUnion) {
+      plan.op_pipeline[cur] = p.id;
+    }
+    plan.pipelines.push_back(std::move(p));
+    return plan.pipelines.back().id;
+  }
+};
+
+}  // namespace
+
+PipelinePlan DecomposePlan(const plan::LogicalOp& root,
+                           const ParallelPolicy& policy) {
+  Decomposer d{policy, {}};
+  d.Subtree(root);
+  return std::move(d.plan);
+}
+
+}  // namespace hana::exec

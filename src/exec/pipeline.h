@@ -1,0 +1,204 @@
+#ifndef HANA_EXEC_PIPELINE_H_
+#define HANA_EXEC_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/util.h"
+#include "exec/operators.h"
+#include "exec/radix_join.h"
+#include "plan/join_analysis.h"
+#include "plan/logical.h"
+#include "storage/column_table.h"
+
+namespace hana::exec {
+
+// ---------------------------------------------------------------------
+// Chunk-at-a-time operator kernels, shared by the pipeline executor and
+// the serial Volcano operators in operators.cc.
+// ---------------------------------------------------------------------
+
+inline size_t HashKey(const std::vector<Value>& key) {
+  size_t h = 0x12345;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+/// Chunk-at-a-time filter: keeps rows whose predicate is TRUE.
+[[nodiscard]] Result<storage::Chunk> FilterChunk(const plan::BoundExpr& predicate,
+                                                 const storage::Chunk& in);
+
+/// Chunk-at-a-time projection into the project node's schema.
+[[nodiscard]] Result<storage::Chunk> ProjectChunk(const plan::LogicalOp& project,
+                                                  const storage::Chunk& in);
+
+/// Aggregation state for one (group, aggregate) pair.
+struct AggState {
+  int64_t count = 0;
+  double sum_d = 0.0;
+  int64_t sum_i = 0;
+  bool any = false;
+  Value min_v;
+  Value max_v;
+  std::unique_ptr<std::unordered_set<Value, storage::ValueHash>> distinct;
+};
+
+Value FinalizeAgg(const plan::BoundExpr* agg, const AggState& st);
+
+/// Folds `src` into `dst`. DISTINCT aggregates re-accumulate the source
+/// set element by element so values seen by both partials are not
+/// double-counted.
+void MergeAggState(const plan::BoundExpr& agg, AggState& dst, AggState& src);
+
+/// Hash table mapping group keys to per-aggregate states; groups keep
+/// first-seen order. Shared by the serial HashAggregateOp and the
+/// per-morsel partial aggregation of the pipeline executor.
+class GroupTable {
+ public:
+  GroupTable(const std::vector<plan::BoundExprPtr>* group_by,
+             const std::vector<plan::BoundExprPtr>* aggregates)
+      : group_by_(group_by), aggregates_(aggregates) {}
+
+  size_t num_groups() const { return keys_.size(); }
+
+  [[nodiscard]] Status Accumulate(const storage::Chunk& chunk, size_t row);
+
+  /// Folds `src` into this table, visiting src groups in their
+  /// first-seen order. Merging morsel partials in ascending morsel
+  /// order therefore reproduces the exact group order (and floating
+  /// point sums, morsel by morsel) of any other run with the same
+  /// morsel decomposition — the thread count never matters.
+  void MergeFrom(GroupTable& src);
+
+  /// A global aggregate over an empty input still emits one row.
+  void EnsureGlobalGroup();
+
+  /// Boxes group g as an output row: key values then finalized
+  /// aggregates.
+  std::vector<Value> EmitRow(size_t g) const;
+
+ private:
+  size_t FindOrCreate(const std::vector<Value>& key);
+
+  const std::vector<plan::BoundExprPtr>* group_by_;
+  const std::vector<plan::BoundExprPtr>* aggregates_;
+  std::unordered_multimap<size_t, size_t> groups_;
+  std::vector<std::vector<Value>> keys_;
+  std::vector<std::vector<AggState>> states_;
+};
+
+// ---------------------------------------------------------------------
+// Pipeline decomposition: a physical plan split at its breakers.
+// ---------------------------------------------------------------------
+
+/// Shared state of one hash-join breaker: the build pipeline fills and
+/// finalizes `table`; the probe pipeline (a dependent) probes it.
+struct JoinBuildState {
+  const plan::LogicalOp* join = nullptr;  // The kJoin node.
+  const plan::LogicalOp* build = nullptr;  // Build-side subtree root.
+  /// True when the optimizer marked the LEFT child as the build side
+  /// (inner joins only); the probe chain is then the right child.
+  bool build_is_left = false;
+  plan::JoinConditionParts parts;
+  std::vector<const plan::BoundExpr*> build_key_exprs;
+  std::vector<const plan::BoundExpr*> probe_key_exprs;
+  /// Created at build-pipeline prepare time, finalized when the build
+  /// pipeline finishes, read-only to the probe pipeline afterwards.
+  std::unique_ptr<RadixJoinTable> table;
+};
+
+/// Probes one chunk against a finalized join table, emitting joined
+/// rows in probe-row order with matches per probe row in ascending
+/// build-row order. Output columns keep the join's left++right layout
+/// regardless of which side built. `scratch` is per-worker-slot key
+/// scratch, never shared between concurrent workers.
+[[nodiscard]] Result<storage::Chunk> ProbeJoinChunk(
+    const JoinBuildState& state, const storage::Chunk& probe,
+    RadixJoinTable::ProbeKeys* scratch);
+
+/// One streaming stage of a pipeline (runs inside every morsel task).
+struct PipelineStage {
+  enum class Kind { kFilter, kProject, kJoinProbe };
+  Kind kind;
+  const plan::LogicalOp* op = nullptr;   // kFilter / kProject node.
+  JoinBuildState* build = nullptr;       // kJoinProbe: table to probe.
+};
+
+/// One pipeline: a source feeding a stage chain into a breaker sink.
+/// Pipelines are stored in topological order (every dependency has a
+/// smaller id), and the last pipeline produces the plan's result.
+struct Pipeline {
+  size_t id = 0;
+  std::vector<size_t> deps;  // Pipeline ids that must finish first.
+
+  enum class SourceKind {
+    kScan,      // Base-table scan; morsel-partitioned when the context
+                // supports it, else a single-morsel stream.
+    kSerialOp,  // Opaque Volcano subplan drained as one morsel.
+    kUpstream,  // Output chunks of upstream pipelines, in order, as one
+                // morsel (union branches; nested breaker outputs).
+  };
+  SourceKind source = SourceKind::kSerialOp;
+  const plan::LogicalOp* scan = nullptr;         // kScan.
+  const plan::LogicalOp* serial_root = nullptr;  // kSerialOp.
+  std::vector<size_t> upstream;                  // kUpstream, child order.
+  /// Schema chunks carry when they enter the stage chain (upstream
+  /// chunks are restamped with it, the way UnionOp restamps children).
+  std::shared_ptr<Schema> source_schema;
+
+  std::vector<PipelineStage> stages;  // In execution order.
+
+  enum class SinkKind {
+    kCollect,    // Chunks merged in (morsel, chunk) order.
+    kGroups,     // Per-morsel partial GroupTables merged in morsel order.
+    kJoinBuild,  // Radix staging per morsel, finalize on finish.
+    kSort,       // Rows concatenated in morsel order, stable-sorted.
+  };
+  SinkKind sink = SinkKind::kCollect;
+  const plan::LogicalOp* sink_op = nullptr;   // kGroups / kSort node.
+  JoinBuildState* build_target = nullptr;     // kJoinBuild.
+  std::shared_ptr<Schema> output_schema;      // Schema of emitted chunks.
+  std::string label;                          // For stats and EXPLAIN.
+};
+
+/// A decomposed plan: the pipeline DAG plus the join-build states the
+/// pipelines share. Holds pointers into the logical plan, which must
+/// outlive execution.
+struct PipelinePlan {
+  std::vector<Pipeline> pipelines;
+  std::vector<std::unique_ptr<JoinBuildState>> builds;
+  /// Which pipeline each visited logical node was assigned to (EXPLAIN
+  /// annotation). Nodes inside an opaque kSerialOp subtree are not
+  /// listed; they inherit their parent's pipeline.
+  std::unordered_map<const plan::LogicalOp*, size_t> op_pipeline;
+
+  const Pipeline& root() const { return pipelines.back(); }
+
+  /// True when the decomposition degenerated to a single opaque serial
+  /// pipeline with no stages — running it through the executor would
+  /// just add scheduling overhead over the plain Volcano drain.
+  bool trivial() const {
+    return pipelines.size() == 1 &&
+           pipelines[0].source == Pipeline::SourceKind::kSerialOp &&
+           pipelines[0].stages.empty() &&
+           pipelines[0].sink == Pipeline::SinkKind::kCollect;
+  }
+};
+
+/// Splits `root` at its pipeline breakers (hash-join build, hash
+/// aggregate, sort, union) into a dependency DAG of pipelines. Purely
+/// structural: eligibility depends only on the plan shape and the
+/// policy flags — never on the degree of parallelism or the scan
+/// targets — so a query decomposes identically at every thread count.
+/// Joins fuse as probe stages only when `policy.parallel_join` is set
+/// and the condition has a usable equi key; everything else becomes an
+/// opaque kSerialOp source over the Volcano fallback operators.
+PipelinePlan DecomposePlan(const plan::LogicalOp& root,
+                           const ParallelPolicy& policy);
+
+}  // namespace hana::exec
+
+#endif  // HANA_EXEC_PIPELINE_H_

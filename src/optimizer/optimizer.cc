@@ -496,6 +496,22 @@ void ChooseBuildSides(LogicalOp* op) {
 
 double EstimateRows(const plan::LogicalOp& op) { return EstimateRowsImpl(op); }
 
+std::string FormatPipelines(
+    const std::vector<plan::PipelineSummary>& pipelines) {
+  if (pipelines.empty()) return "";
+  std::string out = "Pipelines:\n";
+  for (const plan::PipelineSummary& p : pipelines) {
+    out += "  P" + std::to_string(p.id);
+    if (!p.deps.empty()) {
+      out += " (after";
+      for (int d : p.deps) out += " P" + std::to_string(d);
+      out += ")";
+    }
+    out += ": " + p.description + "\n";
+  }
+  return out;
+}
+
 Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx) {
   HANA_RETURN_IF_ERROR(plan::PushDownFilters(plan));
   plan::PullFiltersIntoJoins(plan);

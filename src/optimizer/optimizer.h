@@ -2,6 +2,7 @@
 #define HANA_OPTIMIZER_OPTIMIZER_H_
 
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
@@ -50,6 +51,11 @@ struct OptimizeContext {
 
 /// Heuristic output-cardinality estimate for costing.
 double EstimateRows(const plan::LogicalOp& op);
+
+/// Renders the executor's pipeline decomposition for EXPLAIN output:
+/// one line per pipeline with its dependencies and stage chain. Empty
+/// input (serial execution) renders as an empty string.
+std::string FormatPipelines(const std::vector<plan::PipelineSummary>& pipelines);
 
 }  // namespace hana::optimizer
 

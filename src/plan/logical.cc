@@ -101,6 +101,7 @@ std::string LogicalOp::ToString(int indent) const {
               (use_remote_cache ? " [remote cache]" : "") + ": " + remote_sql;
       break;
   }
+  if (pipeline_id >= 0) line += StrFormat(" [P%d]", pipeline_id);
   line += "\n";
   for (const auto& child : children) line += child->ToString(indent + 1);
   return line;

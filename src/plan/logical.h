@@ -150,8 +150,22 @@ struct LogicalOp {
   std::string relocation_table;
   double estimated_rows = -1;
 
+  /// Pipeline this operator was assigned to by the push-based executor's
+  /// plan decomposition (exec::AnnotatePipelines); -1 = not annotated.
+  /// Printed by ToString as a "[P<n>]" suffix for EXPLAIN.
+  int pipeline_id = -1;
+
   /// Pretty-printed plan tree (EXPLAIN output).
   std::string ToString(int indent = 0) const;
+};
+
+/// One pipeline of the push-based executor's dependency DAG, reported
+/// back to the plan layer so EXPLAIN can render the schedule without
+/// the optimizer depending on exec.
+struct PipelineSummary {
+  int id = 0;
+  std::vector<int> deps;    // Pipelines that must finish first.
+  std::string description;  // "scan lineitem -> probe -> aggregate".
 };
 
 /// Convenience constructors.

@@ -119,8 +119,9 @@ Result<ExecResult> Platform::ExecuteSelect(const sql::SelectStmt& stmt) {
   sda_.ResetStats();
   Stopwatch watch;
   HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical, PlanSelect(stmt));
-  HANA_ASSIGN_OR_RETURN(storage::Table table,
-                        exec::ExecutePlan(*logical, this));
+  HANA_ASSIGN_OR_RETURN(
+      storage::Table table,
+      exec::ExecutePlanWithStats(*logical, this, &last_pipeline_stats_));
   ExecResult result;
   result.metrics.local_ms = watch.ElapsedMillis();
   result.metrics.simulated_remote_ms = VirtualNow() - virtual_before;
@@ -318,8 +319,11 @@ Result<ExecResult> Platform::Execute(const std::string& sql) {
       const auto& explain = static_cast<const sql::ExplainStmt&>(*stmt);
       HANA_ASSIGN_OR_RETURN(plan::LogicalOpPtr logical,
                             PlanSelect(*explain.select));
+      std::vector<plan::PipelineSummary> pipelines =
+          exec::AnnotatePipelines(logical.get(), this);
       ExecResult result;
       result.message = logical->ToString();
+      result.message += optimizer::FormatPipelines(pipelines);
       return result;
     }
     case sql::StmtKind::kInsert:
@@ -452,7 +456,19 @@ Status Platform::SetParameter(const std::string& name,
     if (key == "threads") {
       dop_ = v > 0 ? v : TaskPool::DefaultDop();
     } else {
-      morsel_rows_ = v > 0 ? v : 16384;
+      morsel_rows_ = v > 0 ? v : exec::kDefaultMorselRows;
+    }
+    return Status::OK();
+  }
+  if (key == "executor") {
+    if (value == "pipeline") {
+      executor_mode_ = exec::ExecutorMode::kPipeline;
+    } else if (value == "fused") {
+      executor_mode_ = exec::ExecutorMode::kFused;
+    } else if (value == "serial") {
+      executor_mode_ = exec::ExecutorMode::kSerial;
+    } else {
+      return Status::InvalidArgument("invalid executor: " + value);
     }
     return Status::OK();
   }
@@ -578,6 +594,7 @@ exec::ParallelPolicy Platform::parallel_policy() {
   policy.dop = dop_;
   policy.morsel_rows = morsel_rows_;
   policy.parallel_join = parallel_join_;
+  policy.executor = executor_mode_;
   return policy;
 }
 

@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "common/result.h"
 #include "common/util.h"
+#include "exec/executor.h"
 #include "exec/operators.h"
 #include "extended/iq_engine.h"
 #include "federation/hive_adapter.h"
@@ -88,6 +89,8 @@ class Platform : public exec::ExecContext {
   ///   remote_cache_validity    = seconds
   ///   threads                  = degree of parallelism (0 = default)
   ///   morsel_rows              = rows per scan morsel (0 = default)
+  ///   executor                 = pipeline|fused|serial pipeline-DAG
+  ///                              scheduling mode (results identical)
   ///   parallel_join            = on|off morsel-parallel radix hash join
   ///   parallel_merge           = on|off online parallel delta merge
   ///                              (off = serial remap-table baseline)
@@ -110,6 +113,12 @@ class Platform : public exec::ExecContext {
   hadoop::MapReduceEngine* mapreduce() { return mapreduce_.get(); }
   SimClock& clock() { return clock_; }
   const QueryMetrics& last_metrics() const { return last_metrics_; }
+
+  /// Per-pipeline stats of the last SELECT (empty when it ran through
+  /// the serial Volcano fallback).
+  const std::vector<exec::PipelineStats>& last_pipeline_stats() const {
+    return last_pipeline_stats_;
+  }
 
   /// Registers a native map-reduce job runnable through CREATE VIRTUAL
   /// FUNCTION configurations (driver-class dispatch).
@@ -152,11 +161,13 @@ class Platform : public exec::ExecContext {
   txn::TwoPhaseCoordinator coordinator_;
   optimizer::OptimizerOptions opt_options_;
   size_t dop_ = 1;
-  size_t morsel_rows_ = 16384;
+  size_t morsel_rows_ = exec::kDefaultMorselRows;
   bool parallel_join_ = true;
   bool parallel_merge_ = true;
+  exec::ExecutorMode executor_mode_ = exec::ExecutorMode::kPipeline;
   size_t merge_threshold_rows_ = 0;  // 0 = auto-merge disabled.
   QueryMetrics last_metrics_;
+  std::vector<exec::PipelineStats> last_pipeline_stats_;
   std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
 };
 

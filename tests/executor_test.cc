@@ -1,0 +1,281 @@
+// The pipeline executor must be observably identical to serial
+// execution: one plan decomposition shared by every scheduling mode
+// (serial / fused / pipeline), deterministic morsel decomposition, and
+// morsel-order merges at every breaker. The tests below pin that
+// invariant on the edge cases (zero-morsel scans, single-row tables,
+// breakers producing zero groups, empty build sides), on union plans
+// (branches become concurrently scheduled pipelines), and on every
+// TPC-H benchmark query at SF 0.01 across executor modes and thread
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/platform.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace hana::exec {
+namespace {
+
+void ExpectTablesIdentical(const storage::Table& a, const storage::Table& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  ASSERT_EQ(a.schema()->num_columns(), b.schema()->num_columns()) << context;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    const auto& arow = a.row(r);
+    const auto& brow = b.row(r);
+    for (size_t c = 0; c < arow.size(); ++c) {
+      ASSERT_EQ(arow[c].is_null(), brow[c].is_null())
+          << context << " row " << r << " col " << c;
+      ASSERT_TRUE(arow[c] == brow[c])
+          << context << " row " << r << " col " << c << ": "
+          << arow[c].ToString() << " vs " << brow[c].ToString();
+    }
+  }
+}
+
+/// Runs `query` once per (executor mode, thread count) combination and
+/// asserts every result is cell-for-cell identical to the serial
+/// single-threaded baseline, including row order. Returns the baseline
+/// for content assertions.
+storage::Table RunAllModesIdentical(platform::Platform* db,
+                                    const std::string& query) {
+  EXPECT_TRUE(db->SetParameter("executor", "serial").ok());
+  EXPECT_TRUE(db->SetParameter("threads", "1").ok());
+  auto baseline = db->Query(query);
+  EXPECT_TRUE(baseline.ok()) << query << ": " << baseline.status().ToString();
+  if (!baseline.ok()) return storage::Table(std::make_shared<Schema>());
+  static const char* kModes[] = {"serial", "fused", "pipeline"};
+  static const char* kThreads[] = {"1", "2", "4", "8"};
+  for (const char* mode : kModes) {
+    for (const char* threads : kThreads) {
+      EXPECT_TRUE(db->SetParameter("executor", mode).ok());
+      EXPECT_TRUE(db->SetParameter("threads", threads).ok());
+      auto result = db->Query(query);
+      std::string context =
+          query + " [executor=" + mode + " threads=" + threads + "]";
+      EXPECT_TRUE(result.ok()) << context << ": "
+                               << result.status().ToString();
+      if (result.ok()) ExpectTablesIdentical(*baseline, *result, context);
+    }
+  }
+  EXPECT_TRUE(db->SetParameter("executor", "pipeline").ok());
+  EXPECT_TRUE(db->SetParameter("threads", "0").ok());
+  return std::move(*baseline);
+}
+
+// ---------------------------------------------------------------------
+// Edge cases: zero-morsel scans, single-row tables, empty breakers.
+// ---------------------------------------------------------------------
+
+class ExecutorEdgeCases : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new platform::Platform(platform::PlatformOptions{
+        .attach_extended = false, .start_hadoop = false});
+    ASSERT_TRUE(db_->Run(R"(
+        CREATE TABLE empty_t (k BIGINT, v DOUBLE);
+        CREATE TABLE one_row (k BIGINT, v DOUBLE);
+        INSERT INTO one_row VALUES (7, 1.25);
+        CREATE TABLE one_dim (k BIGINT, name VARCHAR(10));
+        INSERT INTO one_dim VALUES (7, 'seven');
+    )").ok());
+    // Tiny morsels so even small tables decompose into several tasks.
+    ASSERT_TRUE(db_->SetParameter("morsel_rows", "64").ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static platform::Platform* db_;
+};
+
+platform::Platform* ExecutorEdgeCases::db_ = nullptr;
+
+TEST_F(ExecutorEdgeCases, EmptyTableScanHasZeroMorsels) {
+  storage::Table t =
+      RunAllModesIdentical(db_, "SELECT k, v FROM empty_t WHERE k > 0");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeCases, GlobalAggregateOverEmptyInputEmitsOneRow) {
+  storage::Table t = RunAllModesIdentical(
+      db_, "SELECT COUNT(*) AS n, SUM(v) AS s FROM empty_t");
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.row(0)[0].int_value(), 0);
+  EXPECT_TRUE(t.row(0)[1].is_null());
+}
+
+TEST_F(ExecutorEdgeCases, GroupedBreakerProducingZeroGroups) {
+  storage::Table t = RunAllModesIdentical(
+      db_, "SELECT k, SUM(v) AS s FROM empty_t GROUP BY k");
+  EXPECT_EQ(t.num_rows(), 0u);
+}
+
+TEST_F(ExecutorEdgeCases, JoinWithEmptyBuildSide) {
+  storage::Table inner = RunAllModesIdentical(
+      db_, "SELECT o.k FROM one_row o JOIN empty_t e ON o.k = e.k");
+  EXPECT_EQ(inner.num_rows(), 0u);
+  storage::Table left = RunAllModesIdentical(
+      db_,
+      "SELECT o.k, e.v FROM one_row o LEFT JOIN empty_t e ON o.k = e.k");
+  ASSERT_EQ(left.num_rows(), 1u);
+  EXPECT_TRUE(left.row(0)[1].is_null());
+}
+
+TEST_F(ExecutorEdgeCases, SingleRowTablesThroughJoinAndAggregate) {
+  storage::Table joined = RunAllModesIdentical(
+      db_,
+      "SELECT o.k, d.name, o.v FROM one_row o JOIN one_dim d ON o.k = d.k");
+  ASSERT_EQ(joined.num_rows(), 1u);
+  EXPECT_EQ(joined.row(0)[1].string_value(), "seven");
+  storage::Table agg = RunAllModesIdentical(
+      db_, "SELECT k, COUNT(*) AS n FROM one_row GROUP BY k");
+  ASSERT_EQ(agg.num_rows(), 1u);
+  EXPECT_EQ(agg.row(0)[1].int_value(), 1);
+}
+
+TEST_F(ExecutorEdgeCases, SortBreakerOverEmptyAndSingleRowInputs) {
+  storage::Table empty =
+      RunAllModesIdentical(db_, "SELECT k FROM empty_t ORDER BY k");
+  EXPECT_EQ(empty.num_rows(), 0u);
+  storage::Table one =
+      RunAllModesIdentical(db_, "SELECT k, v FROM one_row ORDER BY v DESC");
+  ASSERT_EQ(one.num_rows(), 1u);
+  EXPECT_EQ(one.row(0)[0].int_value(), 7);
+}
+
+TEST_F(ExecutorEdgeCases, ExplainRendersPipelineAnnotations) {
+  auto plan = db_->Explain(
+      "SELECT d.name, SUM(o.v) AS s FROM one_row o "
+      "JOIN one_dim d ON o.k = d.k GROUP BY d.name");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("Pipelines:"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("[P"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("build"), std::string::npos) << *plan;
+}
+
+TEST_F(ExecutorEdgeCases, PipelineStatsSurfaceAfterExecution) {
+  ASSERT_TRUE(db_->SetParameter("executor", "pipeline").ok());
+  ASSERT_TRUE(db_->SetParameter("threads", "4").ok());
+  auto result = db_->Query(
+      "SELECT o.k, d.name FROM one_row o JOIN one_dim d ON o.k = d.k");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // A join plan needs at least a build pipeline and a probe pipeline.
+  EXPECT_GE(db_->last_pipeline_stats().size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Union plans: branches become concurrently schedulable pipelines; the
+// serial fallback (a union under LIMIT) interleaves children
+// round-robin.
+// ---------------------------------------------------------------------
+
+class ExecutorUnionTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kRowsPerPartition = 3000;
+
+  static void SetUpTestSuite() {
+    db_ = new platform::Platform();  // Extended store for COLD partitions.
+    ASSERT_TRUE(db_->Run(R"(
+        CREATE TABLE hybrid (id BIGINT, m BIGINT, v DOUBLE)
+          USING HYBRID EXTENDED STORAGE
+          PARTITION BY RANGE (m)
+            (PARTITION VALUES < 50 COLD, PARTITION OTHERS HOT))")
+                    .ok());
+    std::vector<std::vector<Value>> rows;
+    for (int64_t i = 0; i < 2 * kRowsPerPartition; ++i) {
+      rows.push_back({Value::Int(i), Value::Int(i % 100),
+                      Value::Double(static_cast<double>(i % 37) * 0.25)});
+    }
+    ASSERT_TRUE(db_->catalog().Insert("hybrid", rows).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static platform::Platform* db_;
+};
+
+platform::Platform* ExecutorUnionTest::db_ = nullptr;
+
+TEST_F(ExecutorUnionTest, UnionBranchesIdenticalAcrossModes) {
+  RunAllModesIdentical(db_, "SELECT COUNT(*) AS n, SUM(v) AS s FROM hybrid");
+  RunAllModesIdentical(db_,
+                       "SELECT m, COUNT(*) AS n FROM hybrid "
+                       "WHERE m >= 40 AND m < 60 GROUP BY m ORDER BY m");
+  RunAllModesIdentical(db_, "SELECT id, m, v FROM hybrid WHERE m = 10");
+}
+
+TEST_F(ExecutorUnionTest, SerialUnionInterleavesChildrenRoundRobin) {
+  // Under a LIMIT the union runs through the serial UnionOp, which
+  // must alternate between its children chunk by chunk: a cutoff that
+  // spans more than one chunk has to contain rows of BOTH partitions
+  // (the old first-child-to-exhaustion order would return only cold
+  // rows here, since each partition holds more rows than the limit).
+  ASSERT_TRUE(db_->SetParameter("threads", "1").ok());
+  auto result = db_->Query("SELECT m FROM hybrid LIMIT 2500");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->num_rows(), 2500u);
+  size_t cold = 0, hot = 0;
+  for (size_t r = 0; r < result->num_rows(); ++r) {
+    (result->row(r)[0].int_value() < 50 ? cold : hot) += 1;
+  }
+  EXPECT_GT(cold, 0u);
+  EXPECT_GT(hot, 0u);
+}
+
+// ---------------------------------------------------------------------
+// TPC-H SF 0.01: every benchmark query, every executor mode, thread
+// counts 1/2/4/8 — bit-identical to the serial baseline.
+// ---------------------------------------------------------------------
+
+class ExecutorTpchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new tpch::TpchData(tpch::Generate(0.01));
+    db_ = new platform::Platform(platform::PlatformOptions{
+        .attach_extended = false, .start_hadoop = false});
+    for (const std::string& table : tpch::TpchTableNames()) {
+      sql::CreateTableStmt create;
+      create.table = table;
+      create.columns = tpch::TpchSchema(table)->columns();
+      ASSERT_TRUE(db_->catalog().CreateTable(create).ok());
+      ASSERT_TRUE(
+          db_->catalog().Insert(table, *tpch::TableRows(*data_, table)).ok());
+    }
+    // Small morsels so SF 0.01 still fans out into many tasks.
+    ASSERT_TRUE(db_->SetParameter("morsel_rows", "4096").ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    delete data_;
+    db_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static tpch::TpchData* data_;
+  static platform::Platform* db_;
+};
+
+tpch::TpchData* ExecutorTpchTest::data_ = nullptr;
+platform::Platform* ExecutorTpchTest::db_ = nullptr;
+
+TEST_F(ExecutorTpchTest, AllQueriesBitIdenticalAcrossModesAndThreads) {
+  for (int q : tpch::BenchmarkQueries()) {
+    SCOPED_TRACE("Q" + std::to_string(q));
+    RunAllModesIdentical(db_, tpch::QueryText(q));
+  }
+}
+
+}  // namespace
+}  // namespace hana::exec
