@@ -4,9 +4,10 @@
 #
 #   1. No naked std::mutex / std::lock_guard / std::unique_lock /
 #      std::scoped_lock / std::condition_variable outside
-#      src/common/sync.h. All locking goes through the annotated
-#      Mutex/MutexLock/CondVar wrappers so Clang -Wthread-safety can
-#      see every acquisition.
+#      src/common/sync.{h,cc}. All locking goes through the annotated
+#      Mutex/MutexLock/CondVar wrappers so Clang -Wthread-safety and the
+#      runtime lock-order validator see every acquisition. (sync.cc is
+#      the validator itself: instrumenting the instrument would recurse.)
 #   2. No `throw` across API boundaries: src/ code reports failure via
 #      Status/Result. (std::rethrow_exception for ParallelFor's
 #      caller-side propagation does not trip the check.)
@@ -16,11 +17,22 @@
 #      PhysicalOp::Next() or DrainToTable directly bypasses the pipeline
 #      executor (and its stats, scheduling and determinism guarantees).
 #      Other layers run plans through exec::ExecutePlan[WithStats].
+#   5. A file that declares a hana::Mutex member must GUARDED_BY-annotate
+#      at least one field with it — a mutex protecting nothing nameable
+#      is either dead or hiding an unannotated invariant.
+#   6. Every std::atomic declaration carries an `atomic:` comment
+#      justifying its memory ordering (same line or the lines above).
+#   7. Every IgnoreStatus() call site carries a `lint: IgnoreStatus
+#      allowed` justification; unjustified drops must propagate instead.
 #
 # When clang-tidy is on PATH and a compile database exists, it also
 # runs the .clang-tidy profile over the checked sources. Missing tools
 # skip with a message instead of failing, so GCC-only environments
 # still pass.
+#
+# HANA_LINT_SRC overrides the scanned tree (default: src). The lint
+# rule tests point it at fixture directories to prove each rule still
+# fires/stays quiet; overriding skips the clang-tidy pass.
 #
 # Run from the repo root (the lint CMake target and the lint-labeled
 # ctest both do): scripts/lint.sh
@@ -28,18 +40,40 @@ set -u
 
 cd "$(dirname "$0")/.."
 
+SRC_DIR="${HANA_LINT_SRC:-src}"
 fail=0
 
-# Strips // comments (preserving line count), then prints file:line:text
-# for lines matching the pattern, excluding files matching $3 (optional
-# grep -E pattern on the path).
+# Prints $1 with /* ... */ block comments and // line comments removed,
+# preserving the line count so reported line numbers stay correct.
+strip_comments() {
+  perl -0777 -pe \
+    's{/\*.*?\*/}{(my $c = $&) =~ s/[^\n]//g; $c}ges; s{//[^\n]*}{}g' "$1"
+}
+
+# Prints file:line:text for comment-stripped lines matching the pattern,
+# excluding files matching $2 (optional grep -E pattern on the path).
 find_violations() {
   local pattern="$1" exclude="${2:-^$}"
   local f
   while IFS= read -r f; do
     echo "$f" | grep -Eq "$exclude" && continue
-    sed 's%//.*%%' "$f" | grep -nE "$pattern" | sed "s%^%$f:%"
-  done < <(find src -name '*.h' -o -name '*.cc' | sort)
+    strip_comments "$f" | grep -nE "$pattern" | sed "s%^%$f:%"
+  done < <(find "$SRC_DIR" \( -name '*.h' -o -name '*.cc' \) | sort)
+}
+
+# Filters find_violations output, keeping only hits without a
+# justification comment matching $1 on the hit line or the three lines
+# above it (checked against the raw file: justifications are comments).
+without_justification() {
+  local justification="$1" hit f rest line start
+  while IFS= read -r hit; do
+    [ -z "$hit" ] && continue
+    f="${hit%%:*}" rest="${hit#*:}" line="${rest%%:*}"
+    start=$((line - 3)); [ "$start" -lt 1 ] && start=1
+    if ! sed -n "${start},${line}p" "$f" | grep -q "$justification"; then
+      printf '%s\n' "$hit"
+    fi
+  done
 }
 
 check() {
@@ -52,11 +86,11 @@ check() {
   fi
 }
 
-check "naked standard-library locking outside src/common/sync.h \
+check "naked standard-library locking outside src/common/sync.{h,cc} \
 (use hana::Mutex / MutexLock / CondVar from common/sync.h)" \
   "$(find_violations \
      'std::(mutex|timed_mutex|recursive_mutex|shared_mutex|lock_guard|unique_lock|scoped_lock|shared_lock|condition_variable)' \
-     '^src/common/sync\.h$')"
+     '^src/common/sync\.(h|cc)$')"
 
 check "throw across an API boundary (report errors via Status/Result)" \
   "$(find_violations '(^|[^_[:alnum:]])throw([^_[:alnum:]]|$)')"
@@ -65,22 +99,42 @@ check "direct operator pull loop outside src/exec \
 (run plans through exec::ExecutePlan[WithStats], not ->Next()/DrainToTable)" \
   "$(find_violations '\->Next\(\)|DrainToTable' '^src/exec/')"
 
-# const_cast / reinterpret_cast need a `lint: <cast> allowed`
-# justification on the same line or within the three preceding lines.
-cast_violations=""
-while IFS= read -r hit; do
-  f="${hit%%:*}" rest="${hit#*:}" line="${rest%%:*}"
-  start=$((line - 3)); [ "$start" -lt 1 ] && start=1
-  if ! sed -n "${start},${line}p" "$f" | grep -q 'lint:.*allowed'; then
-    cast_violations="${cast_violations}${hit}"$'\n'
-  fi
-done < <(find_violations '(const_cast|reinterpret_cast)[[:space:]]*<')
 check "unjustified const_cast/reinterpret_cast \
-(annotate with '// lint: <cast> allowed — why')" "$cast_violations"
+(annotate with '// lint: <cast> allowed — why')" \
+  "$(find_violations '(const_cast|reinterpret_cast)[[:space:]]*<' \
+     | without_justification 'lint:.*allowed')"
+
+# Rule 5: a Mutex member declaration without a single GUARDED_BY in the
+# same file. The declaration pattern requires whitespace after "Mutex",
+# so MutexLock instantiations and Mutex& parameters don't match.
+mutex_guard_violations=""
+while IFS= read -r f; do
+  echo "$f" | grep -Eq '^src/common/sync\.(h|cc)$' && continue
+  if strip_comments "$f" \
+      | grep -qE '(^|[[:space:](])(mutable[[:space:]]+)?Mutex[[:space:]]+[A-Za-z_]' \
+      && ! grep -q 'GUARDED_BY' "$f"; then
+    mutex_guard_violations="${mutex_guard_violations}${f}"$'\n'
+  fi
+done < <(find "$SRC_DIR" \( -name '*.h' -o -name '*.cc' \) | sort)
+check "hana::Mutex member without any GUARDED_BY field in the file \
+(annotate what the mutex protects)" "$mutex_guard_violations"
+
+check "std::atomic without an ordering justification \
+(comment '// atomic: <ordering rationale>' on or above the declaration)" \
+  "$(find_violations 'std::atomic[[:space:]]*<' \
+     | without_justification 'atomic:')"
+
+check "IgnoreStatus without justification \
+(annotate with '// lint: IgnoreStatus allowed — why', or propagate)" \
+  "$(find_violations 'IgnoreStatus[[:space:]]*\(' \
+     '^src/common/status\.h$' \
+     | without_justification 'lint: IgnoreStatus allowed')"
 
 # clang-tidy profile (.clang-tidy) when the tool and a compile database
-# are available.
-if command -v clang-tidy > /dev/null 2>&1; then
+# are available. Skipped when scanning a fixture tree.
+if [ -n "${HANA_LINT_SRC:-}" ]; then
+  echo "SKIP clang-tidy: HANA_LINT_SRC override active"
+elif command -v clang-tidy > /dev/null 2>&1; then
   db=""
   for d in build build-lint; do
     [ -f "$d/compile_commands.json" ] && db="$d" && break

@@ -41,6 +41,7 @@ std::string Catalog::ColdTableName(const TableEntry& entry,
 }
 
 Status Catalog::CreateTable(const sql::CreateTableStmt& stmt) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(stmt.table);
   if (tables_.count(key) > 0 || virtual_tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + stmt.table);
@@ -111,6 +112,7 @@ Status Catalog::CreateTable(const sql::CreateTableStmt& stmt) {
 }
 
 Status Catalog::DropTable(const std::string& name, bool if_exists) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(name);
   auto virt = virtual_tables_.find(key);
   if (virt != virtual_tables_.end()) {
@@ -125,11 +127,16 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
   TableEntry* entry = it->second.get();
   if (iq_ != nullptr) {
     if (entry->kind == TableKind::kExtended) {
-      (void)iq_->store()->DropTable(entry->extended_table);
+      // lint: IgnoreStatus allowed — best-effort cleanup of the cold
+      // store while dropping the owning entry; the catalog drop wins.
+      IgnoreStatus(iq_->store()->DropTable(entry->extended_table));
     }
     if (entry->kind == TableKind::kHybrid) {
       for (const Partition& p : entry->partitions) {
-        if (!p.cold_table.empty()) (void)iq_->store()->DropTable(p.cold_table);
+        if (!p.cold_table.empty()) {
+        // lint: IgnoreStatus allowed — same best-effort cleanup as above.
+        IgnoreStatus(iq_->store()->DropTable(p.cold_table));
+      }
       }
     }
   }
@@ -138,23 +145,27 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
 }
 
 Result<TableEntry*> Catalog::GetTable(const std::string& name) {
+  MutexLock lock(mu_);
   auto it = tables_.find(ToUpper(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return it->second.get();
 }
 
 Result<const TableEntry*> Catalog::GetTable(const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = tables_.find(ToUpper(name));
   if (it == tables_.end()) return Status::NotFound("table not found: " + name);
   return it->second.get();
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  MutexLock lock(mu_);
   return tables_.count(ToUpper(name)) > 0 ||
          virtual_tables_.count(ToUpper(name)) > 0;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const auto& [key, entry] : tables_) names.push_back(entry->name);
   for (const auto& [key, entry] : virtual_tables_) names.push_back(entry.name);
@@ -162,6 +173,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 Status Catalog::AddRemoteSource(RemoteSourceEntry entry) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(entry.name);
   if (remote_sources_.count(key) > 0) {
     return Status::AlreadyExists("remote source exists: " + entry.name);
@@ -172,6 +184,7 @@ Status Catalog::AddRemoteSource(RemoteSourceEntry entry) {
 
 Result<const RemoteSourceEntry*> Catalog::GetRemoteSource(
     const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = remote_sources_.find(ToUpper(name));
   if (it == remote_sources_.end()) {
     return Status::NotFound("remote source not found: " + name);
@@ -180,6 +193,7 @@ Result<const RemoteSourceEntry*> Catalog::GetRemoteSource(
 }
 
 Status Catalog::AddVirtualTable(VirtualTableEntry entry) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(entry.name);
   if (virtual_tables_.count(key) > 0 || tables_.count(key) > 0) {
     return Status::AlreadyExists("table exists: " + entry.name);
@@ -189,6 +203,7 @@ Status Catalog::AddVirtualTable(VirtualTableEntry entry) {
 }
 
 Status Catalog::AddVirtualFunction(VirtualFunctionEntry entry) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(entry.name);
   if (virtual_functions_.count(key) > 0) {
     return Status::AlreadyExists("virtual function exists: " + entry.name);
@@ -199,6 +214,7 @@ Status Catalog::AddVirtualFunction(VirtualFunctionEntry entry) {
 
 Result<const VirtualFunctionEntry*> Catalog::GetVirtualFunction(
     const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = virtual_functions_.find(ToUpper(name));
   if (it == virtual_functions_.end()) {
     return Status::NotFound("virtual function not found: " + name);
@@ -561,6 +577,7 @@ Result<size_t> Catalog::RunAging(const std::string& name) {
 
 Result<plan::TableBinding> Catalog::ResolveTable(
     const std::string& name) const {
+  MutexLock lock(mu_);
   std::string key = ToUpper(name);
   auto virt = virtual_tables_.find(key);
   if (virt != virtual_tables_.end()) {

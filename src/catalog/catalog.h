@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "extended/iq_engine.h"
 #include "plan/bound_expr.h"
 #include "plan/logical.h"
@@ -152,10 +153,21 @@ class Catalog : public plan::BinderCatalog {
   std::string ColdTableName(const TableEntry& entry, size_t partition) const;
 
   extended::IqEngine* iq_;
-  std::map<std::string, std::unique_ptr<TableEntry>> tables_;
-  std::map<std::string, RemoteSourceEntry> remote_sources_;
-  std::map<std::string, VirtualTableEntry> virtual_tables_;
-  std::map<std::string, VirtualFunctionEntry> virtual_functions_;
+
+  /// Guards the *structure* of the four metadata maps (insert, erase,
+  /// lookup). Entry contents — table data behind the returned
+  /// TableEntry*, schema extension on flexible tables — follow the
+  /// storage layer's writer-vs-reader contract and stay externally
+  /// synchronized. Outermost lock (rank catalog.map = 10): name
+  /// resolution happens before any engine lock, and it is held across
+  /// nested extended-store calls in DDL but never across DML applies,
+  /// merges, or task-pool waits.
+  mutable Mutex mu_{"catalog.map", lock_rank::kCatalog};
+  std::map<std::string, std::unique_ptr<TableEntry>> tables_ GUARDED_BY(mu_);
+  std::map<std::string, RemoteSourceEntry> remote_sources_ GUARDED_BY(mu_);
+  std::map<std::string, VirtualTableEntry> virtual_tables_ GUARDED_BY(mu_);
+  std::map<std::string, VirtualFunctionEntry> virtual_functions_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace hana::catalog

@@ -1,0 +1,235 @@
+// Runtime lock-order validator backing common/sync.h. Compiled to an
+// empty TU unless the build defines HANA_LOCK_ORDER_CHECKS (on by
+// default outside Release builds; see the top-level CMakeLists).
+//
+// Design: each thread keeps a TLS stack of Entry records, one per held
+// hana::Mutex, each with a raw backtrace captured at acquisition.
+// BeforeLock() runs the two checks — re-acquire (self-deadlock) against
+// the whole stack, rank ordering against the segment above the most
+// recent task-pool fence — and routes violations per HANA_LOCK_ORDER
+// (off | report | fatal), read at violation time so death tests can set
+// it in the child process. Symbolization (backtrace_symbols) is
+// deferred to violation time; the per-acquisition cost is one
+// backtrace() call.
+//
+// The validator's own state deliberately uses std::mutex, not
+// hana::Mutex: instrumenting the instrument would recurse.
+// scripts/lint.sh exempts common/sync.{h,cc} from the naked-std-locking
+// rule for exactly this file.
+#include "common/sync.h"
+
+#ifdef HANA_LOCK_ORDER_CHECKS
+
+#include <execinfo.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hana::lock_order {
+namespace {
+
+constexpr int kMaxFrames = 24;
+// Print the first few full diagnostics in report mode, then only count:
+// a hot mis-ordered path would otherwise flood stderr.
+constexpr uint64_t kMaxPrinted = 16;
+
+struct Entry {
+  const Mutex* mu;       // nullptr = task-pool fence sentinel.
+  void* frames[kMaxFrames];
+  int depth;
+};
+
+thread_local std::vector<Entry> tls_held;
+
+// atomic: relaxed monotonic counter; readers only need an eventually
+// consistent total, never ordering against the held-lock state.
+std::atomic<uint64_t> violation_count{0};
+
+std::mutex diag_mu;  // Serializes stderr output + last_message.
+std::string last_message;  // guarded by diag_mu
+
+enum class Mode { kOff, kReport, kFatal };
+
+Mode CurrentMode() {
+  const char* env = std::getenv("HANA_LOCK_ORDER");
+  if (env == nullptr) return Mode::kReport;
+  if (std::strcmp(env, "off") == 0) return Mode::kOff;
+  if (std::strcmp(env, "fatal") == 0) return Mode::kFatal;
+  return Mode::kReport;
+}
+
+void AppendFrames(std::string* out, void* const* frames, int depth) {
+  char** symbols = backtrace_symbols(frames, depth);
+  for (int i = 0; i < depth; ++i) {
+    out->append("      ");
+    if (symbols != nullptr && symbols[i] != nullptr) {
+      out->append(symbols[i]);
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%p", frames[i]);
+      out->append(buf);
+    }
+    out->push_back('\n');
+  }
+  std::free(symbols);  // backtrace_symbols mallocs one block.
+}
+
+std::string Describe(const Mutex* mu) {
+  char buf[160];
+  if (mu->rank() >= 0) {
+    std::snprintf(buf, sizeof(buf), "\"%s\" (rank %d)", mu->name(),
+                  mu->rank());
+  } else {
+    std::snprintf(buf, sizeof(buf), "\"%s\" (unranked, %p)", mu->name(),
+                  static_cast<const void*>(mu));
+  }
+  return buf;
+}
+
+// Builds the full diagnostic and dispatches it per `mode`. `held` is
+// the conflicting stack entry (the re-acquired mutex, or the held lock
+// whose rank blocks the acquisition); may be nullptr when the conflict
+// has no recorded entry.
+void Report(Mode mode, bool always_fatal, const std::string& headline,
+            const Entry* held) {
+  std::string msg = headline;
+  msg.push_back('\n');
+  if (held != nullptr) {
+    msg.append("  held lock acquired at:\n");
+    AppendFrames(&msg, held->frames, held->depth);
+  }
+  void* frames[kMaxFrames];
+  int depth = backtrace(frames, kMaxFrames);
+  msg.append("  offending acquisition at:\n");
+  AppendFrames(&msg, frames, depth);
+
+  uint64_t n = violation_count.fetch_add(1, std::memory_order_relaxed);
+  bool fatal = always_fatal || mode == Mode::kFatal;
+  {
+    std::lock_guard<std::mutex> lock(diag_mu);
+    last_message = msg;
+    if (fatal || n < kMaxPrinted) {
+      std::fputs(msg.c_str(), stderr);
+      std::fflush(stderr);
+    }
+  }
+  if (fatal) std::abort();
+}
+
+}  // namespace
+
+namespace detail {
+
+void BeforeLock(const Mutex* mu) {
+  // Re-acquire check: the whole stack, fences included — a stolen task
+  // re-locking a mutex its host thread holds deadlocks the thread on
+  // itself no matter which logical context each acquisition belongs to.
+  for (const Entry& e : tls_held) {
+    if (e.mu == mu) {
+      Mode mode = CurrentMode();
+      if (mode == Mode::kOff) return;
+      Report(mode, /*always_fatal=*/true,
+             "hana lock-order violation: re-acquiring held mutex " +
+                 Describe(mu) + " (guaranteed self-deadlock)",
+             &e);
+      return;  // Unreachable (Report aborts); keeps control flow clear.
+    }
+  }
+  if (mu->rank() < 0) return;  // Anonymous mutexes carry no order.
+  // Rank check: strictly increasing within the current fence segment.
+  const Entry* worst = nullptr;
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->mu == nullptr) break;  // Fence: earlier locks are foreign.
+    if (it->mu->rank() >= mu->rank() &&
+        (worst == nullptr || it->mu->rank() > worst->mu->rank())) {
+      worst = &*it;
+    }
+  }
+  if (worst == nullptr) return;
+  Mode mode = CurrentMode();
+  if (mode == Mode::kOff) return;
+  Report(mode, /*always_fatal=*/false,
+         "hana lock-order violation: acquiring " + Describe(mu) +
+             " while holding " + Describe(worst->mu) +
+             " (ranks must be strictly increasing; see hana::lock_rank)",
+         worst);
+}
+
+void AfterLock(const Mutex* mu) {
+  if (CurrentMode() == Mode::kOff) {
+    // Still track holds so re-enabling mid-process cannot see a stale
+    // stack for locks released later; the backtrace is skipped.
+    tls_held.push_back(Entry{mu, {}, 0});
+    return;
+  }
+  Entry e;
+  e.mu = mu;
+  e.depth = backtrace(e.frames, kMaxFrames);
+  tls_held.push_back(e);
+}
+
+void AfterUnlock(const Mutex* mu) {
+  // Erase the most recent entry for `mu`. Unlock order need not be
+  // LIFO (MutexLock makes it so in practice, but the validator does
+  // not require it).
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->mu == mu) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlocking a mutex we never saw locked: possible only for locks
+  // taken before the validator TU was loaded; ignore.
+}
+
+void AssertHeld(const Mutex* mu) {
+  // Fences are deliberately ignored: the assertion is about physical
+  // ownership (is this thread inside the critical section?), which a
+  // stolen task inherits from its host thread.
+  for (const Entry& e : tls_held) {
+    if (e.mu == mu) return;
+  }
+  Mode mode = CurrentMode();
+  if (mode == Mode::kOff) return;
+  Report(mode, /*always_fatal=*/false,
+         "hana lock invariant violation: " + Describe(mu) +
+             " is required here but not held by this thread",
+         nullptr);
+}
+
+void PushFence() { tls_held.push_back(Entry{nullptr, {}, 0}); }
+
+void PopFence() {
+  for (auto it = tls_held.rbegin(); it != tls_held.rend(); ++it) {
+    if (it->mu == nullptr) {
+      tls_held.erase(std::next(it).base());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+uint64_t ViolationCount() {
+  return violation_count.load(std::memory_order_relaxed);
+}
+
+void ResetViolations() {
+  violation_count.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(diag_mu);
+  last_message.clear();
+}
+
+std::string LastViolation() {
+  std::lock_guard<std::mutex> lock(diag_mu);
+  return last_message;
+}
+
+}  // namespace hana::lock_order
+
+#endif  // HANA_LOCK_ORDER_CHECKS

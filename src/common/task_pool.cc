@@ -44,6 +44,10 @@ void TaskPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Tasks are their own logical context for lock ordering (a worker
+    // holds no caller locks, but the fence keeps the rule uniform with
+    // the stolen-task path in TryRunOneTask).
+    lock_order::Fence fence;
     task();
   }
 }
@@ -69,9 +73,13 @@ void TaskPool::ParallelForWorker(
   size_t helpers = WorkerSlots(n, max_workers) - 1;
 
   struct Shared {
+    // atomic: relaxed morsel counter — fetch_add hands out disjoint
+    // iterations; no other state is published through it.
     std::atomic<size_t> next{0};
+    // atomic: relaxed early-exit flag; the exception itself is
+    // published under error_mu, not through this flag.
     std::atomic<bool> failed{false};
-    Mutex error_mu;
+    Mutex error_mu{"pool.error", lock_rank::kPoolError};
     std::exception_ptr error GUARDED_BY(error_mu);
   };
   auto shared = std::make_shared<Shared>();
@@ -129,6 +137,11 @@ bool TaskPool::TryRunOneTask() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  // The stolen task runs on a thread that may already hold caller
+  // locks (e.g. storage.merge inside ParallelFor's drain loop). Its
+  // acquisitions belong to its own logical context, so bracket it with
+  // a rank fence; re-acquire detection still sees through the fence.
+  lock_order::Fence fence;
   task();
   return true;
 }

@@ -91,8 +91,10 @@ class TaskPool {
 
   /// Guards the task queue and the shutdown flag; workers block on cv_
   /// while both are empty/false. Lock order: mu_ is a leaf — no other
-  /// Mutex in the platform is acquired while holding it.
-  Mutex mu_;
+  /// Mutex in the platform is acquired while holding it (rank
+  /// pool.queue = 90, the highest rank in the table; the runtime
+  /// validator enforces this on every build).
+  Mutex mu_{"pool.queue", lock_rank::kPoolQueue};
   CondVar cv_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;

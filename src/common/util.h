@@ -79,6 +79,8 @@ class SimClock {
   void Reset() { now_ms_.store(0.0, std::memory_order_relaxed); }
 
  private:
+  // atomic: relaxed simulated-time cell; readers tolerate racing an
+  // in-flight Advance, and no other state is published through it.
   std::atomic<double> now_ms_{0.0};
 };
 

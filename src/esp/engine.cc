@@ -142,14 +142,25 @@ Result<Event> ContinuousQuery::ApplyRowStages(const Event& event,
 }
 
 void ContinuousQuery::Emit(const Event& event) {
+  engine_->mu_.AssertHeld();
   ++events_out_;
   for (const EventSink& sink : sinks_) sink(event);
   if (!target_stream_.empty()) {
-    (void)engine_->Publish(target_stream_, event.timestamp_ms, event.values);
+    // Re-entrant forward into a sibling stream of the same engine: the
+    // lock is already held, so go through PublishLocked (re-acquiring
+    // mu_ here would self-deadlock, and the runtime validator aborts on
+    // exactly that).
+    // lint: IgnoreStatus allowed — a derived-stream forward can fail
+    // (dropped stream, schema drift) without poisoning the source
+    // stream's publish; ESP semantics drop the event.
+    IgnoreStatus(
+        engine_->PublishLocked(target_stream_, event.timestamp_ms,
+                               event.values));
   }
 }
 
 void ContinuousQuery::CloseWindow(int64_t boundary_ms) {
+  engine_->mu_.AssertHeld();
   if (window_events_.empty()) return;
   if (!has_aggregation_) {
     window_events_.clear();
@@ -174,7 +185,10 @@ void ContinuousQuery::CloseWindow(int64_t boundary_ms) {
         groups.try_emplace(std::move(key),
                            std::vector<AggAccum>(aggregates_.size()));
     for (size_t a = 0; a < aggregates_.size(); ++a) {
-      (void)UpdateAccum(aggregates_[a], event.values, &it->second[a]);
+      // lint: IgnoreStatus allowed — the update only fails when the
+      // aggregate argument fails to evaluate for this row; aggregation
+      // skips such rows, matching the group-key path above.
+      IgnoreStatus(UpdateAccum(aggregates_[a], event.values, &it->second[a]));
     }
   }
   for (const auto& [key, accs] : groups) {
@@ -192,6 +206,7 @@ void ContinuousQuery::CloseWindow(int64_t boundary_ms) {
 }
 
 void ContinuousQuery::Process(const Event& event) {
+  engine_->mu_.AssertHeld();
   ++events_in_;
   bool keep = true;
   Result<Event> staged = ApplyRowStages(event, &keep);
@@ -276,6 +291,12 @@ void ContinuousQuery::Process(const Event& event) {
 }
 
 void ContinuousQuery::Flush() {
+  MutexLock lock(engine_->mu_);
+  FlushLocked();
+}
+
+void ContinuousQuery::FlushLocked() {
+  engine_->mu_.AssertHeld();
   if (window_.kind == WindowSpec::Kind::kTumblingTime &&
       window_start_ms_ >= 0) {
     CloseWindow(window_start_ms_ * window_.millis + window_.millis);
@@ -289,6 +310,7 @@ void ContinuousQuery::Flush() {
 
 storage::Table ContinuousQuery::WindowContents() const {
   // The retained (pre-aggregation) rows of the current window.
+  MutexLock lock(engine_->mu_);
   storage::Table table(row_schema_);
   for (const Event& event : window_events_) table.AppendRow(event.values);
   return table;
@@ -355,7 +377,10 @@ CqBuilder& CqBuilder::IntoCallback(EventSink sink) {
 
 CqBuilder& CqBuilder::IntoTable(storage::ColumnTable* table) {
   query_->sinks_.push_back([table](const Event& event) {
-    (void)table->AppendRow(event.values);
+    // lint: IgnoreStatus allowed — a sink runs fire-and-forget inside
+    // event dispatch; a malformed row is dropped rather than failing
+    // the publish that produced it.
+    IgnoreStatus(table->AppendRow(event.values));
   });
   return *this;
 }
@@ -365,7 +390,9 @@ CqBuilder& CqBuilder::IntoHdfs(hadoop::Hdfs* hdfs, const std::string& path) {
     std::vector<std::string> fields;
     fields.push_back(std::to_string(event.timestamp_ms));
     for (const Value& v : event.values) fields.push_back(v.ToString());
-    (void)hdfs->AppendLines(path, {Join(fields, "\t")});
+    // lint: IgnoreStatus allowed — raw archival is best-effort; an HDFS
+    // write failure must not fail the publish being archived.
+    IgnoreStatus(hdfs->AppendLines(path, {Join(fields, "\t")}));
   });
   return *this;
 }
@@ -497,7 +524,11 @@ Result<ContinuousQuery*> CqBuilder::Finish(const std::string& name) {
     query_->output_schema_ = row_schema;
   }
 
+  // Registration publishes the query to concurrent Publish/FlushAll
+  // callers; only this tail needs the engine lock — everything above
+  // touched builder-private state.
   ContinuousQuery* raw = query_.get();
+  MutexLock lock(engine_->mu_);
   auto stream_it = engine_->streams_.find(ToUpper(source_));
   if (stream_it == engine_->streams_.end()) {
     return Status::NotFound("stream not found: " + source_);
@@ -511,8 +542,11 @@ Result<ContinuousQuery*> CqBuilder::Finish(const std::string& name) {
 // EspEngine
 // ---------------------------------------------------------------------
 
+EspEngine::~EspEngine() = default;
+
 Status EspEngine::CreateStream(const std::string& name,
                                std::shared_ptr<Schema> schema) {
+  MutexLock lock(mu_);
   std::string key = ToUpper(name);
   if (streams_.count(key) > 0) {
     return Status::AlreadyExists("stream exists: " + name);
@@ -523,6 +557,7 @@ Status EspEngine::CreateStream(const std::string& name,
 
 Result<std::shared_ptr<Schema>> EspEngine::StreamSchema(
     const std::string& name) const {
+  MutexLock lock(mu_);
   auto it = streams_.find(ToUpper(name));
   if (it == streams_.end()) {
     return Status::NotFound("stream not found: " + name);
@@ -532,6 +567,13 @@ Result<std::shared_ptr<Schema>> EspEngine::StreamSchema(
 
 Status EspEngine::Publish(const std::string& stream, int64_t timestamp_ms,
                           std::vector<Value> values) {
+  MutexLock lock(mu_);
+  return PublishLocked(stream, timestamp_ms, std::move(values));
+}
+
+Status EspEngine::PublishLocked(const std::string& stream,
+                                int64_t timestamp_ms,
+                                std::vector<Value> values) {
   auto it = streams_.find(ToUpper(stream));
   if (it == streams_.end()) {
     return Status::NotFound("stream not found: " + stream);
@@ -551,10 +593,12 @@ Status EspEngine::Publish(const std::string& stream, int64_t timestamp_ms,
 }
 
 void EspEngine::FlushAll() {
-  for (auto& query : queries_) query->Flush();
+  MutexLock lock(mu_);
+  for (auto& query : queries_) query->FlushLocked();
 }
 
 Result<ContinuousQuery*> EspEngine::GetQuery(const std::string& name) const {
+  MutexLock lock(mu_);
   for (const auto& query : queries_) {
     if (EqualsIgnoreCase(query->name(), name)) return query.get();
   }

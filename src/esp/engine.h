@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "hadoop/hdfs.h"
 #include "plan/bound_expr.h"
 #include "storage/column_table.h"
@@ -24,7 +25,8 @@ struct Event {
 
 using EventSink = std::function<void(const Event&)>;
 
-class EspEngine;
+class ContinuousQuery;
+class CqBuilder;
 
 /// Window specification for continuous queries (CCL KEEP clause).
 struct WindowSpec {
@@ -49,8 +51,79 @@ struct PatternSpec {
   int64_t within_ms = 0;
 };
 
+/// The stream engine: streams, continuous queries and synchronous event
+/// dispatch. Mirrors the integration surface of the SAP Sybase ESP
+/// (Section 3.2): prefilter/aggregate + forward, ESP join, HANA join.
+///
+/// Thread safety: one engine-wide mutex (esp.engine, rank 20) guards the
+/// stream map, the query registry and all per-query runtime state —
+/// queries run synchronously inside Publish, so finer-grained locking
+/// would buy nothing. The query's Emit may forward into another stream
+/// of the same engine; that re-entrant hop stays under the already-held
+/// lock via PublishLocked rather than re-acquiring.
+class EspEngine {
+ public:
+  EspEngine() = default;
+  ~EspEngine();
+
+  [[nodiscard]] Status CreateStream(const std::string& name,
+                      std::shared_ptr<Schema> schema) EXCLUDES(mu_);
+  [[nodiscard]] Result<std::shared_ptr<Schema>> StreamSchema(
+      const std::string& name) const EXCLUDES(mu_);
+
+  /// Publishes one event; all continuous queries attached to the stream
+  /// run synchronously. Timestamps must be non-decreasing per stream.
+  [[nodiscard]] Status Publish(const std::string& stream, int64_t timestamp_ms,
+                 std::vector<Value> values) EXCLUDES(mu_);
+
+  /// Closes all open windows (end of stream).
+  void FlushAll() EXCLUDES(mu_);
+
+  [[nodiscard]] Result<ContinuousQuery*> GetQuery(const std::string& name) const
+      EXCLUDES(mu_);
+
+  size_t total_events() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return total_events_;
+  }
+
+ private:
+  friend class CqBuilder;
+  friend class ContinuousQuery;
+
+  struct StreamState {
+    std::shared_ptr<Schema> schema;
+    std::vector<ContinuousQuery*> queries;
+    int64_t last_timestamp_ms = INT64_MIN;
+  };
+
+  /// Publish body for callers already inside the engine lock — the
+  /// IntoStream forward path (ContinuousQuery::Emit) re-enters here.
+  [[nodiscard]] Status PublishLocked(const std::string& stream,
+                                     int64_t timestamp_ms,
+                                     std::vector<Value> values) REQUIRES(mu_);
+
+  /// Guards streams_, queries_, total_events_ and every query's runtime
+  /// window/pattern state. Engine rank 20: may be followed by storage
+  /// locks (IntoTable sinks append under storage.state, rank 65) but
+  /// never by another engine-level lock.
+  mutable Mutex mu_{"esp.engine", lock_rank::kEspEngine};
+
+  std::map<std::string, StreamState> streams_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<ContinuousQuery>> queries_ GUARDED_BY(mu_);
+  size_t total_events_ GUARDED_BY(mu_) = 0;
+};
+
 /// A compiled continuous query. Built through CqBuilder; processes
 /// events synchronously as the engine publishes them.
+///
+/// Thread safety: compilation state (schemas, bound expressions, window
+/// spec, sinks) is immutable after CqBuilder::Finish registers the
+/// query; only the runtime window/pattern/counter members mutate, and
+/// those are guarded by the owning engine's mutex. The private
+/// processing hooks run inside EspEngine::Publish/FlushAll with that
+/// lock held; because the lock is reached through engine_, they assert
+/// the capability at entry (Mutex::AssertHeld) instead of REQUIRES.
 class ContinuousQuery {
  public:
   const std::string& name() const { return name_; }
@@ -61,21 +134,28 @@ class ContinuousQuery {
   /// Current retained window contents as a relational table — the
   /// "HANA join" use case (Figure 9): a HANA query may use the window
   /// as join partner.
-  storage::Table WindowContents() const;
+  storage::Table WindowContents() const EXCLUDES(engine_->mu_);
 
   /// Forces any open time/count window to close and emit.
-  void Flush();
+  void Flush() EXCLUDES(engine_->mu_);
 
-  size_t events_in() const { return events_in_; }
-  size_t events_out() const { return events_out_; }
+  size_t events_in() const EXCLUDES(engine_->mu_) {
+    MutexLock lock(engine_->mu_);
+    return events_in_;
+  }
+  size_t events_out() const EXCLUDES(engine_->mu_) {
+    MutexLock lock(engine_->mu_);
+    return events_out_;
+  }
 
  private:
   friend class EspEngine;
   friend class CqBuilder;
 
-  void Process(const Event& event);
-  void Emit(const Event& event);
-  void CloseWindow(int64_t boundary_ms);
+  void Process(const Event& event);      // Asserts engine_->mu_.
+  void Emit(const Event& event);         // Asserts engine_->mu_.
+  void CloseWindow(int64_t boundary_ms); // Asserts engine_->mu_.
+  void FlushLocked();                    // Asserts engine_->mu_.
   [[nodiscard]] Result<Event> ApplyRowStages(const Event& event, bool* keep) const;
 
   EspEngine* engine_ = nullptr;
@@ -104,20 +184,23 @@ class ContinuousQuery {
 
   PatternSpec pattern_;
   bool has_pattern_ = false;
-  std::vector<std::pair<int64_t, size_t>> pattern_progress_;
-
-  std::deque<Event> window_events_;
-  int64_t window_start_ms_ = -1;
 
   std::vector<EventSink> sinks_;
   std::string target_stream_;  // Forward into another stream.
 
-  size_t events_in_ = 0;
-  size_t events_out_ = 0;
+  // Runtime state, mutated on every published event.
+  std::vector<std::pair<int64_t, size_t>> pattern_progress_
+      GUARDED_BY(engine_->mu_);
+  std::deque<Event> window_events_ GUARDED_BY(engine_->mu_);
+  int64_t window_start_ms_ GUARDED_BY(engine_->mu_) = -1;
+  size_t events_in_ GUARDED_BY(engine_->mu_) = 0;
+  size_t events_out_ GUARDED_BY(engine_->mu_) = 0;
 };
 
 /// Fluent builder for continuous queries. Expressions are SQL text
-/// parsed and bound against the source stream's schema.
+/// parsed and bound against the source stream's schema. The query under
+/// construction is private to the builder until Finish registers it
+/// under the engine lock, so the build steps themselves need none.
 class CqBuilder {
  public:
   CqBuilder(EspEngine* engine, const std::string& source_stream);
@@ -166,44 +249,6 @@ class CqBuilder {
     std::string table_key;
   };
   std::vector<PendingLookup> pending_lookups_;
-};
-
-/// The stream engine: streams, continuous queries and synchronous event
-/// dispatch. Mirrors the integration surface of the SAP Sybase ESP
-/// (Section 3.2): prefilter/aggregate + forward, ESP join, HANA join.
-class EspEngine {
- public:
-  EspEngine() = default;
-
-  [[nodiscard]] Status CreateStream(const std::string& name,
-                      std::shared_ptr<Schema> schema);
-  [[nodiscard]] Result<std::shared_ptr<Schema>> StreamSchema(const std::string& name) const;
-
-  /// Publishes one event; all continuous queries attached to the stream
-  /// run synchronously. Timestamps must be non-decreasing per stream.
-  [[nodiscard]] Status Publish(const std::string& stream, int64_t timestamp_ms,
-                 std::vector<Value> values);
-
-  /// Closes all open windows (end of stream).
-  void FlushAll();
-
-  [[nodiscard]] Result<ContinuousQuery*> GetQuery(const std::string& name) const;
-
-  size_t total_events() const { return total_events_; }
-
- private:
-  friend class CqBuilder;
-  friend class ContinuousQuery;
-
-  struct StreamState {
-    std::shared_ptr<Schema> schema;
-    std::vector<ContinuousQuery*> queries;
-    int64_t last_timestamp_ms = INT64_MIN;
-  };
-
-  std::map<std::string, StreamState> streams_;
-  std::vector<std::unique_ptr<ContinuousQuery>> queries_;
-  size_t total_events_ = 0;
 };
 
 }  // namespace hana::esp

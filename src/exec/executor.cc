@@ -36,7 +36,12 @@ struct PipelineRun {
 
   std::optional<PartitionSource> partition;  // kScan, when partitionable.
   size_t num_morsels = 0;
+  // atomic: relaxed morsel counter — fetch_add hands out disjoint
+  // indices; morsel results are published by workers_remaining below.
   std::atomic<size_t> next_morsel{0};
+  // atomic: acq_rel completion counter — the final decrement's
+  // release pairs with the merging thread's acquire load, publishing
+  // every per-morsel slot write.
   std::atomic<size_t> workers_remaining{0};
   std::vector<Status> statuses;                       // Per morsel.
   std::vector<std::vector<Chunk>> collected;          // kCollect / kSort.
@@ -48,7 +53,10 @@ struct PipelineRun {
 
   Stopwatch wall;
   double wall_ms = 0.0;
+  // atomic: relaxed stats counters; read only after the pipeline's
+  // completion counter has synchronized, or for approximate progress.
   std::atomic<uint64_t> rows{0};
+  // atomic: relaxed stats counter, same publication rule as rows.
   std::atomic<int64_t> cpu_us{0};
 };
 
@@ -529,9 +537,10 @@ class PipelineExecutor {
   std::vector<PipelineRun> runs_;
   std::vector<std::vector<size_t>> dependents_;  // Immutable after ctor.
 
-  /// Guards the schedule. Acquired before the SDA dispatch bracket;
-  /// never held across TaskPool calls (Submit / TryRunOneTask).
-  Mutex mu_;
+  /// Guards the schedule. Acquired before the SDA dispatch bracket
+  /// (rank 40 < sda.dispatch 50); never held across TaskPool calls
+  /// (Submit / TryRunOneTask).
+  Mutex mu_{"executor.schedule", lock_rank::kExecutorSchedule};
   CondVar cv_;
   std::vector<size_t> pending_ GUARDED_BY(mu_);  // Unfinished dep counts.
   std::vector<size_t> ready_ GUARDED_BY(mu_);

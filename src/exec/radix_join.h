@@ -18,14 +18,18 @@ namespace hana::exec {
 /// (tests assert on them; EXPLAIN users can diff before/after).
 struct JoinExecStats {
   /// Joins executed by the morsel-parallel radix hash join pipeline.
+  // atomic: relaxed counter; observers only need eventual totals.
   std::atomic<uint64_t> radix_hash_joins{0};
   /// Joins executed by the serial row-at-a-time hash join.
+  // atomic: relaxed counter; observers only need eventual totals.
   std::atomic<uint64_t> serial_hash_joins{0};
   /// Joins that fell off the hash path to a nested-loop join even
   /// though they carried a join condition (no usable equi key).
+  // atomic: relaxed counter; observers only need eventual totals.
   std::atomic<uint64_t> nested_loop_fallbacks{0};
   /// Radix joins that used boxed Value keys because the equi-key types
   /// differ across sides (no vectorized column-wise path).
+  // atomic: relaxed counter; observers only need eventual totals.
   std::atomic<uint64_t> boxed_key_builds{0};
 };
 

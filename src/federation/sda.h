@@ -127,11 +127,12 @@ class SdaRuntime {
   /// Lock order: dispatch_mu_ may be held when registry_mu_ is
   /// acquired (dispatch paths resolve adapters), never the reverse.
   /// Neither is ever held while calling into TaskPool::mu_.
-  mutable Mutex registry_mu_ ACQUIRED_AFTER(dispatch_mu_);
+  mutable Mutex registry_mu_ ACQUIRED_AFTER(dispatch_mu_){
+      "sda.registry", lock_rank::kSdaRegistry};
   std::map<std::string, std::unique_ptr<Adapter>> adapters_
       GUARDED_BY(registry_mu_);
 
-  mutable Mutex dispatch_mu_;
+  mutable Mutex dispatch_mu_{"sda.dispatch", lock_rank::kSdaDispatch};
   StatementRemoteStats stats_ GUARDED_BY(dispatch_mu_);
   std::function<double()> virtual_now_ GUARDED_BY(dispatch_mu_);
   std::function<void(double)> credit_ GUARDED_BY(dispatch_mu_);

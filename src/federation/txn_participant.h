@@ -78,7 +78,9 @@ class RemoteSourceParticipant : public txn::Participant {
   std::string remote_object_;
   std::shared_ptr<Schema> schema_;
   txn::FaultInjector* injector_;
-  mutable Mutex mu_;
+  /// Held across the adapter ship in Commit: rank 40 precedes
+  /// sda.dispatch (50), matching the participant -> SDA call chain.
+  mutable Mutex mu_{"txn.participant.remote", lock_rank::kTxnParticipant};
   std::map<txn::TxnId, Staged> staged_ GUARDED_BY(mu_);
   /// Snapshot of the remote object's committed contents; Commit
   /// republishes it plus the transaction's staged rows.

@@ -24,6 +24,7 @@ size_t GraphEngine::num_vertices() const { return vertices_->live_rows(); }
 size_t GraphEngine::num_edges() const { return edges_->live_rows(); }
 
 Status GraphEngine::AddVertex(int64_t id, const std::string& label) {
+  MutexLock lock(mu_);
   if (vertex_index_.count(id) > 0) {
     return Status::AlreadyExists("vertex exists: " + std::to_string(id));
   }
@@ -34,6 +35,7 @@ Status GraphEngine::AddVertex(int64_t id, const std::string& label) {
 
 Status GraphEngine::AddEdge(int64_t src, int64_t dst,
                             const std::string& label, double weight) {
+  MutexLock lock(mu_);
   if (vertex_index_.count(src) == 0 || vertex_index_.count(dst) == 0) {
     return Status::NotFound("edge endpoints must exist");
   }
@@ -51,6 +53,7 @@ Result<size_t> GraphEngine::VertexIndex(int64_t id) const {
 }
 
 void GraphEngine::BuildCsr() {
+  MutexLock lock(mu_);
   size_t n = vertices_->num_rows();
   ids_.assign(n, 0);
   for (const auto& [id, index] : vertex_index_) ids_[index] = id;
@@ -85,6 +88,7 @@ void GraphEngine::BuildCsr() {
 
 Result<std::vector<int64_t>> GraphEngine::Neighbors(
     int64_t id, const std::string& label) const {
+  MutexLock lock(mu_);
   if (!csr_valid_) return Status::Internal("call BuildCsr() first");
   HANA_ASSIGN_OR_RETURN(size_t v, VertexIndex(id));
   std::vector<int64_t> out;
@@ -96,6 +100,7 @@ Result<std::vector<int64_t>> GraphEngine::Neighbors(
 }
 
 Result<std::map<int64_t, int64_t>> GraphEngine::Bfs(int64_t start) const {
+  MutexLock lock(mu_);
   if (!csr_valid_) return Status::Internal("call BuildCsr() first");
   HANA_ASSIGN_OR_RETURN(size_t s, VertexIndex(start));
   std::map<int64_t, int64_t> dist;
@@ -125,6 +130,7 @@ Result<int64_t> GraphEngine::ShortestPathHops(int64_t from, int64_t to) const {
 
 Result<double> GraphEngine::ShortestPathWeight(int64_t from,
                                                int64_t to) const {
+  MutexLock lock(mu_);
   if (!csr_valid_) return Status::Internal("call BuildCsr() first");
   HANA_ASSIGN_OR_RETURN(size_t s, VertexIndex(from));
   HANA_ASSIGN_OR_RETURN(size_t t, VertexIndex(to));
@@ -151,6 +157,7 @@ Result<double> GraphEngine::ShortestPathWeight(int64_t from,
 }
 
 Result<size_t> GraphEngine::TriangleCount() const {
+  MutexLock lock(mu_);
   if (!csr_valid_) return Status::Internal("call BuildCsr() first");
   // Undirected triangle counting over the symmetrized adjacency.
   std::vector<std::set<size_t>> adjacency(ids_.size());
@@ -176,6 +183,7 @@ Result<size_t> GraphEngine::TriangleCount() const {
 }
 
 Result<size_t> GraphEngine::OutDegree(int64_t id) const {
+  MutexLock lock(mu_);
   if (!csr_valid_) return Status::Internal("call BuildCsr() first");
   HANA_ASSIGN_OR_RETURN(size_t v, VertexIndex(id));
   return offsets_[v + 1] - offsets_[v];

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "storage/column_table.h"
 
 namespace hana::graph {
@@ -23,28 +24,31 @@ class GraphEngine {
   GraphEngine();
 
   // ---- Mutation ---------------------------------------------------------
-  [[nodiscard]] Status AddVertex(int64_t id, const std::string& label);
+  [[nodiscard]] Status AddVertex(int64_t id, const std::string& label)
+      EXCLUDES(mu_);
   [[nodiscard]] Status AddEdge(int64_t src, int64_t dst, const std::string& label,
-                 double weight = 1.0);
+                 double weight = 1.0) EXCLUDES(mu_);
 
   size_t num_vertices() const;
   size_t num_edges() const;
 
   /// Rebuilds the CSR adjacency snapshot (call after mutations).
-  void BuildCsr();
+  void BuildCsr() EXCLUDES(mu_);
 
   // ---- Traversals (require a current CSR snapshot) -----------------------
   [[nodiscard]] Result<std::vector<int64_t>> Neighbors(int64_t id,
-                                         const std::string& label = "") const;
+                                         const std::string& label = "") const
+      EXCLUDES(mu_);
   /// Hop distance from `start` to every reachable vertex.
-  [[nodiscard]] Result<std::map<int64_t, int64_t>> Bfs(int64_t start) const;
+  [[nodiscard]] Result<std::map<int64_t, int64_t>> Bfs(int64_t start) const EXCLUDES(mu_);
   /// Minimum hop count between two vertices (-1 = unreachable).
   [[nodiscard]] Result<int64_t> ShortestPathHops(int64_t from, int64_t to) const;
   /// Dijkstra over edge weights.
-  [[nodiscard]] Result<double> ShortestPathWeight(int64_t from, int64_t to) const;
+  [[nodiscard]] Result<double> ShortestPathWeight(int64_t from, int64_t to) const
+      EXCLUDES(mu_);
   /// Number of undirected triangles.
-  [[nodiscard]] Result<size_t> TriangleCount() const;
-  [[nodiscard]] Result<size_t> OutDegree(int64_t id) const;
+  [[nodiscard]] Result<size_t> TriangleCount() const EXCLUDES(mu_);
+  [[nodiscard]] Result<size_t> OutDegree(int64_t id) const EXCLUDES(mu_);
 
   // ---- Cross-model access -------------------------------------------------
   /// The backing relational tables (vertices: id, label; edges: src,
@@ -56,19 +60,26 @@ class GraphEngine {
   storage::Table EdgesTable() const;
 
  private:
-  [[nodiscard]] Result<size_t> VertexIndex(int64_t id) const;
+  [[nodiscard]] Result<size_t> VertexIndex(int64_t id) const REQUIRES(mu_);
+
+  /// Guards the vertex index and the CSR snapshot (engine rank 20).
+  /// The backing column tables carry their own storage locks and are
+  /// appended to while mu_ is held (20 < storage.state 65); the
+  /// unique_ptrs themselves are immutable after construction, so the
+  /// cross-model accessors read them without mu_.
+  mutable Mutex mu_{"graph.engine", lock_rank::kGraphEngine};
 
   std::unique_ptr<storage::ColumnTable> vertices_;
   std::unique_ptr<storage::ColumnTable> edges_;
-  std::map<int64_t, size_t> vertex_index_;
+  std::map<int64_t, size_t> vertex_index_ GUARDED_BY(mu_);
 
   // CSR snapshot.
-  bool csr_valid_ = false;
-  std::vector<size_t> offsets_;
-  std::vector<size_t> targets_;        // Dense vertex indexes.
-  std::vector<double> weights_;
-  std::vector<std::string> edge_labels_;
-  std::vector<int64_t> ids_;           // Dense index -> vertex id.
+  bool csr_valid_ GUARDED_BY(mu_) = false;
+  std::vector<size_t> offsets_ GUARDED_BY(mu_);
+  std::vector<size_t> targets_ GUARDED_BY(mu_);   // Dense vertex indexes.
+  std::vector<double> weights_ GUARDED_BY(mu_);
+  std::vector<std::string> edge_labels_ GUARDED_BY(mu_);
+  std::vector<int64_t> ids_ GUARDED_BY(mu_);      // Dense index -> vertex id.
 };
 
 }  // namespace hana::graph

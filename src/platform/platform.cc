@@ -77,8 +77,9 @@ Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
     // automatically under the reserved source name EXTENDED.
     auto adapter =
         std::make_unique<federation::IqAdapter>(iq_.get(), &clock_);
-    // The registry is empty at construction, so the reserved name can
-    // only collide if a second IQ engine is started — impossible here.
+    // lint: IgnoreStatus allowed — the registry is empty at
+    // construction, so the reserved name cannot collide (BindSource's
+    // only failure mode); a second IQ engine is impossible here.
     IgnoreStatus(sda_.BindSource("EXTENDED", std::move(adapter)));
   }
   dop_ = options_.num_threads > 0 ? options_.num_threads

@@ -96,23 +96,33 @@ struct MergeOptions {
 /// scans snapshotted the table while a merge was in flight — the
 /// online-merge analogue of "did the fast path actually run".
 struct MergeStats {
+  // All members: relaxed observability counters. Writers update them
+  // under the merge/state locks or from scan paths; readers only need
+  // eventual totals, so no ordering is implied and none is needed.
+  // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> merges_completed{0};
   /// MergeDelta calls rejected because a merge was already in flight.
+  // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> merges_rejected{0};
   /// Delta rows folded into mains across all completed merges.
+  // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> rows_merged{0};
   /// Dictionary entries across merged columns, before/after the last
   /// merge (before = old main + frozen delta dictionaries).
+  // atomic: relaxed counters (see struct comment).
   std::atomic<uint64_t> dict_entries_before{0};
   std::atomic<uint64_t> dict_entries_after{0};
   /// Accumulated merge wall time, microseconds.
+  // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> merge_micros{0};
   /// Scans that took their snapshot while a merge was in flight (i.e.
   /// scans that ran online against the pre-merge parts).
+  // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> scans_overlapped{0};
   /// Whole-table footprint around the last merge; their quotient is the
   /// post-merge compression ratio (delta codes + unsorted dictionaries
   /// vs bit-packed codes + sorted dictionaries).
+  // atomic: relaxed counters (see struct comment).
   std::atomic<uint64_t> bytes_before{0};
   std::atomic<uint64_t> bytes_after{0};
 
@@ -322,12 +332,14 @@ class ColumnTable {
     /// columns_ vector structure, and merge_active. Held briefly: for
     /// snapshot copies, appends, and the merge's freeze/switch phases —
     /// never across a shadow build or while waiting on the pool. Leaf
-    /// lock except that merge_mu is held around it during a merge.
-    Mutex state_mu;
+    /// lock except that merge_mu is held around it during a merge
+    /// (rank storage.state 65, after storage.merge 60).
+    Mutex state_mu ACQUIRED_AFTER(merge_mu){"storage.state",
+                                            lock_rank::kStorageState};
     /// Serializes merges on this table. Acquired with TryLock only
     /// (overlapping merges are rejected, not queued), held across the
     /// whole merge including pool waits; pool tasks never acquire it.
-    Mutex merge_mu;
+    Mutex merge_mu{"storage.merge", lock_rank::kStorageMerge};
     bool merge_active GUARDED_BY(state_mu) = false;
     MergeStats stats;
   };
@@ -337,7 +349,8 @@ class ColumnTable {
                          size_t end, size_t chunk_rows,
                          const std::function<bool(const Chunk&)>& callback)
       const;
-  Status MergeDeltaHoldingMergeMu(const MergeOptions& options);
+  Status MergeDeltaHoldingMergeMu(const MergeOptions& options)
+      REQUIRES(sync_->merge_mu);
 
   std::shared_ptr<Schema> schema_;
   std::vector<StoredColumn> columns_;

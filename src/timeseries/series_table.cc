@@ -36,6 +36,7 @@ double DetectQuantum(const std::vector<double>& values) {
 }  // namespace
 
 Status SeriesTable::Append(int64_t timestamp_ms, double value) {
+  MutexLock lock(sync_->mu);
   if (sealed_) return Status::InvalidArgument("series is sealed");
   if (timestamp_ms < options_.start_ms) {
     return Status::InvalidArgument("timestamp before series start");
@@ -52,7 +53,7 @@ Status SeriesTable::Append(int64_t timestamp_ms, double value) {
   return Status::OK();
 }
 
-std::vector<double> SeriesTable::Values() const {
+std::vector<double> SeriesTable::ValuesLocked() const {
   std::vector<double> slots(present_.size(), kNaN);
   std::vector<double> present_values;
   if (sealed_) {
@@ -82,8 +83,19 @@ std::vector<double> SeriesTable::Values() const {
 }
 
 Result<double> SeriesTable::At(size_t slot) const {
-  if (slot >= present_.size()) return Status::OutOfRange("slot out of range");
-  std::vector<double> slots = Values();
+  std::vector<double> slots;
+  {
+    MutexLock lock(sync_->mu);
+    if (slot >= present_.size()) {
+      return Status::OutOfRange("slot out of range");
+    }
+    slots = ValuesLocked();
+  }
+  return CompensateAt(slot, slots);
+}
+
+Result<double> SeriesTable::CompensateAt(
+    size_t slot, const std::vector<double>& slots) const {
   if (!std::isnan(slots[slot])) return slots[slot];
   switch (options_.missing) {
     case MissingValuePolicy::kNone:
@@ -126,15 +138,21 @@ Result<double> SeriesTable::At(size_t slot) const {
 }
 
 std::vector<double> SeriesTable::Materialize() const {
-  std::vector<double> out(present_.size(), 0.0);
-  for (size_t i = 0; i < present_.size(); ++i) {
-    Result<double> v = At(i);
+  std::vector<double> slots;
+  {
+    MutexLock lock(sync_->mu);
+    slots = ValuesLocked();
+  }
+  std::vector<double> out(slots.size(), 0.0);
+  for (size_t i = 0; i < slots.size(); ++i) {
+    Result<double> v = CompensateAt(i, slots);
     out[i] = v.ok() ? *v : kNaN;
   }
   return out;
 }
 
 void SeriesTable::Seal() {
+  MutexLock lock(sync_->mu);
   if (sealed_) return;
   quantum_ = DetectQuantum(values_);
   if (quantum_ > 0.0) {
@@ -155,12 +173,14 @@ void SeriesTable::Seal() {
 }
 
 size_t SeriesTable::CompressedBytes() const {
+  MutexLock lock(sync_->mu);
   if (!sealed_) return values_.size() * 8 + present_.size() / 8 + 32;
   return sealed_values_.size() + sealed_present_.size() + 32;
 }
 
 double SeriesTable::Mean() const {
-  std::vector<double> slots = Values();
+  MutexLock lock(sync_->mu);
+  std::vector<double> slots = ValuesLocked();
   double sum = 0;
   size_t n = 0;
   for (double v : slots) {
@@ -173,16 +193,18 @@ double SeriesTable::Mean() const {
 }
 
 double SeriesTable::Min() const {
+  MutexLock lock(sync_->mu);
   double min = std::numeric_limits<double>::infinity();
-  for (double v : Values()) {
+  for (double v : ValuesLocked()) {
     if (!std::isnan(v)) min = std::min(min, v);
   }
   return min;
 }
 
 double SeriesTable::Max() const {
+  MutexLock lock(sync_->mu);
   double max = -std::numeric_limits<double>::infinity();
-  for (double v : Values()) {
+  for (double v : ValuesLocked()) {
     if (!std::isnan(v)) max = std::max(max, v);
   }
   return max;
@@ -198,7 +220,14 @@ Result<SeriesTable> SeriesTable::Resample(int64_t new_interval_ms) const {
   SeriesOptions out_options = options_;
   out_options.interval_ms = new_interval_ms;
   SeriesTable out(name_ + "_resampled", out_options);
-  std::vector<double> slots = Values();
+  // Decode under this series' lock, then release before appending to
+  // `out`: series locks share one rank, so holding both would (rightly)
+  // trip the validator's same-rank rule.
+  std::vector<double> slots;
+  {
+    MutexLock lock(sync_->mu);
+    slots = ValuesLocked();
+  }
   for (size_t begin = 0; begin < slots.size(); begin += factor) {
     double sum = 0;
     size_t n = 0;

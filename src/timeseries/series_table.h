@@ -2,10 +2,12 @@
 #define HANA_TIMESERIES_SERIES_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace hana::timeseries {
 
@@ -24,64 +26,103 @@ struct SeriesOptions {
 /// i * interval, so they cost zero bytes); values are compressed with a
 /// quantization-aware codec (delta/RLE over scaled integers when the
 /// sensor grid is detected, XOR-of-doubles otherwise).
+/// Thread safety: one series-level mutex (timeseries.series, rank 20 —
+/// engine level) guards the slot buffers and the sealed representation.
+/// It lives behind a unique_ptr so the table stays movable (Resample
+/// returns one by value); moving a series that another thread is
+/// concurrently using is — as for any container — the caller's race.
+/// Name and grid options are immutable after construction and read
+/// without the lock. Correlation/Resample never hold two series locks
+/// at once (same rank): they copy the decoded slots out under one lock
+/// before touching the other series.
 class SeriesTable {
  public:
   SeriesTable(std::string name, SeriesOptions options)
       : name_(std::move(name)), options_(options) {}
+
+  SeriesTable(SeriesTable&&) = default;
+  SeriesTable& operator=(SeriesTable&&) = default;
 
   const std::string& name() const { return name_; }
   const SeriesOptions& options() const { return options_; }
 
   /// Appends a measurement. The timestamp must fall on (or is snapped
   /// to) the next grid slots; skipped slots become missing values.
-  [[nodiscard]] Status Append(int64_t timestamp_ms, double value);
+  [[nodiscard]] Status Append(int64_t timestamp_ms, double value)
+      EXCLUDES(sync_->mu);
 
-  size_t num_slots() const { return present_.size(); }
-  size_t num_present() const { return num_present_; }
+  size_t num_slots() const EXCLUDES(sync_->mu) {
+    MutexLock lock(sync_->mu);
+    return present_.size();
+  }
+  size_t num_present() const EXCLUDES(sync_->mu) {
+    MutexLock lock(sync_->mu);
+    return num_present_;
+  }
 
   /// Value at slot i with the configured compensation applied.
-  [[nodiscard]] Result<double> At(size_t slot) const;
+  [[nodiscard]] Result<double> At(size_t slot) const EXCLUDES(sync_->mu);
   int64_t TimestampAt(size_t slot) const {
     return options_.start_ms +
            static_cast<int64_t>(slot) * options_.interval_ms;
   }
 
   /// Fully compensated series.
-  std::vector<double> Materialize() const;
+  std::vector<double> Materialize() const EXCLUDES(sync_->mu);
 
   /// Compresses the buffered values (read-optimized form).
-  void Seal();
-  bool sealed() const { return sealed_; }
+  void Seal() EXCLUDES(sync_->mu);
+  bool sealed() const EXCLUDES(sync_->mu) {
+    MutexLock lock(sync_->mu);
+    return sealed_;
+  }
 
   /// Footprint of the sealed series representation.
-  size_t CompressedBytes() const;
+  size_t CompressedBytes() const EXCLUDES(sync_->mu);
   /// Row-store baseline: 8-byte timestamp + 8-byte value per point.
   size_t RowFormatBytes() const { return num_slots() * 16; }
 
   // ---- Analytics ---------------------------------------------------------
-  double Mean() const;
-  double Min() const;
-  double Max() const;
+  double Mean() const EXCLUDES(sync_->mu);
+  double Min() const EXCLUDES(sync_->mu);
+  double Max() const EXCLUDES(sync_->mu);
   /// Mean-aggregated resampling onto a coarser grid.
-  [[nodiscard]] Result<SeriesTable> Resample(int64_t new_interval_ms) const;
+  [[nodiscard]] Result<SeriesTable> Resample(int64_t new_interval_ms) const
+      EXCLUDES(sync_->mu);
   /// Pearson correlation of two equally gridded series.
   [[nodiscard]] static Result<double> Correlation(const SeriesTable& a,
                                     const SeriesTable& b);
 
  private:
-  std::vector<double> Values() const;  // Decoded raw slots (NaN = gap).
+  struct Sync {
+    Mutex mu{"timeseries.series", lock_rank::kSeriesTable};
+  };
+
+  /// Decoded raw slots (NaN = gap).
+  std::vector<double> ValuesLocked() const REQUIRES(sync_->mu);
+  /// Compensation policy applied to already-decoded slots; pure over
+  /// `slots` + the immutable options, so callers decode once under the
+  /// lock and compensate outside it (Materialize would otherwise
+  /// re-enter the lock once per slot).
+  [[nodiscard]] Result<double> CompensateAt(
+      size_t slot, const std::vector<double>& slots) const;
 
   std::string name_;
   SeriesOptions options_;
-  std::vector<uint8_t> present_;
-  std::vector<double> values_;  // Buffered (pre-seal); compacted presence.
-  size_t num_present_ = 0;
+  std::unique_ptr<Sync> sync_ = std::make_unique<Sync>();
+  std::vector<uint8_t> present_ GUARDED_BY(sync_->mu);
+  // Buffered (pre-seal); compacted presence.
+  std::vector<double> values_ GUARDED_BY(sync_->mu);
+  size_t num_present_ GUARDED_BY(sync_->mu) = 0;
 
-  bool sealed_ = false;
-  std::vector<uint8_t> sealed_values_;   // Compressed present values.
-  std::vector<uint8_t> sealed_present_;  // RLE presence bitmap.
-  uint8_t codec_tag_ = 0;                // 1 = quantized ints, 2 = xor.
-  double quantum_ = 0.0;
+  bool sealed_ GUARDED_BY(sync_->mu) = false;
+  // Compressed present values.
+  std::vector<uint8_t> sealed_values_ GUARDED_BY(sync_->mu);
+  // RLE presence bitmap.
+  std::vector<uint8_t> sealed_present_ GUARDED_BY(sync_->mu);
+  // 1 = quantized ints, 2 = xor.
+  uint8_t codec_tag_ GUARDED_BY(sync_->mu) = 0;
+  double quantum_ GUARDED_BY(sync_->mu) = 0.0;
 };
 
 }  // namespace hana::timeseries

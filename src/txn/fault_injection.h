@@ -131,7 +131,10 @@ class FaultInjector {
   void Record(TxnId txn, const std::string& participant, FaultOp op,
               const char* action) REQUIRES(mu_);
 
-  mutable Mutex mu_;
+  /// Taken from coordinator (under txn.coordinator) and participant
+  /// code paths; holds park on cv_ under it. Nothing is acquired
+  /// while it is held.
+  mutable Mutex mu_{"txn.fault_injector", lock_rank::kFaultInjector};
   CondVar cv_;
   std::map<Key, int> fail_counts_ GUARDED_BY(mu_);
   std::map<Key, double> latency_ms_ GUARDED_BY(mu_);

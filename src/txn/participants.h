@@ -75,7 +75,7 @@ class ColumnTableParticipant : public Participant {
   /// table apply in Commit so concurrent transactions touching the same
   /// table serialize their writes. Never held while calling the
   /// injector (which may block on a hold latch).
-  mutable Mutex mu_;
+  mutable Mutex mu_{"txn.participant.column", lock_rank::kTxnParticipant};
   std::map<TxnId, Staged> staged_ GUARDED_BY(mu_);
   bool fail_next_prepare_ GUARDED_BY(mu_) = false;
   uint64_t last_commit_id_ GUARDED_BY(mu_) = 0;
@@ -127,7 +127,9 @@ class ExtendedTableParticipant : public Participant {
   std::string name_;
   extended::ExtendedTable* table_;
   FaultInjector* injector_;
-  mutable Mutex mu_;
+  /// Same level as the other participant locks: a thread works one
+  /// participant at a time, so participant mutexes never nest.
+  mutable Mutex mu_{"txn.participant.extended", lock_rank::kTxnParticipant};
   std::map<TxnId, Staged> staged_ GUARDED_BY(mu_);
   bool fail_next_prepare_ GUARDED_BY(mu_) = false;
   bool unavailable_ GUARDED_BY(mu_) = false;

@@ -183,8 +183,9 @@ class TwoPhaseCoordinator {
 
   /// Guards all coordinator state. Never held across participant calls
   /// or task-pool submission/waits (fan-out copies what it needs out
-  /// first), so it cannot order against participant or pool mutexes.
-  mutable Mutex mu_;
+  /// first), so it cannot order against participant or pool mutexes;
+  /// the injector is called under it (rank 30 < 70).
+  mutable Mutex mu_{"txn.coordinator", lock_rank::kTxnCoordinator};
   TxnId next_txn_ GUARDED_BY(mu_) = 1;
   uint64_t next_commit_id_ GUARDED_BY(mu_) = 1;
   std::map<TxnId, ActiveTxn> active_ GUARDED_BY(mu_);

@@ -1,0 +1,10 @@
+// Fixture: the violation shares a line with a trailing block comment;
+// stripping must not hide the code before it (regression for the
+// block-comment stripping in find_violations).
+#include <mutex>
+
+namespace hana::lintfix {
+
+std::mutex sneaky_mu; /* totally justified, promise */
+
+}  // namespace hana::lintfix

@@ -1,0 +1,10 @@
+// Fixture: naked standard-library locking — must trip rule 1.
+#include <mutex>
+
+namespace hana::lintfix {
+
+std::mutex bad_mu;
+
+void BadLock() { std::lock_guard<std::mutex> lock(bad_mu); }
+
+}  // namespace hana::lintfix

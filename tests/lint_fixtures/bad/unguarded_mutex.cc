@@ -1,0 +1,12 @@
+// Fixture: a hana::Mutex member without any guard annotation on the
+// fields it protects — must trip rule 5 (a mutex protecting nothing
+// nameable). Careful: the annotation macro's name must not appear in
+// this file, comments included — rule 5 greps the raw text.
+namespace hana::lintfix {
+
+struct UnguardedState {
+  mutable Mutex mu{"fixture.unguarded", 10};
+  int supposedly_protected = 0;
+};
+
+}  // namespace hana::lintfix

@@ -1,0 +1,10 @@
+// Fixture: std::atomic without an `atomic:` ordering justification —
+// must trip rule 6.
+#include <atomic>
+
+namespace hana::lintfix {
+
+// A comment that does not contain the justification marker.
+std::atomic<int> mystery_counter{0};
+
+}  // namespace hana::lintfix

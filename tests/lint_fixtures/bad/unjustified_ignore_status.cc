@@ -1,0 +1,7 @@
+// Fixture: IgnoreStatus without a `lint: IgnoreStatus allowed`
+// justification — must trip rule 7.
+namespace hana::lintfix {
+
+void DropIt() { IgnoreStatus(DoSomething()); }
+
+}  // namespace hana::lintfix

@@ -1,0 +1,44 @@
+// Negative-compile probe for the REQUIRES split pattern used by the
+// newly annotated subsystems (EspEngine::Publish/PublishLocked,
+// ColumnTable::MergeDeltaHoldingMergeMu): a public entry point locks
+// and delegates to a REQUIRES(mu_) body.
+//
+// Compiled twice by tests/lint_negative_test/CMakeLists.txt:
+//   - with LINT_EXPECT_FAIL and -Werror=thread-safety: the REQUIRES
+//     body is called without the lock and MUST fail to compile;
+//   - without: the call goes through the locking wrapper and MUST
+//     compile.
+#include "common/sync.h"
+
+namespace {
+
+class Engine {
+ public:
+  void Publish() EXCLUDES(mu_) {
+#ifdef LINT_EXPECT_FAIL
+    PublishLocked();  // REQUIRES(mu_) without the lock: must not compile.
+#else
+    hana::MutexLock lock(mu_);
+    PublishLocked();
+#endif
+  }
+
+  int Total() EXCLUDES(mu_) {
+    hana::MutexLock lock(mu_);
+    return total_;
+  }
+
+ private:
+  void PublishLocked() REQUIRES(mu_) { ++total_; }
+
+  hana::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine e;
+  e.Publish();
+  return e.Total() == 1 ? 0 : 1;
+}

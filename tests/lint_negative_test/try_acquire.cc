@@ -1,0 +1,44 @@
+// Negative-compile probe for the TryLock admission pattern used by the
+// storage layer (ColumnTable::MergeDelta try-acquires merge_mu and
+// rejects concurrent merges): TRY_ACQUIRE(true) only grants the
+// capability on the success branch.
+//
+// Compiled twice by tests/lint_negative_test/CMakeLists.txt:
+//   - with LINT_EXPECT_FAIL and -Werror=thread-safety: the guarded
+//     member is touched on the FAILURE branch of TryLock and MUST fail
+//     to compile;
+//   - without: the touch happens on the success branch (followed by the
+//     matching Unlock) and MUST compile.
+#include "common/sync.h"
+
+namespace {
+
+class Store {
+ public:
+  bool Merge() EXCLUDES(merge_mu_) {
+#ifdef LINT_EXPECT_FAIL
+    if (!merge_mu_.TryLock()) {
+      ++merged_rows_;  // Lost the race but touches state: must not compile.
+      return false;
+    }
+#else
+    if (!merge_mu_.TryLock()) {
+      return false;  // Another merge is in flight: reject.
+    }
+    ++merged_rows_;
+#endif
+    merge_mu_.Unlock();
+    return true;
+  }
+
+ private:
+  hana::Mutex merge_mu_;
+  int merged_rows_ GUARDED_BY(merge_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Store s;
+  return s.Merge() ? 0 : 1;
+}

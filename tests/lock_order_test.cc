@@ -1,0 +1,209 @@
+// Tests for the runtime lock-order validator in common/sync.{h,cc}:
+// inverted-rank acquisition on a spawned thread is reported (and, under
+// HANA_LOCK_ORDER=fatal, aborts), re-acquiring a held mutex aborts,
+// and the legal patterns the platform relies on — increasing chains,
+// anonymous mutexes, CondVar waits, task-pool fences — produce zero
+// violations. The suite runs with the validator compiled in (any
+// non-Release build); when it is compiled out the checks become
+// trivial skips.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "common/sync.h"
+#include "common/task_pool.h"
+
+namespace hana {
+namespace {
+
+#ifdef HANA_LOCK_ORDER_CHECKS
+constexpr bool kValidatorOn = true;
+#else
+constexpr bool kValidatorOn = false;
+#endif
+
+class LockOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kValidatorOn) GTEST_SKIP() << "validator compiled out (Release)";
+    // Report mode: count violations without aborting the test binary.
+    setenv("HANA_LOCK_ORDER", "report", 1);
+    lock_order::ResetViolations();
+  }
+  void TearDown() override { unsetenv("HANA_LOCK_ORDER"); }
+};
+
+TEST_F(LockOrderTest, InvertedRankOnSpawnedThreadIsReported) {
+  Mutex low("test.low", 10);
+  Mutex high("test.high", 90);
+  std::thread t([&] {
+    MutexLock hold_high(high);
+    MutexLock hold_low(low);  // rank 10 after rank 90: inversion.
+  });
+  t.join();
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+  std::string msg = lock_order::LastViolation();
+  EXPECT_NE(msg.find("test.low"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("test.high"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("lock-order violation"), std::string::npos) << msg;
+}
+
+TEST_F(LockOrderTest, SameRankDoubleHoldIsReported) {
+  // Engine-level locks share a rank precisely because no thread may
+  // hold two of them at once; the validator enforces *strictly*
+  // increasing ranks.
+  Mutex a("test.peer_a", 20);
+  Mutex b("test.peer_b", 20);
+  MutexLock hold_a(a);
+  MutexLock hold_b(b);
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+}
+
+TEST_F(LockOrderTest, IncreasingChainIsClean) {
+  Mutex low("test.low", 10);
+  Mutex mid("test.mid", 40);
+  Mutex high("test.high", 90);
+  {
+    MutexLock l1(low);
+    MutexLock l2(mid);
+    MutexLock l3(high);
+  }
+  // Releasing and re-walking the chain must also be clean.
+  {
+    MutexLock l1(low);
+    MutexLock l3(high);
+  }
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+TEST_F(LockOrderTest, AnonymousMutexesAreExemptFromRankOrder) {
+  Mutex anon_a;
+  Mutex anon_b;
+  Mutex ranked("test.ranked", 50);
+  MutexLock l1(ranked);
+  MutexLock l2(anon_a);  // Unranked after ranked: fine.
+  MutexLock l3(anon_b);
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+TEST_F(LockOrderTest, RealRankTableChainsAreClean) {
+  // The actual platform chains from DESIGN.md, spelled in lock_rank
+  // constants: executor -> sda.dispatch -> sda.registry, and
+  // merge -> state -> pool.
+  Mutex executor("executor.schedule", lock_rank::kExecutorSchedule);
+  Mutex dispatch("sda.dispatch", lock_rank::kSdaDispatch);
+  Mutex registry("sda.registry", lock_rank::kSdaRegistry);
+  Mutex merge("storage.merge", lock_rank::kStorageMerge);
+  Mutex state("storage.state", lock_rank::kStorageState);
+  Mutex queue("pool.queue", lock_rank::kPoolQueue);
+  {
+    MutexLock l1(executor);
+    MutexLock l2(dispatch);
+    MutexLock l3(registry);
+  }
+  {
+    MutexLock l1(merge);
+    MutexLock l2(state);
+  }
+  {
+    MutexLock l1(merge);
+    MutexLock l2(queue);
+  }
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+TEST_F(LockOrderTest, CondVarWaitKeepsTheLockOnTheHeldStack) {
+  Mutex mu("test.wait", 30);
+  Mutex later("test.later", 60);
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    // Still conceptually holding rank 30; a higher rank must be clean.
+    MutexLock l2(later);
+  });
+  {
+    // Give the waiter time to park, then release it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyAll();
+  waiter.join();
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+TEST_F(LockOrderTest, FenceIsolatesStolenTaskRanks) {
+  // A thread holding a high-rank lock that executes a fenced (stolen)
+  // task may take low-rank locks inside the task: the fence marks a
+  // fresh logical context, exactly what TaskPool::TryRunOneTask does.
+  Mutex high("test.host", 90);
+  Mutex low("test.stolen", 10);
+  MutexLock hold(high);
+  {
+    lock_order::Fence fence;
+    MutexLock inner(low);
+    EXPECT_EQ(lock_order::ViolationCount(), 0u);
+  }
+  // Without a fence the same pattern is a violation.
+  MutexLock inner(low);
+  EXPECT_EQ(lock_order::ViolationCount(), 1u);
+}
+
+TEST_F(LockOrderTest, ParallelForUnderHeldEngineLockIsClean) {
+  // The online-merge pattern: phase 2 runs a ParallelFor while the
+  // caller holds storage.merge. The caller participates inline and
+  // drains stolen tasks; none of it may trip the validator.
+  Mutex merge("storage.merge", lock_rank::kStorageMerge);
+  MutexLock hold(merge);
+  std::atomic<int> sum{0};  // atomic: relaxed test counter.
+  TaskPool::Global().ParallelFor(64, [&](size_t i) {
+    sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), (63 * 64) / 2);
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+using LockOrderDeathTest = LockOrderTest;
+
+TEST_F(LockOrderDeathTest, FatalModeAbortsOnInversion) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        setenv("HANA_LOCK_ORDER", "fatal", 1);
+        Mutex low("test.low", 10);
+        Mutex high("test.high", 90);
+        MutexLock hold_high(high);
+        MutexLock hold_low(low);
+      },
+      "lock-order violation: acquiring \"test.low\"");
+}
+
+TEST_F(LockOrderDeathTest, ReacquireAbortsEvenInReportMode) {
+  // Re-acquiring a held std::mutex is a guaranteed self-deadlock, so
+  // the validator aborts rather than reporting-and-hanging.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        setenv("HANA_LOCK_ORDER", "report", 1);
+        Mutex mu("test.reacquire", 40);
+        mu.Lock();
+        mu.Lock();
+      },
+      "re-acquiring held mutex \"test.reacquire\"");
+}
+
+TEST_F(LockOrderTest, OffModeSilencesChecks) {
+  setenv("HANA_LOCK_ORDER", "off", 1);
+  Mutex low("test.low", 10);
+  Mutex high("test.high", 90);
+  MutexLock hold_high(high);
+  MutexLock hold_low(low);
+  EXPECT_EQ(lock_order::ViolationCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hana
