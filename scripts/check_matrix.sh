@@ -10,7 +10,8 @@
 #                 runtime validator is compiled out.
 #   tsan          -fsanitize=thread over the concurrency-labeled tests
 #                 (task pool, parallel executor, online merge, parallel
-#                 joins, txn stress). The runtime lock-order validator
+#                 joins, txn stress, MVCC snapshot isolation, HTAP
+#                 mixed workload). The runtime lock-order validator
 #                 is also on in this leg (RelWithDebInfo default).
 #   asan-ubsan    -fsanitize=address,undefined over the full suite.
 #   validator     Default (RelWithDebInfo) GCC build with the runtime

@@ -350,7 +350,7 @@ Result<size_t> Catalog::DeleteWhere(const std::string& name,
     case TableKind::kColumn: {
       storage::ColumnTable* table = entry->column_table.get();
       for (size_t r = 0; r < table->num_rows(); ++r) {
-        if (table->IsDeleted(r)) continue;
+        if (!table->IsVisibleLatest(r)) continue;
         if (matches(table->GetRow(r))) {
           HANA_RETURN_IF_ERROR(table->DeleteRow(r));
           ++deleted;
@@ -378,7 +378,7 @@ Result<size_t> Catalog::DeleteWhere(const std::string& name,
       for (Partition& p : entry->partitions) {
         if (p.hot != nullptr) {
           for (size_t r = 0; r < p.hot->num_rows(); ++r) {
-            if (p.hot->IsDeleted(r)) continue;
+            if (!p.hot->IsVisibleLatest(r)) continue;
             if (matches(p.hot->GetRow(r))) {
               HANA_RETURN_IF_ERROR(p.hot->DeleteRow(r));
               ++deleted;
@@ -424,7 +424,7 @@ Result<size_t> Catalog::UpdateWhere(
       [&](storage::ColumnTable* table) -> Status {
     size_t original_rows = table->num_rows();
     for (size_t r = 0; r < original_rows; ++r) {
-      if (table->IsDeleted(r)) continue;
+      if (!table->IsVisibleLatest(r)) continue;
       std::vector<Value> out;
       HANA_ASSIGN_OR_RETURN(bool hit, update_row(table->GetRow(r), &out));
       if (hit) {
@@ -521,7 +521,7 @@ Result<size_t> Catalog::RunAging(const std::string& name) {
     std::vector<size_t> to_move;
     std::vector<std::vector<Value>> rows;
     for (size_t r = 0; r < p.hot->num_rows(); ++r) {
-      if (p.hot->IsDeleted(r)) continue;
+      if (!p.hot->IsVisibleLatest(r)) continue;
       std::vector<Value> row = p.hot->GetRow(r);
       bool age;
       if (entry->aging_column >= 0) {

@@ -63,6 +63,13 @@ inline constexpr int kExecutorSchedule = 40;
 // txn.participant.* — participant staging maps; held across the
 // participant's local apply (storage append, adapter ship).
 inline constexpr int kTxnParticipant = 40;
+// mvcc.version — mvcc::VersionManager::mu_: commit-timestamp allocator,
+// in-flight commit set and active-snapshot registry. Taken from the
+// coordinator's commit path (under txn.coordinator) and from the
+// participant's apply path (under txn.participant.*), and itself before
+// any storage lock: snapshot opens resolve the read timestamp and merge
+// reads the watermark before touching storage.merge / storage.state.
+inline constexpr int kMvccVersion = 45;
 // sda.dispatch — federation::SdaRuntime::dispatch_mu_: statement stats
 // + virtual-clock hooks.
 inline constexpr int kSdaDispatch = 50;

@@ -77,10 +77,12 @@ struct PipelineRun {
 /// leaf and a popped task may itself lock mu_ on completion).
 class PipelineExecutor {
  public:
-  PipelineExecutor(PipelinePlan* plan, ExecContext* ctx, ParallelPolicy policy)
+  PipelineExecutor(PipelinePlan* plan, ExecContext* ctx, ParallelPolicy policy,
+                   const mvcc::ReadView& view)
       : plan_(plan),
         ctx_(ctx),
         policy_(policy),
+        view_(view),
         runs_(plan->pipelines.size()),
         dependents_(plan->pipelines.size()),
         pending_(plan->pipelines.size(), 0),
@@ -311,7 +313,7 @@ class PipelineExecutor {
     if (p.source == Pipeline::SourceKind::kScan) {
       HANA_ASSIGN_OR_RETURN(
           run.partition,
-          ctx_->OpenPartitionedScan(*p.scan, policy_.morsel_rows));
+          ctx_->OpenPartitionedScanAt(*p.scan, policy_.morsel_rows, view_));
       if (run.partition.has_value()) {
         run.num_morsels = run.partition->num_morsels;
       }
@@ -367,7 +369,8 @@ class PipelineExecutor {
           HANA_RETURN_IF_ERROR(inner);
           return scan_status;
         }
-        HANA_ASSIGN_OR_RETURN(ChunkStream stream, ctx_->OpenScan(*p.scan));
+        HANA_ASSIGN_OR_RETURN(ChunkStream stream,
+                              ctx_->OpenScanAt(*p.scan, view_));
         while (true) {
           HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, stream());
           if (!chunk.has_value()) break;
@@ -377,7 +380,7 @@ class PipelineExecutor {
       }
       case Pipeline::SourceKind::kSerialOp: {
         HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
-                              BuildPhysicalPlan(*p.serial_root, ctx_));
+                              BuildPhysicalPlan(*p.serial_root, ctx_, view_));
         HANA_RETURN_IF_ERROR(op->Open());
         while (true) {
           HANA_ASSIGN_OR_RETURN(std::optional<Chunk> chunk, op->Next());
@@ -534,6 +537,7 @@ class PipelineExecutor {
   PipelinePlan* plan_;
   ExecContext* ctx_;
   ParallelPolicy policy_;
+  mvcc::ReadView view_;  // Every scan of the statement reads here.
   std::vector<PipelineRun> runs_;
   std::vector<std::vector<size_t>> dependents_;  // Immutable after ctor.
 
@@ -555,13 +559,16 @@ class PipelineExecutor {
 class SubPipelineOp : public PhysicalOp {
  public:
   SubPipelineOp(std::shared_ptr<Schema> schema, ExecContext* ctx,
-                PipelinePlan plan)
-      : PhysicalOp(std::move(schema)), ctx_(ctx), plan_(std::move(plan)) {}
+                PipelinePlan plan, const mvcc::ReadView& view)
+      : PhysicalOp(std::move(schema)),
+        ctx_(ctx),
+        plan_(std::move(plan)),
+        view_(view) {}
 
   Status Open() override {
     chunks_.clear();
     next_ = 0;
-    PipelineExecutor executor(&plan_, ctx_, ctx_->parallel_policy());
+    PipelineExecutor executor(&plan_, ctx_, ctx_->parallel_policy(), view_);
     HANA_ASSIGN_OR_RETURN(chunks_, executor.Run(nullptr));
     return Status::OK();
   }
@@ -574,6 +581,7 @@ class SubPipelineOp : public PhysicalOp {
  private:
   ExecContext* ctx_;
   PipelinePlan plan_;
+  mvcc::ReadView view_;
   std::vector<Chunk> chunks_;
   size_t next_ = 0;
 };
@@ -589,31 +597,38 @@ void AnnotateNode(LogicalOp* op, const PipelinePlan& plan, int inherited) {
 }  // namespace
 
 Result<PhysicalOpPtr> TrySubPipeline(const plan::LogicalOp& logical,
-                                     ExecContext* ctx) {
+                                     ExecContext* ctx,
+                                     const mvcc::ReadView& view) {
   ParallelPolicy policy = ctx->parallel_policy();
   if (policy.pool == nullptr) return PhysicalOpPtr();
   PipelinePlan plan = DecomposePlan(logical, policy);
   if (plan.trivial()) return PhysicalOpPtr();
-  return PhysicalOpPtr(
-      std::make_unique<SubPipelineOp>(logical.schema, ctx, std::move(plan)));
+  return PhysicalOpPtr(std::make_unique<SubPipelineOp>(
+      logical.schema, ctx, std::move(plan), view));
 }
 
 Result<storage::Table> ExecutePlanWithStats(const plan::LogicalOp& logical,
                                             ExecContext* ctx,
                                             std::vector<PipelineStats>* stats) {
   if (stats != nullptr) stats->clear();
+  // One read lease per statement: every scan the plan opens — across
+  // pipelines, morsels and serial sub-plans — resolves against the same
+  // MVCC view, and the lease's snapshot registration holds the merge
+  // watermark back until the statement finishes (RAII on return).
+  ExecContext::ReadLease lease = ctx->AcquireReadLease();
   ParallelPolicy policy = ctx->parallel_policy();
   if (policy.pool != nullptr) {
     PipelinePlan plan = DecomposePlan(logical, policy);
     if (!plan.trivial()) {
-      PipelineExecutor executor(&plan, ctx, policy);
+      PipelineExecutor executor(&plan, ctx, policy, lease.view);
       HANA_ASSIGN_OR_RETURN(std::vector<Chunk> chunks, executor.Run(stats));
       storage::Table table(plan.root().output_schema);
       for (Chunk& chunk : chunks) table.AppendChunk(std::move(chunk));
       return table;
     }
   }
-  HANA_ASSIGN_OR_RETURN(PhysicalOpPtr root, BuildPhysicalPlan(logical, ctx));
+  HANA_ASSIGN_OR_RETURN(PhysicalOpPtr root,
+                        BuildPhysicalPlan(logical, ctx, lease.view));
   return DrainToTable(root.get());
 }
 

@@ -47,8 +47,10 @@ std::vector<plan::PipelineSummary> AnnotatePipelines(plan::LogicalOp* root,
 /// depends only on the plan shape and the policy flags — never on the
 /// degree of parallelism — so a query runs through the same operator at
 /// every thread count.
+/// Scans run at `view` (latest-visible by default).
 [[nodiscard]] Result<PhysicalOpPtr> TrySubPipeline(
-    const plan::LogicalOp& logical, ExecContext* ctx);
+    const plan::LogicalOp& logical, ExecContext* ctx,
+    const mvcc::ReadView& view = {});
 
 }  // namespace hana::exec
 

@@ -222,7 +222,9 @@ Result<std::vector<std::vector<Value>>> Materialize(PhysicalOp* op) {
 /// operators (aggregate, sort, join builds) consume their whole input
 /// anyway and reset the flag for their subtrees.
 Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
-                                        ExecContext* ctx, bool parallel_ok);
+                                        ExecContext* ctx,
+                                        const mvcc::ReadView& view,
+                                        bool parallel_ok);
 
 /// Shared probe logic for hash-based joins (serial row-at-a-time path;
 /// parallel plans run joins through the pipeline executor's radix join
@@ -644,15 +646,19 @@ class PushdownJoinOp : public PhysicalOp {
 };
 
 Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
-                                        ExecContext* ctx, bool parallel_ok) {
+                                        ExecContext* ctx,
+                                        const mvcc::ReadView& view,
+                                        bool parallel_ok) {
   switch (logical.kind) {
     case LogicalKind::kScan:
       if (parallel_ok) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TrySubPipeline(logical, ctx, view));
         if (op != nullptr) return op;
       }
       return PhysicalOpPtr(std::make_unique<StreamOp>(
-          logical.schema, [&logical, ctx] { return ctx->OpenScan(logical); }));
+          logical.schema,
+          [&logical, ctx, view] { return ctx->OpenScanAt(logical, view); }));
     case LogicalKind::kTableFunctionScan:
       return PhysicalOpPtr(std::make_unique<StreamOp>(
           logical.schema,
@@ -660,32 +666,35 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     case LogicalKind::kRemoteQuery: {
       PhysicalOpPtr relocated;
       if (logical.relocate_local_child && !logical.children.empty()) {
-        HANA_ASSIGN_OR_RETURN(relocated,
-                              BuildPhysicalPlan(*logical.children[0], ctx));
+        HANA_ASSIGN_OR_RETURN(
+            relocated, BuildPhysicalPlan(*logical.children[0], ctx, view));
       }
       return PhysicalOpPtr(std::make_unique<RemoteQueryOp>(
           &logical, ctx, std::move(relocated)));
     }
     case LogicalKind::kFilter: {
       if (parallel_ok) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TrySubPipeline(logical, ctx, view));
         if (op != nullptr) return op;
       }
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
-          BuildPhysicalImpl(*logical.children[0], ctx, parallel_ok));
+          BuildPhysicalImpl(*logical.children[0], ctx, view, parallel_ok));
       return PhysicalOpPtr(std::make_unique<FilterOp>(
           std::move(child), logical.predicate.get()));
     }
     case LogicalKind::kProject: {
       if (parallel_ok && !logical.children.empty()) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TrySubPipeline(logical, ctx, view));
         if (op != nullptr) return op;
       }
       PhysicalOpPtr child;
       if (!logical.children.empty()) {
         HANA_ASSIGN_OR_RETURN(
-            child, BuildPhysicalImpl(*logical.children[0], ctx, parallel_ok));
+            child,
+            BuildPhysicalImpl(*logical.children[0], ctx, view, parallel_ok));
       }
       return PhysicalOpPtr(std::make_unique<ProjectOp>(
           logical.schema, std::move(child), &logical.exprs));
@@ -694,19 +703,20 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
       // The join build is blocking but its probe streams lazily, so the
       // eager pipeline executor is only eligible when not under a LIMIT.
       if (parallel_ok && !logical.semijoin_pushdown) {
-        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
+        HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                              TrySubPipeline(logical, ctx, view));
         if (op != nullptr) return op;
       }
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr left,
-          BuildPhysicalImpl(*logical.children[0], ctx, true));
+          BuildPhysicalImpl(*logical.children[0], ctx, view, true));
       if (logical.semijoin_pushdown) {
         return PhysicalOpPtr(std::make_unique<PushdownJoinOp>(
             &logical, std::move(left), ctx));
       }
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr right,
-          BuildPhysicalImpl(*logical.children[1], ctx, true));
+          BuildPhysicalImpl(*logical.children[1], ctx, view, true));
       size_t left_arity = logical.children[0]->schema->num_columns();
       if (logical.condition != nullptr && logical.join_kind != JoinKind::kCross) {
         plan::JoinConditionParts parts =
@@ -733,11 +743,12 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     case LogicalKind::kAggregate: {
       // Aggregation is blocking, so the pipeline is eligible even under
       // a LIMIT.
-      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op, TrySubPipeline(logical, ctx));
+      HANA_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                            TrySubPipeline(logical, ctx, view));
       if (op != nullptr) return op;
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
-          BuildPhysicalImpl(*logical.children[0], ctx, true));
+          BuildPhysicalImpl(*logical.children[0], ctx, view, true));
       return PhysicalOpPtr(std::make_unique<HashAggregateOp>(
           logical.schema, std::move(child), &logical.group_by,
           &logical.aggregates));
@@ -745,14 +756,14 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
     case LogicalKind::kSort: {
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
-          BuildPhysicalImpl(*logical.children[0], ctx, true));
+          BuildPhysicalImpl(*logical.children[0], ctx, view, true));
       return PhysicalOpPtr(
           std::make_unique<SortOp>(std::move(child), &logical.sort_keys));
     }
     case LogicalKind::kLimit: {
       HANA_ASSIGN_OR_RETURN(
           PhysicalOpPtr child,
-          BuildPhysicalImpl(*logical.children[0], ctx, false));
+          BuildPhysicalImpl(*logical.children[0], ctx, view, false));
       return PhysicalOpPtr(
           std::make_unique<LimitOp>(std::move(child), logical.limit));
     }
@@ -760,7 +771,7 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
       std::vector<PhysicalOpPtr> children;
       for (const auto& c : logical.children) {
         HANA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
-                              BuildPhysicalImpl(*c, ctx, parallel_ok));
+                              BuildPhysicalImpl(*c, ctx, view, parallel_ok));
         children.push_back(std::move(child));
       }
       return PhysicalOpPtr(std::make_unique<UnionOp>(
@@ -774,7 +785,14 @@ Result<PhysicalOpPtr> BuildPhysicalImpl(const plan::LogicalOp& logical,
 
 Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
                                         ExecContext* ctx) {
-  return BuildPhysicalImpl(logical, ctx, /*parallel_ok=*/true);
+  return BuildPhysicalImpl(logical, ctx, mvcc::ReadView{},
+                           /*parallel_ok=*/true);
+}
+
+Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+                                        ExecContext* ctx,
+                                        const mvcc::ReadView& view) {
+  return BuildPhysicalImpl(logical, ctx, view, /*parallel_ok=*/true);
 }
 
 Result<storage::Table> DrainToTable(PhysicalOp* op) {

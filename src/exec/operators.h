@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mvcc.h"
 #include "common/result.h"
 #include "common/task_pool.h"
 #include "plan/join_analysis.h"
@@ -76,7 +77,29 @@ class ExecContext {
  public:
   virtual ~ExecContext() = default;
 
+  /// A statement's pinned MVCC read position: the view every base-table
+  /// scan of the statement resolves against, plus a registration in the
+  /// version manager's active-snapshot set that holds the delta-merge
+  /// watermark back for the statement's duration. The default (empty
+  /// handle, latest-visible view) is what non-MVCC contexts return.
+  struct ReadLease {
+    mvcc::ReadView view;
+    mvcc::SnapshotHandle hold;
+  };
+
+  /// Acquires the statement-level read lease; ExecutePlan calls this
+  /// once and releases it (via the handle) when the statement finishes.
+  virtual ReadLease AcquireReadLease() { return {}; }
+
   [[nodiscard]] virtual Result<ChunkStream> OpenScan(const plan::LogicalOp& scan) = 0;
+
+  /// View-pinned scan: chunks reflect exactly the rows visible at
+  /// `view`. Contexts without versioned storage ignore the view.
+  [[nodiscard]] virtual Result<ChunkStream> OpenScanAt(
+      const plan::LogicalOp& scan, const mvcc::ReadView& view) {
+    (void)view;
+    return OpenScan(scan);
+  }
 
   /// Executes a shipped remote query. `in_list` (may be null) carries
   /// semijoin-pushdown keys spliced into the /*PUSHDOWN*/ marker;
@@ -102,6 +125,17 @@ class ExecContext {
     (void)scan;
     (void)morsel_rows;
     return std::optional<PartitionSource>();
+  }
+
+  /// View-pinned morsel decomposition. All morsels of one source must
+  /// share one storage snapshot, so the decomposition (and every
+  /// morsel's row range) is fixed against `view` — concurrent commits
+  /// cannot skew num_rows between morsel planning and morsel scans.
+  [[nodiscard]] virtual Result<std::optional<PartitionSource>>
+  OpenPartitionedScanAt(const plan::LogicalOp& scan, size_t morsel_rows,
+                        const mvcc::ReadView& view) {
+    (void)view;
+    return OpenPartitionedScan(scan, morsel_rows);
   }
 
   /// Brackets a region in which federation branches are dispatched
@@ -134,8 +168,13 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOp>;
 
 /// Lowers a bound logical plan to a physical operator tree. The logical
 /// plan must outlive execution (operators keep pointers into it).
+/// The two-argument form scans at the latest-visible view; the
+/// three-argument form pins every base-table scan to `view`.
 [[nodiscard]] Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
                                         ExecContext* ctx);
+[[nodiscard]] Result<PhysicalOpPtr> BuildPhysicalPlan(const plan::LogicalOp& logical,
+                                        ExecContext* ctx,
+                                        const mvcc::ReadView& view);
 
 /// Builds, opens and fully drains the plan into a materialized table.
 [[nodiscard]] Result<storage::Table> ExecutePlan(const plan::LogicalOp& logical,

@@ -87,6 +87,11 @@ Platform::Platform(PlatformOptions options) : options_(std::move(options)) {
   if (options_.morsel_rows > 0) morsel_rows_ = options_.morsel_rows;
   sda_.SetVirtualTime([this] { return VirtualNow(); },
                       [this](double ms) { clock_.Advance(ms); });
+  // Commit ids issued by this platform's coordinator are MVCC commit
+  // timestamps from the global version manager — the same timestamp
+  // domain statements read at (AcquireReadLease) and column tables
+  // stamp with by default.
+  coordinator_.SetVersionManager(&mvcc::VersionManager::Global());
 }
 
 Platform::~Platform() = default;
@@ -493,7 +498,19 @@ Status Platform::RegisterMapReduceJob(
 // ExecContext
 // ---------------------------------------------------------------------
 
+exec::ExecContext::ReadLease Platform::AcquireReadLease() {
+  ReadLease lease;
+  lease.hold = mvcc::VersionManager::Global().AcquireSnapshot();
+  lease.view.read_ts = lease.hold.read_ts();
+  return lease;
+}
+
 Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
+  return OpenScanAt(scan, mvcc::ReadView{});
+}
+
+Result<exec::ChunkStream> Platform::OpenScanAt(const plan::LogicalOp& scan,
+                                               const mvcc::ReadView& view) {
   const plan::TableBinding& binding = scan.table;
   switch (binding.location) {
     case plan::TableLocation::kLocalColumn:
@@ -514,7 +531,8 @@ Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
         return true;
       };
       if (entry->kind == catalog::TableKind::kColumn) {
-        entry->column_table->Scan(storage::kDefaultChunkRows, sink);
+        entry->column_table->OpenSnapshot(view)->Scan(storage::kDefaultChunkRows,
+                                                      sink);
       } else if (entry->kind == catalog::TableKind::kRow) {
         entry->row_table->Scan(storage::kDefaultChunkRows, sink);
       } else if (entry->kind == catalog::TableKind::kHybrid) {
@@ -525,7 +543,8 @@ Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
           }
           catalog::Partition& partition = entry->partitions[i];
           if (partition.hot != nullptr) {
-            partition.hot->Scan(storage::kDefaultChunkRows, sink);
+            partition.hot->OpenSnapshot(view)->Scan(storage::kDefaultChunkRows,
+                                                    sink);
           } else if (scan.partition_index < 0) {
             // Unexpanded hybrid scan: read cold partitions directly.
             // The extended engine mutates its buffer cache and clock on
@@ -601,6 +620,12 @@ exec::ParallelPolicy Platform::parallel_policy() {
 
 Result<std::optional<exec::PartitionSource>> Platform::OpenPartitionedScan(
     const plan::LogicalOp& scan, size_t morsel_rows) {
+  return OpenPartitionedScanAt(scan, morsel_rows, mvcc::ReadView{});
+}
+
+Result<std::optional<exec::PartitionSource>> Platform::OpenPartitionedScanAt(
+    const plan::LogicalOp& scan, size_t morsel_rows,
+    const mvcc::ReadView& view) {
   const plan::TableBinding& binding = scan.table;
   // Only plain local tables decompose into morsels; hybrid umbrella
   // scans, expanded hot partitions and remote/extended sources keep the
@@ -624,19 +649,25 @@ Result<std::optional<exec::PartitionSource>> Platform::OpenPartitionedScan(
     return sink(copy);
   };
   if ((*entry)->kind == catalog::TableKind::kColumn) {
-    storage::ColumnTable* table = (*entry)->column_table.get();
-    size_t rows = table->num_rows();
+    // One storage snapshot shared by every morsel: the decomposition's
+    // num_rows and each morsel's bounds come from the same frozen view,
+    // so concurrent commits (or delta merges) between morsel planning
+    // and morsel scans cannot skew the partitioning — and all morsels
+    // apply the same MVCC visibility filter.
+    std::shared_ptr<const storage::TableReadSnapshot> snap =
+        (*entry)->column_table->OpenSnapshot(view);
+    size_t rows = snap->num_rows();
     source.num_morsels = (rows + morsel_rows - 1) / morsel_rows;
     source.scan_morsel =
-        [table, morsel_rows, restamp](
+        [snap, morsel_rows, restamp](
             size_t m,
             const std::function<bool(const storage::Chunk&)>& sink) {
           size_t begin = m * morsel_rows;
-          table->ScanRange(begin,
-                           std::min(table->num_rows(), begin + morsel_rows),
-                           morsel_rows, [&](const storage::Chunk& chunk) {
-                             return restamp(sink, chunk);
-                           });
+          snap->ScanRange(begin,
+                          std::min(snap->num_rows(), begin + morsel_rows),
+                          morsel_rows, [&](const storage::Chunk& chunk) {
+                            return restamp(sink, chunk);
+                          });
           return Status::OK();
         };
     return std::optional<exec::PartitionSource>(std::move(source));

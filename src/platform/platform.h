@@ -127,7 +127,13 @@ class Platform : public exec::ExecContext {
       std::function<Result<storage::Table>(hadoop::HiveEngine*)> runner);
 
   // ---- exec::ExecContext ------------------------------------------------
+  /// Pins the statement to the global version manager's last-visible
+  /// timestamp and registers it in the active-snapshot set, holding the
+  /// delta-merge watermark back while the statement runs.
+  ReadLease AcquireReadLease() override;
   [[nodiscard]] Result<exec::ChunkStream> OpenScan(const plan::LogicalOp& scan) override;
+  [[nodiscard]] Result<exec::ChunkStream> OpenScanAt(
+      const plan::LogicalOp& scan, const mvcc::ReadView& view) override;
   [[nodiscard]] Result<exec::ChunkStream> OpenRemoteQuery(
       const plan::LogicalOp& rq, const exec::PushdownInList* in_list,
       const storage::Table* relocated_rows) override;
@@ -136,6 +142,9 @@ class Platform : public exec::ExecContext {
   exec::ParallelPolicy parallel_policy() override;
   [[nodiscard]] Result<std::optional<exec::PartitionSource>> OpenPartitionedScan(
       const plan::LogicalOp& scan, size_t morsel_rows) override;
+  [[nodiscard]] Result<std::optional<exec::PartitionSource>>
+  OpenPartitionedScanAt(const plan::LogicalOp& scan, size_t morsel_rows,
+                        const mvcc::ReadView& view) override;
   void BeginConcurrentRemoteDispatch() override;
   void EndConcurrentRemoteDispatch() override;
 

@@ -14,20 +14,20 @@ namespace hana::storage {
 
 void DeltaPart::Append(const Value& v) {
   if (v.is_null()) {
-    nulls.push_back(1);
-    codes.push_back(0);
+    nulls.Append(1);
+    codes.Append(0);
     return;
   }
-  nulls.push_back(0);
+  nulls.Append(0);
   auto it = lookup.find(v);
   if (it != lookup.end()) {
-    codes.push_back(it->second);
+    codes.Append(it->second);
     return;
   }
   uint32_t code = static_cast<uint32_t>(dict.size());
-  dict.push_back(v);
+  dict.Append(v);
   lookup.emplace(v, code);
-  codes.push_back(code);
+  codes.Append(code);
 }
 
 bool ColumnSnapshot::IsNull(size_t row) const {
@@ -37,7 +37,7 @@ bool ColumnSnapshot::IsNull(size_t row) const {
     if (row < frozen->rows()) return frozen->nulls[row] != 0;
     row -= frozen->rows();
   }
-  return live->nulls[row] != 0;
+  return live->nulls[live_skip + row] != 0;
 }
 
 Value ColumnSnapshot::Get(size_t row) const {
@@ -53,6 +53,7 @@ Value ColumnSnapshot::Get(size_t row) const {
     }
     row -= frozen->rows();
   }
+  row += live_skip;
   if (live->nulls[row]) return Value::Null();
   return live->dict[live->codes[row]];
 }
@@ -110,12 +111,18 @@ void DecodeRows(DataType type, size_t begin, size_t end, const NullAt& null_at,
   }
 }
 
-size_t DictBytes(const std::vector<Value>& dict) {
+template <typename DictT>
+size_t DictBytes(const DictT& dict) {
   size_t bytes = 0;
   for (const Value& v : dict) {
     bytes += v.type() == DataType::kString ? v.string_value().size() + 4 : 8;
   }
   return bytes;
+}
+
+Value DeltaValueAt(const DeltaPart& part, size_t row) {
+  if (part.nulls[row]) return Value::Null();
+  return part.dict[part.codes[row]];
 }
 
 }  // namespace
@@ -134,14 +141,16 @@ void ColumnSnapshot::Decode(size_t start, size_t count,
         },
         out);
   }
-  // Delta segments (frozen, then live): plain codes, part-local rows.
+  // Delta segments: frozen rows are part-local, live rows additionally
+  // shifted by the folded prefix (live_skip) and bounded by the
+  // snapshot's append bound (live_rows).
   size_t base = main->rows;
-  for (const DeltaPart* part : {frozen.get(), live.get()}) {
-    if (part == nullptr) continue;
-    size_t part_end = base + part->rows();
+  if (frozen != nullptr) {
+    size_t part_end = base + frozen->rows();
     if (start < part_end && end > base) {
       size_t seg_begin = std::max(start, base) - base;
       size_t seg_end = std::min(end, part_end) - base;
+      const DeltaPart* part = frozen.get();
       DecodeRows(
           type, seg_begin, seg_end,
           [&](size_t r) { return part->nulls[r] != 0; },
@@ -149,6 +158,17 @@ void ColumnSnapshot::Decode(size_t start, size_t count,
           out);
     }
     base = part_end;
+  }
+  size_t part_end = base + live_rows;
+  if (start < part_end && end > base) {
+    size_t seg_begin = std::max(start, base) - base + live_skip;
+    size_t seg_end = std::min(end, part_end) - base + live_skip;
+    const DeltaPart* part = live.get();
+    DecodeRows(
+        type, seg_begin, seg_end,
+        [&](size_t r) { return part->nulls[r] != 0; },
+        [&](size_t r) -> const Value& { return part->dict[part->codes[r]]; },
+        out);
   }
 }
 
@@ -162,7 +182,7 @@ StoredColumn::StoredColumn(DataType type)
       live_(std::make_shared<DeltaPart>()) {}
 
 bool StoredColumn::FreezeDelta() {
-  if (frozen_ == nullptr && !live_->codes.empty()) {
+  if (frozen_ == nullptr && live_skip_ == 0 && !live_->codes.empty()) {
     frozen_ = std::move(live_);
     live_ = std::make_shared<DeltaPart>();
   }
@@ -172,6 +192,19 @@ bool StoredColumn::FreezeDelta() {
 void StoredColumn::SwitchMain(std::shared_ptr<const ColumnMain> merged) {
   main_ = std::move(merged);
   frozen_.reset();
+}
+
+void StoredColumn::ApplyPartialMerge(std::shared_ptr<const ColumnMain> merged,
+                                     size_t folded_live_rows) {
+  main_ = std::move(merged);
+  frozen_.reset();
+  live_skip_ += folded_live_rows;
+  if (live_skip_ > 0 && live_skip_ == live_->rows()) {
+    // Every live row is folded: swap in a fresh part so the superseded
+    // one is garbage-collected when the last pinned snapshot drops it.
+    live_ = std::make_shared<DeltaPart>();
+    live_skip_ = 0;
+  }
 }
 
 void StoredColumn::MergeDelta() {
@@ -249,9 +282,8 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
   if (main_rows > 0) {
     std::memcpy(merged->nulls.data(), main.nulls.data(), main_rows);
   }
-  if (delta_rows > 0) {
-    std::memcpy(merged->nulls.data() + main_rows, frozen.nulls.data(),
-                delta_rows);
+  for (size_t r = 0; r < delta_rows; ++r) {
+    merged->nulls[main_rows + r] = frozen.nulls[r];
   }
   merged->words.assign(
       (total * static_cast<size_t>(merged->bits) + 63) / 64, 0);
@@ -291,6 +323,118 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
 }
 
 // ---------------------------------------------------------------------
+// TableReadSnapshot
+// ---------------------------------------------------------------------
+
+namespace {
+/// Rows per visibility-mask block: small enough to stay cache-resident,
+/// large enough that mask-clean runs amortize the per-block setup.
+constexpr size_t kVisibilityBlockRows = 4096;
+}  // namespace
+
+bool TableReadSnapshot::IsVisible(size_t row) const {
+  uint64_t created = row < folded_ ? 0 : created_->Load(row);
+  return mvcc::RowVisible(created, deleted_->Load(row), view_);
+}
+
+std::vector<Value> TableReadSnapshot::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.Get(row));
+  return out;
+}
+
+Value TableReadSnapshot::GetCell(size_t row, size_t col) const {
+  return columns_[col].Get(row);
+}
+
+void TableReadSnapshot::BuildVisibilityMask(size_t begin, size_t end,
+                                            std::vector<uint8_t>* mask) const {
+  mask->assign(end - begin, 1);
+  uint8_t* m = mask->data();
+  // Created stamps — skipped entirely for the folded prefix: everything
+  // in main is fully committed below every reader's timestamp.
+  size_t r = std::max(begin, folded_);
+  while (r < end) {
+    size_t span;
+    // atomic: acquire element loads below pair with commit/abort stamp
+    // release stores (StampStore contract).
+    const std::atomic<uint64_t>* stamps = created_->Span(r, end - r, &span);
+    if (stamps != nullptr) {  // Null chunk: all-zero, all visible.
+      for (size_t i = 0; i < span; ++i) {
+        uint64_t created = stamps[i].load(std::memory_order_acquire);
+        if (created != 0 && !mvcc::CreatedVisible(created, view_)) {
+          m[r - begin + i] = 0;
+        }
+      }
+    }
+    r += span;
+  }
+  // Deleted stamps — every row, folded or not: a commit-time delete of
+  // a long-folded row lives only here.
+  r = begin;
+  while (r < end) {
+    size_t span;
+    // atomic: acquire element loads below pair with delete stamp
+    // release stores (StampStore contract).
+    const std::atomic<uint64_t>* stamps = deleted_->Span(r, end - r, &span);
+    if (stamps != nullptr) {  // Null chunk: nothing deleted.
+      for (size_t i = 0; i < span; ++i) {
+        uint64_t deleted = stamps[i].load(std::memory_order_acquire);
+        if (deleted != 0 && mvcc::DeletedVisible(deleted, view_)) {
+          m[r - begin + i] = 0;
+        }
+      }
+    }
+    r += span;
+  }
+}
+
+void TableReadSnapshot::Scan(
+    size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
+  ScanRange(0, num_rows_, chunk_rows, callback);
+}
+
+void TableReadSnapshot::ScanRange(
+    size_t begin, size_t end, size_t chunk_rows,
+    const std::function<bool(const Chunk&)>& callback) const {
+  end = std::min(end, num_rows_);
+  if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
+  Chunk chunk = Chunk::Empty(schema_);
+  std::vector<uint8_t> mask;
+  size_t block = begin;
+  while (block < end) {
+    size_t block_end = std::min(end, block + kVisibilityBlockRows);
+    BuildVisibilityMask(block, block_end, &mask);
+    size_t r = block;
+    while (r < block_end) {
+      if (!mask[r - block]) {
+        ++r;
+        continue;
+      }
+      // Bulk-decode the visible run, capped by the chunk capacity; an
+      // invisible row simply ends the run. (A block boundary ends the
+      // run too, but not the chunk, so chunk framing matches the
+      // pre-MVCC scan exactly.)
+      size_t cap = chunk_rows - chunk.num_rows();
+      size_t run = r;
+      while (run < block_end && mask[run - block] && run - r < cap) ++run;
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        columns_[c].Decode(r, run - r, chunk.columns[c].get());
+      }
+      r = run;
+      if (chunk.num_rows() >= chunk_rows) {
+        if (!callback(chunk)) return;
+        chunk = Chunk::Empty(schema_);
+      }
+    }
+    block = block_end;
+  }
+  if (chunk.num_rows() > 0) callback(chunk);
+}
+
+// ---------------------------------------------------------------------
 // ColumnTable
 // ---------------------------------------------------------------------
 
@@ -302,13 +446,31 @@ ColumnTable::ColumnTable(std::shared_ptr<Schema> schema)
   }
 }
 
-ColumnTable::TableSnapshot ColumnTable::SnapshotColumns() const {
-  TableSnapshot snapshot;
-  MutexLock lock(sync_->state_mu);
-  snapshot.columns.reserve(columns_.size());
-  for (const auto& col : columns_) snapshot.columns.push_back(col.snapshot());
-  if (sync_->merge_active) {
-    sync_->stats.scans_overlapped.fetch_add(1, std::memory_order_relaxed);
+std::shared_ptr<const TableReadSnapshot> ColumnTable::OpenSnapshot(
+    mvcc::ReadView view) const {
+  // Resolve the default read timestamp *before* taking the state lock
+  // (mvcc.version ranks below storage.state). LastVisible — not "latest
+  // allocated" — so a commit whose stamps are mid-flight is either
+  // entirely visible or entirely invisible, never torn.
+  if (view.read_ts == mvcc::kLatest && vm_ != nullptr) {
+    view.read_ts = vm_->LastVisible();
+  }
+  auto snapshot = std::make_shared<TableReadSnapshot>();
+  snapshot->schema_ = schema_;
+  snapshot->view_ = view;
+  snapshot->created_ = &sync_->created;
+  snapshot->deleted_ = &sync_->deleted;
+  {
+    MutexLock lock(sync_->state_mu);
+    snapshot->columns_.reserve(columns_.size());
+    for (const auto& col : columns_) {
+      snapshot->columns_.push_back(col.snapshot());
+    }
+    snapshot->num_rows_ = sync_->created.size();
+    snapshot->folded_ = sync_->folded_rows;
+    if (sync_->merge_active) {
+      sync_->stats.scans_overlapped.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return snapshot;
 }
@@ -327,11 +489,13 @@ Status ColumnTable::AppendRow(const std::vector<Value>& row) {
   }
   // Appends only touch the live deltas; the state lock orders them
   // against a concurrent merge's freeze/switch, so rows appended while
-  // a merge is in flight land in the fresh live parts.
+  // a merge is in flight land in the fresh live parts. The created
+  // stamp stays 0 ("committed before time began"): non-transactional
+  // appends are visible to every reader immediately.
   MutexLock lock(sync_->state_mu);
   for (size_t c = 0; c < columns_.size(); ++c) columns_[c].Append(row[c]);
-  deleted_.push_back(0);
-  ++live_rows_;
+  sync_->created.ExtendTo(sync_->created.size() + 1);
+  sync_->live_rows.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -340,11 +504,90 @@ Status ColumnTable::AppendRows(const std::vector<std::vector<Value>>& rows) {
   return Status::OK();
 }
 
+Result<ColumnTable::TxnAppendHandle> ColumnTable::AppendRowsUncommitted(
+    const std::vector<std::vector<Value>>& rows, uint64_t txn) {
+  for (const auto& row : rows) {
+    if (row.size() != columns_.size()) {
+      return Status::InvalidArgument(
+          StrFormat("row has %zu values, table %s has %zu columns", row.size(),
+                    schema_->ToString().c_str(), columns_.size()));
+    }
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].is_null() && !schema_->column(c).nullable) {
+        return Status::InvalidArgument("NULL in NOT NULL column " +
+                                       schema_->column(c).name);
+      }
+    }
+  }
+  MutexLock lock(sync_->state_mu);
+  TxnAppendHandle handle{sync_->created.size(), rows.size()};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      columns_[c].Append(rows[i][c]);
+    }
+    sync_->created.Store(handle.first_row + i, mvcc::MakeUncommitted(txn));
+  }
+  sync_->created.ExtendTo(handle.first_row + handle.rows);
+  return handle;
+}
+
+void ColumnTable::CommitAppend(const TxnAppendHandle& h, mvcc::Timestamp ts) {
+  // Lock-free: each release store flips one row from "uncommitted" to
+  // "committed at ts". Readers only observe the transaction as a whole
+  // once the coordinator finishes ts at the version manager, because
+  // default snapshots read at LastVisible.
+  for (size_t i = 0; i < h.rows; ++i) {
+    sync_->created.Store(h.first_row + i, ts);
+  }
+  sync_->live_rows.fetch_add(h.rows, std::memory_order_relaxed);
+}
+
+void ColumnTable::AbortAppend(const TxnAppendHandle& h) {
+  for (size_t i = 0; i < h.rows; ++i) {
+    sync_->created.Store(h.first_row + i, mvcc::kNeverVisible);
+  }
+}
+
+Status ColumnTable::StageDeleteUncommitted(size_t row, uint64_t txn) {
+  if (row >= num_rows()) return Status::OutOfRange("row out of range");
+  uint64_t expected = 0;
+  if (sync_->deleted.CompareExchange(row, expected,
+                                     mvcc::MakeUncommitted(txn))) {
+    return Status::OK();
+  }
+  if (mvcc::IsUncommitted(expected) && mvcc::TxnOf(expected) == txn) {
+    return Status::OK();  // Idempotent re-stage by the same transaction.
+  }
+  return Status::TransactionAborted(
+      StrFormat("write-write conflict on row %zu: already deleted or claimed "
+                "by another transaction",
+                row));
+}
+
+void ColumnTable::CommitDelete(size_t row, mvcc::Timestamp ts) {
+  sync_->deleted.Store(row, ts);
+  sync_->live_rows.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void ColumnTable::AbortDelete(size_t row, uint64_t txn) {
+  uint64_t expected = mvcc::MakeUncommitted(txn);
+  // Losing the exchange means we never held the claim; nothing to undo.
+  (void)sync_->deleted.CompareExchange(row, expected, 0);
+}
+
 std::vector<Value> ColumnTable::GetRow(size_t row) const {
-  TableSnapshot snapshot = SnapshotColumns();
+  std::vector<ColumnSnapshot> columns;
+  {
+    MutexLock lock(sync_->state_mu);
+    columns.reserve(columns_.size());
+    for (const auto& col : columns_) columns.push_back(col.snapshot());
+    if (sync_->merge_active) {
+      sync_->stats.scans_overlapped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   std::vector<Value> out;
-  out.reserve(snapshot.columns.size());
-  for (const auto& col : snapshot.columns) out.push_back(col.Get(row));
+  out.reserve(columns.size());
+  for (const auto& col : columns) out.push_back(col.Get(row));
   return out;
 }
 
@@ -357,13 +600,37 @@ Value ColumnTable::GetCell(size_t row, size_t col) const {
   return snapshot.Get(row);
 }
 
+bool ColumnTable::IsDeleted(size_t row) const {
+  uint64_t deleted = sync_->deleted.Load(row);
+  return deleted != 0 && !mvcc::IsUncommitted(deleted);
+}
+
+bool ColumnTable::IsVisibleLatest(size_t row) const {
+  return mvcc::RowVisible(sync_->created.Load(row), sync_->deleted.Load(row),
+                          mvcc::ReadView{});
+}
+
 Status ColumnTable::DeleteRow(size_t row) {
-  if (row >= deleted_.size()) return Status::OutOfRange("row out of range");
-  if (!deleted_[row]) {
-    deleted_[row] = 1;
-    --live_rows_;
+  if (row >= num_rows()) return Status::OutOfRange("row out of range");
+  uint64_t expected = sync_->deleted.Load(row);
+  while (true) {
+    if (expected != 0) {
+      if (mvcc::IsUncommitted(expected)) {
+        return Status::Unavailable(
+            "row has a pending transactional delete");
+      }
+      return Status::OK();  // Already deleted: idempotent, as before.
+    }
+    // Non-transactional deletes commit immediately at their own
+    // timestamp: snapshots opened before keep the row, snapshots opened
+    // after do not.
+    mvcc::Timestamp ts = vm_->StampNonTransactional();
+    if (sync_->deleted.CompareExchange(row, expected, ts)) {
+      sync_->live_rows.fetch_sub(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    // Lost the race; expected now holds the winner's stamp — loop.
   }
-  return Status::OK();
 }
 
 Status ColumnTable::UpdateRow(size_t row, const std::vector<Value>& new_row) {
@@ -374,102 +641,127 @@ Status ColumnTable::UpdateRow(size_t row, const std::vector<Value>& new_row) {
 void ColumnTable::Scan(
     size_t chunk_rows,
     const std::function<bool(const Chunk&)>& callback) const {
-  ScanRange(0, deleted_.size(), chunk_rows, callback);
+  OpenSnapshot()->Scan(chunk_rows, callback);
 }
 
 void ColumnTable::ScanRange(
     size_t begin, size_t end, size_t chunk_rows,
     const std::function<bool(const Chunk&)>& callback) const {
-  ScanRangeSnapshot(SnapshotColumns(), begin, end, chunk_rows, callback);
-}
-
-void ColumnTable::ScanRangeSnapshot(
-    const TableSnapshot& snapshot, size_t begin, size_t end, size_t chunk_rows,
-    const std::function<bool(const Chunk&)>& callback) const {
-  end = std::min(end, deleted_.size());
-  if (chunk_rows == 0) chunk_rows = kDefaultChunkRows;
-  Chunk chunk = Chunk::Empty(schema_);
-  size_t r = begin;
-  while (r < end) {
-    if (deleted_[r]) {
-      ++r;
-      continue;
-    }
-    // Bulk-decode the delete-free run, capped by the chunk capacity; a
-    // tombstone simply ends the run.
-    size_t cap = chunk_rows - chunk.num_rows();
-    size_t run = r;
-    while (run < end && !deleted_[run] && run - r < cap) ++run;
-    for (size_t c = 0; c < snapshot.columns.size(); ++c) {
-      snapshot.columns[c].Decode(r, run - r, chunk.columns[c].get());
-    }
-    r = run;
-    if (chunk.num_rows() >= chunk_rows) {
-      if (!callback(chunk)) return;
-      chunk = Chunk::Empty(schema_);
-    }
-  }
-  if (chunk.num_rows() > 0) callback(chunk);
+  OpenSnapshot()->ScanRange(begin, end, chunk_rows, callback);
 }
 
 void ColumnTable::ScanPartitioned(
     size_t morsel_rows, size_t n_partitions,
     const std::function<bool(size_t partition, const Chunk&)>& callback)
     const {
-  size_t total = deleted_.size();
   if (n_partitions == 0) n_partitions = 1;
   if (morsel_rows == 0) morsel_rows = kDefaultChunkRows;
   // One snapshot serves every partition, so the whole parallel scan
-  // observes a single consistent table state even if a merge switches
-  // mid-flight. Contiguous slices sized from (total, n_partitions)
-  // only, so the work decomposition — and therefore every
-  // per-partition stream — is identical no matter how many pool
-  // workers pick up the slices.
-  TableSnapshot snapshot = SnapshotColumns();
+  // observes a single consistent table state — one read timestamp, one
+  // row bound — even if a merge or a commit lands mid-flight.
+  // Contiguous slices sized from (total, n_partitions) only, so the
+  // work decomposition — and therefore every per-partition stream — is
+  // identical no matter how many pool workers pick up the slices.
+  std::shared_ptr<const TableReadSnapshot> snapshot = OpenSnapshot();
+  size_t total = snapshot->num_rows();
   size_t per = (total + n_partitions - 1) / n_partitions;
   TaskPool::Global().ParallelFor(n_partitions, [&](size_t p) {
     size_t begin = p * per;
     size_t slice_end = std::min(total, begin + per);
     if (begin >= slice_end) return;
-    ScanRangeSnapshot(snapshot, begin, slice_end, morsel_rows,
-                      [&](const Chunk& chunk) { return callback(p, chunk); });
+    snapshot->ScanRange(begin, slice_end, morsel_rows,
+                        [&](const Chunk& chunk) { return callback(p, chunk); });
   });
 }
 
 Status ColumnTable::MergeDelta(const MergeOptions& options) {
+  // Read the watermark before the merge lock: mvcc.version (rank 45)
+  // is acquired before storage.merge (60). A stale watermark is only
+  // conservative — it folds less.
+  mvcc::Timestamp watermark = vm_->Watermark();
   if (!sync_->merge_mu.TryLock()) {
     sync_->stats.merges_rejected.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("delta merge already in progress on table");
   }
-  Status status = MergeDeltaHoldingMergeMu(options);
+  Status status = MergeDeltaHoldingMergeMu(options, watermark);
   sync_->merge_mu.Unlock();
   return status;
 }
 
-Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options) {
+Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options,
+                                             mvcc::Timestamp watermark) {
   Stopwatch watch;
   MergeStats& stats = sync_->stats;
   size_t bytes_before = MemoryBytes();
 
-  // Phase 1 (freeze, under the state lock): seal every column's live
-  // delta and capture the immutable inputs of each shadow build.
+  // Phase 1 (freeze, under the state lock): find the settled prefix —
+  // the longest run of rows from the current fold boundary whose
+  // creation stamps every live or future reader agrees on (committed at
+  // or below the watermark, non-transactional, or aborted) — and
+  // capture each column's immutable fold inputs. A column whose whole
+  // live part settles takes the sealed-part path (freeze + direct
+  // build); any column with a partial prefix, a pending frozen part
+  // from a failed merge, or a backfilled AddColumn offset goes through
+  // a concatenated fold input instead.
   struct Work {
-    size_t col;
+    size_t col = 0;
     std::shared_ptr<const ColumnMain> main;
-    std::shared_ptr<const DeltaPart> frozen;
+    std::shared_ptr<const DeltaPart> frozen;  // Sealed input / concat head.
+    std::shared_ptr<const DeltaPart> live;    // Concat tail source.
+    size_t live_begin = 0;  // First live row to fold (the column's skip).
+    size_t live_fold = 0;   // Live rows to fold.
+    bool full = false;      // Sealed-part path (frozen is the whole input).
   };
   std::vector<Work> work;
-  size_t rows_frozen = 0;
+  size_t fold_end = 0;
+  size_t rows_retained = 0;
+  size_t rows_to_fold = 0;
   size_t dict_before = 0;
   {
     MutexLock lock(sync_->state_mu);
+    size_t total = sync_->created.size();
+    size_t f = sync_->folded_rows;
+    while (f < total) {
+      uint64_t created = sync_->created.Load(f);
+      if (!mvcc::FoldableAt(created, watermark)) break;
+      if ((created & mvcc::kNeverVisible) != 0) {
+        // Aborted creation: tombstone forever, because after the fold
+        // the maskless main no longer consults the created stamp.
+        sync_->deleted.Store(f, mvcc::kNeverVisible);
+      }
+      ++f;
+    }
+    fold_end = f;
+    rows_retained = total - f;
+    stats.rows_retained_by_watermark.store(rows_retained,
+                                           std::memory_order_relaxed);
+    if (fold_end == sync_->folded_rows) return Status::OK();
     for (size_t c = 0; c < columns_.size(); ++c) {
-      if (!columns_[c].FreezeDelta()) continue;  // No delta: skip (a
-                                                 // second merge is a no-op).
-      work.push_back({c, columns_[c].main_part(), columns_[c].frozen_part()});
-      rows_frozen += work.back().frozen->rows();
-      dict_before += work.back().main->dict.size() +
-                     work.back().frozen->dict.size();
+      StoredColumn& col = columns_[c];
+      size_t main_rows = col.main_rows();
+      size_t frozen_rows =
+          col.frozen_part() ? col.frozen_part()->rows() : 0;
+      size_t live_fold = fold_end - main_rows - frozen_rows;
+      if (live_fold == 0 && frozen_rows == 0) continue;
+      Work w;
+      w.col = c;
+      w.main = col.main_part();
+      if (frozen_rows == 0 && col.live_skip() == 0 &&
+          live_fold == col.live_part()->rows()) {
+        col.FreezeDelta();
+        w.frozen = col.frozen_part();
+        w.full = true;
+      } else {
+        w.frozen = col.frozen_part();
+        w.live = col.live_part();
+        w.live_begin = col.live_skip();
+        w.live_fold = live_fold;
+      }
+      rows_to_fold += fold_end - main_rows;
+      dict_before += w.main->dict.size() +
+                     (w.frozen ? w.frozen->dict.size() : 0) +
+                     (w.live ? w.live->dict.size() : 0);
+      work.push_back(std::move(w));
     }
     if (work.empty()) return Status::OK();
     sync_->merge_active = true;
@@ -477,12 +769,29 @@ Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options) {
 
   // Phase 2 (build, no table lock held): per-column fan-out across the
   // pool; each build is itself morsel-parallel. Readers keep scanning
-  // the old parts the whole time.
+  // the old parts the whole time. Concat-path inputs read only the
+  // settled live prefix — rows published before the state lock was
+  // released, never touched by concurrent appends.
   std::vector<std::shared_ptr<const ColumnMain>> merged(work.size());
   Status build_status = Status::OK();
   try {
     auto build_one = [&](size_t w) {
-      merged[w] = BuildMergedMain(*work[w].main, *work[w].frozen, options);
+      if (work[w].full) {
+        merged[w] = BuildMergedMain(*work[w].main, *work[w].frozen, options);
+        return;
+      }
+      DeltaPart concat;
+      if (work[w].frozen != nullptr) {
+        const DeltaPart& part = *work[w].frozen;
+        for (size_t r = 0; r < part.rows(); ++r) {
+          concat.Append(DeltaValueAt(part, r));
+        }
+      }
+      const DeltaPart& live = *work[w].live;
+      for (size_t r = 0; r < work[w].live_fold; ++r) {
+        concat.Append(DeltaValueAt(live, work[w].live_begin + r));
+      }
+      merged[w] = BuildMergedMain(*work[w].main, concat, options);
     };
     if (options.parallel && work.size() > 1) {
       TaskPool::Global().ParallelFor(work.size(), build_one,
@@ -504,19 +813,28 @@ Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options) {
   }
 
   // Phase 3 (switch, under the state lock): publish every shadow main
-  // atomically with respect to snapshot-taking readers.
+  // atomically with respect to snapshot-taking readers, advance the
+  // fold boundary, and let fully folded delta parts go — they free as
+  // soon as the last reader snapshot pinning them releases (the GC
+  // moment).
   size_t dict_after = 0;
   {
     MutexLock lock(sync_->state_mu);
     for (size_t w = 0; w < work.size(); ++w) {
       dict_after += merged[w]->dict.size();
-      columns_[work[w].col].SwitchMain(std::move(merged[w]));
+      if (work[w].full) {
+        columns_[work[w].col].SwitchMain(std::move(merged[w]));
+      } else {
+        columns_[work[w].col].ApplyPartialMerge(std::move(merged[w]),
+                                                work[w].live_fold);
+      }
     }
+    sync_->folded_rows = fold_end;
     sync_->merge_active = false;
   }
 
   stats.merges_completed.fetch_add(1, std::memory_order_relaxed);
-  stats.rows_merged.fetch_add(rows_frozen, std::memory_order_relaxed);
+  stats.rows_merged.fetch_add(rows_to_fold, std::memory_order_relaxed);
   stats.dict_entries_before.store(dict_before, std::memory_order_relaxed);
   stats.dict_entries_after.store(dict_after, std::memory_order_relaxed);
   stats.bytes_before.store(bytes_before, std::memory_order_relaxed);
@@ -538,20 +856,22 @@ Status ColumnTable::AddColumn(const ColumnDef& def) {
   if (schema_->FindColumn(def.name) >= 0) {
     return Status::AlreadyExists("column exists: " + def.name);
   }
-  if (!def.nullable && !deleted_.empty()) {
+  MutexLock lock(sync_->state_mu);
+  if (!def.nullable && sync_->created.size() > 0) {
     return Status::InvalidArgument(
         "cannot add NOT NULL column to a non-empty table");
   }
   schema_->AddColumn(def);
   StoredColumn column(def.type);
-  for (size_t r = 0; r < deleted_.size(); ++r) column.Append(Value::Null());
-  MutexLock lock(sync_->state_mu);
+  for (size_t r = 0; r < sync_->created.size(); ++r) {
+    column.Append(Value::Null());
+  }
   columns_.push_back(std::move(column));
   return Status::OK();
 }
 
 size_t ColumnTable::MemoryBytes() const {
-  size_t bytes = deleted_.size() / 8 + 1;
+  size_t bytes = num_rows() / 8 + 1;
   MutexLock lock(sync_->state_mu);
   for (const auto& col : columns_) bytes += col.MemoryBytes();
   return bytes;

@@ -9,11 +9,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mvcc.h"
 #include "common/result.h"
 #include "common/schema.h"
 #include "common/sync.h"
 #include "common/value.h"
 #include "storage/column_vector.h"
+#include "storage/stable_vector.h"
 
 namespace hana::storage {
 
@@ -40,11 +42,17 @@ struct ColumnMain {
 /// live delta of a StoredColumn; FreezeDelta() seals it for an
 /// in-flight merge, after which it is read-only forever (readers that
 /// snapshotted it keep it alive through their shared_ptr).
+///
+/// Storage is chunk-stable (StableVector), so a reader may scan rows
+/// [0, bound) of the *live* part concurrently with appends, as long as
+/// `bound` was captured under the table's state mutex — appends never
+/// relocate published elements. The `lookup` accelerator is writer-only
+/// state: readers go through dict/codes/nulls exclusively.
 struct DeltaPart {
-  std::vector<Value> dict;
+  StableVector<Value> dict;
   std::unordered_map<Value, uint32_t, ValueHash> lookup;
-  std::vector<uint32_t> codes;
-  std::vector<uint8_t> nulls;  // One flag per delta row.
+  StableVector<uint32_t> codes;
+  StableVector<uint8_t> nulls;  // One flag per delta row.
 
   size_t rows() const { return codes.size(); }
   void Append(const Value& v);
@@ -56,16 +64,22 @@ struct DeltaPart {
 /// lifetime, so a concurrent merge switching the column to its new
 /// main never invalidates an ongoing scan — the scan simply finishes
 /// against the pre-merge parts. Rows are addressed globally:
-/// [0, main->rows) in main, then frozen, then live.
+/// [0, main->rows) in main, then frozen, then live rows
+/// [live_skip, live_skip + live_rows) — a partial (watermark-bounded)
+/// merge folds a prefix of the live part into main without copying the
+/// remainder, recorded as live_skip.
 struct ColumnSnapshot {
   DataType type = DataType::kNull;
   std::shared_ptr<const ColumnMain> main;
   std::shared_ptr<const DeltaPart> frozen;  // Null unless a merge is (or
                                             // was) in flight.
   std::shared_ptr<const DeltaPart> live;
+  size_t live_skip = 0;  // Live-part prefix already folded into main.
+  size_t live_rows = 0;  // Live rows visible to this snapshot (the
+                         // append bound captured under state_mu).
 
   size_t rows() const {
-    return main->rows + (frozen ? frozen->rows() : 0) + live->rows();
+    return main->rows + (frozen ? frozen->rows() : 0) + live_rows;
   }
   bool IsNull(size_t row) const;
   Value Get(size_t row) const;
@@ -107,6 +121,11 @@ struct MergeStats {
   /// Delta rows folded into mains across all completed merges.
   // atomic: relaxed counter (see struct comment).
   std::atomic<uint64_t> rows_merged{0};
+  /// Rows a merge could *not* fold because their commit timestamp was
+  /// above the MVCC watermark (or they were still uncommitted) — the
+  /// "merge respects the oldest active reader" counter.
+  // atomic: relaxed counter (see struct comment).
+  std::atomic<uint64_t> rows_retained_by_watermark{0};
   /// Dictionary entries across merged columns, before/after the last
   /// merge (before = old main + frozen delta dictionaries).
   // atomic: relaxed counters (see struct comment).
@@ -185,9 +204,10 @@ class StoredColumn {
   void MergeDelta();
 
   size_t delta_rows() const {
-    return (frozen_ ? frozen_->rows() : 0) + live_->rows();
+    return (frozen_ ? frozen_->rows() : 0) + live_->rows() - live_skip_;
   }
   size_t main_rows() const { return main_->rows; }
+  size_t live_skip() const { return live_skip_; }
   size_t dictionary_size() const {
     return main_->dict.size() + (frozen_ ? frozen_->dict.size() : 0) +
            live_->dict.size();
@@ -205,57 +225,132 @@ class StoredColumn {
   size_t DeltaMemoryBytes() const;
 
   // ---- Online-merge protocol (driven by ColumnTable) ------------------
-  /// Copies the three part pointers. The caller provides the mutual
-  /// exclusion against FreezeDelta/SwitchMain (ColumnTable's state
-  /// mutex); the parts themselves are safe to read lock-free afterward.
-  ColumnSnapshot snapshot() const { return {type_, main_, frozen_, live_}; }
+  /// Copies the part pointers and the live append bound. The caller
+  /// provides the mutual exclusion against FreezeDelta/SwitchMain/
+  /// ApplyPartialMerge (ColumnTable's state mutex); the parts
+  /// themselves are safe to read lock-free afterward.
+  ColumnSnapshot snapshot() const {
+    return {type_, main_, frozen_, live_, live_skip_,
+            live_->rows() - live_skip_};
+  }
 
   /// Seals the live delta for merging (new appends go to a fresh live
   /// part) unless a frozen part from an earlier failed merge is still
-  /// pending, in which case that one is merged first. Returns whether a
-  /// frozen part exists, i.e. whether this column has merge work.
+  /// pending, in which case that one is merged first. Only valid when
+  /// no live prefix has been partially folded (live_skip() == 0) — the
+  /// whole live part must be mergeable. Returns whether a frozen part
+  /// exists, i.e. whether this column has merge work.
   bool FreezeDelta();
 
   /// Publishes the shadow-built main and retires the frozen delta. The
   /// previous parts stay alive for readers that snapshotted them.
   void SwitchMain(std::shared_ptr<const ColumnMain> merged);
 
+  /// Publishes a main built from the frozen part plus the live prefix
+  /// [live_skip, live_skip + folded_live_rows): retires the frozen part,
+  /// advances live_skip, and — once every live row has been folded —
+  /// swaps in a fresh empty live part so the superseded one is
+  /// garbage-collected as soon as the last pinned snapshot releases it.
+  void ApplyPartialMerge(std::shared_ptr<const ColumnMain> merged,
+                         size_t folded_live_rows);
+
   const std::shared_ptr<const ColumnMain>& main_part() const { return main_; }
   const std::shared_ptr<const DeltaPart>& frozen_part() const {
     return frozen_;
   }
+  const std::shared_ptr<DeltaPart>& live_part() const { return live_; }
 
  private:
   DataType type_;
   std::shared_ptr<const ColumnMain> main_;
   std::shared_ptr<const DeltaPart> frozen_;  // Non-null only mid-merge.
   std::shared_ptr<DeltaPart> live_;
+  size_t live_skip_ = 0;  // Live prefix already folded into main_.
+};
+
+class ColumnTable;
+
+/// An immutable, MVCC-consistent view of a whole table: every column's
+/// parts pinned, one global row bound, and one read timestamp. All scan
+/// entry points stream from one of these, filtering delta rows through
+/// the visibility mask; rows below `folded` live in the maskless main
+/// (everything folded is committed at or below every reader's
+/// timestamp, so no created-stamp check is needed there).
+///
+/// Row addressing is positional and stable: GetRow/GetCell do not
+/// filter — callers pair them with IsVisible. The snapshot borrows the
+/// owning table's stamp stores and must not outlive the table.
+class TableReadSnapshot {
+ public:
+  size_t num_rows() const { return num_rows_; }
+  mvcc::Timestamp read_ts() const { return view_.read_ts; }
+  const mvcc::ReadView& view() const { return view_; }
+  const std::shared_ptr<Schema>& schema() const { return schema_; }
+
+  /// MVCC visibility of one row under this snapshot's read view.
+  bool IsVisible(size_t row) const;
+
+  /// Positional reads; no visibility filter (see class comment).
+  std::vector<Value> GetRow(size_t row) const;
+  Value GetCell(size_t row, size_t col) const;
+
+  /// Streams visible rows as chunks of at most `chunk_rows`; the
+  /// callback returns false to stop early. Visibility is evaluated with
+  /// a per-block byte mask over the created/deleted stamp stores;
+  /// mask-clean runs bulk-decode exactly like the pre-MVCC delete-free
+  /// runs (and unallocated stamp chunks make whole runs mask-clean for
+  /// free).
+  void Scan(size_t chunk_rows,
+            const std::function<bool(const Chunk&)>& callback) const;
+  void ScanRange(size_t begin, size_t end, size_t chunk_rows,
+                 const std::function<bool(const Chunk&)>& callback) const;
+
+ private:
+  friend class ColumnTable;
+
+  /// Fills `mask` (resized to end - begin) with 0/1 visibility bytes
+  /// for global rows [begin, end).
+  void BuildVisibilityMask(size_t begin, size_t end,
+                           std::vector<uint8_t>* mask) const;
+
+  std::shared_ptr<Schema> schema_;
+  std::vector<ColumnSnapshot> columns_;
+  size_t num_rows_ = 0;
+  size_t folded_ = 0;  // Rows [0, folded_) need no created-stamp check.
+  mvcc::ReadView view_;
+  const StampStore* created_ = nullptr;
+  const StampStore* deleted_ = nullptr;
 };
 
 /// In-memory column table: the HANA core storage option for OLAP
-/// workloads. Rows are append-only with a tombstone flag for deletes;
-/// updates are delete + re-insert (delta-store semantics).
+/// workloads. Rows are append-only; deletes stamp a deletion timestamp
+/// (updates are delete + re-insert, delta-store semantics), and
+/// transactional writers stage uncommitted rows that become visible
+/// atomically at commit (see common/mvcc.h for the stamp encodings).
 ///
 /// Concurrency contract:
-///   - Any number of concurrent readers (Scan/ScanRange/
-///     ScanPartitioned/GetRow/GetCell) are safe against a concurrent
-///     MergeDelta: each scan pins a snapshot of every column's parts
-///     and streams from it while the merge builds shadow mains and
-///     atomically switches them in.
-///   - A single writer (AppendRow/DeleteRow/UpdateRow/AddColumn) is
-///     safe against a concurrent MergeDelta: rows appended while a
-///     merge is in flight land in the fresh live delta and survive the
-///     switch untouched.
-///   - Writer vs. concurrent readers still requires external
-///     synchronization (unchanged from the seed).
+///   - Any number of concurrent readers (OpenSnapshot/Scan/ScanRange/
+///     ScanPartitioned/GetRow/GetCell) are safe against concurrent
+///     writers *and* a concurrent MergeDelta: each reader pins an
+///     MVCC snapshot (parts + row bound + read timestamp) and streams
+///     from it; writers append past the bound and stamp atomically.
+///   - Concurrent writers (AppendRow/DeleteRow/UpdateRow and the
+///     transactional Append*/Stage*/Commit*/Abort* families) serialize
+///     on the state mutex (appends) or stamp-store CAS (deletes).
+///   - MergeDelta only folds rows committed at or below the MVCC
+///     watermark, so every live or future snapshot still finds the
+///     versions it needs in the delta.
 class ColumnTable {
  public:
   explicit ColumnTable(std::shared_ptr<Schema> schema);
 
   const std::shared_ptr<Schema>& schema() const { return schema_; }
-  size_t num_rows() const { return deleted_.size(); }
-  /// Rows not marked deleted.
-  size_t live_rows() const { return live_rows_; }
+  size_t num_rows() const { return sync_->created.size(); }
+  /// Rows currently visible to a latest-view reader (committed, not
+  /// deleted).
+  size_t live_rows() const {
+    return sync_->live_rows.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] Status AppendRow(const std::vector<Value>& row);
   /// Bulk append used by the TPC-H generator and load paths.
@@ -263,20 +358,74 @@ class ColumnTable {
 
   std::vector<Value> GetRow(size_t row) const;
   Value GetCell(size_t row, size_t col) const;
-  bool IsDeleted(size_t row) const { return deleted_[row] != 0; }
+  /// Latest-view tombstone check: true once a delete has committed (or
+  /// the row was tombstoned forever). Pending transactional deletes do
+  /// not count.
+  bool IsDeleted(size_t row) const;
+  /// Latest-view MVCC visibility: created-committed and not deleted.
+  /// What non-transactional DML loops (catalog DeleteWhere/UpdateWhere)
+  /// use to skip rows they must not touch — uncommitted and aborted
+  /// rows are invisible here.
+  bool IsVisibleLatest(size_t row) const;
 
   [[nodiscard]] Status DeleteRow(size_t row);
   [[nodiscard]] Status UpdateRow(size_t row, const std::vector<Value>& new_row);
 
-  /// Streams live rows as chunks of at most `chunk_rows`.
+  // ---- MVCC snapshots -------------------------------------------------
+  /// Pins an immutable read snapshot of the whole table. The default
+  /// view resolves to the version manager's LastVisible() — everything
+  /// committed, nothing torn. Pass an explicit view (e.g. from
+  /// ExecContext::AcquireReadLease) to read as of an earlier timestamp
+  /// or to expose one transaction's own uncommitted writes.
+  std::shared_ptr<const TableReadSnapshot> OpenSnapshot(
+      mvcc::ReadView view = {}) const;
+
+  /// The commit-timestamp source this table stamps against; defaults to
+  /// mvcc::VersionManager::Global(). Tests inject their own.
+  void SetVersionManager(mvcc::VersionManager* vm) { vm_ = vm; }
+  mvcc::VersionManager* version_manager() const { return vm_; }
+
+  // ---- Transactional write API (used by txn::ColumnTableParticipant) --
+  /// A contiguous run of rows appended by one transaction, the unit the
+  /// commit/abort stamps operate on.
+  struct TxnAppendHandle {
+    size_t first_row = 0;
+    size_t rows = 0;
+  };
+
+  /// Appends `rows` stamped uncommitted-by-`txn`: invisible to every
+  /// reader except `txn` itself until CommitAppend. Validates like
+  /// AppendRow (arity, types, NOT NULL) before touching storage.
+  [[nodiscard]] Result<TxnAppendHandle> AppendRowsUncommitted(
+      const std::vector<std::vector<Value>>& rows, uint64_t txn);
+  /// Stamps the run committed at `ts`; lock-free, atomic per row. The
+  /// transaction becomes visible as a whole once the coordinator
+  /// finishes `ts` at the version manager (see common/mvcc.h).
+  void CommitAppend(const TxnAppendHandle& h, mvcc::Timestamp ts);
+  /// Stamps the run never-visible: the rows stay allocated (positional
+  /// addressing never shifts) but no reader will ever see them, and the
+  /// next merge tombstones + folds them away.
+  void AbortAppend(const TxnAppendHandle& h);
+
+  /// Claims row `row` for deletion by `txn` (uncommitted delete marker;
+  /// readers other than `txn` still see the row). Fails with
+  /// TransactionAborted on a write-write conflict: the row is already
+  /// deleted or claimed by another in-flight transaction.
+  [[nodiscard]] Status StageDeleteUncommitted(size_t row, uint64_t txn);
+  void CommitDelete(size_t row, mvcc::Timestamp ts);
+  void AbortDelete(size_t row, uint64_t txn);
+
+  /// Streams visible rows as chunks of at most `chunk_rows` from a
+  /// latest-view snapshot (OpenSnapshot() semantics).
   /// The callback returns false to stop the scan early.
   void Scan(size_t chunk_rows,
             const std::function<bool(const Chunk&)>& callback) const;
 
-  /// Streams live rows of the physical range [begin, end) as chunks of
-  /// at most `chunk_rows`, bulk-decoding delete-free runs. Thread-safe
-  /// for concurrent readers on disjoint (or even overlapping) ranges,
-  /// and against a concurrent MergeDelta (snapshot semantics above).
+  /// Streams visible rows of the physical range [begin, end) as chunks
+  /// of at most `chunk_rows`, bulk-decoding visibility-clean runs.
+  /// Thread-safe for concurrent readers on disjoint (or even
+  /// overlapping) ranges, and against concurrent writers and merges
+  /// (snapshot semantics above).
   void ScanRange(size_t begin, size_t end, size_t chunk_rows,
                  const std::function<bool(const Chunk&)>& callback) const;
 
@@ -288,23 +437,28 @@ class ColumnTable {
   /// Row order within a partition follows physical row order, and
   /// partition boundaries depend only on (num_rows, n_partitions) — not
   /// on the thread count — so per-partition results are deterministic.
-  /// All partitions stream from one snapshot taken at call start.
+  /// All partitions stream from one MVCC snapshot taken at call start.
   void ScanPartitioned(
       size_t morsel_rows, size_t n_partitions,
       const std::function<bool(size_t partition, const Chunk&)>& callback)
       const;
 
-  /// Merges all column deltas into their mains, online: concurrent
-  /// scans keep streaming from their pre-merge snapshots while pool
-  /// workers build each column's new main into a shadow copy
-  /// (per-column fan-out plus morsel-parallel re-encode), then the
-  /// table switches every column atomically. Rows appended during the
-  /// merge land in fresh live deltas and survive the switch. Returns
-  /// Unavailable when a merge is already in flight on this table.
+  /// Merges column deltas into their mains, online: concurrent scans
+  /// keep streaming from their pre-merge snapshots while pool workers
+  /// build each column's new main into a shadow copy (per-column
+  /// fan-out plus morsel-parallel re-encode), then the table switches
+  /// every column atomically. Only the prefix of delta rows whose
+  /// commit timestamps lie at or below the MVCC watermark (oldest
+  /// active reader) is folded — uncommitted rows and versions a live
+  /// snapshot may still need stay in the delta; fully folded delta
+  /// parts are garbage-collected once their last pinned snapshot
+  /// releases them. Rows appended during the merge land in live deltas
+  /// and survive the switch. Returns Unavailable when a merge is
+  /// already in flight on this table.
   [[nodiscard]] Status MergeDelta(const MergeOptions& options = {});
 
-  /// Unmerged rows (frozen + live deltas) in the widest column — the
-  /// auto-merge trigger input.
+  /// Unmerged rows (frozen + unfolded live deltas) in the widest
+  /// column — the auto-merge trigger input.
   size_t delta_rows() const;
 
   const MergeStats& merge_stats() const { return sync_->stats; }
@@ -321,19 +475,15 @@ class ColumnTable {
   size_t DeltaMemoryBytes() const;
 
  private:
-  struct TableSnapshot {
-    std::vector<ColumnSnapshot> columns;
-  };
-
   /// Holds the table's synchronization state out-of-line so the table
   /// stays movable (mutexes and atomics are not).
   struct Sync {
     /// Guards every column's part pointers (main/frozen/live), the
-    /// columns_ vector structure, and merge_active. Held briefly: for
-    /// snapshot copies, appends, and the merge's freeze/switch phases —
-    /// never across a shadow build or while waiting on the pool. Leaf
-    /// lock except that merge_mu is held around it during a merge
-    /// (rank storage.state 65, after storage.merge 60).
+    /// columns_ vector structure, folded_rows and merge_active. Held
+    /// briefly: for snapshot copies, appends, and the merge's freeze/
+    /// switch phases — never across a shadow build or while waiting on
+    /// the pool. Leaf lock except that merge_mu is held around it
+    /// during a merge (rank storage.state 65, after storage.merge 60).
     Mutex state_mu ACQUIRED_AFTER(merge_mu){"storage.state",
                                             lock_rank::kStorageState};
     /// Serializes merges on this table. Acquired with TryLock only
@@ -341,21 +491,29 @@ class ColumnTable {
     /// whole merge including pool waits; pool tasks never acquire it.
     Mutex merge_mu{"storage.merge", lock_rank::kStorageMerge};
     bool merge_active GUARDED_BY(state_mu) = false;
+    /// Global rows [0, folded_rows) are folded into every column's main
+    /// and carry no visibility uncertainty; scans skip their
+    /// created-stamp checks.
+    size_t folded_rows GUARDED_BY(state_mu) = 0;
+    /// MVCC stamp stores, indexed by global row id (see common/mvcc.h
+    /// and StampStore for the encodings and memory ordering). created
+    /// also owns the table's row count: its size is published last on
+    /// every append.
+    StampStore created;
+    StampStore deleted;
+    // atomic: relaxed visible-row counter maintained by append/delete/
+    // commit paths; readers want an eventually-consistent total only.
+    std::atomic<size_t> live_rows{0};
     MergeStats stats;
   };
 
-  TableSnapshot SnapshotColumns() const;
-  void ScanRangeSnapshot(const TableSnapshot& snapshot, size_t begin,
-                         size_t end, size_t chunk_rows,
-                         const std::function<bool(const Chunk&)>& callback)
-      const;
-  Status MergeDeltaHoldingMergeMu(const MergeOptions& options)
+  Status MergeDeltaHoldingMergeMu(const MergeOptions& options,
+                                  mvcc::Timestamp watermark)
       REQUIRES(sync_->merge_mu);
 
   std::shared_ptr<Schema> schema_;
   std::vector<StoredColumn> columns_;
-  std::vector<uint8_t> deleted_;
-  size_t live_rows_ = 0;
+  mvcc::VersionManager* vm_ = &mvcc::VersionManager::Global();
   std::unique_ptr<Sync> sync_;
 };
 
@@ -373,6 +531,10 @@ class RowTable {
   [[nodiscard]] Status AppendRow(std::vector<Value> row);
   const std::vector<Value>& GetRow(size_t row) const { return rows_[row]; }
   bool IsDeleted(size_t row) const { return deleted_[row] != 0; }
+  /// Row tables are non-versioned: latest-view visibility is simply
+  /// "not deleted" (kept signature-compatible with ColumnTable for
+  /// shared DML loops).
+  bool IsVisibleLatest(size_t row) const { return deleted_[row] == 0; }
   [[nodiscard]] Status DeleteRow(size_t row);
   [[nodiscard]] Status UpdateRow(size_t row, std::vector<Value> new_row);
 

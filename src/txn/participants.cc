@@ -55,8 +55,41 @@ Status ColumnTableParticipant::Prepare(TxnId txn) {
         }
       }
     }
+    if (mvcc_ && !it->second.applied) {
+      HANA_RETURN_IF_ERROR(ApplyUncommitted(txn, it->second));
+    }
     it->second.prepared = true;
   }
+  return Status::OK();
+}
+
+Status ColumnTableParticipant::ApplyUncommitted(TxnId txn, Staged& s) {
+  // Delete claims first: they are the only conflict-detecting step, so
+  // a losing transaction aborts before growing the delta. A conflict
+  // releases the claims taken so far — the insert handle does not exist
+  // yet — leaving no trace of this transaction.
+  for (size_t row : s.deletes) {
+    Status claim = table_->StageDeleteUncommitted(row, txn);
+    if (!claim.ok()) {
+      for (size_t claimed : s.claimed_deletes) {
+        table_->AbortDelete(claimed, txn);
+      }
+      s.claimed_deletes.clear();
+      return Status(claim.code(), name_ + ": " + claim.message());
+    }
+    s.claimed_deletes.push_back(row);
+  }
+  auto handle = table_->AppendRowsUncommitted(s.inserts, txn);
+  if (!handle.ok()) {
+    for (size_t claimed : s.claimed_deletes) {
+      table_->AbortDelete(claimed, txn);
+    }
+    s.claimed_deletes.clear();
+    return Status(handle.status().code(),
+                  name_ + ": " + handle.status().message());
+  }
+  s.insert_handle = *handle;
+  s.applied = true;
   return Status::OK();
 }
 
@@ -67,11 +100,28 @@ Status ColumnTableParticipant::Commit(TxnId txn, uint64_t commit_id) {
   MutexLock lock(mu_);
   auto it = staged_.find(txn);
   if (it == staged_.end()) return Status::OK();  // Nothing staged here.
-  for (size_t row : it->second.deletes) {
-    HANA_RETURN_IF_ERROR(table_->DeleteRow(row));
+  if (mvcc_ && !it->second.applied) {
+    // Roll-forward of a committed transaction that never went through
+    // Prepare here (recovery re-drive against fresh staging): install
+    // the versions now, then stamp them below.
+    HANA_RETURN_IF_ERROR(ApplyUncommitted(txn, it->second));
   }
-  for (auto& row : it->second.inserts) {
-    HANA_RETURN_IF_ERROR(table_->AppendRow(row));
+  if (it->second.applied) {
+    // MVCC: the write set is already installed as uncommitted versions;
+    // stamping the commit timestamp flips it visible. Deletes first so
+    // a same-transaction insert+delete of one row never shows the
+    // insert without the delete.
+    for (size_t row : it->second.claimed_deletes) {
+      table_->CommitDelete(row, commit_id);
+    }
+    table_->CommitAppend(it->second.insert_handle, commit_id);
+  } else {
+    for (size_t row : it->second.deletes) {
+      HANA_RETURN_IF_ERROR(table_->DeleteRow(row));
+    }
+    for (auto& row : it->second.inserts) {
+      HANA_RETURN_IF_ERROR(table_->AppendRow(row));
+    }
   }
   staged_.erase(it);
   last_commit_id_ = commit_id;
@@ -83,6 +133,15 @@ Status ColumnTableParticipant::Abort(TxnId txn) {
     HANA_RETURN_IF_ERROR(injector_->OnCall(FaultOp::kAbort, name_, txn));
   }
   MutexLock lock(mu_);
+  auto it = staged_.find(txn);
+  if (it != staged_.end() && it->second.applied) {
+    // MVCC: mark the installed versions dead. Aborted inserts become
+    // never-visible; claimed deletes revert to live.
+    table_->AbortAppend(it->second.insert_handle);
+    for (size_t row : it->second.claimed_deletes) {
+      table_->AbortDelete(row, txn);
+    }
+  }
   staged_.erase(txn);  // Unknown transactions are a no-op by design.
   return Status::OK();
 }

@@ -19,6 +19,19 @@ class FaultInjector;
 /// Abort of unknown transactions, as happens during presumed-abort
 /// recovery) simply drops the staging.
 ///
+/// With EnableMvcc(), Prepare additionally installs the buffered writes
+/// as uncommitted versions (delta rows stamped with the writing
+/// transaction, delete claims CASed onto the target rows — a claim held
+/// by another live transaction votes abort: first-claimer-wins
+/// write-write conflict detection). Commit then only stamps the
+/// coordinator's commit timestamp, flipping the whole write set visible
+/// atomically with respect to snapshot readers; Abort marks the rows
+/// never-visible. The coordinator must allocate commit ids from the
+/// same mvcc::VersionManager the table is wired to
+/// (TwoPhaseCoordinator::SetVersionManager), and all transactions
+/// touching one table must come from one coordinator — uncommitted
+/// stamps carry the coordinator-scoped TxnId.
+///
 /// Prepare is idempotent: once a transaction is prepared, a repeated
 /// Prepare (a Commit retry after a phase-2 infrastructure failure, or
 /// the one-phase path re-driving) returns OK without re-validating or
@@ -52,6 +65,14 @@ class ColumnTableParticipant : public Participant {
   /// through it at entry. Set before enlisting in concurrent commits.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
+  /// Switches to MVCC staging (see class comment). Set at wiring time,
+  /// before the first transaction; commit ids passed to Commit() are
+  /// then interpreted as version-manager commit timestamps.
+  void EnableMvcc() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    mvcc_ = true;
+  }
+
   /// True while `txn` is staged and prepared (vote cast, not resolved).
   bool IsPrepared(TxnId txn) const EXCLUDES(mu_);
 
@@ -66,18 +87,31 @@ class ColumnTableParticipant : public Participant {
     std::vector<std::vector<Value>> inserts;
     std::vector<size_t> deletes;
     bool prepared = false;
+    // MVCC mode: set once Prepare installed the write set as
+    // uncommitted versions (insert rows + delete claims below).
+    bool applied = false;
+    storage::ColumnTable::TxnAppendHandle insert_handle;
+    std::vector<size_t> claimed_deletes;
   };
+
+  /// Installs `s`'s write set as uncommitted versions; on a delete
+  /// conflict, undoes what was claimed so far and returns the abort
+  /// vote. MVCC mode only.
+  [[nodiscard]] Status ApplyUncommitted(TxnId txn, Staged& s) REQUIRES(mu_);
 
   std::string name_;
   storage::ColumnTable* table_;
   FaultInjector* injector_;
-  /// Leaf lock guarding staging and the watermark; held across the
-  /// table apply in Commit so concurrent transactions touching the same
-  /// table serialize their writes. Never held while calling the
-  /// injector (which may block on a hold latch).
+  /// Guards staging and the watermark; held across the table apply in
+  /// Commit so concurrent transactions touching the same table
+  /// serialize their writes. Ordered before the table's storage locks
+  /// (kTxnParticipant 40 < storage.state 65) and before the version
+  /// manager (45), which the table's commit paths may take. Never held
+  /// while calling the injector (which may block on a hold latch).
   mutable Mutex mu_{"txn.participant.column", lock_rank::kTxnParticipant};
   std::map<TxnId, Staged> staged_ GUARDED_BY(mu_);
   bool fail_next_prepare_ GUARDED_BY(mu_) = false;
+  bool mvcc_ GUARDED_BY(mu_) = false;
   uint64_t last_commit_id_ GUARDED_BY(mu_) = 0;
 };
 

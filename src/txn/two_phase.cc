@@ -194,7 +194,7 @@ Status TwoPhaseCoordinator::Commit(TxnId txn) {
     // of a commit record contradicted by a later abort record.
     {
       MutexLock lock(mu_);
-      commit_id = next_commit_id_++;
+      commit_id = AllocateCommitIdLocked();
     }
     if (!parts.empty()) {
       Participant* p = parts[0];
@@ -207,26 +207,37 @@ Status TwoPhaseCoordinator::Commit(TxnId txn) {
         if (!abort_status.ok()) {
           detail += "; rollback also failed: " + abort_status.message();
         }
+        // The allocated timestamp was never stamped onto any row (the
+        // abort reverted the write set); retire it so the visibility
+        // frontier moves past the gap.
+        FinishCommitTs(commit_id);
         return Status::TransactionAborted(std::move(detail));
       }
     }
     MutexLock lock(mu_);
     log_.push_back({LogKind::kCommit, txn, commit_id, {}});
     if (CrashDueAt(Failpoint::kAfterCommitRecord)) {
+      // The timestamp stays in-flight: the participant has stamped its
+      // rows, but they remain invisible to new snapshots until
+      // recovery resolves the transaction and finishes the commit.
       CrashLocked();
       return Status::Unavailable(
           "coordinator crashed after commit record; recovery will finish");
     }
     log_.push_back({LogKind::kEnd, txn, commit_id, {}});
     active_.erase(txn);
+    FinishCommitLocked(commit_id);
     return Status::OK();
   }
 
   {
     MutexLock lock(mu_);
-    commit_id = next_commit_id_++;
+    commit_id = AllocateCommitIdLocked();
     log_.push_back({LogKind::kCommit, txn, commit_id, {}});
     if (CrashDueAt(Failpoint::kAfterCommitRecord)) {
+      // In-flight timestamp survives the crash: no participant has
+      // stamped yet, so nothing from this transaction is visible until
+      // Recover() re-drives phase 2 and finishes the commit.
       CrashLocked();
       return Status::Unavailable(
           "coordinator crashed after commit record; recovery will finish");
@@ -253,11 +264,17 @@ Status TwoPhaseCoordinator::Commit(TxnId txn) {
     }
   }
   if (!failures.empty()) {
+    // The decision is durable and every participant that did apply has
+    // stamped a complete per-table write set, so the timestamp can
+    // retire; stragglers are re-driven by a Commit retry or recovery
+    // (each attempt allocates its own timestamp).
+    FinishCommitTs(commit_id);
     return Status::Internal(std::move(failures));
   }
   MutexLock lock(mu_);
   log_.push_back({LogKind::kEnd, txn, commit_id, {}});
   active_.erase(txn);
+  FinishCommitLocked(commit_id);
   return Status::OK();
 }
 
@@ -294,6 +311,29 @@ void TwoPhaseCoordinator::SetFailpoint(Failpoint fp) {
 void TwoPhaseCoordinator::SetFaultInjector(FaultInjector* injector) {
   MutexLock lock(mu_);
   injector_ = injector;
+}
+
+void TwoPhaseCoordinator::SetVersionManager(mvcc::VersionManager* vm) {
+  MutexLock lock(mu_);
+  vm_ = vm;
+}
+
+uint64_t TwoPhaseCoordinator::AllocateCommitIdLocked() {
+  if (vm_ != nullptr) {
+    uint64_t cid = vm_->AllocateCommit();
+    next_commit_id_ = cid + 1;
+    return cid;
+  }
+  return next_commit_id_++;
+}
+
+void TwoPhaseCoordinator::FinishCommitLocked(uint64_t commit_id) {
+  if (vm_ != nullptr) vm_->FinishCommit(commit_id);
+}
+
+void TwoPhaseCoordinator::FinishCommitTs(uint64_t commit_id) {
+  MutexLock lock(mu_);
+  FinishCommitLocked(commit_id);
 }
 
 void TwoPhaseCoordinator::RegisterRecoveryParticipant(
@@ -428,6 +468,10 @@ Status TwoPhaseCoordinator::Recover() {
       }
       MutexLock lock(mu_);
       log_.push_back({LogKind::kEnd, txn, commit_it->second, {}});
+      // Resolve the in-doubt window: every participant has now stamped
+      // (or re-stamped) the logged timestamp, so it becomes visible.
+      // Idempotent for already-finished commits.
+      FinishCommitLocked(commit_it->second);
     } else {
       for (Participant* p : parts) {
         HANA_RETURN_IF_ERROR(p->Abort(txn));

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mvcc.h"
 #include "common/result.h"
 #include "common/sync.h"
 
@@ -145,6 +146,16 @@ class TwoPhaseCoordinator {
   /// first Commit and keep alive for the coordinator's lifetime.
   void SetFaultInjector(FaultInjector* injector) EXCLUDES(mu_);
 
+  /// Wires MVCC snapshot isolation: commit ids become commit timestamps
+  /// allocated from `vm` (AllocateCommit at the commit record,
+  /// FinishCommit once every participant has stamped its write set —
+  /// keeping readers from ever observing a half-stamped transaction).
+  /// Set at wiring time, before the first Begin; participants sharing
+  /// the timestamp domain must have EnableMvcc() set. Survives Crash():
+  /// the version manager models the recoverable timestamp authority,
+  /// not coordinator volatile state.
+  void SetVersionManager(mvcc::VersionManager* vm) EXCLUDES(mu_);
+
   /// Snapshot of the write-ahead log (by value: commits on other
   /// threads may be appending concurrently).
   std::vector<LogRecord> log() const EXCLUDES(mu_);
@@ -179,6 +190,17 @@ class TwoPhaseCoordinator {
       REQUIRES(mu_);
   std::vector<TxnId> InDoubtLocked() const REQUIRES(mu_);
 
+  /// Allocates the next commit id — from the version manager when one
+  /// is wired (registering the id as in-flight), else from the local
+  /// counter. The counter mirrors the allocation either way so
+  /// last_commit_id() stays meaningful.
+  uint64_t AllocateCommitIdLocked() REQUIRES(mu_);
+  /// Marks `commit_id` fully stamped (no-op without a version manager).
+  /// Safe under mu_: the version-manager lock ranks above the
+  /// coordinator's (30 -> 45).
+  void FinishCommitLocked(uint64_t commit_id) REQUIRES(mu_);
+  void FinishCommitTs(uint64_t commit_id) EXCLUDES(mu_);
+
   TwoPhaseOptions options_;
 
   /// Guards all coordinator state. Never held across participant calls
@@ -193,6 +215,7 @@ class TwoPhaseCoordinator {
   std::vector<Participant*> recovery_participants_ GUARDED_BY(mu_);
   Failpoint failpoint_ GUARDED_BY(mu_) = Failpoint::kNone;
   FaultInjector* injector_ GUARDED_BY(mu_) = nullptr;
+  mvcc::VersionManager* vm_ GUARDED_BY(mu_) = nullptr;
   bool crashed_ GUARDED_BY(mu_) = false;
 };
 

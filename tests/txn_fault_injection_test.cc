@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mvcc.h"
 #include "extended/extended_store.h"
 #include "extended/iq_engine.h"
 #include "federation/iq_adapter.h"
@@ -455,6 +456,113 @@ TEST(SdaParticipantTest, SourceWithoutTransactionCapabilityVotesAbort) {
   EXPECT_NE(s.message().find("CAP_TRANSACTIONS"), std::string::npos)
       << s.message();
   EXPECT_EQ(hot.live_rows(), 0u);  // The whole transaction rolled back.
+}
+
+// ---------------------------------------------------------------------
+// MVCC × coordinator crashes: rows written by an unresolved transaction
+// must be invisible to every new snapshot until recovery resolves it —
+// then flip visible (commit record logged) or stay invisible forever
+// (presumed abort).
+// ---------------------------------------------------------------------
+
+/// Visible-row count of a fresh snapshot at the manager's last-visible
+/// timestamp (what any new reader would see).
+size_t SnapshotVisibleRows(const storage::ColumnTable& table) {
+  std::shared_ptr<const storage::TableReadSnapshot> snap =
+      table.OpenSnapshot();
+  size_t visible = 0;
+  for (size_t r = 0; r < snap->num_rows(); ++r) visible += snap->IsVisible(r);
+  return visible;
+}
+
+class MvccInDoubtTest : public ::testing::Test {
+ protected:
+  MvccInDoubtTest()
+      : table_a_(TestSchema()),
+        table_b_(TestSchema()),
+        a_("A", &table_a_, &injector_),
+        b_("B", &table_b_, &injector_) {
+    table_a_.SetVersionManager(&vm_);
+    table_b_.SetVersionManager(&vm_);
+    a_.EnableMvcc();
+    b_.EnableMvcc();
+    coordinator_.SetVersionManager(&vm_);
+    coordinator_.SetFaultInjector(&injector_);
+  }
+
+  TxnId StageOne() {
+    TxnId txn = coordinator_.Begin();
+    EXPECT_TRUE(coordinator_.Enlist(txn, &a_).ok());
+    EXPECT_TRUE(coordinator_.Enlist(txn, &b_).ok());
+    EXPECT_TRUE(
+        a_.StageInsert(txn, {Value::Int(1), Value::String("a")}).ok());
+    EXPECT_TRUE(
+        b_.StageInsert(txn, {Value::Int(1), Value::String("b")}).ok());
+    return txn;
+  }
+
+  void Recover() {
+    coordinator_.RegisterRecoveryParticipant(&a_);
+    coordinator_.RegisterRecoveryParticipant(&b_);
+    ASSERT_TRUE(coordinator_.Recover().ok());
+  }
+
+  mvcc::VersionManager vm_;
+  storage::ColumnTable table_a_, table_b_;
+  FaultInjector injector_;
+  ColumnTableParticipant a_, b_;
+  TwoPhaseCoordinator coordinator_;
+};
+
+TEST_F(MvccInDoubtTest, CrashBetweenPrepareAndCommitHidesRowsUntilAbort) {
+  injector_.CrashCoordinatorAt(Failpoint::kAfterPrepare);
+  TxnId txn = StageOne();
+  EXPECT_FALSE(coordinator_.Commit(txn).ok());
+
+  // Both participants prepared (uncommitted versions installed), but
+  // with no commit record the transaction is in-doubt: new snapshots
+  // must not see a single row of it.
+  EXPECT_EQ(coordinator_.InDoubt(), std::vector<TxnId>{txn});
+  EXPECT_EQ(SnapshotVisibleRows(table_a_), 0u);
+  EXPECT_EQ(SnapshotVisibleRows(table_b_), 0u);
+  EXPECT_EQ(table_a_.num_rows(), 1u);  // The version physically exists.
+
+  // Recovery presumes abort: the rows stay invisible forever.
+  Recover();
+  EXPECT_TRUE(coordinator_.InDoubt().empty());
+  EXPECT_EQ(SnapshotVisibleRows(table_a_), 0u);
+  EXPECT_EQ(SnapshotVisibleRows(table_b_), 0u);
+  EXPECT_EQ(table_a_.live_rows(), 0u);
+  EXPECT_EQ(table_b_.live_rows(), 0u);
+
+  // The timestamp horizon is not wedged: a fresh transaction commits
+  // and becomes visible to new snapshots.
+  TxnId next = StageOne();
+  ASSERT_TRUE(coordinator_.Commit(next).ok());
+  EXPECT_EQ(SnapshotVisibleRows(table_a_), 1u);
+  EXPECT_EQ(SnapshotVisibleRows(table_b_), 1u);
+}
+
+TEST_F(MvccInDoubtTest, CrashAfterCommitRecordHidesRowsUntilRecoveryCommits) {
+  injector_.CrashCoordinatorAt(Failpoint::kAfterCommitRecord);
+  TxnId txn = StageOne();
+  EXPECT_FALSE(coordinator_.Commit(txn).ok());
+
+  // The commit record is durable but phase 2 never ran: the commit
+  // timestamp stays unfinished, so LastVisible() holds below it and
+  // new snapshots see nothing — not even a torn half of the
+  // transaction.
+  EXPECT_EQ(SnapshotVisibleRows(table_a_), 0u);
+  EXPECT_EQ(SnapshotVisibleRows(table_b_), 0u);
+  EXPECT_EQ(table_a_.live_rows(), 0u);
+
+  // Recovery re-drives the logged commit and finishes the timestamp:
+  // the whole transaction flips visible atomically.
+  Recover();
+  EXPECT_EQ(SnapshotVisibleRows(table_a_), 1u);
+  EXPECT_EQ(SnapshotVisibleRows(table_b_), 1u);
+  EXPECT_EQ(table_a_.live_rows(), 1u);
+  EXPECT_EQ(table_b_.live_rows(), 1u);
 }
 
 }  // namespace
