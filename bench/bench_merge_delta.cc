@@ -65,10 +65,13 @@ std::shared_ptr<ColumnMain> SeedMerge(const ColumnMain& main,
   std::copy(frozen.nulls.begin(), frozen.nulls.end(),
             out->nulls.begin() + main.rows);
 
+  // The input main may carry any encoding (the workload builder's
+  // first-half merge picks per column), so read it through the
+  // layout-agnostic accessors rather than assuming packed words.
   auto get = [&](size_t row) -> Value {
     if (out->nulls[row]) return Value::Null();
     if (row < main.rows) {
-      return main.dict[storage::BitGet(main.words, main.bits, row)];
+      return main.ValueOfCode(main.CodeAt(row));
     }
     return frozen.dict[frozen.codes[row - main.rows]];
   };
@@ -254,6 +257,10 @@ int Main(int argc, char** argv) {
 
     MergeOptions serial;
     serial.parallel = false;
+    // This section byte-compares merged mains against the seed merge,
+    // which only ever emits the bit-packed layout; pin it so the
+    // encoding chooser doesn't rewrite qualifying columns to RLE/FOR.
+    serial.choose_encodings = false;
     std::vector<std::shared_ptr<const ColumnMain>> serial_out;
     double serial_ms = BestOfThree([&] {
       return TimeMerge(
@@ -282,6 +289,7 @@ int Main(int argc, char** argv) {
       MergeOptions parallel;
       parallel.parallel = true;
       parallel.max_workers = threads;
+      parallel.choose_encodings = false;  // Byte-compared to the seed.
       std::vector<std::shared_ptr<const ColumnMain>> out;
       double ms = BestOfThree([&] {
         return TimeMerge(

@@ -18,6 +18,12 @@
 #                 lock-order validator compiled in and HANA_LOCK_ORDER=
 #                 fatal for every test: any rank inversion anywhere in
 #                 the suite aborts the offending test.
+#   kernels       The kernels-labeled bit-identity tests (codec fuzzing,
+#                 scalar-vs-dispatched query matrix) run twice: once
+#                 with HANA_CPU=scalar (reference table pinned) and once
+#                 with HANA_CPU=native (best verified ISA level). Proves
+#                 the dispatch layer is bit-identical end to end under
+#                 both process-level bindings, lock-order fatal.
 #
 # Each leg builds into its own build-matrix-<leg> directory so cached
 # configurations never leak options across legs. Pass leg names to run
@@ -69,9 +75,20 @@ leg_validator() {
     -- ctest --output-on-failure
 }
 
+leg_kernels() {
+  HANA_CPU=scalar HANA_LOCK_ORDER=fatal run_leg kernels \
+    -DHANA_LOCK_ORDER_CHECKS=ON \
+    -- ctest -L kernels --output-on-failure || return 1
+  echo "=== matrix leg: kernels (HANA_CPU=native) ==="
+  (cd build-matrix-kernels &&
+    HANA_CPU=native HANA_LOCK_ORDER=fatal \
+      ctest -L kernels --output-on-failure) || return 1
+  echo "=== matrix leg: kernels (HANA_CPU=native) OK ==="
+}
+
 legs=("$@")
 if [ "${#legs[@]}" -eq 0 ]; then
-  legs=(release-lint tsan asan-ubsan validator)
+  legs=(release-lint tsan asan-ubsan validator kernels)
 fi
 
 for leg in "${legs[@]}"; do
@@ -80,6 +97,7 @@ for leg in "${legs[@]}"; do
     tsan) leg_tsan ;;
     asan-ubsan) leg_asan_ubsan ;;
     validator) leg_validator ;;
+    kernels) leg_kernels ;;
     *)
       echo "unknown matrix leg: ${leg}" >&2
       exit 2

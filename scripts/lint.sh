@@ -24,6 +24,11 @@
 #      justifying its memory ordering (same line or the lines above).
 #   7. Every IgnoreStatus() call site carries a `lint: IgnoreStatus
 #      allowed` justification; unjustified drops must propagate instead.
+#   8. No raw SIMD intrinsics (_mm_/_mm256_/_mm512_ calls, vector
+#      register types) outside src/common/cpu_dispatch.{h,cc}. Kernels
+#      live behind the runtime dispatch table so every call site keeps
+#      the scalar-identical guarantee and the HANA_CPU override works;
+#      a stray intrinsic elsewhere silently forks the ISA story.
 #
 # When clang-tidy is on PATH and a compile database exists, it also
 # runs the .clang-tidy profile over the checked sources. Missing tools
@@ -123,6 +128,11 @@ check "std::atomic without an ordering justification \
 (comment '// atomic: <ordering rationale>' on or above the declaration)" \
   "$(find_violations 'std::atomic[[:space:]]*<' \
      | without_justification 'atomic:')"
+
+check "raw SIMD intrinsics outside src/common/cpu_dispatch.{h,cc} \
+(add kernels to the dispatch table; call sites use Kernels())" \
+  "$(find_violations '(^|[^_[:alnum:]])(_mm(256|512)?_[a-z0-9_]+[[:space:]]*\(|__m(64|128|256|512)[id]?([^_[:alnum:]]|$)|_mm_malloc)' \
+     '^src/common/cpu_dispatch\.(h|cc)$')"
 
 check "IgnoreStatus without justification \
 (annotate with '// lint: IgnoreStatus allowed — why', or propagate)" \

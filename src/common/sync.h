@@ -76,6 +76,11 @@ inline constexpr int kSdaDispatch = 50;
 // sda.registry — federation::SdaRuntime::registry_mu_: adapter map;
 // ACQUIRED_AFTER(dispatch_mu_).
 inline constexpr int kSdaRegistry = 55;
+// platform.snapshot_cache — platform::Platform snapshot_cache_mu_: the
+// statement-scoped TableReadSnapshot reuse map. Pure map lookups; never
+// held while opening a snapshot (which would take mvcc.version and
+// storage.state, both ranked around it).
+inline constexpr int kPlatformSnapshot = 58;
 // storage.merge — storage::ColumnTable merge_mu: serializes delta
 // merges; held across the whole merge including its ParallelFor.
 inline constexpr int kStorageMerge = 60;

@@ -324,7 +324,8 @@ class PipelineExecutor {
       JoinBuildState* b = p.build_target;
       bool vectorized = plan::EquiKeysVectorizable(b->parts);
       b->table = std::make_unique<RadixJoinTable>(
-          b->build->schema, b->build_key_exprs, vectorized);
+          b->build->schema, b->build_key_exprs, vectorized,
+          b->join->perfect_hash);
       GlobalJoinExecStats().radix_hash_joins.fetch_add(
           1, std::memory_order_relaxed);
       if (!vectorized) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/cpu_dispatch.h"
 #include "common/strings.h"
 #include "exec/evaluator.h"
+#include "sql/ast.h"
 
 namespace hana::exec {
 
@@ -16,11 +18,138 @@ using plan::LogicalKind;
 using plan::LogicalOp;
 using storage::ValueHash;
 
+/// Compiled form of `<int64 column> CMP <int64 literal>` predicates (in
+/// either operand order), the shape the dispatched compare kernel and
+/// the run-at-a-time RLE path can evaluate without boxing Values.
+struct IntCmpFilter {
+  bool ok = false;
+  size_t column = 0;
+  CmpOp op = CmpOp::kEq;
+  int64_t rhs = 0;
+};
+
+IntCmpFilter AnalyzeIntCmp(const BoundExpr& p) {
+  IntCmpFilter f;
+  if (p.kind != plan::BoundKind::kBinary) return f;
+  CmpOp op;
+  switch (static_cast<sql::BinaryOp>(p.binary_op)) {
+    case sql::BinaryOp::kEq:
+      op = CmpOp::kEq;
+      break;
+    case sql::BinaryOp::kNe:
+      op = CmpOp::kNe;
+      break;
+    case sql::BinaryOp::kLt:
+      op = CmpOp::kLt;
+      break;
+    case sql::BinaryOp::kLe:
+      op = CmpOp::kLe;
+      break;
+    case sql::BinaryOp::kGt:
+      op = CmpOp::kGt;
+      break;
+    case sql::BinaryOp::kGe:
+      op = CmpOp::kGe;
+      break;
+    default:
+      return f;
+  }
+  const BoundExpr* col = p.child0.get();
+  const BoundExpr* lit = p.child1.get();
+  bool swapped = false;
+  if (col != nullptr && lit != nullptr &&
+      col->kind == plan::BoundKind::kLiteral &&
+      lit->kind == plan::BoundKind::kColumn) {
+    std::swap(col, lit);
+    swapped = true;
+  }
+  if (col == nullptr || lit == nullptr ||
+      col->kind != plan::BoundKind::kColumn ||
+      lit->kind != plan::BoundKind::kLiteral) {
+    return f;
+  }
+  // Exact-int comparisons only: Value::Compare goes through double for
+  // mixed numeric types, which the kernel does not replicate.
+  if (col->type != DataType::kInt64) return f;
+  if (lit->literal.type() != DataType::kInt64) return f;
+  if (swapped) {
+    // `lit CMP col` is `col CMP' lit` with the comparison mirrored.
+    switch (op) {
+      case CmpOp::kLt:
+        op = CmpOp::kGt;
+        break;
+      case CmpOp::kLe:
+        op = CmpOp::kGe;
+        break;
+      case CmpOp::kGt:
+        op = CmpOp::kLt;
+        break;
+      case CmpOp::kGe:
+        op = CmpOp::kLe;
+        break;
+      default:
+        break;  // kEq / kNe are symmetric.
+    }
+  }
+  f.ok = true;
+  f.column = col->column_index;
+  f.op = op;
+  f.rhs = lit->literal.int_value();
+  return f;
+}
+
+bool CmpScalar(CmpOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
 }  // namespace
 
 Result<Chunk> FilterChunk(const BoundExpr& predicate, const Chunk& in) {
   Chunk out = Chunk::Empty(in.schema);
-  for (size_t r = 0; r < in.num_rows(); ++r) {
+  const size_t n = in.num_rows();
+  const IntCmpFilter f = AnalyzeIntCmp(predicate);
+  if (f.ok && f.column < in.columns.size()) {
+    const storage::ColumnVector& col = *in.columns[f.column];
+    if (col.type() == DataType::kInt64 && col.size() == n && n > 0) {
+      if (col.run_indexed()) {
+        // Run-at-a-time: the RLE decoder registered runs of equal
+        // values, so evaluate the predicate once per run and copy the
+        // accepted rows. Runs hold non-null values only, matching the
+        // NULL-drops-row semantics of the scalar path.
+        for (const storage::ColumnVector::ValueRun& run : col.runs()) {
+          if (!CmpScalar(f.op, col.GetInt(run.begin), f.rhs)) continue;
+          for (size_t r = run.begin; r < run.end; ++r) {
+            out.AppendRowFrom(in, r);
+          }
+        }
+        return out;
+      }
+      // Vectorized: one dispatched compare over the column produces a
+      // selection mask (null rows compare to 0, i.e. dropped).
+      std::vector<uint8_t> mask(n);
+      Kernels().cmp_i64(f.op, col.ints_data(), col.nulls_data(), n, f.rhs,
+                        mask.data());
+      for (size_t r = 0; r < n; ++r) {
+        if (mask[r] != 0) out.AppendRowFrom(in, r);
+      }
+      return out;
+    }
+  }
+  for (size_t r = 0; r < n; ++r) {
     HANA_ASSIGN_OR_RETURN(Value keep, EvalExpr(predicate, in, r));
     if (keep.is_null() || !IsTruthy(keep)) continue;
     out.AppendRowFrom(in, r);

@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 
+#include "common/cpu_dispatch.h"
 #include "common/util.h"
 #include "exec/evaluator.h"
 
@@ -75,6 +76,16 @@ size_t NextPow2(size_t n) {
   return p;
 }
 
+/// Key shape the batched hash kernel and the perfect-hash layout
+/// handle: one key column on the int64 physical array with exact
+/// integer semantics (bool excluded — its hash normalizes to 0/1).
+bool SingleIntKey(const std::vector<const plan::BoundExpr*>& exprs) {
+  if (exprs.size() != 1) return false;
+  DataType t = exprs[0]->type;
+  return t == DataType::kInt64 || t == DataType::kDate ||
+         t == DataType::kTimestamp;
+}
+
 }  // namespace
 
 JoinExecStats& GlobalJoinExecStats() {
@@ -88,14 +99,19 @@ void ResetJoinExecStats() {
   s.serial_hash_joins.store(0);
   s.nested_loop_fallbacks.store(0);
   s.boxed_key_builds.store(0);
+  s.perfect_hash_joins.store(0);
+  s.perfect_hash_fallbacks.store(0);
 }
 
 RadixJoinTable::RadixJoinTable(
     std::shared_ptr<Schema> build_schema,
-    std::vector<const plan::BoundExpr*> build_key_exprs, bool vectorized)
+    std::vector<const plan::BoundExpr*> build_key_exprs, bool vectorized,
+    bool allow_perfect)
     : build_schema_(std::move(build_schema)),
       build_key_exprs_(std::move(build_key_exprs)),
       vectorized_(vectorized),
+      allow_perfect_(allow_perfect && vectorized &&
+                     SingleIntKey(build_key_exprs_)),
       parts_(kPartitions) {}
 
 void RadixJoinTable::SetNumMorsels(size_t n) {
@@ -127,9 +143,24 @@ Status RadixJoinTable::AddBuildChunk(size_t m, const Chunk& chunk) {
     }
   }
 
+  // Single int64 key: hash the whole chunk through the CPU-dispatched
+  // batch kernel (bit-identical to the HashCell/HashCombine loop —
+  // cpu_dispatch verifies that at bind time). Null rows get garbage
+  // hashes here; the row loop below drops them before use.
+  std::vector<uint64_t> batch_hashes;
+  bool single_int = vectorized_ && SingleIntKey(build_key_exprs_);
+  if (single_int) {
+    batch_hashes.resize(n);
+    Kernels().hash_i64(key_cols[0]->ints_data(), n, 0x12345,
+                       batch_hashes.data());
+  }
+
   for (size_t r = 0; r < n; ++r) {
     uint64_t h;
-    if (vectorized_) {
+    if (single_int) {
+      if (key_cols[0]->IsNull(r)) continue;  // NULL never joins.
+      h = batch_hashes[r];
+    } else if (vectorized_) {
       bool null_key = false;
       size_t acc = 0x12345;
       for (const ColumnVectorPtr& col : key_cols) {
@@ -231,7 +262,89 @@ Status RadixJoinTable::FinalizePartition(size_t p) {
   return Status::OK();
 }
 
+bool RadixJoinTable::TryFinalizePerfect() {
+  // One serial pass over the staged buffers for the row count and the
+  // observed key bounds (keys are non-null by construction: null-key
+  // rows were dropped at partition time).
+  size_t rows = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+  for (const MorselBuffers& m : morsels_) {
+    if (m.parts.empty()) continue;
+    for (const MorselBuffers::PartitionBuffer& buf : m.parts) {
+      size_t n = buf.hashes.size();
+      if (n == 0) continue;
+      const int64_t* v = buf.key_cols[0]->ints_data();
+      for (size_t r = 0; r < n; ++r) {
+        min = std::min(min, v[r]);
+        max = std::max(max, v[r]);
+      }
+      rows += n;
+    }
+  }
+  if (rows == 0 || rows > std::numeric_limits<uint32_t>::max()) return false;
+  uint64_t range = static_cast<uint64_t>(max) - static_cast<uint64_t>(min);
+  // Dense-domain gate: the direct heads array may cost at most ~2
+  // slots per build row (plus slack so tiny builds with modest gaps
+  // still qualify); sparser domains fall back to the radix layout.
+  if (range > std::max<uint64_t>(2 * static_cast<uint64_t>(rows), 1024)) {
+    return false;
+  }
+
+  // Concatenate every staged buffer into partition 0 in (morsel,
+  // partition, row) order. All rows of one key share a hash partition,
+  // so their relative order here equals the radix chain order
+  // (ascending morsel, then staging row) — both layouts emit matches
+  // in the same order.
+  Partition& part = parts_[0];
+  part.payload = Chunk::Empty(build_schema_);
+  auto key = std::make_shared<ColumnVector>(build_key_exprs_[0]->type);
+  key->Reserve(rows);
+  part.hashes.reserve(rows);
+  for (MorselBuffers& m : morsels_) {
+    if (m.parts.empty()) continue;
+    for (MorselBuffers::PartitionBuffer& buf : m.parts) {
+      size_t n = buf.hashes.size();
+      for (size_t r = 0; r < n; ++r) {
+        part.payload.AppendRowFrom(buf.payload, r);
+        key->AppendFrom(*buf.key_cols[0], r);
+      }
+      part.hashes.insert(part.hashes.end(), buf.hashes.begin(),
+                         buf.hashes.end());
+      buf = MorselBuffers::PartitionBuffer{};  // Release staging memory.
+    }
+  }
+  part.key_cols.push_back(key);
+
+  // Direct-address chains: heads indexed by key - min, inserted in
+  // reverse so each chain iterates ascending build rows.
+  part.heads.assign(static_cast<size_t>(range) + 1, 0);
+  part.next.assign(rows, 0);
+  const int64_t* v = key->ints_data();
+  for (size_t i = rows; i-- > 0;) {
+    size_t idx = static_cast<size_t>(static_cast<uint64_t>(v[i]) -
+                                     static_cast<uint64_t>(min));
+    part.next[i] = part.heads[idx];
+    part.heads[idx] = static_cast<uint32_t>(i) + 1;
+  }
+  perfect_ = true;
+  perfect_min_ = min;
+  perfect_range_ = range;
+  return true;
+}
+
 Status RadixJoinTable::Finalize(TaskPool* pool, size_t dop) {
+  if (allow_perfect_) {
+    if (TryFinalizePerfect()) {
+      GlobalJoinExecStats().perfect_hash_joins.fetch_add(
+          1, std::memory_order_relaxed);
+      build_rows_ = parts_[0].hashes.size();
+      morsels_.clear();
+      return Status::OK();
+    }
+    GlobalJoinExecStats().perfect_hash_fallbacks.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   std::vector<Status> statuses(kPartitions);
   auto finalize_one = [&](size_t p) { statuses[p] = FinalizePartition(p); };
   if (pool != nullptr && dop > 1) {
@@ -259,6 +372,17 @@ Status RadixJoinTable::ComputeProbeKeys(
     for (const plan::BoundExpr* e : probe_key_exprs) {
       HANA_ASSIGN_OR_RETURN(ColumnVectorPtr col, EvalExprColumn(*e, probe));
       keys->key_cols.push_back(std::move(col));
+    }
+    if (SingleIntKey(probe_key_exprs)) {
+      const ColumnVector& col = *keys->key_cols[0];
+      const uint8_t* nulls = col.nulls_data();
+      for (size_t r = 0; r < n; ++r) keys->has_null[r] = nulls[r];
+      // Perfect-mode probes index by key directly — no hashing at all.
+      if (!perfect_ && n > 0) {
+        Kernels().hash_i64(col.ints_data(), n, 0x12345,
+                           keys->hashes.data());
+      }
+      return Status::OK();
     }
     for (size_t r = 0; r < n; ++r) {
       size_t h = 0x12345;

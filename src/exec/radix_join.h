@@ -31,6 +31,15 @@ struct JoinExecStats {
   /// differ across sides (no vectorized column-wise path).
   // atomic: relaxed counter; observers only need eventual totals.
   std::atomic<uint64_t> boxed_key_builds{0};
+  /// Builds that took the perfect-hash fast path (dense single-int64
+  /// key domain): probes index a direct array — no hashing, no chain
+  /// hash/key comparisons.
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> perfect_hash_joins{0};
+  /// Builds the optimizer nominated for the perfect-hash path that fell
+  /// back to radix at build time (runtime key domain too sparse).
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> perfect_hash_fallbacks{0};
 };
 
 JoinExecStats& GlobalJoinExecStats();
@@ -72,11 +81,20 @@ class RadixJoinTable {
 
   /// `build_key_exprs` index the build child's schema; `vectorized`
   /// must come from plan::EquiKeysVectorizable on the join's parts.
+  /// `allow_perfect` (set by the optimizer from build-side stats) lets
+  /// Finalize attempt the perfect-hash layout: when the single int64
+  /// key's observed domain [min, max] is dense relative to the row
+  /// count, all build rows go into one partition whose heads array is
+  /// indexed directly by key - min — probing needs no hash and no key
+  /// comparison. Falls back to the radix layout at build time when the
+  /// runtime domain is too sparse.
   RadixJoinTable(std::shared_ptr<Schema> build_schema,
                  std::vector<const plan::BoundExpr*> build_key_exprs,
-                 bool vectorized);
+                 bool vectorized, bool allow_perfect = false);
 
   bool vectorized() const { return vectorized_; }
+  /// Whether Finalize built the direct-address (perfect-hash) layout.
+  bool perfect() const { return perfect_; }
   size_t num_build_rows() const { return build_rows_; }
 
   void SetNumMorsels(size_t n);
@@ -125,6 +143,21 @@ class RadixJoinTable {
   template <typename Fn>
   void ForEachMatch(const ProbeKeys& keys, size_t r, Fn&& fn) const {
     if (keys.has_null[r] != 0) return;
+    if (perfect_) {
+      // Direct-address probe: every row in chain (key - min) has
+      // exactly this key, so no hash or key comparison is needed.
+      const Partition& p = parts_[0];
+      if (p.heads.empty()) return;
+      uint64_t idx = static_cast<uint64_t>(keys.key_cols[0]->GetInt(r)) -
+                     static_cast<uint64_t>(perfect_min_);
+      if (idx > perfect_range_) return;
+      for (uint32_t cur = p.heads[idx]; cur != 0;) {
+        uint32_t row = cur - 1;
+        cur = p.next[row];
+        if (!fn(p, static_cast<size_t>(row))) break;
+      }
+      return;
+    }
     uint64_t h = keys.hashes[r];
     const Partition& p = parts_[h >> (64 - kRadixBits)];
     if (p.heads.empty()) return;
@@ -152,10 +185,18 @@ class RadixJoinTable {
   bool KeysEqual(const Partition& p, uint32_t row, const ProbeKeys& keys,
                  size_t r) const;
   Status FinalizePartition(size_t p);
+  /// Attempts the direct-address build from the staged morsel buffers;
+  /// returns false (leaving them untouched) when the key shape or the
+  /// observed domain disqualifies it.
+  bool TryFinalizePerfect();
 
   std::shared_ptr<Schema> build_schema_;
   std::vector<const plan::BoundExpr*> build_key_exprs_;
   bool vectorized_;
+  bool allow_perfect_ = false;
+  bool perfect_ = false;
+  int64_t perfect_min_ = 0;
+  uint64_t perfect_range_ = 0;  // Inclusive: max key - min key.
   std::vector<MorselBuffers> morsels_;
   std::vector<Partition> parts_;
   size_t build_rows_ = 0;

@@ -470,15 +470,69 @@ Status SplitFederated(LogicalOpPtr* node, const OptimizeContext& ctx) {
 // Hash-join build-side selection.
 // ---------------------------------------------------------------------
 
+/// Returns the scan a build subtree bottoms out in, unwrapping
+/// schema-preserving filters; null when the subtree is anything else.
+const LogicalOp* UnwrapToScan(const LogicalOp* op) {
+  while (op != nullptr && op->kind == LogicalKind::kFilter) {
+    op = op->children.empty() ? nullptr : op->children[0].get();
+  }
+  if (op == nullptr || op->kind != LogicalKind::kScan) return nullptr;
+  return op;
+}
+
+/// Nominates a join for the perfect-hash build layout when its single
+/// int64 equi key reads a local column-table column whose value domain
+/// [min, max] is dense relative to its distinct count. The domain comes
+/// from dictionary metadata (exact min/max, no row scan), so the check
+/// is cheap enough to run per optimization; the executor re-verifies
+/// density against the runtime build rows and falls back to the radix
+/// layout when a filter thinned the build side too much.
+void MaybeNominatePerfectHash(LogicalOp* op,
+                              const plan::JoinConditionParts& parts,
+                              const catalog::Catalog* catalog) {
+  if (catalog == nullptr) return;
+  if (parts.equi_keys.size() != 1 || !plan::EquiKeysVectorizable(parts)) {
+    return;
+  }
+  const plan::BoundExpr* key = op->build_left ? parts.equi_keys[0].left.get()
+                                              : parts.equi_keys[0].right.get();
+  if (key->kind != plan::BoundKind::kColumn) return;
+  DataType t = key->type;
+  if (t != DataType::kInt64 && t != DataType::kDate &&
+      t != DataType::kTimestamp) {
+    return;
+  }
+  const LogicalOp* scan =
+      UnwrapToScan(op->children[op->build_left ? 0 : 1].get());
+  if (scan == nullptr || scan->table.location != TableLocation::kLocalColumn) {
+    return;
+  }
+  Result<const catalog::TableEntry*> entry = catalog->GetTable(scan->table.name);
+  if (!entry.ok() || (*entry)->column_table == nullptr) return;
+  const storage::ColumnTable& table = *(*entry)->column_table;
+  if (key->column_index >= table.schema()->num_columns()) return;
+  storage::ColumnTable::ColumnDomain d =
+      table.GetColumnDomain(key->column_index);
+  if (d.distinct_upper == 0 || d.min.is_null() || d.max.is_null()) return;
+  uint64_t range = static_cast<uint64_t>(d.max.AsInt()) -
+                   static_cast<uint64_t>(d.min.AsInt());
+  // Same shape as the executor's runtime gate, against the distinct
+  // upper bound instead of the (not yet known) build row count.
+  if (range <= std::max<uint64_t>(2 * d.distinct_upper, 1024)) {
+    op->perfect_hash = true;
+  }
+}
+
 /// Marks inner equi joins whose LEFT child is the estimated-smaller
 /// side: the executor then builds the hash table over the left input
 /// and probes with the right, instead of always building on the right.
 /// Row estimates come from the statistics-backed scan cardinalities
 /// (TableBinding::estimated_rows) refined by the selectivity heuristics
 /// above. Inner joins only — the outer/semi/anti kinds are direction
-/// sensitive and always probe from the left.
-void ChooseBuildSides(LogicalOp* op) {
-  for (auto& child : op->children) ChooseBuildSides(child.get());
+/// sensitive and always probe from the left. Also nominates qualifying
+/// builds for the perfect-hash layout (see MaybeNominatePerfectHash).
+void ChooseBuildSides(LogicalOp* op, const catalog::Catalog* catalog) {
+  for (auto& child : op->children) ChooseBuildSides(child.get(), catalog);
   if (op->kind != LogicalKind::kJoin || op->join_kind != JoinKind::kInner ||
       op->semijoin_pushdown || op->condition == nullptr ||
       op->children.size() != 2) {
@@ -490,6 +544,7 @@ void ChooseBuildSides(LogicalOp* op) {
   if (parts.equi_keys.empty()) return;  // Nested loop; no build side.
   op->build_left = EstimateRowsImpl(*op->children[0]) <
                    EstimateRowsImpl(*op->children[1]);
+  MaybeNominatePerfectHash(op, parts, catalog);
 }
 
 }  // namespace
@@ -522,7 +577,7 @@ Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx) {
   if (ctx.sda != nullptr && ctx.options.enable_federation) {
     HANA_RETURN_IF_ERROR(SplitFederated(plan, ctx));
   }
-  ChooseBuildSides(plan->get());
+  ChooseBuildSides(plan->get(), ctx.catalog);
   return Status::OK();
 }
 

@@ -73,6 +73,7 @@ std::string LogicalOp::ToString(int indent) const {
       line += StrFormat("%s Join", JoinKindName(join_kind));
       if (condition) line += " ON " + condition->ToString();
       if (build_left) line += " [build=left]";
+      if (perfect_hash) line += " [perfect-hash]";
       break;
     case LogicalKind::kAggregate: {
       std::vector<std::string> groups, aggs;

@@ -119,6 +119,13 @@ struct LogicalOp {
   /// built into the hash table while the right side probes. Output
   /// column order stays left++right either way.
   bool build_left = false;
+  /// Perfect-hash nomination (optimizer, from build-side column stats):
+  /// the single int64 equi key's domain [min, max] looks dense relative
+  /// to the build row count, so the join build should attempt the
+  /// direct-address layout (exec::RadixJoinTable). The executor still
+  /// verifies density against the runtime key domain and falls back to
+  /// the radix layout when the stats were stale.
+  bool perfect_hash = false;
   /// Semijoin federation strategy (Figure 7): the left (local) side's
   /// distinct join keys are shipped into the remote query's WHERE as an
   /// IN-list before the remote child (a kRemoteQuery) executes.

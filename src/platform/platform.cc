@@ -4,6 +4,7 @@
 #include <deque>
 #include <filesystem>
 
+#include "common/cpu_dispatch.h"
 #include "common/strings.h"
 #include "exec/evaluator.h"
 #include "federation/iq_adapter.h"
@@ -466,6 +467,11 @@ Status Platform::SetParameter(const std::string& name,
     }
     return Status::OK();
   }
+  if (key == "cpu") {
+    std::string v;
+    for (char c : value) v += static_cast<char>(std::tolower(c));
+    return SetCpuMode(v);
+  }
   if (key == "executor") {
     if (value == "pipeline") {
       executor_mode_ = exec::ExecutorMode::kPipeline;
@@ -502,7 +508,36 @@ exec::ExecContext::ReadLease Platform::AcquireReadLease() {
   ReadLease lease;
   lease.hold = mvcc::VersionManager::Global().AcquireSnapshot();
   lease.view.read_ts = lease.hold.read_ts();
+  {
+    // New statement: drop the previous statement's snapshot reuse map.
+    // Entries are keyed by the full view, so a concurrent statement that
+    // loses its cache here merely re-pins — it can never read a wrong
+    // snapshot.
+    MutexLock lock(snapshot_cache_mu_);
+    snapshot_cache_.clear();
+  }
   return lease;
+}
+
+std::shared_ptr<const storage::TableReadSnapshot> Platform::SnapshotFor(
+    const storage::ColumnTable* table, const mvcc::ReadView& view) {
+  // Latest-view reads (read_ts == kLatest outside any lease) resolve
+  // their timestamp at open time, so two opens may legitimately see
+  // different data — never cache those.
+  if (view.read_ts == mvcc::kLatest) return table->OpenSnapshot(view);
+  SnapshotKey key{table, view.read_ts, view.txn};
+  {
+    MutexLock lock(snapshot_cache_mu_);
+    auto it = snapshot_cache_.find(key);
+    if (it != snapshot_cache_.end()) return it->second;
+  }
+  // Open outside the cache lock: OpenSnapshot takes mvcc.version and
+  // storage.state, which must not nest inside platform.snapshot_cache.
+  std::shared_ptr<const storage::TableReadSnapshot> snap =
+      table->OpenSnapshot(view);
+  MutexLock lock(snapshot_cache_mu_);
+  auto [it, inserted] = snapshot_cache_.emplace(key, snap);
+  return it->second;  // First opener wins on a race.
 }
 
 Result<exec::ChunkStream> Platform::OpenScan(const plan::LogicalOp& scan) {
@@ -531,8 +566,8 @@ Result<exec::ChunkStream> Platform::OpenScanAt(const plan::LogicalOp& scan,
         return true;
       };
       if (entry->kind == catalog::TableKind::kColumn) {
-        entry->column_table->OpenSnapshot(view)->Scan(storage::kDefaultChunkRows,
-                                                      sink);
+        SnapshotFor(entry->column_table.get(), view)
+            ->Scan(storage::kDefaultChunkRows, sink);
       } else if (entry->kind == catalog::TableKind::kRow) {
         entry->row_table->Scan(storage::kDefaultChunkRows, sink);
       } else if (entry->kind == catalog::TableKind::kHybrid) {
@@ -543,8 +578,8 @@ Result<exec::ChunkStream> Platform::OpenScanAt(const plan::LogicalOp& scan,
           }
           catalog::Partition& partition = entry->partitions[i];
           if (partition.hot != nullptr) {
-            partition.hot->OpenSnapshot(view)->Scan(storage::kDefaultChunkRows,
-                                                    sink);
+            SnapshotFor(partition.hot.get(), view)
+                ->Scan(storage::kDefaultChunkRows, sink);
           } else if (scan.partition_index < 0) {
             // Unexpanded hybrid scan: read cold partitions directly.
             // The extended engine mutates its buffer cache and clock on
@@ -655,7 +690,7 @@ Result<std::optional<exec::PartitionSource>> Platform::OpenPartitionedScanAt(
     // and morsel scans cannot skew the partitioning — and all morsels
     // apply the same MVCC visibility filter.
     std::shared_ptr<const storage::TableReadSnapshot> snap =
-        (*entry)->column_table->OpenSnapshot(view);
+        SnapshotFor((*entry)->column_table.get(), view);
     size_t rows = snap->num_rows();
     source.num_morsels = (rows + morsel_rows - 1) / morsel_rows;
     source.scan_morsel =

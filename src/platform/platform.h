@@ -1,12 +1,15 @@
 #ifndef HANA_PLATFORM_PLATFORM_H_
 #define HANA_PLATFORM_PLATFORM_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "common/result.h"
+#include "common/sync.h"
 #include "common/util.h"
 #include "exec/executor.h"
 #include "exec/operators.h"
@@ -158,6 +161,16 @@ class Platform : public exec::ExecContext {
   [[nodiscard]] Result<plan::LogicalOpPtr> PlanSelect(const sql::SelectStmt& stmt);
   double VirtualNow() const;
 
+  /// Statement-scoped snapshot reuse: a statement whose plan opens the
+  /// same table through several scan pipelines (self-joins, unions,
+  /// morsel sources) shares one pinned TableReadSnapshot per
+  /// (table, view) instead of re-pinning per pipeline. The cache is
+  /// reset when the next statement acquires its read lease; entries are
+  /// keyed by the full view (read_ts + txn) so concurrent statements
+  /// with different views can never alias.
+  std::shared_ptr<const storage::TableReadSnapshot> SnapshotFor(
+      const storage::ColumnTable* table, const mvcc::ReadView& view);
+
   PlatformOptions options_;
   SimClock clock_;  // Shared virtual clock for every simulated substrate.
   std::unique_ptr<extended::ExtendedStore> extended_store_;
@@ -178,6 +191,13 @@ class Platform : public exec::ExecContext {
   QueryMetrics last_metrics_;
   std::vector<exec::PipelineStats> last_pipeline_stats_;
   std::vector<federation::HiveAdapter*> hive_adapters_;  // Not owned.
+
+  using SnapshotKey = std::tuple<const storage::ColumnTable*,
+                                 mvcc::Timestamp, uint64_t>;
+  mutable Mutex snapshot_cache_mu_{"platform.snapshot_cache",
+                                   lock_rank::kPlatformSnapshot};
+  std::map<SnapshotKey, std::shared_ptr<const storage::TableReadSnapshot>>
+      snapshot_cache_ GUARDED_BY(snapshot_cache_mu_);
 };
 
 }  // namespace hana::platform

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/cpu_dispatch.h"
+
 namespace hana::storage {
 
 int BitWidth(uint64_t max_value) {
@@ -13,29 +15,14 @@ int BitWidth(uint64_t max_value) {
 std::vector<uint64_t> BitPack(const std::vector<uint32_t>& values,
                               int bit_width) {
   std::vector<uint64_t> words((values.size() * bit_width + 63) / 64, 0);
-  for (size_t i = 0; i < values.size(); ++i) {
-    size_t bit = i * bit_width;
-    size_t word = bit / 64;
-    size_t off = bit % 64;
-    words[word] |= static_cast<uint64_t>(values[i]) << off;
-    if (off + bit_width > 64) {
-      words[word + 1] |= static_cast<uint64_t>(values[i]) >> (64 - off);
-    }
-  }
+  BitPackInto(words.data(), bit_width, 0, values.data(), values.size());
   return words;
 }
 
 void BitPackInto(uint64_t* words, int bit_width, size_t start_index,
                  const uint32_t* values, size_t count) {
-  for (size_t i = 0; i < count; ++i) {
-    size_t bit = (start_index + i) * bit_width;
-    size_t word = bit / 64;
-    size_t off = bit % 64;
-    words[word] |= static_cast<uint64_t>(values[i]) << off;
-    if (off + bit_width > 64) {
-      words[word + 1] |= static_cast<uint64_t>(values[i]) >> (64 - off);
-    }
-  }
+  if (count == 0) return;
+  Kernels().bit_pack(words, bit_width, start_index, values, count);
 }
 
 uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i) {
@@ -51,8 +38,14 @@ uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i) {
 std::vector<uint32_t> BitUnpack(const std::vector<uint64_t>& words,
                                 int bit_width, size_t count) {
   std::vector<uint32_t> out(count);
-  for (size_t i = 0; i < count; ++i) out[i] = BitGet(words, bit_width, i);
+  BitUnpackInto(words.data(), words.size(), bit_width, 0, count, out.data());
   return out;
+}
+
+void BitUnpackInto(const uint64_t* words, size_t num_words, int bit_width,
+                   size_t start_index, size_t count, uint32_t* out) {
+  if (count == 0) return;
+  Kernels().bit_unpack(words, num_words, bit_width, start_index, count, out);
 }
 
 uint64_t ZigZagEncode(int64_t v) {
@@ -95,9 +88,15 @@ std::vector<uint8_t> DeltaEncode(const std::vector<int64_t>& values) {
   return out;
 }
 
-Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data) {
+Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data,
+                                         uint64_t max_values) {
   size_t pos = 0;
   HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  if (count > max_values) return Status::IoError("delta count beyond limit");
+  // Every element is at least one varint byte, so a count beyond the
+  // remaining bytes is corrupt; rejecting here keeps a hostile count
+  // from driving a huge reserve().
+  if (count > data.size() - pos) return Status::IoError("corrupt delta count");
   std::vector<int64_t> out;
   out.reserve(count);
   int64_t prev = 0;
@@ -123,16 +122,22 @@ std::vector<uint8_t> RleEncode(const std::vector<int64_t>& values) {
   return out;
 }
 
-Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data) {
+Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data,
+                                       uint64_t max_values) {
   size_t pos = 0;
   HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  // Runs legitimately expand without bound (a few bytes can claim 2^60
+  // identical values), so the only defense against a hostile count is
+  // the explicit cap — refuse before allocating, not via OOM.
+  if (count > max_values) return Status::IoError("RLE count beyond limit");
   std::vector<int64_t> out;
-  out.reserve(count);
+  out.reserve(std::min<uint64_t>(count, 1u << 16));
   while (out.size() < count) {
     HANA_ASSIGN_OR_RETURN(uint64_t enc, VarintRead(data, &pos));
     HANA_ASSIGN_OR_RETURN(uint64_t run, VarintRead(data, &pos));
     int64_t v = ZigZagDecode(enc);
-    if (out.size() + run > count) return Status::IoError("corrupt RLE run");
+    // Subtract-form check: out.size() + run must not overflow past it.
+    if (run > count - out.size()) return Status::IoError("corrupt RLE run");
     out.insert(out.end(), run, v);
   }
   return out;
@@ -170,18 +175,21 @@ std::vector<uint8_t> ForEncode(const std::vector<int64_t>& values) {
   return out;
 }
 
-Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data) {
+Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data,
+                                       uint64_t max_values) {
   size_t pos = 0;
   HANA_ASSIGN_OR_RETURN(uint64_t count, VarintRead(data, &pos));
+  if (count > max_values) return Status::IoError("FOR count beyond limit");
   std::vector<int64_t> out;
   if (count == 0) return out;
   HANA_ASSIGN_OR_RETURN(uint64_t min_enc, VarintRead(data, &pos));
   HANA_ASSIGN_OR_RETURN(uint64_t width_u, VarintRead(data, &pos));
   int64_t min = ZigZagDecode(min_enc);
   int width = static_cast<int>(width_u);
-  out.reserve(count);
+  if (width_u < 1 || width_u > 64) return Status::IoError("corrupt FOR width");
   if (width == 64) {
-    if (data.size() - pos < count * 8) return Status::IoError("corrupt FOR");
+    if ((data.size() - pos) / 8 < count) return Status::IoError("corrupt FOR");
+    out.reserve(count);
     for (uint64_t i = 0; i < count; ++i) {
       uint64_t u = 0;
       for (int b = 0; b < 8; ++b) {
@@ -191,8 +199,14 @@ Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data) {
     }
     return out;
   }
+  // Divide-form bound check: a huge corrupt `count` must not overflow
+  // the byte-count multiplication into a passing comparison.
+  if (count > (data.size() - pos) * 8 / static_cast<uint64_t>(width)) {
+    return Status::IoError("corrupt FOR");
+  }
   size_t num_words = (count * width + 63) / 64;
   if (data.size() - pos < num_words * 8) return Status::IoError("corrupt FOR");
+  out.reserve(count);
   std::vector<uint64_t> words(num_words);
   for (size_t w = 0; w < num_words; ++w) {
     uint64_t u = 0;
@@ -223,16 +237,17 @@ std::vector<uint8_t> EncodeIntsBest(const std::vector<int64_t>& values) {
   return out;
 }
 
-Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data) {
+Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data,
+                                        uint64_t max_values) {
   if (data.empty()) return Status::IoError("empty int block");
   std::vector<uint8_t> body(data.begin() + 1, data.end());
   switch (static_cast<IntCodec>(data[0])) {
     case IntCodec::kRle:
-      return RleDecode(body);
+      return RleDecode(body, max_values);
     case IntCodec::kFor:
-      return ForDecode(body);
+      return ForDecode(body, max_values);
     case IntCodec::kDelta:
-      return DeltaDecode(body);
+      return DeltaDecode(body, max_values);
   }
   return Status::IoError("unknown int codec tag");
 }

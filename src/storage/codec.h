@@ -30,6 +30,14 @@ void BitPackInto(uint64_t* words, int bit_width, size_t start_index,
 std::vector<uint32_t> BitUnpack(const std::vector<uint64_t>& words,
                                 int bit_width, size_t count);
 
+/// Unpacks `count` codes starting at logical index `start_index` into a
+/// caller-provided buffer, through the runtime CPU-dispatched kernel
+/// (common/cpu_dispatch.h). Requires bit_width <= 32. `num_words` is
+/// the length of the word array (the SIMD path needs the bound to keep
+/// its two-word gathers in range).
+void BitUnpackInto(const uint64_t* words, size_t num_words, int bit_width,
+                   size_t start_index, size_t count, uint32_t* out);
+
 /// Reads a single packed code without materializing the whole array.
 uint32_t BitGet(const std::vector<uint64_t>& words, int bit_width, size_t i);
 
@@ -42,26 +50,38 @@ void VarintAppend(std::vector<uint8_t>* out, uint64_t v);
 /// Decodes one varint at *pos (advancing it).
 [[nodiscard]] Result<uint64_t> VarintRead(const std::vector<uint8_t>& data, size_t* pos);
 
+/// Hard ceiling on the element count any int decoder will materialize.
+/// RLE expansion is unbounded by construction (a 20-byte block can
+/// legally claim 2^60 identical values), so a corrupt or hostile count
+/// header must be refused *before* the allocation, not discovered via
+/// OOM. 2^28 int64s = 2 GiB — far above any column part this system
+/// writes. Callers decoding untrusted bytes can pass a tighter cap.
+inline constexpr uint64_t kMaxDecodeValues = 1ull << 28;
+
 /// Delta + zigzag + varint for sorted-ish integer sequences
 /// (timestamps, surrogate keys, dictionary codes).
 std::vector<uint8_t> DeltaEncode(const std::vector<int64_t>& values);
-[[nodiscard]] Result<std::vector<int64_t>> DeltaDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> DeltaDecode(
+    const std::vector<uint8_t>& data, uint64_t max_values = kMaxDecodeValues);
 
 /// Run-length encoding: (value, run) varint pairs. Shines on the aging
 /// flag column and low-cardinality dimension attributes.
 std::vector<uint8_t> RleEncode(const std::vector<int64_t>& values);
-[[nodiscard]] Result<std::vector<int64_t>> RleDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> RleDecode(
+    const std::vector<uint8_t>& data, uint64_t max_values = kMaxDecodeValues);
 
 /// Frame-of-reference + bit-packing: min + packed (v - min). Returns an
 /// opaque byte buffer with a small header.
 std::vector<uint8_t> ForEncode(const std::vector<int64_t>& values);
-[[nodiscard]] Result<std::vector<int64_t>> ForDecode(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> ForDecode(
+    const std::vector<uint8_t>& data, uint64_t max_values = kMaxDecodeValues);
 
 /// Picks the smallest of RLE / FOR / delta for the sequence and prefixes
 /// a codec tag byte. Used by extended-store pages.
 enum class IntCodec : uint8_t { kRle = 1, kFor = 2, kDelta = 3 };
 std::vector<uint8_t> EncodeIntsBest(const std::vector<int64_t>& values);
-[[nodiscard]] Result<std::vector<int64_t>> DecodeInts(const std::vector<uint8_t>& data);
+[[nodiscard]] Result<std::vector<int64_t>> DecodeInts(
+    const std::vector<uint8_t>& data, uint64_t max_values = kMaxDecodeValues);
 
 /// Length-prefixed string block.
 std::vector<uint8_t> EncodeStrings(const std::vector<std::string>& values);

@@ -30,6 +30,37 @@ void DeltaPart::Append(const Value& v) {
   codes.Append(code);
 }
 
+uint32_t ColumnMain::CodeAt(size_t row) const {
+  if (encoding == MainEncoding::kRle) {
+    // Run k covers rows [run_ends[k-1], run_ends[k]): the first
+    // exclusive end beyond `row` names the run.
+    size_t k = std::upper_bound(run_ends.begin(), run_ends.end(),
+                                static_cast<uint32_t>(row)) -
+               run_ends.begin();
+    return run_values[k];
+  }
+  return BitGet(words, bits, row);
+}
+
+void ColumnMain::DecodeCodes(size_t start, size_t count, uint32_t* out) const {
+  if (count == 0) return;
+  if (encoding == MainEncoding::kRle) {
+    size_t k = std::upper_bound(run_ends.begin(), run_ends.end(),
+                                static_cast<uint32_t>(start)) -
+               run_ends.begin();
+    size_t r = start;
+    size_t end = start + count;
+    while (r < end) {
+      size_t run_end = std::min<size_t>(run_ends[k], end);
+      uint32_t v = run_values[k];
+      for (; r < run_end; ++r) out[r - start] = v;
+      ++k;
+    }
+    return;
+  }
+  BitUnpackInto(words.data(), words.size(), bits, start, count, out);
+}
+
 bool ColumnSnapshot::IsNull(size_t row) const {
   if (row < main->rows) return main->nulls[row] != 0;
   row -= main->rows;
@@ -43,7 +74,7 @@ bool ColumnSnapshot::IsNull(size_t row) const {
 Value ColumnSnapshot::Get(size_t row) const {
   if (row < main->rows) {
     if (main->nulls[row]) return Value::Null();
-    return main->dict[BitGet(main->words, main->bits, row)];
+    return main->ValueOfCode(main->CodeAt(row));
   }
   row -= main->rows;
   if (frozen != nullptr) {
@@ -125,21 +156,135 @@ Value DeltaValueAt(const DeltaPart& part, size_t row) {
   return part.dict[part.codes[row]];
 }
 
+/// Main-segment decode for rows [begin, end), specialized per encoding:
+/// kRle appends whole runs (registering them in the vector's run index
+/// so filters can evaluate once per run), kFor skips the dictionary
+/// gather entirely, and the classic bit-packed layout bulk-unpacks its
+/// codes through the CPU-dispatched kernel before the gather.
+void DecodeMainRows(DataType type, const ColumnMain& main, size_t begin,
+                    size_t end, ColumnVector* out) {
+  if (main.encoding == MainEncoding::kRle) {
+    // Null-free by construction (the merge only picks RLE for columns
+    // without nulls); walk the runs overlapping [begin, end).
+    size_t k = std::upper_bound(main.run_ends.begin(), main.run_ends.end(),
+                                static_cast<uint32_t>(begin)) -
+               main.run_ends.begin();
+    size_t r = begin;
+    while (r < end) {
+      size_t run_end = std::min<size_t>(main.run_ends[k], end);
+      size_t n = run_end - r;
+      const Value& v = main.dict[main.run_values[k]];
+      switch (type) {
+        case DataType::kDouble:
+          out->AppendDoubleRun(v.AsDouble(), n);
+          break;
+        case DataType::kString:
+          if (v.type() == DataType::kString) {
+            out->AppendStringRun(v.string_value(), n);
+          } else {
+            for (size_t i = 0; i < n; ++i) out->Append(v);
+          }
+          break;
+        case DataType::kBool:
+          out->AppendBoolRun(v.AsInt() != 0, n);
+          break;
+        default:
+          out->AppendIntRun(v.AsInt(), n);
+          break;
+      }
+      r = run_end;
+      ++k;
+    }
+    return;
+  }
+  std::vector<uint32_t> codes(end - begin);
+  main.DecodeCodes(begin, end - begin, codes.data());
+  if (main.encoding == MainEncoding::kFor) {
+    // Int64-only by construction: the value IS for_base + code.
+    for (size_t r = begin; r < end; ++r) {
+      if (main.nulls[r]) {
+        out->AppendNull();
+      } else {
+        out->AppendInt(main.for_base + static_cast<int64_t>(codes[r - begin]));
+      }
+    }
+    return;
+  }
+  DecodeRows(
+      type, begin, end, [&](size_t r) { return main.nulls[r] != 0; },
+      [&](size_t r) -> const Value& { return main.dict[codes[r - begin]]; },
+      out);
+}
+
+/// Rewrites a freshly built bit-packed main into RLE or
+/// frame-of-reference when the merged data qualifies. Serial and a pure
+/// function of the merged content, so serial and parallel merges make
+/// the same choice (a prerequisite for serial/parallel bit-identity).
+/// Order: RLE first (run-at-a-time scans are the bigger win), then FOR.
+void ChooseMainEncoding(ColumnMain* main) {
+  if (main->rows == 0 || main->dict.empty()) return;
+  bool has_nulls = false;
+  for (uint8_t n : main->nulls) {
+    if (n) {
+      has_nulls = true;
+      break;
+    }
+  }
+  if (!has_nulls) {
+    std::vector<uint32_t> codes = BitUnpack(main->words, main->bits,
+                                            main->rows);
+    size_t runs = 1;
+    for (size_t r = 1; r < codes.size(); ++r) {
+      if (codes[r] != codes[r - 1]) ++runs;
+    }
+    // RLE pays off when the average run is at least kMinAvgRun rows —
+    // below that the per-run bookkeeping beats the packed words.
+    constexpr size_t kMinAvgRun = 8;
+    if (runs <= main->rows / kMinAvgRun) {
+      main->run_values.reserve(runs);
+      main->run_ends.reserve(runs);
+      for (size_t r = 0; r < codes.size(); ++r) {
+        if (r == 0 || codes[r] != codes[r - 1]) {
+          main->run_values.push_back(codes[r]);
+          main->run_ends.push_back(static_cast<uint32_t>(r));  // Patched below.
+        }
+      }
+      // Convert run starts to exclusive ends.
+      for (size_t k = 0; k + 1 < main->run_ends.size(); ++k) {
+        main->run_ends[k] = main->run_ends[k + 1];
+      }
+      main->run_ends.back() = static_cast<uint32_t>(main->rows);
+      main->encoding = MainEncoding::kRle;
+      std::vector<uint64_t>().swap(main->words);
+      return;
+    }
+  }
+  // FOR: the dictionary is sorted, so it is a dense int64 range iff
+  // every entry is a plain int64 exactly base + index.
+  if (main->dict[0].type() != DataType::kInt64) return;
+  int64_t base = main->dict[0].AsInt();
+  for (size_t i = 0; i < main->dict.size(); ++i) {
+    if (main->dict[i].type() != DataType::kInt64 ||
+        main->dict[i].AsInt() !=
+            static_cast<int64_t>(static_cast<uint64_t>(base) + i)) {
+      return;
+    }
+  }
+  main->encoding = MainEncoding::kFor;
+  main->for_base = base;
+  std::vector<Value>().swap(main->dict);
+}
+
 }  // namespace
 
 void ColumnSnapshot::Decode(size_t start, size_t count,
                             ColumnVector* out) const {
   out->Reserve(out->size() + count);
   size_t end = start + count;
-  // Main segment: packed codes read in place.
+  // Main segment: decoded per its chosen encoding.
   if (start < main->rows) {
     size_t seg_end = std::min(end, main->rows);
-    DecodeRows(
-        type, start, seg_end, [&](size_t r) { return main->nulls[r] != 0; },
-        [&](size_t r) -> const Value& {
-          return main->dict[BitGet(main->words, main->bits, r)];
-        },
-        out);
+    DecodeMainRows(type, *main, start, seg_end, out);
   }
   // Delta segments: frozen rows are part-local, live rows additionally
   // shifted by the folded prefix (live_skip) and bounded by the
@@ -216,6 +361,7 @@ void StoredColumn::MergeDelta() {
 
 size_t StoredColumn::MainMemoryBytes() const {
   return DictBytes(main_->dict) + main_->words.size() * 8 +
+         (main_->run_values.size() + main_->run_ends.size()) * 4 +
          main_->rows / 8 + 1;  // Null flags, modeled as a bitmap.
 }
 
@@ -237,6 +383,19 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
   const size_t delta_rows = frozen.rows();
   const size_t total = main_rows + delta_rows;
 
+  // A kFor main elides its dictionary; synthesize it for the merge-walk
+  // (it is the contiguous range [for_base, for_base + dict_size) in
+  // sorted order by construction).
+  std::vector<Value> synth_dict;
+  if (main.encoding == MainEncoding::kFor) {
+    synth_dict.reserve(main.dict_size);
+    for (size_t k = 0; k < main.dict_size; ++k) {
+      synth_dict.push_back(Value::Int(main.for_base + static_cast<int64_t>(k)));
+    }
+  }
+  const std::vector<Value>& main_dict =
+      main.encoding == MainEncoding::kFor ? synth_dict : main.dict;
+
   // Sort the frozen delta dictionary by value. Entries are distinct by
   // construction, so the order (and therefore the merged dictionary) is
   // unambiguous — a prerequisite for serial/parallel bit-identity.
@@ -251,23 +410,23 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
   // total, replacing the seed's per-row lower_bound over the full
   // dictionary.
   auto merged = std::make_shared<ColumnMain>();
-  merged->dict.reserve(main.dict.size() + frozen.dict.size());
-  std::vector<uint32_t> remap_main(main.dict.size());
+  merged->dict.reserve(main_dict.size() + frozen.dict.size());
+  std::vector<uint32_t> remap_main(main_dict.size());
   std::vector<uint32_t> remap_delta(frozen.dict.size());
   size_t i = 0;
   size_t j = 0;
-  while (i < main.dict.size() || j < order.size()) {
+  while (i < main_dict.size() || j < order.size()) {
     int cmp;
-    if (i == main.dict.size()) {
+    if (i == main_dict.size()) {
       cmp = 1;
     } else if (j == order.size()) {
       cmp = -1;
     } else {
-      cmp = main.dict[i].Compare(frozen.dict[order[j]]);
+      cmp = main_dict[i].Compare(frozen.dict[order[j]]);
     }
     uint32_t code = static_cast<uint32_t>(merged->dict.size());
     if (cmp <= 0) {
-      merged->dict.push_back(main.dict[i]);
+      merged->dict.push_back(main_dict[i]);
       remap_main[i++] = code;
       if (cmp == 0) remap_delta[order[j++]] = code;
     } else {
@@ -299,13 +458,22 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
                         main_rows, total, morsel](size_t m) {
     size_t begin = m * morsel;
     size_t end = std::min(total, begin + morsel);
+    // Old-main codes for this morsel, decoded in bulk (encoding-aware:
+    // an RLE input fills run-at-a-time, packed layouts go through the
+    // dispatched unpack kernel).
+    std::vector<uint32_t> old_codes;
+    size_t main_end = std::min(end, main_rows);
+    if (begin < main_end) {
+      old_codes.resize(main_end - begin);
+      main.DecodeCodes(begin, main_end - begin, old_codes.data());
+    }
     std::vector<uint32_t> codes;
     codes.reserve(end - begin);
     for (size_t r = begin; r < end; ++r) {
       if (out->nulls[r]) {
         codes.push_back(0);  // Null rows keep code 0 (never dereferenced).
       } else if (r < main_rows) {
-        codes.push_back(remap_main[BitGet(main.words, main.bits, r)]);
+        codes.push_back(remap_main[old_codes[r - begin]]);
       } else {
         codes.push_back(remap_delta[frozen.codes[r - main_rows]]);
       }
@@ -319,6 +487,8 @@ std::shared_ptr<const ColumnMain> BuildMergedMain(const ColumnMain& main,
   } else {
     for (size_t m = 0; m < n_morsels; ++m) encode_morsel(m);
   }
+  merged->dict_size = merged->dict.size();
+  if (options.choose_encodings) ChooseMainEncoding(merged.get());
   return merged;
 }
 
@@ -758,7 +928,7 @@ Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options,
         w.live_fold = live_fold;
       }
       rows_to_fold += fold_end - main_rows;
-      dict_before += w.main->dict.size() +
+      dict_before += w.main->dict_size +
                      (w.frozen ? w.frozen->dict.size() : 0) +
                      (w.live ? w.live->dict.size() : 0);
       work.push_back(std::move(w));
@@ -821,7 +991,7 @@ Status ColumnTable::MergeDeltaHoldingMergeMu(const MergeOptions& options,
   {
     MutexLock lock(sync_->state_mu);
     for (size_t w = 0; w < work.size(); ++w) {
-      dict_after += merged[w]->dict.size();
+      dict_after += merged[w]->dict_size;
       if (work[w].full) {
         columns_[work[w].col].SwitchMain(std::move(merged[w]));
       } else {
@@ -882,6 +1052,42 @@ size_t ColumnTable::MainMemoryBytes() const {
   MutexLock lock(sync_->state_mu);
   for (const auto& col : columns_) bytes += col.MainMemoryBytes();
   return bytes;
+}
+
+ColumnTable::ColumnDomain ColumnTable::GetColumnDomain(size_t col) const {
+  ColumnSnapshot snap;
+  {
+    MutexLock lock(sync_->state_mu);
+    snap = columns_[col].snapshot();
+  }
+  ColumnDomain d;
+  const ColumnMain& main = *snap.main;
+  if (main.dict_size > 0) {
+    if (main.encoding == MainEncoding::kFor) {
+      d.min = Value::Int(main.for_base);
+      d.max = Value::Int(main.for_base +
+                         static_cast<int64_t>(main.dict_size - 1));
+    } else {
+      // Main dictionaries are sorted: the ends are the extremes.
+      d.min = main.dict.front();
+      d.max = main.dict.back();
+    }
+    d.distinct_upper = main.dict_size;
+  }
+  // Delta dictionaries are unsorted but hold each distinct value once;
+  // walking them costs O(distinct), not O(rows).
+  auto fold_part = [&d](const DeltaPart* part) {
+    if (part == nullptr) return;
+    for (size_t i = 0; i < part->dict.size(); ++i) {
+      const Value& v = part->dict[i];
+      if (d.min.is_null() || v.Compare(d.min) < 0) d.min = v;
+      if (d.max.is_null() || v.Compare(d.max) > 0) d.max = v;
+    }
+    d.distinct_upper += part->dict.size();
+  };
+  fold_part(snap.frozen.get());
+  fold_part(snap.live.get());
+  return d;
 }
 
 size_t ColumnTable::DeltaMemoryBytes() const {

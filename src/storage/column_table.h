@@ -24,17 +24,59 @@ struct ValueHash {
   size_t operator()(const Value& v) const { return v.Hash(); }
 };
 
+/// Physical layout of a main's code stream, chosen per column at merge
+/// time (BuildMergedMain). Readers are snapshot-pinned, so the atomic
+/// part switch publishes a layout change with no reader coordination.
+enum class MainEncoding : uint8_t {
+  /// Sorted dictionary + bit-packed codes (the classic layout).
+  kBitPacked = 0,
+  /// Run-length runs over the codes: (run_values[k], run_ends[k]) with
+  /// ascending exclusive end rows; `words` is empty. Chosen only for
+  /// null-free columns whose average run is long, so scans and filters
+  /// work run-at-a-time.
+  kRle = 1,
+  /// Frame-of-reference for dense int64 domains: the sorted dictionary
+  /// is the contiguous range [for_base, for_base + dict_size), so the
+  /// code IS the offset (value = for_base + code) and the materialized
+  /// dictionary is elided. `words` holds the same bit-packed codes as
+  /// kBitPacked; only the per-row dictionary gather disappears.
+  kFor = 2,
+};
+
 /// The read-optimized *main* store of one column: sorted dictionary +
-/// bit-packed codes + null flags. Immutable once published via
+/// encoded codes + null flags. Immutable once published via
 /// shared_ptr — readers decode it without locks, and a delta merge
 /// builds a fresh ColumnMain (the shadow copy) instead of mutating the
 /// one scans may still be reading.
 struct ColumnMain {
-  std::vector<Value> dict;      // Sorted, unique, non-null values.
-  std::vector<uint64_t> words;  // Codes bit-packed at `bits` each.
+  std::vector<Value> dict;      // Sorted, unique, non-null values
+                                // (empty when encoding == kFor).
+  std::vector<uint64_t> words;  // Codes bit-packed at `bits` each
+                                // (empty when encoding == kRle).
   int bits = 1;
   size_t rows = 0;
   std::vector<uint8_t> nulls;  // One flag per row.
+
+  MainEncoding encoding = MainEncoding::kBitPacked;
+  size_t dict_size = 0;   // Distinct non-null values, any encoding.
+  int64_t for_base = 0;   // kFor: value = for_base + code.
+  std::vector<uint32_t> run_values;  // kRle: code per run.
+  std::vector<uint32_t> run_ends;    // kRle: ascending exclusive end row.
+
+  /// Code of one row under any encoding (kRle binary-searches the runs).
+  uint32_t CodeAt(size_t row) const;
+  /// Bulk code decode for rows [start, start + count): the bit-packed
+  /// layouts go through the CPU-dispatched unpack kernel, RLE fills
+  /// run-at-a-time.
+  void DecodeCodes(size_t start, size_t count, uint32_t* out) const;
+  /// Boxes the value of a (non-null) code: dict[code], or
+  /// Int(for_base + code) for the elided kFor dictionary.
+  Value ValueOfCode(uint32_t code) const {
+    if (encoding == MainEncoding::kFor) {
+      return Value::Int(for_base + static_cast<int64_t>(code));
+    }
+    return dict[code];
+  }
 };
 
 /// One generation of the write-optimized *delta*: insertion-ordered
@@ -102,6 +144,13 @@ struct MergeOptions {
   /// Rows per re-encode morsel; rounded up to a multiple of 64 so each
   /// morsel packs a disjoint range of whole 64-bit words.
   size_t morsel_rows = 1u << 16;
+  /// Pick a per-column MainEncoding (RLE / frame-of-reference) when the
+  /// merged data qualifies; false pins the classic bit-packed layout
+  /// (used by benchmarks that compare raw packed words against a
+  /// reference build). The choice is a deterministic function of the
+  /// merged data, so serial and parallel merges still agree bit for
+  /// bit.
+  bool choose_encodings = true;
 };
 
 /// Per-table observability counters for delta merges, in the spirit of
@@ -209,7 +258,7 @@ class StoredColumn {
   size_t main_rows() const { return main_->rows; }
   size_t live_skip() const { return live_skip_; }
   size_t dictionary_size() const {
-    return main_->dict.size() + (frozen_ ? frozen_->dict.size() : 0) +
+    return main_->dict_size + (frozen_ ? frozen_->dict.size() : 0) +
            live_->dict.size();
   }
 
@@ -473,6 +522,20 @@ class ColumnTable {
   size_t MemoryBytes() const;
   size_t MainMemoryBytes() const;
   size_t DeltaMemoryBytes() const;
+
+  /// Cheap per-column domain summary for optimizer heuristics (e.g. the
+  /// perfect-hash join nomination): exact min/max over every stored
+  /// non-null value and an upper bound on the distinct count, all read
+  /// from dictionary metadata — no row scan. Includes values of rows
+  /// whose deletes have committed, so the domain may only look *wider*
+  /// than live data (conservative for density checks). min/max are null
+  /// Values when the column stores no non-null value.
+  struct ColumnDomain {
+    Value min;
+    Value max;
+    size_t distinct_upper = 0;
+  };
+  ColumnDomain GetColumnDomain(size_t col) const;
 
  private:
   /// Holds the table's synchronization state out-of-line so the table

@@ -107,6 +107,42 @@ void ColumnVector::AppendFrom(const ColumnVector& src, size_t i) {
   }
 }
 
+void ColumnVector::AppendIntRun(int64_t v, size_t n) {
+  if (n == 0) return;
+  runs_.push_back({static_cast<uint32_t>(size()),
+                   static_cast<uint32_t>(size() + n)});
+  runs_covered_ += n;
+  nulls_.insert(nulls_.end(), n, 0);
+  ints_.insert(ints_.end(), n, v);
+}
+
+void ColumnVector::AppendDoubleRun(double v, size_t n) {
+  if (n == 0) return;
+  runs_.push_back({static_cast<uint32_t>(size()),
+                   static_cast<uint32_t>(size() + n)});
+  runs_covered_ += n;
+  nulls_.insert(nulls_.end(), n, 0);
+  doubles_.insert(doubles_.end(), n, v);
+}
+
+void ColumnVector::AppendBoolRun(bool v, size_t n) {
+  if (n == 0) return;
+  runs_.push_back({static_cast<uint32_t>(size()),
+                   static_cast<uint32_t>(size() + n)});
+  runs_covered_ += n;
+  nulls_.insert(nulls_.end(), n, 0);
+  ints_.insert(ints_.end(), n, v ? 1 : 0);
+}
+
+void ColumnVector::AppendStringRun(const std::string& v, size_t n) {
+  if (n == 0) return;
+  runs_.push_back({static_cast<uint32_t>(size()),
+                   static_cast<uint32_t>(size() + n)});
+  runs_covered_ += n;
+  nulls_.insert(nulls_.end(), n, 0);
+  strings_.insert(strings_.end(), n, v);
+}
+
 Value ColumnVector::GetValue(size_t i) const {
   if (nulls_[i]) return Value::Null();
   switch (type_) {

@@ -50,6 +50,29 @@ class ColumnVector {
   /// must have the same physical type as this vector.
   void AppendFrom(const ColumnVector& src, size_t i);
 
+  /// A maximal range of equal, non-null values recorded by a run-aware
+  /// decoder (RLE-encoded mains): rows [begin, end), half-open.
+  struct ValueRun {
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  /// Run appends: `n` copies of one non-null value, recorded in the run
+  /// index. Scalar appends do not record runs, so run_indexed() is true
+  /// only when every row of the vector arrived through run appends —
+  /// which is exactly when a filter may evaluate its predicate once per
+  /// run instead of once per row.
+  void AppendIntRun(int64_t v, size_t n);
+  void AppendDoubleRun(double v, size_t n);
+  void AppendBoolRun(bool v, size_t n);
+  void AppendStringRun(const std::string& v, size_t n);
+
+  /// True when the recorded runs cover every row of the vector.
+  bool run_indexed() const {
+    return !runs_.empty() && runs_covered_ == size();
+  }
+  const std::vector<ValueRun>& runs() const { return runs_; }
+
   /// Boxes row i into a Value (null-aware).
   Value GetValue(size_t i) const;
 
@@ -64,6 +87,12 @@ class ColumnVector {
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
+  // Run index: populated only by the Append*Run methods. runs_covered_
+  // counts rows appended through runs; run_indexed() compares it against
+  // size() so any interleaved scalar append invalidates the index
+  // without every scalar path having to clear it.
+  std::vector<ValueRun> runs_;
+  size_t runs_covered_ = 0;
 };
 
 using ColumnVectorPtr = std::shared_ptr<ColumnVector>;

@@ -1,0 +1,12 @@
+// Fixture: raw SIMD intrinsics outside src/common/cpu_dispatch.{h,cc}
+// must trip lint rule 8 — kernels belong in the dispatch table, and
+// call sites go through Kernels().
+namespace hana::lintfix {
+
+void SumLane(const long long* in, long long* out) {
+  __m256i acc = _mm256_setzero_si256();
+  acc = _mm256_add_epi64(acc, _mm256_loadu_si256(in));
+  _mm256_storeu_si256(out, acc);
+}
+
+}  // namespace hana::lintfix

@@ -8,7 +8,8 @@ namespace hana::lintfix {
 /* Regression: rule patterns inside block comments must be ignored —
    find_violations once stripped only // comments, so this std::mutex
    mention (and this std::lock_guard one, and this throw keyword, and
-   this IgnoreStatus( call, and this std::atomic<int> declaration) used
+   this IgnoreStatus( call, this std::atomic<int> declaration, and this
+   _mm256_loadu_si256( intrinsic with its __m256i register type) used
    to require an exclusion instead of a fix. */
 
 // Multi-line block comments on one line are stripped too:
@@ -33,6 +34,11 @@ inline void JustifiedDrops() {
 
 // "throwaway" must not match the throw keyword rule.
 inline int throwaway_counter = 0;
+
+// Identifiers merely containing "mm_" must not match the intrinsics
+// rule, and neither must dispatch-table call sites.
+inline int comm_mm_link(int x) { return x; }
+inline void UseDispatched() { Kernels().bit_unpack; }
 
 }  // namespace hana::lintfix
 

@@ -48,6 +48,8 @@ check_fires "std::atomic without an ordering justification" \
   "unjustified_atomic.cc"
 check_fires "IgnoreStatus without justification" \
   "unjustified_ignore_status.cc"
+check_fires "raw SIMD intrinsics outside src/common/cpu_dispatch" \
+  "raw_intrinsics.cc"
 
 # The good fixture's block comment mentions every rule's trigger; if any
 # of them leaked into the good run, stripping regressed.
