@@ -29,6 +29,11 @@
 #      live behind the runtime dispatch table so every call site keeps
 #      the scalar-identical guarantee and the HANA_CPU override works;
 #      a stray intrinsic elsewhere silently forks the ISA story.
+#   9. No default-constructed hana::Mutex members: every Mutex must be
+#      brace-initialized with a name and a lock rank (`Mutex mu_{"who",
+#      lock_rank::kX};`) so the runtime lock-order validator can report
+#      and rank-check it. An unnamed mutex shows up in deadlock reports
+#      as an anonymous address and is exempt from rank checking.
 #
 # When clang-tidy is on PATH and a compile database exists, it also
 # runs the .clang-tidy profile over the checked sources. Missing tools
@@ -123,6 +128,16 @@ while IFS= read -r f; do
 done < <(find "$SRC_DIR" \( -name '*.h' -o -name '*.cc' \) | sort)
 check "hana::Mutex member without any GUARDED_BY field in the file \
 (annotate what the mutex protects)" "$mutex_guard_violations"
+
+# Rule 9: a Mutex member declared without a brace initializer (name +
+# rank). The pattern requires whitespace after "Mutex" and a direct
+# trailing ';', so references, parameters and initialized members don't
+# match.
+check "default-constructed hana::Mutex member \
+(brace-initialize with a name and lock rank: Mutex mu_{\"who\", lock_rank::kX})" \
+  "$(find_violations \
+     '(^|[[:space:](])(mutable[[:space:]]+)?Mutex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*;' \
+     '^src/common/sync\.(h|cc)$')"
 
 check "std::atomic without an ordering justification \
 (comment '// atomic: <ordering rationale>' on or above the declaration)" \

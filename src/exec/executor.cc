@@ -28,6 +28,21 @@ size_t ProbeStageCount(const Pipeline& p) {
   return n;
 }
 
+/// Radix partition count of a kGroups sink: the knob override wins,
+/// then the optimizer's stamp from group-cardinality stats, then the
+/// default. parallel_agg=off forces the single-partition legacy fold.
+/// Purely a function of the plan and the policy — never of the thread
+/// count — and the partition count itself never changes results (the
+/// rank-ordered emit is partition-agnostic), only scheduling.
+size_t AggPartitionCount(const Pipeline& p, const ParallelPolicy& policy) {
+  if (!policy.parallel_agg) return 1;
+  if (policy.agg_partitions > 0) return policy.agg_partitions;
+  if (p.sink_op->agg_partitions > 0) {
+    return static_cast<size_t>(p.sink_op->agg_partitions);
+  }
+  return DefaultAggPartitions(p.sink_op->group_by);
+}
+
 /// Runtime state of one pipeline. Morsel-indexed members are sized at
 /// Prepare() and each index is touched by exactly one worker; the
 /// completion counter publishes them to whichever thread merges.
@@ -43,9 +58,12 @@ struct PipelineRun {
   // release pairs with the merging thread's acquire load, publishing
   // every per-morsel slot write.
   std::atomic<size_t> workers_remaining{0};
-  std::vector<Status> statuses;                       // Per morsel.
-  std::vector<std::vector<Chunk>> collected;          // kCollect / kSort.
-  std::vector<std::unique_ptr<GroupTable>> partials;  // kGroups.
+  std::vector<Status> statuses;               // Per morsel.
+  std::vector<std::vector<Chunk>> collected;  // kCollect / kSort.
+  /// kGroups: per-morsel radix-partitioned partials (phase 1).
+  std::vector<std::unique_ptr<PartitionedGroupTable>> partials;
+  size_t agg_partitions = 0;  // kGroups: phase-2 partition count.
+  uint64_t agg_groups = 0;    // kGroups: groups emitted.
 
   /// Merged result chunks (consumed by dependents or the caller).
   std::vector<Chunk> output;
@@ -121,6 +139,8 @@ class PipelineExecutor {
         st.cpu_ms =
             static_cast<double>(run.cpu_us.load(std::memory_order_relaxed)) /
             1000.0;
+        st.agg_partitions = run.agg_partitions;
+        st.agg_groups = run.agg_groups;
         stats->push_back(std::move(st));
       }
     }
@@ -352,10 +372,15 @@ class PipelineExecutor {
       PipelineRun& run, size_t m,
       std::vector<RadixJoinTable::ProbeKeys>* scratch) {
     const Pipeline& p = *run.p;
-    GroupTable* partial = nullptr;
+    PartitionedGroupTable* partial = nullptr;
     if (p.sink == Pipeline::SinkKind::kGroups) {
-      run.partials[m] = std::make_unique<GroupTable>(&p.sink_op->group_by,
-                                                     &p.sink_op->aggregates);
+      // Phase 1: each morsel accumulates into its own partitioned
+      // partial (thread-local by construction — one worker per morsel).
+      // parallel_agg=off keeps the legacy boxed row-at-a-time layout.
+      run.partials[m] = std::make_unique<PartitionedGroupTable>(
+          &p.sink_op->group_by, &p.sink_op->aggregates,
+          AggPartitionCount(p, policy_), policy_.parallel_agg);
+      run.partials[m]->BeginMorsel(static_cast<uint32_t>(m));
       partial = run.partials[m].get();
     }
     switch (p.source) {
@@ -411,7 +436,8 @@ class PipelineExecutor {
   /// Runs the stage chain over one chunk, then feeds the sink — the
   /// moved ProcessChunk of the old fused MorselPipelineOp.
   [[nodiscard]] Status ProcessChunk(
-      PipelineRun& run, size_t m, const Chunk& in, GroupTable* partial,
+      PipelineRun& run, size_t m, const Chunk& in,
+      PartitionedGroupTable* partial,
       std::vector<RadixJoinTable::ProbeKeys>* scratch) {
     const Pipeline& p = *run.p;
     Chunk owned;
@@ -431,10 +457,7 @@ class PipelineExecutor {
     }
     switch (p.sink) {
       case Pipeline::SinkKind::kGroups:
-        for (size_t r = 0; r < stage->num_rows(); ++r) {
-          HANA_RETURN_IF_ERROR(partial->Accumulate(*stage, r));
-        }
-        return Status::OK();
+        return partial->AccumulateChunk(*stage);
       case Pipeline::SinkKind::kJoinBuild:
         run.rows.fetch_add(stage->num_rows(), std::memory_order_relaxed);
         return p.build_target->table->AddBuildChunk(m, *stage);
@@ -470,20 +493,50 @@ class PipelineExecutor {
         return Status::OK();
       }
       case Pipeline::SinkKind::kGroups: {
-        GroupTable merged(&p.sink_op->group_by, &p.sink_op->aggregates);
-        for (std::unique_ptr<GroupTable>& partial : run.partials) {
-          if (partial != nullptr) merged.MergeFrom(*partial);
+        // Phase 2: per-partition merges of the morsel partials, fanned
+        // out on the pool — partitions touch disjoint sub-tables, so no
+        // locks are needed, and each partition still folds its partials
+        // in ascending morsel order (determinism). parallel_agg=off
+        // degenerates to the legacy single-partition serial fold.
+        PartitionedGroupTable merged(&p.sink_op->group_by,
+                                     &p.sink_op->aggregates,
+                                     AggPartitionCount(p, policy_),
+                                     policy_.parallel_agg);
+        size_t parts = merged.num_partitions();
+        bool fan_out = policy_.pool != nullptr && parts > 1 &&
+                       policy_.executor != ExecutorMode::kSerial &&
+                       policy_.dop > 1;
+        if (fan_out) {
+          // ParallelFor from within a pool task is safe (caller
+          // participation — same pattern as RadixJoinTable::Finalize).
+          policy_.pool->ParallelFor(
+              parts,
+              [&](size_t part) { merged.MergePartition(part, run.partials); },
+              policy_.dop);
+        } else {
+          for (size_t part = 0; part < parts; ++part) {
+            merged.MergePartition(part, run.partials);
+          }
         }
+        AggExecStats& stats = GlobalAggExecStats();
+        (policy_.parallel_agg ? stats.partitioned_aggs
+                              : stats.serial_fold_aggs)
+            .fetch_add(1, std::memory_order_relaxed);
         run.partials.clear();
         merged.EnsureGlobalGroup();
-        size_t g = 0;
-        while (g < merged.num_groups()) {
-          Chunk out = Chunk::Empty(p.output_schema);
-          size_t end =
-              std::min(merged.num_groups(), g + storage::kDefaultChunkRows);
-          for (; g < end; ++g) out.AppendRow(merged.EmitRow(g));
-          run.output.push_back(std::move(out));
-        }
+        // Rank-ordered emit across partitions reproduces the serial
+        // first-seen group order bit-identically.
+        Chunk out = Chunk::Empty(p.output_schema);
+        merged.EmitInOrder([&](const GroupTable& t, size_t g) {
+          out.AppendRow(t.EmitRow(g));
+          if (out.num_rows() >= storage::kDefaultChunkRows) {
+            run.output.push_back(std::move(out));
+            out = Chunk::Empty(p.output_schema);
+          }
+        });
+        if (out.num_rows() > 0) run.output.push_back(std::move(out));
+        run.agg_partitions = parts;
+        run.agg_groups = merged.num_groups();
         run.rows.store(merged.num_groups(), std::memory_order_relaxed);
         return Status::OK();
       }

@@ -22,6 +22,9 @@ struct PipelineStats {
   double wall_ms = 0.0;  // Launch-to-finish wall time.
   double cpu_ms = 0.0;   // Summed task execution time (== wall time when
                          // the pipeline ran inline).
+  size_t agg_partitions = 0;  // kGroups: radix partitions merged in
+                              // phase 2 (0 for non-aggregate sinks).
+  uint64_t agg_groups = 0;    // kGroups: groups the sink emitted.
 };
 
 /// ExecutePlan plus per-pipeline stats. When the context grants no pool

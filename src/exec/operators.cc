@@ -417,30 +417,34 @@ class HashAggregateOp : public PhysicalOp {
       : PhysicalOp(std::move(schema)),
         child_(std::move(child)),
         group_by_(group_by),
-        aggregates_(aggregates),
-        table_(group_by, aggregates) {}
+        aggregates_(aggregates) {}
 
   Status Open() override {
-    table_ = GroupTable(group_by_, aggregates_);
+    // Single-partition table: the serial operator rides the same
+    // vectorized column-wise accumulate as the pipeline executor's
+    // morsel partials, so serial and parallel results are bit-identical
+    // by construction.
+    table_ = std::make_unique<PartitionedGroupTable>(group_by_, aggregates_,
+                                                     /*partitions=*/1);
+    table_->BeginMorsel(0);
     emitted_ = 0;
     HANA_RETURN_IF_ERROR(child_->Open());
     while (true) {
       HANA_ASSIGN_OR_RETURN(std::optional<Chunk> in, child_->Next());
       if (!in.has_value()) break;
-      for (size_t r = 0; r < in->num_rows(); ++r) {
-        HANA_RETURN_IF_ERROR(table_.Accumulate(*in, r));
-      }
+      HANA_RETURN_IF_ERROR(table_->AccumulateChunk(*in));
     }
-    table_.EnsureGlobalGroup();
+    table_->EnsureGlobalGroup();
     return Status::OK();
   }
 
   Result<std::optional<Chunk>> Next() override {
-    if (emitted_ >= table_.num_groups()) return std::optional<Chunk>();
+    const GroupTable& t = table_->partition(0);
+    if (emitted_ >= t.num_groups()) return std::optional<Chunk>();
     Chunk out = Chunk::Empty(schema_);
     size_t end =
-        std::min(table_.num_groups(), emitted_ + storage::kDefaultChunkRows);
-    for (size_t g = emitted_; g < end; ++g) out.AppendRow(table_.EmitRow(g));
+        std::min(t.num_groups(), emitted_ + storage::kDefaultChunkRows);
+    for (size_t g = emitted_; g < end; ++g) out.AppendRow(t.EmitRow(g));
     emitted_ = end;
     return std::optional<Chunk>(std::move(out));
   }
@@ -449,7 +453,7 @@ class HashAggregateOp : public PhysicalOp {
   PhysicalOpPtr child_;
   const std::vector<plan::BoundExprPtr>* group_by_;
   const std::vector<plan::BoundExprPtr>* aggregates_;
-  GroupTable table_;
+  std::unique_ptr<PartitionedGroupTable> table_;
   size_t emitted_ = 0;
 };
 

@@ -53,6 +53,15 @@ struct ParallelPolicy {
   /// Off forces the serial row-at-a-time hash join, regardless of dop;
   /// scans and aggregates stay eligible for pipelines either way.
   bool parallel_join = true;
+  /// Allow aggregate sinks to use the radix-partitioned two-phase merge
+  /// with vectorized column-wise key hashing. Off degenerates the sink
+  /// to one boxed partition folded serially (the legacy path) — results
+  /// are bit-identical either way, this is an ablation/debug knob.
+  bool parallel_agg = true;
+  /// Radix partition count for aggregate sinks. 0 lets the optimizer's
+  /// cardinality-based choice (or the kMaxPartitions default) decide;
+  /// nonzero forces the count (rounded to a power of two, clamped).
+  size_t agg_partitions = 0;
   /// Pipeline scheduling mode (ignored when pool is null).
   ExecutorMode executor = ExecutorMode::kPipeline;
 };

@@ -1,6 +1,7 @@
 #include "exec/pipeline.h"
 
 #include <algorithm>
+#include <queue>
 #include <utility>
 
 #include "common/cpu_dispatch.h"
@@ -121,6 +122,37 @@ bool CmpScalar(CmpOp op, int64_t a, int64_t b) {
 Result<Chunk> FilterChunk(const BoundExpr& predicate, const Chunk& in) {
   Chunk out = Chunk::Empty(in.schema);
   const size_t n = in.num_rows();
+  // Two-term conjunction fast path: `a CMP k AND b CMP m` over int64
+  // columns runs as two dispatched kernel passes sharing one selection
+  // mask. NULL semantics match the scalar Kleene AND exactly: a row is
+  // kept only when both conjuncts are TRUE, and the kernel writes 0 for
+  // null lanes — NULL AND TRUE, NULL AND FALSE and NULL AND NULL all
+  // drop the row in both paths.
+  if (predicate.kind == plan::BoundKind::kBinary &&
+      static_cast<sql::BinaryOp>(predicate.binary_op) == sql::BinaryOp::kAnd &&
+      predicate.child0 != nullptr && predicate.child1 != nullptr && n > 0) {
+    const IntCmpFilter f1 = AnalyzeIntCmp(*predicate.child0);
+    const IntCmpFilter f2 = AnalyzeIntCmp(*predicate.child1);
+    if (f1.ok && f2.ok && f1.column < in.columns.size() &&
+        f2.column < in.columns.size()) {
+      const storage::ColumnVector& c1 = *in.columns[f1.column];
+      const storage::ColumnVector& c2 = *in.columns[f2.column];
+      if (c1.type() == DataType::kInt64 && c2.type() == DataType::kInt64 &&
+          c1.size() == n && c2.size() == n) {
+        std::vector<uint8_t> mask1(n), mask2(n);
+        Kernels().cmp_i64(f1.op, c1.ints_data(), c1.nulls_data(), n, f1.rhs,
+                          mask1.data());
+        Kernels().cmp_i64(f2.op, c2.ints_data(), c2.nulls_data(), n, f2.rhs,
+                          mask2.data());
+        for (size_t r = 0; r < n; ++r) {
+          if ((mask1[r] & mask2[r]) != 0) out.AppendRowFrom(in, r);
+        }
+        GlobalAggExecStats().conjunction_kernel_chunks.fetch_add(
+            1, std::memory_order_relaxed);
+        return out;
+      }
+    }
+  }
   const IntCmpFilter f = AnalyzeIntCmp(predicate);
   if (f.ok && f.column < in.columns.size()) {
     const storage::ColumnVector& col = *in.columns[f.column];
@@ -181,12 +213,21 @@ Value FinalizeAgg(const BoundExpr* agg, const AggState& st) {
       if (!st.any || st.count == 0) return Value::Null();
       return Value::Double(st.sum_d / static_cast<double>(st.count));
     case plan::AggKind::kMin:
-      return st.min_v;
+      return st.box != nullptr ? st.box->min_v : Value::Null();
     case plan::AggKind::kMax:
-      return st.max_v;
+      return st.box != nullptr ? st.box->max_v : Value::Null();
   }
   return Value::Null();
 }
+
+namespace {
+
+AggStateBox& BoxOf(AggState& st) {
+  if (st.box == nullptr) st.box = std::make_unique<AggStateBox>();
+  return *st.box;
+}
+
+}  // namespace
 
 void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
   if (agg.agg_kind == plan::AggKind::kCountStar) {
@@ -194,12 +235,10 @@ void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
     return;
   }
   if (agg.distinct) {
-    if (src.distinct == nullptr) return;
-    if (dst.distinct == nullptr) {
-      dst.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
-    }
-    for (const Value& v : *src.distinct) {
-      if (!dst.distinct->insert(v).second) continue;
+    if (src.box == nullptr) return;  // No values seen by this partial.
+    AggStateBox& db = BoxOf(dst);
+    for (const Value& v : src.box->distinct) {
+      if (!db.distinct.insert(v).second) continue;
       dst.any = true;
       switch (agg.agg_kind) {
         case plan::AggKind::kCount:
@@ -212,10 +251,10 @@ void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
           dst.sum_i += v.AsInt();
           break;
         case plan::AggKind::kMin:
-          if (dst.min_v.is_null() || v.Compare(dst.min_v) < 0) dst.min_v = v;
+          if (db.min_v.is_null() || v.Compare(db.min_v) < 0) db.min_v = v;
           break;
         case plan::AggKind::kMax:
-          if (dst.max_v.is_null() || v.Compare(dst.max_v) > 0) dst.max_v = v;
+          if (db.max_v.is_null() || v.Compare(db.max_v) > 0) db.max_v = v;
           break;
         default:
           break;
@@ -227,24 +266,137 @@ void MergeAggState(const BoundExpr& agg, AggState& dst, AggState& src) {
   dst.sum_d += src.sum_d;
   dst.sum_i += src.sum_i;
   dst.any = dst.any || src.any;
-  if (!src.min_v.is_null() &&
-      (dst.min_v.is_null() || src.min_v.Compare(dst.min_v) < 0)) {
-    dst.min_v = src.min_v;
-  }
-  if (!src.max_v.is_null() &&
-      (dst.max_v.is_null() || src.max_v.Compare(dst.max_v) > 0)) {
-    dst.max_v = src.max_v;
+  if (src.box != nullptr) {
+    if (!src.box->min_v.is_null()) {
+      AggStateBox& db = BoxOf(dst);
+      if (db.min_v.is_null() || src.box->min_v.Compare(db.min_v) < 0) {
+        db.min_v = src.box->min_v;
+      }
+    }
+    if (!src.box->max_v.is_null()) {
+      AggStateBox& db = BoxOf(dst);
+      if (db.max_v.is_null() || src.box->max_v.Compare(db.max_v) > 0) {
+        db.max_v = src.box->max_v;
+      }
+    }
   }
 }
 
-Status GroupTable::Accumulate(const Chunk& chunk, size_t row) {
-  std::vector<Value> key;
-  key.reserve(group_by_->size());
-  for (const auto& g : *group_by_) {
-    HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, row));
-    key.push_back(std::move(v));
+AggExecStats& GlobalAggExecStats() {
+  static AggExecStats* stats = new AggExecStats();
+  return *stats;
+}
+
+void ResetAggExecStats() {
+  AggExecStats& s = GlobalAggExecStats();
+  s.partitioned_aggs.store(0);
+  s.serial_fold_aggs.store(0);
+  s.vectorized_chunks.store(0);
+  s.boxed_rows.store(0);
+  s.key_allocs.store(0);
+  s.partition_merges.store(0);
+  s.conjunction_kernel_chunks.store(0);
+}
+
+namespace {
+
+/// Value::Hash() of a NULL value: what a NULL group-key cell folds into
+/// the row hash (group keys keep NULL rows, unlike join keys).
+constexpr uint64_t kNullCellHash = 0x9e3779b97f4a7c15ULL;
+
+/// Group-key cell equality: NULL == NULL (one NULL group), and double
+/// comparison goes through the same `<` trichotomy as Value::Compare so
+/// even NaN cells group identically in the boxed and vectorized paths.
+bool AggCellsEqual(const storage::ColumnVector& a, size_t i,
+                   const storage::ColumnVector& b, size_t j) {
+  const bool an = a.IsNull(i), bn = b.IsNull(j);
+  if (an || bn) return an && bn;
+  if (a.type() == DataType::kDouble) {
+    double x = a.GetDouble(i), y = b.GetDouble(j);
+    return !(x < y) && !(y < x);
   }
-  std::vector<AggState>& states = states_[FindOrCreate(key)];
+  return CellsEqual(a, i, b, j);
+}
+
+}  // namespace
+
+bool AggKeyBlock::Vectorizable(
+    const std::vector<plan::BoundExprPtr>& group_by) {
+  for (const auto& g : group_by) {
+    switch (g->type) {
+      case DataType::kBool:
+      case DataType::kInt64:
+      case DataType::kDouble:
+      case DataType::kString:
+      case DataType::kDate:
+      case DataType::kTimestamp:
+        continue;
+      default:
+        return false;  // No typed cell storage (e.g. untyped NULL).
+    }
+  }
+  return true;
+}
+
+Status AggKeyBlock::Compute(const std::vector<plan::BoundExprPtr>& group_by,
+                            const Chunk& chunk) {
+  const size_t n = chunk.num_rows();
+  cols_.clear();
+  cols_.reserve(group_by.size());
+  for (const auto& g : group_by) {
+    HANA_ASSIGN_OR_RETURN(storage::ColumnVectorPtr col,
+                          EvalExprColumn(*g, chunk));
+    cols_.push_back(std::move(col));
+  }
+  hashes_.assign(n, 0x12345);  // HashKey's seed; final hash of a
+                               // zero-column key (global aggregates).
+  for (size_t k = 0; k < cols_.size(); ++k) {
+    const storage::ColumnVector& col = *cols_[k];
+    DataType t = col.type();
+    bool int_lane = t == DataType::kInt64 || t == DataType::kDate ||
+                    t == DataType::kTimestamp;
+    if (k == 0 && int_lane && n > 0) {
+      // First key column: every row still folds from the shared seed,
+      // so the whole chunk hashes through the CPU-dispatched batch
+      // kernel (bit-identical to the HashCell/HashCombine loop —
+      // cpu_dispatch verifies that at bind time). NULL cells are then
+      // patched to fold Value::Hash's null image instead.
+      Kernels().hash_i64(col.ints_data(), n, 0x12345, hashes_.data());
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) hashes_[r] = HashCombine(0x12345, kNullCellHash);
+      }
+      continue;
+    }
+    for (size_t r = 0; r < n; ++r) {
+      hashes_[r] = HashCombine(
+          hashes_[r], col.IsNull(r) ? kNullCellHash : HashCell(col, r));
+    }
+  }
+  return Status::OK();
+}
+
+GroupTable::GroupTable(const std::vector<plan::BoundExprPtr>* group_by,
+                       const std::vector<plan::BoundExprPtr>* aggregates,
+                       bool allow_vectorized)
+    : group_by_(group_by),
+      aggregates_(aggregates),
+      vectorized_(allow_vectorized && AggKeyBlock::Vectorizable(*group_by)) {
+  if (vectorized_) {
+    key_cols_.reserve(group_by->size());
+    for (const auto& g : *group_by) {
+      key_cols_.push_back(std::make_shared<storage::ColumnVector>(g->type));
+    }
+  }
+}
+
+/// Per-aggregate update from one non-null evaluated (boxed) value.
+void UpdateState(AggState& st, const BoundExpr& agg, Value v);
+
+Status GroupTable::AccumulateValues(const std::vector<Value>& key,
+                                    uint64_t hash, const Chunk& chunk,
+                                    size_t row, uint64_t rank) {
+  GlobalAggExecStats().boxed_rows.fetch_add(1, std::memory_order_relaxed);
+  AggState* states = StatesOf(FindOrCreateBoxed(key, hash, rank));
   for (size_t a = 0; a < aggregates_->size(); ++a) {
     const BoundExpr& agg = *(*aggregates_)[a];
     AggState& st = states[a];
@@ -254,65 +406,96 @@ Status GroupTable::Accumulate(const Chunk& chunk, size_t row) {
     }
     HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*agg.child0, chunk, row));
     if (v.is_null()) continue;
-    if (agg.distinct) {
-      if (st.distinct == nullptr) {
-        st.distinct = std::make_unique<std::unordered_set<Value, ValueHash>>();
-      }
-      if (!st.distinct->insert(v).second) continue;
-    }
-    st.any = true;
-    switch (agg.agg_kind) {
-      case plan::AggKind::kCount:
-        ++st.count;
-        break;
-      case plan::AggKind::kSum:
-      case plan::AggKind::kAvg:
-        ++st.count;
-        st.sum_d += v.AsDouble();
-        st.sum_i += v.AsInt();
-        break;
-      case plan::AggKind::kMin:
-        if (st.min_v.is_null() || v.Compare(st.min_v) < 0) st.min_v = v;
-        break;
-      case plan::AggKind::kMax:
-        if (st.max_v.is_null() || v.Compare(st.max_v) > 0) st.max_v = v;
-        break;
-      default:
-        break;
-    }
+    UpdateState(st, agg, std::move(v));
   }
   return Status::OK();
 }
 
+void UpdateState(AggState& st, const BoundExpr& agg, Value v) {
+  if (agg.distinct) {
+    if (!BoxOf(st).distinct.insert(v).second) return;
+  }
+  st.any = true;
+  switch (agg.agg_kind) {
+    case plan::AggKind::kCount:
+      ++st.count;
+      break;
+    case plan::AggKind::kSum:
+    case plan::AggKind::kAvg:
+      ++st.count;
+      st.sum_d += v.AsDouble();
+      st.sum_i += v.AsInt();
+      break;
+    case plan::AggKind::kMin: {
+      AggStateBox& b = BoxOf(st);
+      if (b.min_v.is_null() || v.Compare(b.min_v) < 0) b.min_v = v;
+      break;
+    }
+    case plan::AggKind::kMax: {
+      AggStateBox& b = BoxOf(st);
+      if (b.max_v.is_null() || v.Compare(b.max_v) > 0) b.max_v = v;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
 void GroupTable::MergeFrom(GroupTable& src) {
-  for (size_t g = 0; g < src.keys_.size(); ++g) {
-    std::vector<AggState>& states = states_[FindOrCreate(src.keys_[g])];
+  const size_t n = src.num_groups();
+  if (n == 0) return;
+  // Two passes so vectorized state growth batches into one resize for
+  // all groups this partial contributes, not one per group.
+  merge_scratch_.clear();
+  merge_scratch_.reserve(n);
+  for (size_t g = 0; g < n; ++g) {
+    merge_scratch_.push_back(
+        static_cast<uint32_t>(FindOrCreatePeer(src, g)));
+  }
+  if (vectorized_) EnsureStates();
+  for (size_t g = 0; g < n; ++g) {
+    AggState* states = StatesOf(merge_scratch_[g]);
+    AggState* theirs = src.StatesOf(g);
     for (size_t a = 0; a < aggregates_->size(); ++a) {
-      MergeAggState(*(*aggregates_)[a], states[a], src.states_[g][a]);
+      MergeAggState(*(*aggregates_)[a], states[a], theirs[a]);
     }
   }
 }
 
 void GroupTable::EnsureGlobalGroup() {
-  if (group_by_->empty() && keys_.empty() && !aggregates_->empty()) {
+  if (!group_by_->empty() || num_groups() > 0 || aggregates_->empty()) return;
+  hashes_.push_back(0x12345);  // HashKey of the empty key.
+  ranks_.push_back(0);
+  if (vectorized_) {  // Vectorized: no key columns for the empty key.
+    EnsureStates();
+    InsertSlot(0x12345, 0);
+  } else {
     keys_.push_back({});
-    states_.emplace_back(aggregates_->size());
+    bstates_.emplace_back(aggregates_->size());
+    groups_.emplace(0x12345, 0);
   }
 }
 
 std::vector<Value> GroupTable::EmitRow(size_t g) const {
-  std::vector<Value> row = keys_[g];
-  row.reserve(row.size() + aggregates_->size());
+  std::vector<Value> row;
+  if (vectorized_) {
+    row.reserve(key_cols_.size() + aggregates_->size());
+    for (const auto& col : key_cols_) row.push_back(col->GetValue(g));
+  } else {
+    row = keys_[g];
+    row.reserve(row.size() + aggregates_->size());
+  }
+  const AggState* states = StatesOf(g);
   for (size_t a = 0; a < aggregates_->size(); ++a) {
-    row.push_back(FinalizeAgg((*aggregates_)[a].get(), states_[g][a]));
+    row.push_back(FinalizeAgg((*aggregates_)[a].get(), states[a]));
   }
   return row;
 }
 
-size_t GroupTable::FindOrCreate(const std::vector<Value>& key) {
-  size_t h = HashKey(key);
-  auto [lo, hi] = groups_.equal_range(h);
-  for (auto it = lo; it != hi; ++it) {
+size_t GroupTable::FindOrCreateBoxed(const std::vector<Value>& key,
+                                     uint64_t hash, uint64_t rank) {
+  auto [it, end] = groups_.equal_range(hash);
+  for (; it != end; ++it) {
     const std::vector<Value>& existing = keys_[it->second];
     bool equal = true;
     for (size_t i = 0; i < key.size(); ++i) {
@@ -323,11 +506,330 @@ size_t GroupTable::FindOrCreate(const std::vector<Value>& key) {
     }
     if (equal) return it->second;
   }
-  size_t group_index = keys_.size();
+  size_t g = num_groups();
+  ReserveOnFirstGrowth();
   keys_.push_back(key);
-  states_.emplace_back(aggregates_->size());
-  groups_.emplace(h, group_index);
-  return group_index;
+  GlobalAggExecStats().key_allocs.fetch_add(1, std::memory_order_relaxed);
+  hashes_.push_back(hash);
+  ranks_.push_back(rank);
+  bstates_.emplace_back(aggregates_->size());
+  groups_.emplace(hash, g);
+  return g;
+}
+
+size_t GroupTable::FindOrCreateVec(const AggKeyBlock& keys, size_t row,
+                                   uint64_t hash, uint64_t rank) {
+  if (!slots_.empty()) {
+    const size_t mask = slots_.size() - 1;
+    for (size_t idx = hash & mask; slots_[idx] != 0; idx = (idx + 1) & mask) {
+      size_t g = slots_[idx] - 1;
+      if (hashes_[g] != hash) continue;
+      bool equal = true;
+      for (size_t k = 0; k < key_cols_.size(); ++k) {
+        if (!AggCellsEqual(*key_cols_[k], g, *keys.cols()[k], row)) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return g;
+    }
+  }
+  size_t g = num_groups();
+  ReserveOnFirstGrowth();
+  for (size_t k = 0; k < key_cols_.size(); ++k) {
+    key_cols_[k]->AppendFrom(*keys.cols()[k], row);
+  }
+  hashes_.push_back(hash);
+  ranks_.push_back(rank);
+  InsertSlot(hash, g);  // State growth deferred to EnsureStates().
+  return g;
+}
+
+size_t GroupTable::FindOrCreatePeer(const GroupTable& src, size_t g) {
+  const uint64_t hash = src.hashes_[g];
+  if (vectorized_) {
+    if (!slots_.empty()) {
+      const size_t mask = slots_.size() - 1;
+      for (size_t idx = hash & mask; slots_[idx] != 0;
+           idx = (idx + 1) & mask) {
+        size_t mine = slots_[idx] - 1;
+        if (hashes_[mine] != hash) continue;
+        bool equal = true;
+        for (size_t k = 0; k < key_cols_.size(); ++k) {
+          if (!AggCellsEqual(*key_cols_[k], mine, *src.key_cols_[k], g)) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) return mine;
+      }
+    }
+    size_t mine = num_groups();
+    ReserveOnFirstGrowth();
+    for (size_t k = 0; k < key_cols_.size(); ++k) {
+      key_cols_[k]->AppendFrom(*src.key_cols_[k], g);
+    }
+    hashes_.push_back(hash);
+    ranks_.push_back(src.ranks_[g]);  // The group's serial first-seen rank.
+    InsertSlot(hash, mine);  // State growth deferred to EnsureStates().
+    return mine;
+  }
+  auto [it, end] = groups_.equal_range(hash);
+  for (; it != end; ++it) {
+    const std::vector<Value>& key = src.keys_[g];
+    const std::vector<Value>& existing = keys_[it->second];
+    bool equal = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (key[i].Compare(existing[i]) != 0) {  // NULL == NULL.
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return it->second;
+  }
+  size_t mine = num_groups();
+  ReserveOnFirstGrowth();
+  keys_.push_back(src.keys_[g]);
+  GlobalAggExecStats().key_allocs.fetch_add(1, std::memory_order_relaxed);
+  hashes_.push_back(hash);
+  ranks_.push_back(src.ranks_[g]);
+  bstates_.emplace_back(aggregates_->size());
+  groups_.emplace(hash, mine);
+  return mine;
+}
+
+void GroupTable::InsertSlot(uint64_t hash, size_t group) {
+  // Grow at 50% load so linear probes stay short; re-probing from the
+  // stored hashes keeps rehash allocation-free per group.
+  if (slots_.empty() || (num_groups() + 1) * 2 > slots_.size()) {
+    size_t grown = slots_.empty() ? 16 : slots_.size() * 2;
+    slots_.assign(grown, 0);
+    const size_t mask = grown - 1;
+    for (size_t g = 0; g + 1 < num_groups(); ++g) {
+      size_t idx = hashes_[g] & mask;
+      while (slots_[idx] != 0) idx = (idx + 1) & mask;
+      slots_[idx] = static_cast<uint32_t>(g + 1);
+    }
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t idx = hash & mask;
+  while (slots_[idx] != 0) idx = (idx + 1) & mask;
+  slots_[idx] = static_cast<uint32_t>(group + 1);
+}
+
+void GroupTable::EnsureStates() {
+  const size_t need = num_groups() * aggregates_->size();
+  if (vstates_.size() >= need) return;
+  if (need > vstates_.capacity()) {
+    vstates_.reserve(std::max(need, vstates_.capacity() * 2));
+  }
+  vstates_.resize(need);
+}
+
+void GroupTable::ReserveOnFirstGrowth() {
+  if (!hashes_.empty()) return;
+  // Satellite fix: reserve capacity on the first group so the common
+  // low-cardinality GROUP BY never reallocates its per-group arrays.
+  constexpr size_t kInitialGroups = 64;
+  hashes_.reserve(kInitialGroups);
+  ranks_.reserve(kInitialGroups);
+  if (vectorized_) {
+    vstates_.reserve(kInitialGroups * aggregates_->size());
+  } else {
+    keys_.reserve(kInitialGroups);
+    bstates_.reserve(kInitialGroups);
+  }
+}
+
+PartitionedGroupTable::PartitionedGroupTable(
+    const std::vector<plan::BoundExprPtr>* group_by,
+    const std::vector<plan::BoundExprPtr>* aggregates, size_t partitions,
+    bool allow_vectorized)
+    : group_by_(group_by),
+      aggregates_(aggregates),
+      vectorized_(allow_vectorized && AggKeyBlock::Vectorizable(*group_by)) {
+  size_t p = 1;
+  while (p < partitions && p < kMaxPartitions) p <<= 1;
+  while ((size_t{1} << bits_) < p) ++bits_;
+  parts_.reserve(p);
+  for (size_t i = 0; i < p; ++i) {
+    parts_.push_back(
+        std::make_unique<GroupTable>(group_by, aggregates, vectorized_));
+  }
+}
+
+size_t PartitionedGroupTable::num_groups() const {
+  size_t n = 0;
+  for (const auto& part : parts_) n += part->num_groups();
+  return n;
+}
+
+void PartitionedGroupTable::BeginMorsel(uint32_t morsel) {
+  morsel_ = morsel;
+  row_in_morsel_ = 0;
+}
+
+Status PartitionedGroupTable::AccumulateChunk(const Chunk& chunk) {
+  const size_t n = chunk.num_rows();
+  if (n == 0) return Status::OK();
+  const uint64_t base = uint64_t{morsel_} << 32;
+  if (!vectorized_) {
+    // Boxed fallback: row-at-a-time key boxing with the same partition
+    // routing (HashKey agrees with the vectorized hash by design).
+    for (size_t r = 0; r < n; ++r) {
+      boxed_key_.clear();
+      for (const auto& g : *group_by_) {
+        HANA_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, chunk, r));
+        boxed_key_.push_back(std::move(v));
+      }
+      uint64_t h = HashKey(boxed_key_);
+      HANA_RETURN_IF_ERROR(parts_[PartitionOf(h)]->AccumulateValues(
+          boxed_key_, h, chunk, r, base | (row_in_morsel_ + r)));
+    }
+    row_in_morsel_ += n;
+    return Status::OK();
+  }
+  HANA_RETURN_IF_ERROR(keys_.Compute(*group_by_, chunk));
+  agg_cols_.assign(aggregates_->size(), nullptr);
+  for (size_t a = 0; a < aggregates_->size(); ++a) {
+    const BoundExpr& agg = *(*aggregates_)[a];
+    if (agg.agg_kind == plan::AggKind::kCountStar) continue;
+    HANA_ASSIGN_OR_RETURN(agg_cols_[a], EvalExprColumn(*agg.child0, chunk));
+  }
+  const std::vector<uint64_t>& hashes = keys_.hashes();
+  // Pass 1: resolve each row's group, creating groups in row order (so
+  // ranks keep the serial first-seen order), then pin each group's
+  // state base pointer — stable now that no more groups (and no state
+  // array growth) happen until the next chunk.
+  row_group_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    GroupTable& part = *parts_[PartitionOf(hashes[r])];
+    row_group_[r] = {&part,
+                     static_cast<uint32_t>(part.FindOrCreateVec(
+                         keys_, r, hashes[r], base | (row_in_morsel_ + r)))};
+  }
+  for (auto& part : parts_) part->EnsureStates();
+  row_states_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    row_states_[r] = row_group_[r].first->StatesOf(row_group_[r].second);
+  }
+  // Pass 2, column at a time per aggregate, rows in order (each group
+  // sees its rows in the same sequence as the row-at-a-time path, so
+  // floating-point sums are bit-identical). The aggregate-kind and
+  // column-type dispatch runs once per column, not once per row.
+  for (size_t a = 0; a < aggregates_->size(); ++a) {
+    const BoundExpr& agg = *(*aggregates_)[a];
+    if (agg.agg_kind == plan::AggKind::kCountStar) {
+      for (size_t r = 0; r < n; ++r) ++row_states_[r][a].count;
+      continue;
+    }
+    const storage::ColumnVector& col = *agg_cols_[a];
+    if (agg.distinct || agg.agg_kind == plan::AggKind::kMin ||
+        agg.agg_kind == plan::AggKind::kMax) {
+      // DISTINCT sets and min/max hold boxed Values either way.
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) continue;
+        UpdateState(row_states_[r][a], agg, col.GetValue(r));
+      }
+      continue;
+    }
+    if (agg.agg_kind == plan::AggKind::kCount) {
+      for (size_t r = 0; r < n; ++r) {
+        if (col.IsNull(r)) continue;
+        AggState& st = row_states_[r][a];
+        st.any = true;
+        ++st.count;
+      }
+      continue;
+    }
+    // SUM / AVG: typed row loops (same casts as Value::AsDouble/AsInt).
+    switch (col.type()) {
+      case DataType::kDouble:
+        for (size_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          AggState& st = row_states_[r][a];
+          st.any = true;
+          ++st.count;
+          double d = col.GetDouble(r);
+          st.sum_d += d;
+          st.sum_i += static_cast<int64_t>(d);
+        }
+        break;
+      case DataType::kString:
+        for (size_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          AggState& st = row_states_[r][a];
+          st.any = true;
+          ++st.count;  // Sums of a string are 0, the Value::As* image.
+        }
+        break;
+      default:  // kInt64 / kDate / kTimestamp / kBool.
+        for (size_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          AggState& st = row_states_[r][a];
+          st.any = true;
+          ++st.count;
+          int64_t v = col.GetInt(r);
+          if (col.type() == DataType::kBool) v = v != 0 ? 1 : 0;
+          st.sum_d += static_cast<double>(v);
+          st.sum_i += v;
+        }
+        break;
+    }
+  }
+  row_in_morsel_ += n;
+  GlobalAggExecStats().vectorized_chunks.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void PartitionedGroupTable::MergePartition(
+    size_t p,
+    const std::vector<std::unique_ptr<PartitionedGroupTable>>& sources) {
+  GroupTable& dst = *parts_[p];
+  for (const auto& src : sources) {
+    if (src != nullptr) dst.MergeFrom(*src->parts_[p]);
+  }
+  GlobalAggExecStats().partition_merges.fetch_add(1,
+                                                  std::memory_order_relaxed);
+}
+
+void PartitionedGroupTable::EnsureGlobalGroup() {
+  if (!group_by_->empty() || aggregates_->empty() || num_groups() > 0) return;
+  parts_[PartitionOf(0x12345)]->EnsureGlobalGroup();
+}
+
+void PartitionedGroupTable::EmitInOrder(
+    const std::function<void(const GroupTable&, size_t)>& fn) const {
+  if (parts_.size() == 1) {
+    const GroupTable& t = *parts_[0];
+    for (size_t g = 0; g < t.num_groups(); ++g) fn(t, g);
+    return;
+  }
+  // K-way merge by rank. Each partition's merged group list is already
+  // rank-ascending (partials merge in ascending morsel order and each
+  // partial's groups are first-seen ordered), so ascending-rank heads
+  // reproduce the global serial first-seen order. Ranks are unique —
+  // one row creates at most one group.
+  std::vector<size_t> pos(parts_.size(), 0);
+  using Head = std::pair<uint64_t, size_t>;  // (rank, partition).
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    if (parts_[p]->num_groups() > 0) heap.push({parts_[p]->rank(0), p});
+  }
+  while (!heap.empty()) {
+    auto [rank, p] = heap.top();
+    heap.pop();
+    size_t g = pos[p]++;
+    fn(*parts_[p], g);
+    if (pos[p] < parts_[p]->num_groups()) {
+      heap.push({parts_[p]->rank(pos[p]), p});
+    }
+  }
+}
+
+size_t DefaultAggPartitions(const std::vector<plan::BoundExprPtr>& group_by) {
+  return group_by.empty() ? 1 : PartitionedGroupTable::kMaxPartitions;
 }
 
 Result<Chunk> ProbeJoinChunk(const JoinBuildState& state, const Chunk& probe,

@@ -1,8 +1,12 @@
 #ifndef HANA_EXEC_PIPELINE_H_
 #define HANA_EXEC_PIPELINE_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -35,15 +39,26 @@ inline size_t HashKey(const std::vector<Value>& key) {
 [[nodiscard]] Result<storage::Chunk> ProjectChunk(const plan::LogicalOp& project,
                                                   const storage::Chunk& in);
 
-/// Aggregation state for one (group, aggregate) pair.
+/// Boxed side state of one (group, aggregate) pair: MIN/MAX extrema
+/// and the DISTINCT value set. Split out of AggState and allocated
+/// lazily on the first extremum/distinct value so the flat state
+/// arrays of high-cardinality COUNT/SUM/AVG group-bys construct and
+/// destroy millions of states without touching a Value (whose variant
+/// makes arrays of them expensive to grow).
+struct AggStateBox {
+  Value min_v;
+  Value max_v;
+  std::unordered_set<Value, storage::ValueHash> distinct;
+};
+
+/// Aggregation state for one (group, aggregate) pair. The inline
+/// fields cover COUNT/SUM/AVG; MIN/MAX/DISTINCT go through `box`.
 struct AggState {
   int64_t count = 0;
   double sum_d = 0.0;
   int64_t sum_i = 0;
   bool any = false;
-  Value min_v;
-  Value max_v;
-  std::unique_ptr<std::unordered_set<Value, storage::ValueHash>> distinct;
+  std::unique_ptr<AggStateBox> box;
 };
 
 Value FinalizeAgg(const plan::BoundExpr* agg, const AggState& st);
@@ -53,24 +68,120 @@ Value FinalizeAgg(const plan::BoundExpr* agg, const AggState& st);
 /// double-counted.
 void MergeAggState(const plan::BoundExpr& agg, AggState& dst, AggState& src);
 
+/// Process-wide counters for which implementation aggregations actually
+/// run through, so silent fallbacks off the fast paths are observable
+/// (tests assert on them; bench_agg reports the allocation ablation).
+struct AggExecStats {
+  /// kGroups sinks that merged through the radix-partitioned two-phase
+  /// path (parallel_agg=on).
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> partitioned_aggs{0};
+  /// kGroups sinks that folded partials through the legacy serial
+  /// MergeFrom chain (parallel_agg=off ablation baseline).
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> serial_fold_aggs{0};
+  /// Chunks accumulated through the vectorized column-wise key path.
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> vectorized_chunks{0};
+  /// Rows accumulated through the boxed row-at-a-time fallback.
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> boxed_rows{0};
+  /// Boxed group-key vectors materialized (≈ groups created since the
+  /// scratch-key fix; equal to boxed_rows before it — the ablation).
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> key_allocs{0};
+  /// Per-partition phase-2 merge tasks run by the executor.
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> partition_merges{0};
+  /// Chunks filtered through the two-term conjunction kernel fast path
+  /// (two dispatched compare passes over one shared selection mask).
+  // atomic: relaxed counter; observers only need eventual totals.
+  std::atomic<uint64_t> conjunction_kernel_chunks{0};
+};
+
+AggExecStats& GlobalAggExecStats();
+void ResetAggExecStats();
+
+/// Column-wise group keys of one chunk: the evaluated key columns plus
+/// one hash per row, reproducing HashKey (seed 0x12345 folded over
+/// Value::Hash) exactly — a NULL cell contributes Value::Hash's null
+/// image — so the vectorized and boxed paths agree on partition and
+/// bucket placement. A single int64/date/timestamp key column goes
+/// through the CPU-dispatched `hash_i64` batch kernel. Scratch object:
+/// reuse one instance across chunks to avoid re-allocating the hash
+/// array per chunk.
+class AggKeyBlock {
+ public:
+  /// True when every group-by expression has a concrete column type the
+  /// cell hash/equality helpers cover (group keys may be NULL, unlike
+  /// join keys, so nullability does not disqualify).
+  static bool Vectorizable(const std::vector<plan::BoundExprPtr>& group_by);
+
+  [[nodiscard]] Status Compute(
+      const std::vector<plan::BoundExprPtr>& group_by,
+      const storage::Chunk& chunk);
+
+  const std::vector<storage::ColumnVectorPtr>& cols() const { return cols_; }
+  const std::vector<uint64_t>& hashes() const { return hashes_; }
+
+ private:
+  std::vector<storage::ColumnVectorPtr> cols_;
+  std::vector<uint64_t> hashes_;
+};
+
 /// Hash table mapping group keys to per-aggregate states; groups keep
 /// first-seen order. Shared by the serial HashAggregateOp and the
 /// per-morsel partial aggregation of the pipeline executor.
+///
+/// Two key layouts, fixed at construction. Vectorized tables store one
+/// typed ColumnVector cell per key column per group (hashed and
+/// compared column-wise, no boxing), index groups through an
+/// open-addressing slot array (group index + 1, 0 = empty) over the
+/// stored per-group hashes, and keep every group's aggregate states in
+/// one flat group-major array — no per-group heap allocation on the
+/// hot path. Boxed tables are the preserved legacy layout (key types
+/// the cell helpers do not cover, and the parallel_agg=off ablation
+/// baseline): Value key rows, a chained hash->group multimap index and
+/// a per-group state vector, with only the scratch-key reuse and
+/// reserve fixes applied on top.
+///
+/// Group-by semantics: NULL == NULL (one NULL group), unlike join keys.
+///
+/// Each group also records a 64-bit rank — (first morsel << 32) | first
+/// row within that morsel, assigned by PartitionedGroupTable — which is
+/// the group's position in the serial first-seen order. Morsels are
+/// bounded well below 2^32 and a morsel's rows below 2^32 (the scan
+/// decomposition caps morsel_rows; single-morsel serial sources would
+/// need 4G+ rows to wrap, the radix join's same bound).
 class GroupTable {
  public:
+  /// `allow_vectorized=false` forces the boxed key layout even for
+  /// vectorizable key types — the parallel_agg=off ablation baseline.
+  /// Tables that merge into each other must share the flag.
   GroupTable(const std::vector<plan::BoundExprPtr>* group_by,
-             const std::vector<plan::BoundExprPtr>* aggregates)
-      : group_by_(group_by), aggregates_(aggregates) {}
+             const std::vector<plan::BoundExprPtr>* aggregates,
+             bool allow_vectorized = true);
 
-  size_t num_groups() const { return keys_.size(); }
+  size_t num_groups() const { return hashes_.size(); }
+  bool vectorized() const { return vectorized_; }
+  uint64_t rank(size_t g) const { return ranks_[g]; }
 
-  [[nodiscard]] Status Accumulate(const storage::Chunk& chunk, size_t row);
+  /// Row-at-a-time accumulate of one row whose boxed key (and its
+  /// HashKey hash) the caller already evaluated — the legacy path, kept
+  /// as the parallel_agg=off ablation baseline and for boxed-key
+  /// tables. The caller evaluates the hash first because it routes the
+  /// row to a partition by it.
+  [[nodiscard]] Status AccumulateValues(const std::vector<Value>& key,
+                                        uint64_t hash,
+                                        const storage::Chunk& chunk,
+                                        size_t row, uint64_t rank);
 
   /// Folds `src` into this table, visiting src groups in their
   /// first-seen order. Merging morsel partials in ascending morsel
   /// order therefore reproduces the exact group order (and floating
   /// point sums, morsel by morsel) of any other run with the same
-  /// morsel decomposition — the thread count never matters.
+  /// morsel decomposition — the thread count never matters. Newly
+  /// created groups inherit the source group's rank.
   void MergeFrom(GroupTable& src);
 
   /// A global aggregate over an empty input still emits one row.
@@ -81,14 +192,160 @@ class GroupTable {
   std::vector<Value> EmitRow(size_t g) const;
 
  private:
-  size_t FindOrCreate(const std::vector<Value>& key);
+  /// Boxed-layout lookup of `key`, creating the group with `rank` if
+  /// absent.
+  size_t FindOrCreateBoxed(const std::vector<Value>& key, uint64_t hash,
+                           uint64_t rank);
+  /// Vectorized-layout lookup of `keys` row `row`.
+  size_t FindOrCreateVec(const AggKeyBlock& keys, size_t row, uint64_t hash,
+                         uint64_t rank);
+  /// Lookup/copy of group g of a same-layout peer table (merge path).
+  size_t FindOrCreatePeer(const GroupTable& src, size_t g);
+  /// Registers group index `group` under `hash` after its storage rows
+  /// are appended, growing (and re-probing) the slot array at 50% load.
+  /// Vectorized layout only.
+  void InsertSlot(uint64_t hash, size_t group);
+  void ReserveOnFirstGrowth();
+  /// Vectorized layout only: grows the flat state array to cover every
+  /// created group (geometric reserve). Group creation defers state
+  /// growth to this batched call — one resize per (chunk, partition) or
+  /// per merged partial instead of one per group, which profiling shows
+  /// otherwise dominates high-cardinality aggregation.
+  void EnsureStates();
+
+  /// The vectorized chunk accumulate drives FindOrCreateVec/StatesOf
+  /// directly so it can split group resolution and per-aggregate state
+  /// updates into separate column-at-a-time passes.
+  friend class PartitionedGroupTable;
+
+  /// First aggregate state of group g (stride = aggregates_->size()).
+  AggState* StatesOf(size_t g) {
+    return vectorized_ ? vstates_.data() + g * aggregates_->size()
+                       : bstates_[g].data();
+  }
+  const AggState* StatesOf(size_t g) const {
+    return vectorized_ ? vstates_.data() + g * aggregates_->size()
+                       : bstates_[g].data();
+  }
 
   const std::vector<plan::BoundExprPtr>* group_by_;
   const std::vector<plan::BoundExprPtr>* aggregates_;
-  std::unordered_multimap<size_t, size_t> groups_;
-  std::vector<std::vector<Value>> keys_;
-  std::vector<std::vector<AggState>> states_;
+  bool vectorized_;
+  /// Vectorized layout: one vector per key column, row g = group g.
+  std::vector<storage::ColumnVectorPtr> key_cols_;
+  std::vector<std::vector<Value>> keys_;  // Boxed layout.
+  std::vector<uint64_t> hashes_;          // Per group.
+  std::vector<uint64_t> ranks_;           // Per group.
+  /// Vectorized layout: flat group-major states, group g's aggregate a
+  /// at [g * aggregates_->size() + a] — one growable allocation instead
+  /// of one heap vector per group.
+  std::vector<AggState> vstates_;
+  /// Boxed layout: per-group state vectors (the legacy layout).
+  std::vector<std::vector<AggState>> bstates_;
+  /// Vectorized layout: open-addressing slot array (power of two,
+  /// linear probe): group index + 1, 0 = empty.
+  std::vector<uint32_t> slots_;
+  /// Boxed layout: chained hash -> group index multimap (the legacy
+  /// index the ablation baseline measures against).
+  std::unordered_multimap<uint64_t, size_t> groups_;
+  std::vector<uint32_t> merge_scratch_;  // MergeFrom's group map, reused.
 };
+
+/// Radix-partitioned aggregation table: routes each row by the top bits
+/// of its key hash into one of `partitions` sub-GroupTables, so
+/// per-morsel partials can later merge partition-by-partition in
+/// parallel (phase 2) while ascending-morsel merge order per partition
+/// keeps every partition's fold deterministic.
+///
+/// Usage, phase 1 (one instance per morsel, single-threaded):
+///   BeginMorsel(m); AccumulateChunk(chunk) per chunk.
+/// Phase 2 (one merged instance): MergePartition(p, partials) for every
+/// p — disjoint partitions, safe to fan out — then EnsureGlobalGroup()
+/// and EmitInOrder.
+///
+/// Determinism: a group's rank is (first morsel, first row) of its
+/// first appearance, which is exactly its position in the serial
+/// first-seen group order. Within one merged partition, groups come out
+/// rank-sorted (morsel partials are scanned in ascending morsel order
+/// and each partial's groups are rank-ascending), so EmitInOrder's
+/// rank-ordered k-way merge across partitions reproduces the serial
+/// emit order bit-identically at any thread or partition count.
+class PartitionedGroupTable {
+ public:
+  /// Partition counts are clamped to [1, kMaxPartitions] powers of two.
+  static constexpr size_t kMaxPartitions = 64;
+
+  /// `allow_vectorized=false` forces the boxed row-at-a-time layout
+  /// (see GroupTable); pair it with one partition for the legacy serial
+  /// ablation baseline.
+  PartitionedGroupTable(const std::vector<plan::BoundExprPtr>* group_by,
+                        const std::vector<plan::BoundExprPtr>* aggregates,
+                        size_t partitions, bool allow_vectorized = true);
+
+  size_t num_partitions() const { return parts_.size(); }
+  GroupTable& partition(size_t p) { return *parts_[p]; }
+  const GroupTable& partition(size_t p) const { return *parts_[p]; }
+  bool vectorized() const { return vectorized_; }
+  size_t num_groups() const;
+
+  /// Sets the morsel index stamped into the ranks of subsequently
+  /// accumulated rows (resets the in-morsel row counter).
+  void BeginMorsel(uint32_t morsel);
+
+  /// Accumulates every row of `chunk`. Vectorized tables evaluate key
+  /// columns + hashes and aggregate input columns once per chunk, then
+  /// run column-at-a-time passes: one pass resolving each row's group
+  /// in its hash partition (groups are created in row order, keeping
+  /// serial first-seen ranks), then one pass per aggregate over its
+  /// input column with the aggregate-kind and column-type dispatch
+  /// hoisted out of the row loop. Boxed tables take the legacy
+  /// row-at-a-time path with the same partition routing.
+  [[nodiscard]] Status AccumulateChunk(const storage::Chunk& chunk);
+
+  /// Phase 2: folds partition p of every source, in ascending source
+  /// (= morsel) order, into this table's partition p. Distinct
+  /// partitions touch disjoint state — safe to call concurrently for
+  /// distinct p.
+  void MergePartition(
+      size_t p,
+      const std::vector<std::unique_ptr<PartitionedGroupTable>>& sources);
+
+  /// A global aggregate over an empty input still emits one row (in the
+  /// empty key's hash partition).
+  void EnsureGlobalGroup();
+
+  /// Visits every group as (partition, group index) in ascending rank
+  /// order — the serial first-seen emit order.
+  void EmitInOrder(
+      const std::function<void(const GroupTable&, size_t)>& fn) const;
+
+ private:
+  size_t PartitionOf(uint64_t hash) const {
+    return bits_ == 0 ? 0 : (hash >> (64 - bits_));
+  }
+
+  const std::vector<plan::BoundExprPtr>* group_by_;
+  const std::vector<plan::BoundExprPtr>* aggregates_;
+  size_t bits_ = 0;  // log2(num_partitions()).
+  bool vectorized_;
+  uint32_t morsel_ = 0;
+  uint64_t row_in_morsel_ = 0;
+  AggKeyBlock keys_;  // Scratch, reused across chunks.
+  std::vector<storage::ColumnVectorPtr> agg_cols_;  // Scratch.
+  std::vector<Value> boxed_key_;                    // Scratch.
+  /// Scratch, reused across chunks: each row's resolved (partition
+  /// table, group index), and the group's aggregate-state base pointer
+  /// (stable once the resolve pass created every group of the chunk).
+  std::vector<std::pair<GroupTable*, uint32_t>> row_group_;
+  std::vector<AggState*> row_states_;
+  std::vector<std::unique_ptr<GroupTable>> parts_;
+};
+
+/// The partition count the executor uses when the optimizer did not
+/// stamp one on the aggregate node (hand-built plans): every partition
+/// for grouped aggregates, one for global aggregates (a single group
+/// gains nothing from fan-out).
+size_t DefaultAggPartitions(const std::vector<plan::BoundExprPtr>& group_by);
 
 // ---------------------------------------------------------------------
 // Pipeline decomposition: a physical plan split at its breakers.

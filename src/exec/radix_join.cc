@@ -16,9 +16,33 @@ using storage::Chunk;
 using storage::ColumnVector;
 using storage::ColumnVectorPtr;
 
-/// Hash of one non-null cell, reproducing Value::Hash's shape (integers
-/// and integral doubles collide, as their comparisons do) so the
-/// vectorized and boxed modes hash identically on same-typed keys.
+/// Boxed key-row hash; identical to the serial hash join's HashKey so
+/// cross-type numeric keys collide exactly as Value::Compare equates.
+size_t HashBoxedKey(const std::vector<Value>& key) {
+  size_t h = 0x12345;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Key shape the batched hash kernel and the perfect-hash layout
+/// handle: one key column on the int64 physical array with exact
+/// integer semantics (bool excluded — its hash normalizes to 0/1).
+bool SingleIntKey(const std::vector<const plan::BoundExpr*>& exprs) {
+  if (exprs.size() != 1) return false;
+  DataType t = exprs[0]->type;
+  return t == DataType::kInt64 || t == DataType::kDate ||
+         t == DataType::kTimestamp;
+}
+
+}  // namespace
+
+// Declared in radix_join.h; shared with the partitioned aggregation.
 size_t HashCell(const ColumnVector& col, size_t i) {
   switch (col.type()) {
     case DataType::kBool:
@@ -61,32 +85,6 @@ bool CellsEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
       return a.GetInt(i) == b.GetInt(j);
   }
 }
-
-/// Boxed key-row hash; identical to the serial hash join's HashKey so
-/// cross-type numeric keys collide exactly as Value::Compare equates.
-size_t HashBoxedKey(const std::vector<Value>& key) {
-  size_t h = 0x12345;
-  for (const Value& v : key) h = HashCombine(h, v.Hash());
-  return h;
-}
-
-size_t NextPow2(size_t n) {
-  size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
-
-/// Key shape the batched hash kernel and the perfect-hash layout
-/// handle: one key column on the int64 physical array with exact
-/// integer semantics (bool excluded — its hash normalizes to 0/1).
-bool SingleIntKey(const std::vector<const plan::BoundExpr*>& exprs) {
-  if (exprs.size() != 1) return false;
-  DataType t = exprs[0]->type;
-  return t == DataType::kInt64 || t == DataType::kDate ||
-         t == DataType::kTimestamp;
-}
-
-}  // namespace
 
 JoinExecStats& GlobalJoinExecStats() {
   static JoinExecStats* stats = new JoinExecStats();

@@ -45,6 +45,18 @@ struct JoinExecStats {
 JoinExecStats& GlobalJoinExecStats();
 void ResetJoinExecStats();
 
+/// Hash of one non-null cell, reproducing Value::Hash's shape (integers
+/// and integral doubles collide, as their comparisons do) so vectorized
+/// column-wise key paths hash identically to boxed Value keys. Shared
+/// by the radix join and the partitioned aggregation sink.
+size_t HashCell(const storage::ColumnVector& col, size_t i);
+
+/// Typed equality of two non-null cells of the same concrete type.
+/// Double equality matches Value::Compare on the same type
+/// (-0.0 == 0.0).
+bool CellsEqual(const storage::ColumnVector& a, size_t i,
+                const storage::ColumnVector& b, size_t j);
+
 /// Radix-partitioned hash table for the morsel-parallel hash join.
 ///
 /// Build protocol (lock-free):

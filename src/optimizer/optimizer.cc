@@ -547,6 +547,58 @@ void ChooseBuildSides(LogicalOp* op, const catalog::Catalog* catalog) {
   MaybeNominatePerfectHash(op, parts, catalog);
 }
 
+// ---------------------------------------------------------------------
+// Aggregate radix-partition sizing.
+// ---------------------------------------------------------------------
+
+/// Picks the radix partition count for two-phase parallel aggregation
+/// sinks from group-cardinality statistics: the product of the group-by
+/// keys' dictionary distinct upper bounds, when every key is a bare
+/// column over a (filter-wrapped) local column-table scan. Few expected
+/// groups → few partitions (phase-2 fan-out overhead isn't worth it);
+/// unknown or large cardinality → the executor's maximum. The count
+/// only shapes the schedule — results are bit-identical at any value —
+/// so a stale estimate costs speed, never correctness.
+void ChooseAggPartitions(LogicalOp* op, const catalog::Catalog* catalog) {
+  for (auto& child : op->children) ChooseAggPartitions(child.get(), catalog);
+  if (op->kind != LogicalKind::kAggregate) return;
+  if (op->group_by.empty()) {
+    op->agg_partitions = 1;  // Global aggregate: one group, one partition.
+    return;
+  }
+  constexpr int kMax = 64;   // exec::PartitionedGroupTable::kMaxPartitions.
+  constexpr uint64_t kGroupsPerPartition = 512;
+  op->agg_partitions = kMax;  // Default when stats can't bound the groups.
+  if (catalog == nullptr || op->children.empty()) return;
+  const LogicalOp* scan = UnwrapToScan(op->children[0].get());
+  if (scan == nullptr || scan->table.location != TableLocation::kLocalColumn) {
+    return;
+  }
+  Result<const catalog::TableEntry*> entry = catalog->GetTable(scan->table.name);
+  if (!entry.ok() || (*entry)->column_table == nullptr) return;
+  const storage::ColumnTable& table = *(*entry)->column_table;
+  uint64_t groups_upper = 1;
+  for (const plan::BoundExprPtr& g : op->group_by) {
+    if (g->kind != plan::BoundKind::kColumn ||
+        g->column_index >= table.schema()->num_columns()) {
+      return;  // Computed key: cardinality unknown, keep the max.
+    }
+    storage::ColumnTable::ColumnDomain d =
+        table.GetColumnDomain(g->column_index);
+    if (d.distinct_upper == 0) return;
+    if (groups_upper > (uint64_t{1} << 32) / std::max<uint64_t>(d.distinct_upper, 1)) {
+      return;  // Product would overflow any useful bound; keep the max.
+    }
+    groups_upper *= d.distinct_upper;
+  }
+  int parts = 1;
+  while (parts < kMax &&
+         static_cast<uint64_t>(parts) * kGroupsPerPartition < groups_upper) {
+    parts *= 2;
+  }
+  op->agg_partitions = parts;
+}
+
 }  // namespace
 
 double EstimateRows(const plan::LogicalOp& op) { return EstimateRowsImpl(op); }
@@ -578,6 +630,7 @@ Status Optimize(plan::LogicalOpPtr* plan, const OptimizeContext& ctx) {
     HANA_RETURN_IF_ERROR(SplitFederated(plan, ctx));
   }
   ChooseBuildSides(plan->get(), ctx.catalog);
+  ChooseAggPartitions(plan->get(), ctx.catalog);
   return Status::OK();
 }
 

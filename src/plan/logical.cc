@@ -81,6 +81,9 @@ std::string LogicalOp::ToString(int indent) const {
       for (const auto& a : aggregates) aggs.push_back(a->ToString());
       line += "Aggregate GROUP BY [" + Join(groups, ", ") + "] AGG [" +
               Join(aggs, ", ") + "]";
+      if (agg_partitions > 0) {
+        line += StrFormat(" [partitioned-agg x%d]", agg_partitions);
+      }
       break;
     }
     case LogicalKind::kSort: {

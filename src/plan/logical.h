@@ -135,6 +135,11 @@ struct LogicalOp {
   // kAggregate
   std::vector<BoundExprPtr> group_by;
   std::vector<BoundExprPtr> aggregates;  // kAggregate-kind expressions.
+  /// Radix partition count the optimizer chose for the two-phase
+  /// parallel aggregation sink from group-cardinality stats (0 = not
+  /// chosen; the executor falls back to its default). Rendered by
+  /// ToString as a "[partitioned-agg x<n>]" suffix for EXPLAIN.
+  int agg_partitions = 0;
 
   // kSort
   std::vector<SortKey> sort_keys;

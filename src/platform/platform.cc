@@ -430,7 +430,8 @@ Status Platform::SetParameter(const std::string& name,
     }
     return Status::OK();
   }
-  if (key == "parallel_join" || key == "parallel_merge") {
+  if (key == "parallel_join" || key == "parallel_agg" ||
+      key == "parallel_merge") {
     std::string v;
     for (char c : value) v += static_cast<char>(std::tolower(c));
     bool enabled;
@@ -441,7 +442,9 @@ Status Platform::SetParameter(const std::string& name,
     } else {
       return Status::InvalidArgument("invalid " + key + ": " + value);
     }
-    (key == "parallel_join" ? parallel_join_ : parallel_merge_) = enabled;
+    (key == "parallel_join"  ? parallel_join_
+     : key == "parallel_agg" ? parallel_agg_
+                             : parallel_merge_) = enabled;
     return Status::OK();
   }
   if (key == "merge_threshold_rows") {
@@ -453,7 +456,7 @@ Status Platform::SetParameter(const std::string& name,
     merge_threshold_rows_ = static_cast<size_t>(parsed);
     return Status::OK();
   }
-  if (key == "threads" || key == "morsel_rows") {
+  if (key == "threads" || key == "morsel_rows" || key == "agg_partitions") {
     char* end = nullptr;
     long parsed = std::strtol(value.c_str(), &end, 10);
     if (end == value.c_str() || parsed < 0) {
@@ -462,8 +465,10 @@ Status Platform::SetParameter(const std::string& name,
     size_t v = static_cast<size_t>(parsed);
     if (key == "threads") {
       dop_ = v > 0 ? v : TaskPool::DefaultDop();
-    } else {
+    } else if (key == "morsel_rows") {
       morsel_rows_ = v > 0 ? v : exec::kDefaultMorselRows;
+    } else {
+      agg_partitions_ = v;  // 0 restores the cardinality-based default.
     }
     return Status::OK();
   }
@@ -649,6 +654,8 @@ exec::ParallelPolicy Platform::parallel_policy() {
   policy.dop = dop_;
   policy.morsel_rows = morsel_rows_;
   policy.parallel_join = parallel_join_;
+  policy.parallel_agg = parallel_agg_;
+  policy.agg_partitions = agg_partitions_;
   policy.executor = executor_mode_;
   return policy;
 }

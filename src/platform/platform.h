@@ -95,6 +95,12 @@ class Platform : public exec::ExecContext {
   ///   executor                 = pipeline|fused|serial pipeline-DAG
   ///                              scheduling mode (results identical)
   ///   parallel_join            = on|off morsel-parallel radix hash join
+  ///   parallel_agg             = on|off radix-partitioned two-phase
+  ///                              aggregation with vectorized key hashing
+  ///                              (off = boxed serial-fold baseline;
+  ///                              results identical either way)
+  ///   agg_partitions           = radix partitions for aggregate sinks
+  ///                              (0 = optimizer/cardinality default)
   ///   parallel_merge           = on|off online parallel delta merge
   ///                              (off = serial remap-table baseline)
   ///   merge_threshold_rows     = auto-merge a column table (or hot
@@ -185,6 +191,8 @@ class Platform : public exec::ExecContext {
   size_t dop_ = 1;
   size_t morsel_rows_ = exec::kDefaultMorselRows;
   bool parallel_join_ = true;
+  bool parallel_agg_ = true;
+  size_t agg_partitions_ = 0;  // 0 = optimizer/cardinality default.
   bool parallel_merge_ = true;
   exec::ExecutorMode executor_mode_ = exec::ExecutorMode::kPipeline;
   size_t merge_threshold_rows_ = 0;  // 0 = auto-merge disabled.

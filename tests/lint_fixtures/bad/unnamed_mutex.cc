@@ -1,0 +1,12 @@
+// Fixture: a default-constructed hana::Mutex member — must trip rule 9
+// (every Mutex is brace-initialized with a name and a lock rank so the
+// runtime lock-order validator can report and rank-check it). The
+// GUARDED_BY keeps rule 5 quiet so this file isolates rule 9.
+namespace hana::lintfix {
+
+struct UnnamedState {
+  mutable Mutex mu_;
+  int protected_value GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hana::lintfix

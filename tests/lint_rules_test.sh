@@ -44,6 +44,7 @@ check_fires() {
 check_fires "naked standard-library locking" "naked_locking.cc"
 check_fires "naked standard-library locking" "hidden_by_line_comment.cc"
 check_fires "Mutex member without any GUARDED_BY" "unguarded_mutex.cc"
+check_fires "default-constructed hana::Mutex member" "unnamed_mutex.cc"
 check_fires "std::atomic without an ordering justification" \
   "unjustified_atomic.cc"
 check_fires "IgnoreStatus without justification" \
